@@ -1,0 +1,69 @@
+// bench_micro_graph — microbenchmarks for the graph substrate used by the
+// exact deciders (experiment µB of DESIGN.md).
+#include <benchmark/benchmark.h>
+
+#include "graph/connectivity.hpp"
+#include "graph/cuts.hpp"
+#include "graph/generators.hpp"
+#include "graph/paths.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace rmt;
+
+void BM_ComponentOf(benchmark::State& state) {
+  Rng rng(11);
+  const Graph g = generators::random_connected_gnp(std::size_t(state.range(0)), 0.15, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(component_of(g, 0, NodeSet{NodeId(state.range(0) / 2)}));
+  }
+}
+BENCHMARK(BM_ComponentOf)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_SimplePathEnumeration(benchmark::State& state) {
+  const Graph g = generators::grid_graph(std::size_t(state.range(0)), 3);
+  const NodeId t = NodeId(g.num_nodes() - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(count_simple_paths(g, 0, t, 1u << 20));
+  }
+}
+BENCHMARK(BM_SimplePathEnumeration)->Arg(3)->Arg(4)->Arg(5);
+
+void BM_ConnectedSubsetEnumeration(benchmark::State& state) {
+  Rng rng(12);
+  const Graph g = generators::random_connected_gnp(std::size_t(state.range(0)), 0.25, rng);
+  for (auto _ : state) {
+    std::size_t count = 0;
+    enumerate_connected_subsets(g, 0, {}, [&](const NodeSet&) {
+      ++count;
+      return true;
+    });
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_ConnectedSubsetEnumeration)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_MinVertexCut(benchmark::State& state) {
+  Rng rng(13);
+  const Graph g = generators::random_connected_gnp(std::size_t(state.range(0)), 0.1, rng);
+  const NodeId t = NodeId(g.num_nodes() - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(min_vertex_cut(g, 0, t));
+  }
+}
+BENCHMARK(BM_MinVertexCut)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_InducedSubgraph(benchmark::State& state) {
+  Rng rng(14);
+  const Graph g = generators::random_connected_gnp(std::size_t(state.range(0)), 0.2, rng);
+  const NodeSet half = ball(g, 0, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.induced(half));
+  }
+}
+BENCHMARK(BM_InducedSubgraph)->Arg(32)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

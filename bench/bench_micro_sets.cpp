@@ -1,0 +1,117 @@
+// bench_micro_sets — microbenchmarks for NodeSet, AdversaryStructure and
+// the ⊕ machinery (experiment µB of DESIGN.md).
+#include <benchmark/benchmark.h>
+
+#include "adversary/joint.hpp"
+#include "adversary/threshold.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace rmt;
+
+NodeSet from_mask(std::size_t mask, std::size_t n) {
+  NodeSet s;
+  for (std::size_t i = 0; i < n; ++i)
+    if ((mask >> i) & 1) s.insert(NodeId(i));
+  return s;
+}
+
+std::vector<NodeSet> random_sets(std::size_t count, std::size_t universe, Rng& rng) {
+  std::vector<NodeSet> out;
+  for (std::size_t i = 0; i < count; ++i) {
+    NodeSet s;
+    for (std::size_t v = 0; v < universe; ++v)
+      if (rng.chance(0.3)) s.insert(NodeId(v));
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void BM_NodeSetUnion(benchmark::State& state) {
+  Rng rng(1);
+  const auto sets = random_sets(64, std::size_t(state.range(0)), rng);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    NodeSet u = sets[i % 64] | sets[(i + 7) % 64];
+    benchmark::DoNotOptimize(u);
+    ++i;
+  }
+}
+BENCHMARK(BM_NodeSetUnion)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_NodeSetSubset(benchmark::State& state) {
+  Rng rng(2);
+  const auto sets = random_sets(64, std::size_t(state.range(0)), rng);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sets[i % 64].is_subset_of(sets[(i + 13) % 64]));
+    ++i;
+  }
+}
+BENCHMARK(BM_NodeSetSubset)->Arg(64)->Arg(1024);
+
+void BM_StructureContains(benchmark::State& state) {
+  Rng rng(3);
+  const auto z = AdversaryStructure::from_sets(random_sets(std::size_t(state.range(0)), 48, rng));
+  const auto probes = random_sets(64, 48, rng);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(z.contains(probes[i++ % 64]));
+  }
+}
+BENCHMARK(BM_StructureContains)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_StructureRestrict(benchmark::State& state) {
+  Rng rng(4);
+  const auto z = AdversaryStructure::from_sets(random_sets(std::size_t(state.range(0)), 48, rng));
+  const auto grounds = random_sets(16, 48, rng);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(z.restricted_to(grounds[i++ % 16]));
+  }
+}
+BENCHMARK(BM_StructureRestrict)->Arg(8)->Arg(64);
+
+void BM_OplusMaterialize(benchmark::State& state) {
+  Rng rng(5);
+  const std::size_t k = std::size_t(state.range(0));
+  const auto a = RestrictedStructure(AdversaryStructure::from_sets(random_sets(k, 24, rng)),
+                                     NodeSet::full(24));
+  const auto b = RestrictedStructure(AdversaryStructure::from_sets(random_sets(k, 24, rng)),
+                                     from_mask(0xffff00, 24));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oplus(a, b));
+  }
+}
+BENCHMARK(BM_OplusMaterialize)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_JointLazyMembership(benchmark::State& state) {
+  Rng rng(6);
+  JointStructure joint;
+  for (int i = 0; i < state.range(0); ++i) {
+    NodeSet ground;
+    for (std::size_t v = 0; v < 32; ++v)
+      if (rng.chance(0.4)) ground.insert(NodeId(v));
+    joint.add_constraint(ground,
+                         AdversaryStructure::from_sets(random_sets(6, 32, rng)));
+  }
+  const auto probes = random_sets(64, 32, rng);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(joint.contains(probes[i++ % 64]));
+  }
+}
+BENCHMARK(BM_JointLazyMembership)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_ThresholdStructureBuild(benchmark::State& state) {
+  const NodeSet universe = NodeSet::full(std::size_t(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(threshold_structure(universe, 3));
+  }
+}
+BENCHMARK(BM_ThresholdStructureBuild)->Arg(8)->Arg(12)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// bench/bench_util.hpp — shared machinery for the experiment drivers.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adversary/threshold.hpp"
+#include "graph/generators.hpp"
+#include "instance/instance.hpp"
+#include "protocols/runner.hpp"
+#include "sim/strategies.hpp"
+#include "util/fmt.hpp"
+#include "util/rng.hpp"
+
+namespace rmt::bench {
+
+/// Wall-clock one call, in microseconds.
+template <typename F>
+double time_us(F&& f) {
+  const auto t0 = std::chrono::steady_clock::now();
+  f();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(t1 - t0).count();
+}
+
+/// Print a titled ASCII table.
+inline void print_table(const std::string& title,
+                        const std::vector<std::vector<std::string>>& rows) {
+  std::printf("\n## %s\n\n%s", title.c_str(), fmt::table(rows).c_str());
+}
+
+/// The knowledge levels the experiments sweep, in increasing order.
+struct KnowledgeLevel {
+  std::string label;
+  std::function<ViewFunction(const Graph&)> build;
+};
+
+inline std::vector<KnowledgeLevel> knowledge_ladder() {
+  return {
+      {"ad hoc", [](const Graph& g) { return ViewFunction::ad_hoc(g); }},
+      {"1-hop", [](const Graph& g) { return ViewFunction::k_hop(g, 1); }},
+      {"2-hop", [](const Graph& g) { return ViewFunction::k_hop(g, 2); }},
+      {"full", [](const Graph& g) { return ViewFunction::full(g); }},
+  };
+}
+
+/// A fresh strategy instance by name (strategies are stateful per run).
+inline std::unique_ptr<sim::AdversaryStrategy> make_strategy(const std::string& name,
+                                                             std::uint64_t seed) {
+  if (name == "silent") return std::make_unique<sim::SilentStrategy>();
+  if (name == "value-flip") return std::make_unique<sim::ValueFlipStrategy>();
+  if (name == "random-lies") return std::make_unique<sim::RandomLieStrategy>(Rng{seed}, 4);
+  if (name == "phantom-world") return std::make_unique<sim::FictitiousWorldStrategy>();
+  return std::make_unique<sim::TwoFacedStrategy>();
+}
+
+inline std::vector<std::string> all_strategies() {
+  return {"silent", "value-flip", "random-lies", "phantom-world", "two-faced"};
+}
+
+/// Random instance family used across experiments: connected G(n,p), a
+/// random general structure keeping D = 0 and R = n-1 honest.
+inline Instance random_instance(std::size_t n, std::size_t sets, std::size_t set_size,
+                                const ViewFunction& gamma, const Graph& g, Rng& rng) {
+  AdversaryStructure z = random_structure(g.nodes(), sets, set_size,
+                                          NodeSet{0, NodeId(n - 1)}, rng);
+  return Instance(g, std::move(z), gamma, 0, NodeId(n - 1));
+}
+
+}  // namespace rmt::bench

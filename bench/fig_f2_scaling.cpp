@@ -1,0 +1,64 @@
+// fig_f2_scaling — Experiment F2 (DESIGN.md §5): where the exponentials
+// live.
+//
+// The paper's machinery is combinatorial and intentionally exponential in
+// places (adversary structures can be exponential in |G|; §5 is about
+// exactly when that can be avoided). This figure locates the cost: per-n
+// wall times of (a) the exact RMT-cut decider, (b) explicit ⊕
+// materialization vs lazy joint membership, (c) the RMT-PKA receiver's
+// decision, (d) a full Z-CPA execution.
+//
+// Expected shape: (a) and (c) grow exponentially with n; (b) lazy
+// membership stays microseconds while materialization grows with the
+// antichain product; (d) stays polynomial (near-linear at these sizes).
+#include "adversary/joint.hpp"
+#include "analysis/rmt_cut.hpp"
+#include "bench_util.hpp"
+#include "protocols/rmt_pka.hpp"
+#include "protocols/zcpa.hpp"
+
+int main() {
+  using namespace rmt;
+  using namespace rmt::bench;
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back(
+      {"n", "rmt-cut(us)", "oplus-mat(us)", "joint-lazy(us)", "pka-decide(us)", "zcpa-run(us)"});
+
+  for (std::size_t n : {6u, 8u, 10u, 12u, 14u}) {
+    Rng rng(1200 + n);
+    const Graph g = generators::random_connected_gnp(n, 0.25, rng);
+    const AdversaryStructure z =
+        random_structure(g.nodes(), 3, 2, NodeSet{0, NodeId(n - 1)}, rng);
+    const Instance inst(g, z, ViewFunction::k_hop(g, 1), 0, NodeId(n - 1));
+
+    const double cut_us = time_us([&] { analysis::rmt_cut_exists(inst); });
+
+    // ⊕ over every node's restricted structure, explicit vs lazy.
+    JointStructure joint;
+    g.nodes().for_each([&](NodeId v) {
+      joint.add_constraint(inst.gamma().view_nodes(v), inst.local_structure(v));
+    });
+    const double mat_us = time_us([&] { joint.materialize(); });
+    const NodeSet probe = z.support();
+    volatile std::size_t sink = 0;
+    double lazy_us = time_us([&] {
+      for (int i = 0; i < 1000; ++i) {
+        if (joint.contains(probe)) sink = sink + 1;
+      }
+    });
+    lazy_us /= 1000.0;
+
+    // Receiver decision cost: run PKA fault-free and time one full run;
+    // the receiver decision dominates at these sizes.
+    double pka_us = 0, zcpa_us = 0;
+    pka_us = time_us(
+        [&] { protocols::run_rmt(inst, protocols::RmtPka{}, 1, NodeSet{}); });
+    zcpa_us = time_us([&] { protocols::run_rmt(inst, protocols::Zcpa{}, 1, NodeSet{}); });
+
+    rows.push_back({std::to_string(n), fmt::fixed(cut_us, 1), fmt::fixed(mat_us, 1),
+                    fmt::fixed(lazy_us, 2), fmt::fixed(pka_us, 1), fmt::fixed(zcpa_us, 1)});
+  }
+  print_table("F2 — scaling of the core machinery (wall time per call)", rows);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// fig_f3_adversary_strength — Experiment F3 (DESIGN.md §5): solvability as
+// the adversary grows, per knowledge model.
+//
+// Two sweeps on fixed topology families:
+//  (a) global threshold t on the layered family (width w): full-knowledge
+//      solvability must flip exactly at w = 2t+1 (the classical bound,
+//      recovered by the general condition), while ad hoc flips earlier —
+//      the knowledge gap;
+//  (b) random-structure density (number of maximal sets) on G(8, .3):
+//      solvable fraction decays with density, ordered ad hoc ≤ 1-hop ≤
+//      2-hop ≤ full pointwise.
+#include "analysis/feasibility.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace rmt;
+  using namespace rmt::bench;
+
+  {
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back({"width", "t", "ad hoc", "2-hop", "full"});
+    for (std::size_t w : {2u, 3u, 4u, 5u}) {
+      const Graph g = generators::layered_graph(2, w);
+      const NodeId r = NodeId(g.num_nodes() - 1);
+      NodeSet middle = g.nodes();
+      middle.erase(0);
+      middle.erase(r);
+      for (std::size_t t : {1u, 2u}) {
+        const AdversaryStructure z = threshold_structure(middle, t);
+        auto verdict = [&](const ViewFunction& gamma) {
+          return analysis::solvable(Instance(g, z, gamma, 0, r)) ? "solvable" : "cut";
+        };
+        rows.push_back({std::to_string(w), std::to_string(t),
+                        verdict(ViewFunction::ad_hoc(g)), verdict(ViewFunction::k_hop(g, 2)),
+                        verdict(ViewFunction::full(g))});
+      }
+    }
+    print_table("F3a — global threshold on layered(2, w): flip at w = 2t+1 (full)", rows);
+  }
+
+  {
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back({"maximal sets", "ad hoc%", "1-hop%", "2-hop%", "full%"});
+    for (std::size_t density : {1u, 2u, 3u, 4u, 6u}) {
+      const int kInstances = 25;
+      std::vector<int> solvable(4, 0);
+      Rng rng(7000 + density);
+      for (int i = 0; i < kInstances; ++i) {
+        const Graph g = generators::random_connected_gnp(8, 0.3, rng);
+        const AdversaryStructure z =
+            random_structure(g.nodes(), density, 2, NodeSet{0, 7}, rng);
+        const auto ladder = knowledge_ladder();
+        for (std::size_t k = 0; k < ladder.size(); ++k) {
+          const Instance inst(g, z, ladder[k].build(g), 0, 7);
+          solvable[k] += analysis::solvable(inst);
+        }
+      }
+      rows.push_back({std::to_string(density),
+                      fmt::fixed(100.0 * solvable[0] / kInstances, 1),
+                      fmt::fixed(100.0 * solvable[1] / kInstances, 1),
+                      fmt::fixed(100.0 * solvable[2] / kInstances, 1),
+                      fmt::fixed(100.0 * solvable[3] / kInstances, 1)});
+    }
+    print_table("F3b — solvable fraction vs structure density, per knowledge model", rows);
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// table_t1_tightness — Experiment T1 (DESIGN.md §5).
+//
+// Claim exercised: Theorems 3 + 5 + Corollary 6 (RMT-PKA is tight and
+// unique) and Theorems 7 + 8 (Z-CPA is tight for the ad hoc model).
+//
+// Workload: random connected instances per (n, knowledge level); for each,
+// the combinatorial deciders predict solvability, and the protocols run
+// against every maximal admissible corruption under the full strategy
+// suite. Reported per row:
+//   * solvable%         — fraction with no RMT-cut;
+//   * resil-viol        — solvable instances where RMT-PKA failed to
+//                         deliver in some adversarial run (must be 0);
+//   * safety-viol       — wrong receiver decisions anywhere (must be 0);
+//   * zcpa-agree%       — ad hoc rows: Z-CPA delivery agreeing with the
+//                         Z-pp-cut prediction in fault-free runs.
+#include "analysis/feasibility.hpp"
+#include "bench_util.hpp"
+#include "protocols/rmt_pka.hpp"
+#include "protocols/zcpa.hpp"
+
+int main() {
+  using namespace rmt;
+  using namespace rmt::bench;
+
+  Rng rng(2016);
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"n", "knowledge", "instances", "solvable%", "resil-viol", "safety-viol",
+                  "zcpa-agree%"});
+
+  for (std::size_t n : {6u, 7u}) {
+    for (const KnowledgeLevel& level : knowledge_ladder()) {
+      const int kInstances = 20;
+      int solvable_count = 0, resil_viol = 0, safety_viol = 0;
+      int zcpa_checked = 0, zcpa_agree = 0;
+      for (int i = 0; i < kInstances; ++i) {
+        const Graph g = generators::random_connected_gnp(n, 0.3, rng);
+        const ViewFunction gamma = level.build(g);
+        const Instance inst = random_instance(n, 2, 2, gamma, g, rng);
+        const bool solvable = analysis::solvable(inst);
+        solvable_count += solvable;
+
+        std::uint64_t salt = 0;
+        for (const NodeSet& t : inst.adversary().maximal_sets()) {
+          for (const std::string& sname : all_strategies()) {
+            auto strategy = make_strategy(sname, 77 + salt++);
+            const protocols::Outcome out =
+                protocols::run_rmt(inst, protocols::RmtPka{}, 9, t, strategy.get());
+            safety_viol += out.wrong;
+            if (solvable && !out.correct) ++resil_viol;
+          }
+        }
+        if (level.label == "ad hoc") {
+          ++zcpa_checked;
+          const bool zpp_free = analysis::solvable_by_zcpa(inst);
+          const protocols::Outcome ff =
+              protocols::run_rmt(inst, protocols::Zcpa{}, 9, NodeSet{});
+          // Tightness check in the decisive direction: no cut ⇒ delivers.
+          zcpa_agree += (!zpp_free || ff.correct);
+        }
+      }
+      rows.push_back({std::to_string(n), level.label, std::to_string(kInstances),
+                      fmt::fixed(100.0 * solvable_count / kInstances, 1),
+                      std::to_string(resil_viol), std::to_string(safety_viol),
+                      level.label == "ad hoc"
+                          ? fmt::fixed(100.0 * zcpa_agree / zcpa_checked, 1)
+                          : "-"});
+    }
+  }
+  print_table("T1 — tightness & uniqueness (expected: 0 violations, 100% agreement)", rows);
+  return 0;
+}

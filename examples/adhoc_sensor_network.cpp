@@ -1,0 +1,75 @@
+// examples/adhoc_sensor_network.cpp — Z-CPA in its natural habitat.
+//
+// The ad hoc model is motivated by networks where "topologically local
+// estimation of the power of the adversary may be possible, while global
+// estimation may be hard to obtain" (§1). A sensor field is the classic
+// case: each node knows its radio neighbors and a local corruption budget,
+// nothing else.
+//
+// This example deploys a random geometric network, equips each node with a
+// 1-local threshold structure, and runs Z-CPA (both with the explicit
+// membership oracle and with the Theorem-9 simulation oracle) against an
+// active liar, reporting delivery and cost.
+//
+//   $ ./adhoc_sensor_network [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "adversary/threshold.hpp"
+#include "analysis/zpp_cut.hpp"
+#include "graph/generators.hpp"
+#include "protocols/runner.hpp"
+#include "protocols/zcpa.hpp"
+#include "reduction/self_reduction.hpp"
+#include "sim/strategies.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rmt;
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 5;
+  Rng rng(seed);
+
+  // A 14-node sensor field; the base station (dealer) is node 0, the sink
+  // (receiver) node 13.
+  const Graph g = generators::random_geometric(14, 0.42, rng);
+  const NodeId dealer = 0, sink = 13;
+
+  // Threat model: at most one compromised sensor in any closed radio
+  // neighborhood (the t-locally bounded model with t = 1), and neither the
+  // base station nor the sink can be compromised.
+  AdversaryStructure z = t_local_structure(g, 1);
+  z = z.restricted_to(g.nodes() - NodeSet{dealer, sink});
+  const Instance inst = Instance::ad_hoc(g, z, dealer, sink);
+
+  std::printf("sensor field: %zu nodes, %zu links (seed %llu)\n", g.num_nodes(),
+              g.num_edges(), static_cast<unsigned long long>(seed));
+  const bool feasible = !analysis::rmt_zpp_cut_exists(inst);
+  std::printf("Z-CPA feasibility (no RMT Z-pp cut): %s\n\n", feasible ? "yes" : "no");
+
+  // Pick the corruption the adversary actually exercises: the largest
+  // admissible set.
+  NodeSet corrupted;
+  for (const NodeSet& m : inst.adversary().maximal_sets())
+    if (m.size() > corrupted.size()) corrupted = m;
+  std::printf("adversary corrupts %s and floods wrong readings\n\n",
+              corrupted.to_string().c_str());
+
+  for (const auto& [label, proto] :
+       {std::pair<const char*, protocols::Zcpa>{"Z-CPA[explicit oracle]", protocols::Zcpa{}},
+        {"Z-CPA[simulation oracle]",
+         protocols::Zcpa{reduction::simulation_oracle_factory(), "Z-CPA[sim]"}}}) {
+    sim::ValueFlipStrategy lie;
+    const protocols::Outcome out =
+        protocols::run_rmt(inst, proto, /*reading=*/1234, corrupted, &lie);
+    std::printf("%-26s  delivered=%-3s  rounds=%zu  messages=%zu  bytes=%zu\n", label,
+                out.correct ? "yes" : (out.wrong ? "WRONG" : "no"), out.stats.rounds,
+                out.stats.honest_messages, out.stats.honest_payload_bytes);
+  }
+
+  // Broadcast view: how many sensors learn the base station's value?
+  sim::ValueFlipStrategy lie;
+  const protocols::BroadcastOutcome bc =
+      protocols::run_broadcast(inst, protocols::Zcpa{}, 1234, corrupted, &lie);
+  std::printf("\nbroadcast coverage: %zu / %zu honest sensors decided (all correct: %s)\n",
+              bc.honest_decided, bc.honest_total, bc.honest_wrong == 0 ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// examples/secure_transmission.cpp — from topology to secrecy.
+//
+// The full stack in one run: extract node-disjoint wires from a network
+// with the graph substrate, then ship a secret over them with Shamir-coded
+// PSMT while an adversary rewrites a wire — and demonstrate the privacy
+// half by *explaining the adversary's view* with a decoy secret.
+//
+//   $ ./secure_transmission
+#include <cstdio>
+
+#include "graph/generators.hpp"
+#include "smt/psmt.hpp"
+
+int main() {
+  using namespace rmt;
+  using namespace rmt::smt;
+
+  // A 2-layer, width-4 network: 4 node-disjoint routes from 0 to 9.
+  const Graph g = generators::layered_graph(2, 4);
+  const NodeId sender = 0, receiver = NodeId(g.num_nodes() - 1);
+  const auto wires = disjoint_wires(g, sender, receiver, 4);
+  std::printf("extracted %zu node-disjoint wires:\n", wires.size());
+  for (const Path& w : wires) std::printf("  %s\n", path_to_string(w).c_str());
+
+  // n = 4 wires tolerate t = 1 corrupted wire at the PSMT bound 3t+1.
+  const std::size_t t = (wires.size() - 1) / 3;
+  const Fp secret(20160725);  // the PODC'16 announcement date, say
+  Rng rng(99);
+
+  std::printf("\nshipping secret %llu with threshold t = %zu; wire 2 is hostile\n",
+              static_cast<unsigned long long>(secret.value()), t);
+  const auto out = psmt_transmit(secret, wires.size(), t, {{2, Fp(31337)}}, rng);
+  if (out.delivered)
+    std::printf("receiver decoded: %llu (%s)\n",
+                static_cast<unsigned long long>(out.delivered->value()),
+                out.correct ? "correct" : "WRONG");
+  else
+    std::printf("receiver detected tampering and abstained\n");
+
+  // Privacy, constructively: whatever one wire saw is consistent with any
+  // secret at all — here is the polynomial that "explains" the view with a
+  // decoy.
+  const NodeSet spy_wires{1};
+  const auto view = psmt_adversary_view(secret, wires.size(), t, spy_wires, rng);
+  const Fp decoy(42);
+  const Poly f = explain_view(view, decoy);
+  std::printf("\nthe spy on wire 1 saw share (%u, %llu); the same view is explained by\n"
+              "the decoy secret %llu via f(x) with f(0) = %llu, f(1) = %llu —\n"
+              "one wire (any t wires) learns exactly nothing.\n",
+              view[0].index, static_cast<unsigned long long>(view[0].value.value()),
+              static_cast<unsigned long long>(decoy.value()),
+              static_cast<unsigned long long>(eval(f, Fp(0)).value()),
+              static_cast<unsigned long long>(eval(f, Fp(1)).value()));
+  return 0;
+}

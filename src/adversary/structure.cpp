@@ -1,0 +1,110 @@
+#include "adversary/structure.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/check.hpp"
+
+namespace rmt {
+
+AdversaryStructure AdversaryStructure::trivial() {
+  AdversaryStructure z;
+  z.maximal_.push_back(NodeSet{});
+  return z;
+}
+
+AdversaryStructure AdversaryStructure::from_sets(const std::vector<NodeSet>& sets) {
+  AdversaryStructure z;
+  z.maximal_ = sets;
+  z.prune_and_sort();
+  return z;
+}
+
+void AdversaryStructure::add(const NodeSet& s) {
+  if (contains(s)) return;
+  maximal_.push_back(s);
+  prune_and_sort();
+}
+
+bool AdversaryStructure::contains(const NodeSet& x) const {
+  for (const NodeSet& m : maximal_)
+    if (x.is_subset_of(m)) return true;
+  return false;
+}
+
+std::size_t AdversaryStructure::max_corruption_size() const {
+  std::size_t best = 0;
+  for (const NodeSet& m : maximal_) best = std::max(best, m.size());
+  return best;
+}
+
+AdversaryStructure AdversaryStructure::restricted_to(const NodeSet& a) const {
+  AdversaryStructure out;
+  out.maximal_.reserve(maximal_.size());
+  for (const NodeSet& m : maximal_) out.maximal_.push_back(m & a);
+  out.prune_and_sort();
+  return out;
+}
+
+AdversaryStructure AdversaryStructure::united_with(const AdversaryStructure& o) const {
+  AdversaryStructure out;
+  out.maximal_ = maximal_;
+  out.maximal_.insert(out.maximal_.end(), o.maximal_.begin(), o.maximal_.end());
+  out.prune_and_sort();
+  return out;
+}
+
+NodeSet AdversaryStructure::support() const {
+  NodeSet s;
+  for (const NodeSet& m : maximal_) s |= m;
+  return s;
+}
+
+bool AdversaryStructure::enumerate_members(
+    const std::function<bool(const NodeSet&)>& visit) const {
+  std::unordered_set<NodeSet> seen;
+  // Enumerate subsets of each maximal set; dedupe across overlapping
+  // maximal sets.
+  for (const NodeSet& m : maximal_) {
+    const std::vector<NodeId> elems = m.to_vector();
+    RMT_REQUIRE(elems.size() <= 24, "enumerate_members: maximal set too large to enumerate");
+    const std::size_t total = std::size_t{1} << elems.size();
+    for (std::size_t mask = 0; mask < total; ++mask) {
+      NodeSet sub;
+      for (std::size_t i = 0; i < elems.size(); ++i)
+        if ((mask >> i) & 1) sub.insert(elems[i]);
+      if (seen.insert(sub).second) {
+        if (!visit(sub)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::string AdversaryStructure::to_string() const {
+  std::string out = "Z[max: ";
+  for (std::size_t i = 0; i < maximal_.size(); ++i) {
+    if (i) out += ", ";
+    out += maximal_[i].to_string();
+  }
+  return out + "]";
+}
+
+void AdversaryStructure::prune_and_sort() {
+  // Remove any set contained in another; canonicalize order.
+  std::sort(maximal_.begin(), maximal_.end());
+  maximal_.erase(std::unique(maximal_.begin(), maximal_.end()), maximal_.end());
+  std::vector<NodeSet> keep;
+  keep.reserve(maximal_.size());
+  for (std::size_t i = 0; i < maximal_.size(); ++i) {
+    bool dominated = false;
+    // Strict containment only: duplicates were removed above, so
+    // is_subset_of between distinct entries means proper subset.
+    for (std::size_t j = 0; j < maximal_.size() && !dominated; ++j)
+      if (i != j && maximal_[i].is_subset_of(maximal_[j])) dominated = true;
+    if (!dominated) keep.push_back(maximal_[i]);
+  }
+  maximal_ = std::move(keep);
+}
+
+}  // namespace rmt

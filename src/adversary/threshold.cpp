@@ -1,0 +1,78 @@
+#include "adversary/threshold.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace rmt {
+
+namespace {
+
+void k_subsets(const std::vector<NodeId>& elems, std::size_t k, std::size_t from, NodeSet& cur,
+               std::vector<NodeSet>& out) {
+  if (k == 0) {
+    out.push_back(cur);
+    return;
+  }
+  for (std::size_t i = from; i + k <= elems.size(); ++i) {
+    cur.insert(elems[i]);
+    k_subsets(elems, k - 1, i + 1, cur, out);
+    cur.erase(elems[i]);
+  }
+}
+
+}  // namespace
+
+AdversaryStructure threshold_structure(const NodeSet& universe, std::size_t t) {
+  const std::vector<NodeId> elems = universe.to_vector();
+  RMT_REQUIRE(elems.size() <= 32, "threshold_structure: universe too large");
+  if (t == 0) return AdversaryStructure::trivial();
+  const std::size_t k = std::min(t, elems.size());
+  std::vector<NodeSet> sets;
+  NodeSet cur;
+  k_subsets(elems, k, 0, cur, sets);
+  return AdversaryStructure::from_sets(sets);
+}
+
+AdversaryStructure t_local_structure(const Graph& g, std::size_t t) {
+  const std::vector<NodeId> elems = g.nodes().to_vector();
+  RMT_REQUIRE(elems.size() <= 22, "t_local_structure: graph too large for exact enumeration");
+  // Enumerate all subsets satisfying the local bound and keep the maximal
+  // ones. 2^n * n checks; fine at the guarded sizes.
+  std::vector<NodeSet> admissible;
+  const std::size_t total = std::size_t{1} << elems.size();
+  for (std::size_t mask = 0; mask < total; ++mask) {
+    NodeSet s;
+    for (std::size_t i = 0; i < elems.size(); ++i)
+      if ((mask >> i) & 1) s.insert(elems[i]);
+    bool ok = true;
+    g.nodes().for_each([&](NodeId v) {
+      if (ok && (s & g.closed_neighborhood(v)).size() > t) ok = false;
+    });
+    if (ok) admissible.push_back(std::move(s));
+  }
+  return AdversaryStructure::from_sets(admissible);
+}
+
+AdversaryStructure t_local_neighborhood_structure(const Graph& g, NodeId v, std::size_t t) {
+  return threshold_structure(g.neighbors(v), t);
+}
+
+AdversaryStructure random_structure(const NodeSet& universe, std::size_t count,
+                                    std::size_t set_size, const NodeSet& excluded, Rng& rng) {
+  std::vector<NodeId> pool = (universe - excluded).to_vector();
+  std::vector<NodeSet> sets;
+  sets.reserve(count + 1);
+  sets.push_back(NodeSet{});  // ∅ is always admissible
+  const std::size_t k = std::min(set_size, pool.size());
+  for (std::size_t c = 0; c < count && !pool.empty(); ++c) {
+    std::shuffle(pool.begin(), pool.end(), rng.engine());
+    NodeSet s;
+    for (std::size_t i = 0; i < k; ++i) s.insert(pool[i]);
+    sets.push_back(std::move(s));
+  }
+  return AdversaryStructure::from_sets(sets);
+}
+
+}  // namespace rmt

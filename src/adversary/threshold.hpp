@@ -1,0 +1,33 @@
+// adversary/threshold.hpp — builders for the classical adversary models the
+// general model subsumes (§1: global threshold [10], t-local [8]), plus
+// random general structures for the experiment harness.
+#pragma once
+
+#include "adversary/structure.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace rmt {
+
+/// Global threshold model: every set of at most t nodes from `universe` is
+/// corruptible. Maximal sets are the C(|universe|, t) t-subsets, so this is
+/// intended for small universes (guarded).
+AdversaryStructure threshold_structure(const NodeSet& universe, std::size_t t);
+
+/// t-locally bounded model (Koo [8]): admissible sets are those with at
+/// most t corruptions in the *closed* neighborhood of every node of g.
+/// Computed exactly by maximal-set search; exponential, guarded to small n.
+AdversaryStructure t_local_structure(const Graph& g, std::size_t t);
+
+/// The *local* adversary structure a node v uses in the ad hoc t-local
+/// model without global computation: subsets of N(v) of size <= t.
+AdversaryStructure t_local_neighborhood_structure(const Graph& g, NodeId v, std::size_t t);
+
+/// Random general structure: `count` maximal sets, each a uniform subset of
+/// `universe` of size exactly `set_size` (clamped to |universe|); never
+/// includes `excluded` nodes (use for keeping D and R honest, the standard
+/// assumption for RMT feasibility statements).
+AdversaryStructure random_structure(const NodeSet& universe, std::size_t count,
+                                    std::size_t set_size, const NodeSet& excluded, Rng& rng);
+
+}  // namespace rmt

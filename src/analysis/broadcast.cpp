@@ -1,0 +1,20 @@
+#include "analysis/broadcast.hpp"
+
+namespace rmt::analysis {
+
+bool broadcast_solvable_ad_hoc(const Graph& g, const AdversaryStructure& z, NodeId dealer) {
+  return !zpp_cut_exists_broadcast(g, z, dealer);
+}
+
+NodeSet broadcast_reach_ad_hoc(const Graph& g, const AdversaryStructure& z, NodeId dealer) {
+  const NodeSet corruptible = z.support();
+  NodeSet reach;
+  g.nodes().for_each([&](NodeId r) {
+    if (r == dealer || corruptible.contains(r)) return;
+    const Instance inst = Instance::ad_hoc(g, z, dealer, r);
+    if (!rmt_zpp_cut_exists(inst)) reach.insert(r);
+  });
+  return reach;
+}
+
+}  // namespace rmt::analysis

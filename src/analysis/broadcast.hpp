@@ -1,0 +1,27 @@
+// analysis/broadcast.hpp — Reliable Broadcast feasibility (§4 / [13]).
+//
+// In Reliable Broadcast with an honest dealer the receiver is the whole
+// player set: every honest player must decide on x_D. The paper adapts
+// its machinery from this problem; we close the loop and expose broadcast
+// queries built on the per-receiver deciders:
+//   * ad hoc broadcast by Z-CPA is possible iff no Z-pp cut (Def. 10)
+//     exists — equivalently, iff RMT is possible towards every honest
+//     receiver;
+//   * broadcast_reach reports which honest players are reachable, i.e.
+//     the set Z-CPA actually informs when the unreachable side is cut off.
+#pragma once
+
+#include "analysis/zpp_cut.hpp"
+
+namespace rmt::analysis {
+
+/// Ad hoc broadcast solvability on (G, Z) with honest dealer D
+/// (Def. 10 / Thms 7+8 lifted over all receivers).
+bool broadcast_solvable_ad_hoc(const Graph& g, const AdversaryStructure& z, NodeId dealer);
+
+/// The honest players to which ad hoc RMT (hence Z-CPA certification) is
+/// individually possible. Broadcast is solvable iff this is every honest
+/// non-dealer player.
+NodeSet broadcast_reach_ad_hoc(const Graph& g, const AdversaryStructure& z, NodeId dealer);
+
+}  // namespace rmt::analysis

@@ -1,0 +1,43 @@
+#include "analysis/design_tool.hpp"
+
+#include "analysis/rmt_cut.hpp"
+#include "util/check.hpp"
+
+namespace rmt::analysis {
+
+std::vector<ReceiverReport> receiver_reports(const Graph& g, const AdversaryStructure& z,
+                                             const ViewFunction& gamma, NodeId dealer) {
+  const NodeSet corruptible = z.support();
+  RMT_REQUIRE(!corruptible.contains(dealer),
+              "receiver_reports: the dealer must be honest in the model");
+  std::vector<ReceiverReport> out;
+  g.nodes().for_each([&](NodeId r) {
+    if (r == dealer) return;
+    ReceiverReport rep;
+    rep.receiver = r;
+    rep.corruptible = corruptible.contains(r);
+    if (!rep.corruptible) {
+      const Instance inst(g, z, gamma, dealer, r);
+      rep.solvable = !rmt_cut_exists(inst);
+    }
+    out.push_back(rep);
+  });
+  return out;
+}
+
+NodeSet rmt_region(const Graph& g, const AdversaryStructure& z, const ViewFunction& gamma,
+                   NodeId dealer) {
+  NodeSet region;
+  for (const ReceiverReport& rep : receiver_reports(g, z, gamma, dealer))
+    if (rep.solvable) region.insert(rep.receiver);
+  return region;
+}
+
+Graph rmt_subgraph(const Graph& g, const AdversaryStructure& z, const ViewFunction& gamma,
+                   NodeId dealer) {
+  NodeSet zone = rmt_region(g, z, gamma, dealer);
+  zone.insert(dealer);
+  return g.induced(zone);
+}
+
+}  // namespace rmt::analysis

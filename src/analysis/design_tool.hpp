@@ -1,0 +1,38 @@
+// analysis/design_tool.hpp — network-design-phase tooling.
+//
+// The paper highlights a practical by-product of the RMT-cut notion: "the
+// new cut notion can be used to determine the exact subgraph in which RMT
+// is possible in a network design phase" (§1.2(a)). Given a deployment
+// (G, Z, γ) and a dealer D, rmt_region computes exactly the set of nodes
+// that can serve as receivers, and rmt_subgraph the induced "reliable
+// zone" around the dealer.
+#pragma once
+
+#include <vector>
+
+#include "instance/instance.hpp"
+
+namespace rmt::analysis {
+
+/// Per-receiver feasibility report.
+struct ReceiverReport {
+  NodeId receiver = 0;
+  bool corruptible = false;  ///< member of some admissible set — excluded
+  bool solvable = false;     ///< no RMT-cut towards this receiver
+};
+
+/// Evaluate every candidate receiver (all nodes except the dealer).
+/// A corruptible node is reported unsolvable: the model's receiver is
+/// honest by definition, so no guarantee can be offered to it.
+std::vector<ReceiverReport> receiver_reports(const Graph& g, const AdversaryStructure& z,
+                                             const ViewFunction& gamma, NodeId dealer);
+
+/// Nodes to which the dealer can transmit reliably (solvable receivers).
+NodeSet rmt_region(const Graph& g, const AdversaryStructure& z, const ViewFunction& gamma,
+                   NodeId dealer);
+
+/// The induced subgraph on {D} ∪ rmt_region — the reliable zone.
+Graph rmt_subgraph(const Graph& g, const AdversaryStructure& z, const ViewFunction& gamma,
+                   NodeId dealer);
+
+}  // namespace rmt::analysis

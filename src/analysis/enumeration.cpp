@@ -1,0 +1,80 @@
+#include "analysis/enumeration.hpp"
+
+#include <set>
+#include <vector>
+
+#include "graph/connectivity.hpp"
+#include "util/check.hpp"
+
+namespace rmt::analysis {
+
+bool for_each_connected_graph(std::size_t n,
+                              const std::function<bool(const Graph&)>& visit) {
+  RMT_REQUIRE(n >= 1 && n <= 6, "for_each_connected_graph: n out of the guarded range");
+  std::vector<std::pair<NodeId, NodeId>> slots;
+  for (NodeId i = 0; i < n; ++i)
+    for (NodeId j = i + 1; j < n; ++j) slots.push_back({i, j});
+  const std::size_t total = std::size_t{1} << slots.size();
+  for (std::size_t mask = 0; mask < total; ++mask) {
+    Graph g(n);
+    for (std::size_t s = 0; s < slots.size(); ++s)
+      if ((mask >> s) & 1) g.add_edge(slots[s].first, slots[s].second);
+    if (!is_connected(g)) continue;
+    if (!visit(g)) return false;
+  }
+  return true;
+}
+
+bool for_each_structure(const NodeSet& allowed, std::size_t max_sets,
+                        const std::function<bool(const AdversaryStructure&)>& visit) {
+  const std::vector<NodeId> elems = allowed.to_vector();
+  RMT_REQUIRE(elems.size() <= 4, "for_each_structure: support too large");
+  RMT_REQUIRE(max_sets <= 3, "for_each_structure: too many generator sets");
+
+  // All non-empty subsets of the allowed support, as candidate generators
+  // (∅ adds nothing beyond the trivial family, emitted separately).
+  std::vector<NodeSet> pool;
+  for (std::size_t mask = 1; mask < (std::size_t{1} << elems.size()); ++mask) {
+    NodeSet s;
+    for (std::size_t i = 0; i < elems.size(); ++i)
+      if ((mask >> i) & 1) s.insert(elems[i]);
+    pool.push_back(std::move(s));
+  }
+
+  std::set<std::vector<NodeSet>> seen;  // canonical antichains already emitted
+  auto emit = [&](const AdversaryStructure& z) {
+    if (!seen.insert(z.maximal_sets()).second) return true;  // duplicate family
+    return visit(z);
+  };
+
+  if (!emit(AdversaryStructure::trivial())) return false;
+
+  // Choose up to max_sets generators (combinations, order-free).
+  std::vector<std::size_t> pick;
+  const std::function<bool(std::size_t)> choose = [&](std::size_t from) -> bool {
+    if (!pick.empty()) {
+      std::vector<NodeSet> gen{NodeSet{}};
+      for (std::size_t i : pick) gen.push_back(pool[i]);
+      if (!emit(AdversaryStructure::from_sets(gen))) return false;
+    }
+    if (pick.size() == max_sets) return true;
+    for (std::size_t i = from; i < pool.size(); ++i) {
+      pick.push_back(i);
+      if (!choose(i + 1)) return false;
+      pick.pop_back();
+    }
+    return true;
+  };
+  return choose(0);
+}
+
+std::size_t count_connected_graphs(std::size_t n) {
+  std::size_t count = 0;
+  for_each_connected_graph(n, [&](const Graph&) {
+    ++count;
+    return true;
+  });
+  return count;
+}
+
+}  // namespace rmt::analysis

@@ -1,0 +1,35 @@
+#include "analysis/feasibility.hpp"
+
+#include "graph/connectivity.hpp"
+#include "util/check.hpp"
+
+namespace rmt::analysis {
+
+bool solvable(const Instance& inst) { return !rmt_cut_exists(inst); }
+
+bool solvable_by_zcpa(const Instance& inst) { return !rmt_zpp_cut_exists(inst); }
+
+std::optional<TwoCoverWitness> find_two_cover_cut(const Graph& g, const AdversaryStructure& z,
+                                                  NodeId dealer, NodeId receiver) {
+  RMT_REQUIRE(g.has_node(dealer) && g.has_node(receiver) && dealer != receiver,
+              "find_two_cover_cut: bad endpoints");
+  // Maximal sets suffice: unions of smaller admissible sets are subsets of
+  // unions of maximal ones, and "separates" is monotone in the removed set
+  // as long as D, R stay out — which instance validation guarantees for
+  // every admissible set.
+  const auto& max_sets = z.maximal_sets();
+  for (const NodeSet& z1 : max_sets)
+    for (const NodeSet& z2 : max_sets) {
+      const NodeSet cut = z1 | z2;
+      if (cut.contains(dealer) || cut.contains(receiver)) continue;
+      if (separates(g, cut, dealer, receiver)) return TwoCoverWitness{z1, z2};
+    }
+  return std::nullopt;
+}
+
+bool solvable_full_knowledge(const Graph& g, const AdversaryStructure& z, NodeId dealer,
+                             NodeId receiver) {
+  return !find_two_cover_cut(g, z, dealer, receiver).has_value();
+}
+
+}  // namespace rmt::analysis

@@ -1,0 +1,41 @@
+// analysis/feasibility.hpp — one-stop solvability queries.
+//
+// Ties together the paper's characterizations:
+//   * partial knowledge (the paper's main result): solvable ⇔ no RMT-cut
+//     (Thms 3 + 5);
+//   * ad hoc / Z-CPA: Z-CPA succeeds ⇔ no RMT Z-pp cut (Thms 7 + 8);
+//   * full knowledge (classic, [9]/PPA): solvable ⇔ no two admissible sets
+//     Z₁, Z₂ ∈ Z whose union separates D from R — recovered here both as
+//     an independent "two-cover" decider and, in the tests, as the
+//     specialization of the RMT-cut decider to γ = full (where
+//     Z_B = Z by idempotence, so the RMT-cut collapses to the 2-cover).
+#pragma once
+
+#include <optional>
+
+#include "analysis/rmt_cut.hpp"
+#include "analysis/zpp_cut.hpp"
+
+namespace rmt::analysis {
+
+/// Solvability of the instance by *any* safe-and-resilient protocol
+/// (= by RMT-PKA, by uniqueness, Cor. 6).
+bool solvable(const Instance& inst);
+
+/// Solvability by Z-CPA on this instance (tight for the ad hoc model).
+bool solvable_by_zcpa(const Instance& inst);
+
+/// Classic full-knowledge condition: a pair (Z₁, Z₂) of admissible sets
+/// covering a D–R cut, if one exists. Independent of γ.
+struct TwoCoverWitness {
+  NodeSet z1;
+  NodeSet z2;
+};
+std::optional<TwoCoverWitness> find_two_cover_cut(const Graph& g, const AdversaryStructure& z,
+                                                  NodeId dealer, NodeId receiver);
+
+/// Solvability under full knowledge (no two-cover cut).
+bool solvable_full_knowledge(const Graph& g, const AdversaryStructure& z, NodeId dealer,
+                             NodeId receiver);
+
+}  // namespace rmt::analysis

@@ -1,0 +1,38 @@
+// analysis/minimal_knowledge.hpp — "RMT under minimal knowledge" (§3.1).
+//
+// The paper orders view functions pointwise by the subgraph relation and
+// observes that the non-existence of an RMT-cut characterizes the minimal
+// initial knowledge that renders RMT solvable: a *minimal sufficient* γ is
+// one with no RMT-cut such that removing any single piece of knowledge
+// (an edge, or an isolated non-self node, from some view) creates one.
+//
+// find_minimal_sufficient_view computes such a minimal γ by greedy
+// deletion. Minimal elements are not unique — the greedy order (ascending
+// node, ascending edge) picks a canonical one deterministically. Deletion
+// never goes below the model floor (each view keeps its owner's incident
+// star; see knowledge/view.hpp): the ad hoc views are the minimum element
+// of the ordering in this model.
+#pragma once
+
+#include <optional>
+
+#include "instance/instance.hpp"
+
+namespace rmt::analysis {
+
+/// Result of the greedy minimization.
+struct MinimalKnowledge {
+  ViewFunction gamma;        ///< a minimal sufficient view function
+  std::size_t removed_edges; ///< knowledge pieces shed from the input γ
+  std::size_t removed_nodes;
+};
+
+/// Starting from inst.gamma() (which must be sufficient — no RMT-cut),
+/// repeatedly delete view edges/nodes while sufficiency is preserved.
+/// Returns nullopt if the instance is not solvable to begin with.
+std::optional<MinimalKnowledge> find_minimal_sufficient_view(const Instance& inst);
+
+/// True if γ' ≤ γ pointwise (the paper's ordering, with γ' the smaller).
+bool knowledge_leq(const ViewFunction& smaller, const ViewFunction& larger);
+
+}  // namespace rmt::analysis

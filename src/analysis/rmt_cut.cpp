@@ -1,0 +1,45 @@
+#include "analysis/rmt_cut.hpp"
+
+#include "adversary/joint.hpp"
+#include "graph/cuts.hpp"
+#include "util/check.hpp"
+
+namespace rmt::analysis {
+
+std::optional<RmtCutWitness> find_rmt_cut(const Instance& inst) {
+  RMT_REQUIRE(inst.num_players() <= kMaxExactNodes,
+              "find_rmt_cut: instance too large for the exact decider");
+  const Graph& g = inst.graph();
+  const NodeId d = inst.dealer();
+  const NodeId r = inst.receiver();
+
+  // Local structures are instance-wide constants; compute them once, not
+  // once per enumerated component.
+  std::vector<AdversaryStructure> local_z(g.capacity());
+  g.nodes().for_each([&](NodeId v) { local_z[v] = inst.local_structure(v); });
+
+  std::optional<RmtCutWitness> witness;
+  enumerate_connected_subsets(g, r, NodeSet::single(d), [&](const NodeSet& b) {
+    const NodeSet cut = g.boundary(b);
+    if (cut.contains(d)) return true;  // D may not sit inside the cut
+    // Z_B as a lazy conjunction (see adversary/joint.hpp); built once per B.
+    JointStructure zb;
+    b.for_each([&](NodeId v) {
+      zb.add_constraint(inst.gamma().view_nodes(v), local_z[v]);
+    });
+    const NodeSet gamma_b = inst.gamma().joint_view_nodes(b);
+    for (const NodeSet& m : inst.adversary().maximal_sets()) {
+      const NodeSet c2 = cut - m;
+      if (zb.contains(c2 & gamma_b)) {
+        witness = RmtCutWitness{cut & m, c2, b};
+        return false;  // stop enumeration
+      }
+    }
+    return true;
+  });
+  return witness;
+}
+
+bool rmt_cut_exists(const Instance& inst) { return find_rmt_cut(inst).has_value(); }
+
+}  // namespace rmt::analysis

@@ -1,0 +1,45 @@
+// analysis/rmt_cut.hpp — the RMT-cut of Definition 3 and its exact decider.
+//
+//   Let C = C₁ ∪ C₂ be a cut in G partitioning V∖C into A, B' ≠ ∅ with
+//   D ∈ A, R ∈ B', and let B be the connected component of R. C is an
+//   RMT-cut iff C₁ ∈ Z and C₂ ∩ V(γ(B)) ∈ Z_B.
+//
+// Theorems 3 + 5: an RMT-cut exists iff *no* safe-and-resilient RMT
+// algorithm exists for the instance — so this decider *is* the
+// solvability test for the partial knowledge model.
+//
+// Exactness via two WLOG reductions (both from monotonicity):
+//   1. It suffices to scan cuts of the form C = N(B) for connected B ∋ R
+//      with D ∉ B ∪ N(B): if (C, C₁, C₂) qualifies with R-component B,
+//      then N(B) ⊆ C and the restricted split (N(B)∩C₁, N(B)∩C₂) also
+//      qualifies (subsets stay admissible in Z and in the monotone Z_B).
+//   2. It suffices to try C₁ = N(B) ∩ M for each *maximal* M ∈ Z: any
+//      admissible C₁ is inside some M, and shrinking C₂ to N(B)∖M only
+//      helps.
+// The scan is exponential in |G| (connected-subset enumeration) — the
+// objects quantified over are exponential; instance sizes are guarded.
+#pragma once
+
+#include <optional>
+
+#include "instance/instance.hpp"
+
+namespace rmt::analysis {
+
+/// A concrete RMT-cut, returned as proof of infeasibility.
+struct RmtCutWitness {
+  NodeSet c1;  ///< the part covered by an admissible set (C₁ ∈ Z)
+  NodeSet c2;  ///< the part the receiver side cannot rule out
+  NodeSet b;   ///< the connected component of R after removing C₁ ∪ C₂
+};
+
+/// Upper bound on instance size accepted by the exact deciders.
+inline constexpr std::size_t kMaxExactNodes = 26;
+
+/// Find an RMT-cut, or nullopt if none exists (⇒ RMT-PKA succeeds, Thm 5).
+/// Requires num_players() <= kMaxExactNodes.
+std::optional<RmtCutWitness> find_rmt_cut(const Instance& inst);
+
+bool rmt_cut_exists(const Instance& inst);
+
+}  // namespace rmt::analysis

@@ -1,0 +1,82 @@
+#include "graph/connectivity.hpp"
+
+#include <deque>
+
+#include "util/check.hpp"
+
+namespace rmt {
+
+NodeSet component_of(const Graph& g, NodeId v, const NodeSet& removed) {
+  RMT_REQUIRE(g.has_node(v), "component_of: absent node");
+  RMT_REQUIRE(!removed.contains(v), "component_of: start node is removed");
+  NodeSet seen = NodeSet::single(v);
+  std::deque<NodeId> queue{v};
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    NodeSet next = g.neighbors(u);
+    next -= seen;
+    next -= removed;
+    next.for_each([&](NodeId w) {
+      seen.insert(w);
+      queue.push_back(w);
+    });
+  }
+  return seen;
+}
+
+std::vector<NodeSet> components(const Graph& g) {
+  std::vector<NodeSet> out;
+  NodeSet left = g.nodes();
+  while (!left.empty()) {
+    const NodeSet c = component_of(g, left.min());
+    out.push_back(c);
+    left -= c;
+  }
+  return out;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.nodes().empty()) return true;
+  return component_of(g, g.nodes().min()).size() == g.num_nodes();
+}
+
+bool separates(const Graph& g, const NodeSet& cut, NodeId s, NodeId t) {
+  RMT_REQUIRE(g.has_node(s) && g.has_node(t), "separates: absent endpoint");
+  RMT_REQUIRE(!cut.contains(s) && !cut.contains(t), "separates: cut contains an endpoint");
+  return !component_of(g, s, cut).contains(t);
+}
+
+std::optional<std::size_t> distance(const Graph& g, NodeId s, NodeId t) {
+  RMT_REQUIRE(g.has_node(s) && g.has_node(t), "distance: absent endpoint");
+  if (s == t) return 0;
+  NodeSet frontier = NodeSet::single(s);
+  NodeSet seen = frontier;
+  std::size_t d = 0;
+  while (!frontier.empty()) {
+    ++d;
+    NodeSet next;
+    frontier.for_each([&](NodeId u) { next |= g.neighbors(u); });
+    next -= seen;
+    if (next.contains(t)) return d;
+    seen |= next;
+    frontier = std::move(next);
+  }
+  return std::nullopt;
+}
+
+NodeSet ball(const Graph& g, NodeId v, std::size_t k) {
+  RMT_REQUIRE(g.has_node(v), "ball: absent node");
+  NodeSet seen = NodeSet::single(v);
+  NodeSet frontier = seen;
+  for (std::size_t i = 0; i < k && !frontier.empty(); ++i) {
+    NodeSet next;
+    frontier.for_each([&](NodeId u) { next |= g.neighbors(u); });
+    next -= seen;
+    seen |= next;
+    frontier = std::move(next);
+  }
+  return seen;
+}
+
+}  // namespace rmt

@@ -1,0 +1,35 @@
+// graph/connectivity.hpp — reachability and components.
+//
+// These are the primitives behind every cut notion in the paper: a set C is
+// a D–R cut iff R is unreachable from D once C is removed, and the
+// "connected component that R lies in" (Defs. 3, 6) is component_of(...)
+// after removal.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace rmt {
+
+/// Connected component of `v` in g, restricted to nodes not in `removed`.
+/// Requires g.has_node(v) and !removed.contains(v).
+NodeSet component_of(const Graph& g, NodeId v, const NodeSet& removed = {});
+
+/// All connected components of g (ascending by smallest member).
+std::vector<NodeSet> components(const Graph& g);
+
+bool is_connected(const Graph& g);
+
+/// True if removing `cut` (which must not contain s or t) disconnects s
+/// from t. Vacuously true if they are already disconnected.
+bool separates(const Graph& g, const NodeSet& cut, NodeId s, NodeId t);
+
+/// BFS hop distance from s to t avoiding nothing; nullopt if unreachable.
+std::optional<std::size_t> distance(const Graph& g, NodeId s, NodeId t);
+
+/// Nodes within `k` hops of v (k = 0 gives {v}).
+NodeSet ball(const Graph& g, NodeId v, std::size_t k);
+
+}  // namespace rmt

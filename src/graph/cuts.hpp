@@ -1,0 +1,40 @@
+// graph/cuts.hpp — vertex cuts and connected-subset enumeration.
+//
+// Every infeasibility notion in the paper (RMT-cut, Z-pp cut, adversary
+// cover) quantifies over D–R vertex separators together with the connected
+// component B of the receiver. The key reduction, used by all exact
+// deciders (see DESIGN.md §1), is that it suffices to consider cuts of the
+// form C = N(B) for connected sets B containing R: any larger qualifying
+// cut with R-component B implies N(B) qualifies, by monotonicity of
+// adversary structures. This file provides that enumeration.
+#pragma once
+
+#include <functional>
+
+#include "graph/graph.hpp"
+
+namespace rmt {
+
+/// Enumerate every connected node set B of g with `seed ∈ B` and
+/// B ∩ forbidden = ∅. `visit(B)` is called once per set; return false to
+/// stop. Returns false iff the enumeration was stopped by the visitor.
+///
+/// Algorithm: classic connected-subgraph enumeration with an exclusion
+/// frontier — each recursive level picks one boundary vertex to include and
+/// forbids the previously considered ones, so every connected superset of
+/// {seed} is generated exactly once. The count is exponential in general
+/// (and must be: the objects quantified over are exponential families);
+/// callers bound instance sizes instead of the enumerator.
+bool enumerate_connected_subsets(const Graph& g, NodeId seed, const NodeSet& forbidden,
+                                 const std::function<bool(const NodeSet&)>& visit);
+
+/// The minimum number of nodes (excluding s, t) whose removal disconnects
+/// s from t — Menger vertex connectivity via node-splitting max-flow.
+/// Returns num_nodes() if s and t are adjacent (no separator exists).
+std::size_t min_vertex_cut(const Graph& g, NodeId s, NodeId t);
+
+/// True if every D–R separator has size >= k (i.e. there are k internally
+/// node-disjoint s–t paths).
+bool is_k_connected_between(const Graph& g, NodeId s, NodeId t, std::size_t k);
+
+}  // namespace rmt

@@ -1,0 +1,173 @@
+#include "graph/generators.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "graph/connectivity.hpp"
+#include "util/check.hpp"
+
+namespace rmt::generators {
+
+Graph path_graph(std::size_t n) {
+  RMT_REQUIRE(n >= 1, "path_graph: need n >= 1");
+  Graph g(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) g.add_edge(NodeId(i), NodeId(i + 1));
+  return g;
+}
+
+Graph cycle_graph(std::size_t n) {
+  RMT_REQUIRE(n >= 3, "cycle_graph: need n >= 3");
+  Graph g = path_graph(n);
+  g.add_edge(NodeId(n - 1), 0);
+  return g;
+}
+
+Graph complete_graph(std::size_t n) {
+  RMT_REQUIRE(n >= 1, "complete_graph: need n >= 1");
+  Graph g(n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) g.add_edge(NodeId(i), NodeId(j));
+  return g;
+}
+
+Graph grid_graph(std::size_t w, std::size_t h) {
+  RMT_REQUIRE(w >= 1 && h >= 1, "grid_graph: need positive dimensions");
+  Graph g(w * h);
+  auto id = [w](std::size_t x, std::size_t y) { return NodeId(y * w + x); };
+  for (std::size_t y = 0; y < h; ++y)
+    for (std::size_t x = 0; x < w; ++x) {
+      if (x + 1 < w) g.add_edge(id(x, y), id(x + 1, y));
+      if (y + 1 < h) g.add_edge(id(x, y), id(x, y + 1));
+    }
+  return g;
+}
+
+Graph basic_instance_graph(std::size_t m) {
+  RMT_REQUIRE(m >= 1, "basic_instance_graph: need m >= 1");
+  Graph g(m + 2);
+  const NodeId d = 0, r = NodeId(m + 1);
+  for (std::size_t a = 1; a <= m; ++a) {
+    g.add_edge(d, NodeId(a));
+    g.add_edge(NodeId(a), r);
+  }
+  return g;
+}
+
+Graph layered_graph(std::size_t layers, std::size_t width) {
+  RMT_REQUIRE(layers >= 1 && width >= 1, "layered_graph: need positive dimensions");
+  const std::size_t n = layers * width + 2;
+  Graph g(n);
+  const NodeId d = 0, r = NodeId(n - 1);
+  auto id = [width](std::size_t layer, std::size_t i) { return NodeId(1 + layer * width + i); };
+  for (std::size_t i = 0; i < width; ++i) {
+    g.add_edge(d, id(0, i));
+    g.add_edge(id(layers - 1, i), r);
+  }
+  for (std::size_t l = 0; l + 1 < layers; ++l)
+    for (std::size_t i = 0; i < width; ++i)
+      for (std::size_t j = 0; j < width; ++j) g.add_edge(id(l, i), id(l + 1, j));
+  return g;
+}
+
+Graph random_tree(std::size_t n, Rng& rng) {
+  RMT_REQUIRE(n >= 1, "random_tree: need n >= 1");
+  Graph g(n);
+  for (std::size_t v = 1; v < n; ++v) g.add_edge(NodeId(v), NodeId(rng.index(v)));
+  return g;
+}
+
+Graph random_connected_gnp(std::size_t n, double p, Rng& rng) {
+  RMT_REQUIRE(n >= 1, "random_connected_gnp: need n >= 1");
+  RMT_REQUIRE(p >= 0.0 && p <= 1.0, "random_connected_gnp: p out of range");
+  Graph g = random_tree(n, rng);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      if (!g.has_edge(NodeId(i), NodeId(j)) && rng.chance(p)) g.add_edge(NodeId(i), NodeId(j));
+  return g;
+}
+
+Graph random_geometric(std::size_t n, double radius, Rng& rng) {
+  RMT_REQUIRE(n >= 1, "random_geometric: need n >= 1");
+  RMT_REQUIRE(radius >= 0.0, "random_geometric: negative radius");
+  std::vector<std::pair<double, double>> pos(n);
+  for (auto& p : pos) p = {rng.real(), rng.real()};
+  Graph g(n);
+  const double r2 = radius * radius;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dx = pos[i].first - pos[j].first;
+      const double dy = pos[i].second - pos[j].second;
+      if (dx * dx + dy * dy <= r2) g.add_edge(NodeId(i), NodeId(j));
+    }
+  // Patch connectivity with tree edges between nearest cross-component
+  // pairs replaced by a simple random-attachment tree; geometric flavour is
+  // preserved for the bulk of the edges.
+  if (!is_connected(g)) {
+    Graph tree = random_tree(n, rng);
+    for (const Edge& e : tree.edges())
+      if (!g.has_edge(e.a, e.b)) g.add_edge(e.a, e.b);
+  }
+  return g;
+}
+
+Graph hypercube(std::size_t d) {
+  RMT_REQUIRE(d >= 1 && d <= 16, "hypercube: dimension out of range");
+  const std::size_t n = std::size_t{1} << d;
+  Graph g(n);
+  for (std::size_t v = 0; v < n; ++v)
+    for (std::size_t bit = 0; bit < d; ++bit) {
+      const std::size_t u = v ^ (std::size_t{1} << bit);
+      if (v < u) g.add_edge(NodeId(v), NodeId(u));
+    }
+  return g;
+}
+
+Graph complete_bipartite(std::size_t a, std::size_t b) {
+  RMT_REQUIRE(a >= 1 && b >= 1, "complete_bipartite: need non-empty sides");
+  Graph g(a + b);
+  for (std::size_t i = 0; i < a; ++i)
+    for (std::size_t j = 0; j < b; ++j) g.add_edge(NodeId(i), NodeId(a + j));
+  return g;
+}
+
+Graph barbell(std::size_t m) {
+  RMT_REQUIRE(m >= 2, "barbell: need cliques of size >= 2");
+  Graph g(2 * m);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = i + 1; j < m; ++j) {
+      g.add_edge(NodeId(i), NodeId(j));
+      g.add_edge(NodeId(m + i), NodeId(m + j));
+    }
+  g.add_edge(NodeId(m - 1), NodeId(m));
+  return g;
+}
+
+Graph parallel_paths(std::size_t count, std::size_t hops) {
+  RMT_REQUIRE(count >= 1 && hops >= 1, "parallel_paths: need positive dimensions");
+  const std::size_t n = count * hops + 2;
+  Graph g(n);
+  const NodeId d = 0, r = NodeId(n - 1);
+  for (std::size_t i = 0; i < count; ++i) {
+    NodeId prev = d;
+    for (std::size_t j = 0; j < hops; ++j) {
+      const NodeId v = NodeId(1 + i * hops + j);
+      g.add_edge(prev, v);
+      prev = v;
+    }
+    g.add_edge(prev, r);
+  }
+  return g;
+}
+
+Graph generalized_wheel(std::size_t n, std::size_t spoke_stride) {
+  RMT_REQUIRE(n >= 4, "generalized_wheel: need n >= 4");
+  RMT_REQUIRE(spoke_stride >= 1, "generalized_wheel: need stride >= 1");
+  Graph g(n);
+  const std::size_t ring = n - 1;
+  for (std::size_t i = 0; i < ring; ++i)
+    g.add_edge(NodeId(1 + i), NodeId(1 + (i + 1) % ring));
+  for (std::size_t i = 0; i < ring; i += spoke_stride) g.add_edge(0, NodeId(1 + i));
+  return g;
+}
+
+}  // namespace rmt::generators

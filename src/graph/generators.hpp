@@ -1,0 +1,76 @@
+// graph/generators.hpp — topology generators for tests, examples and the
+// experiment harness.
+//
+// Conventions: all generators return graphs with contiguous node ids
+// 0..n-1. Where an experiment needs a dealer/receiver pair, the convention
+// throughout the repository is D = 0 and R = n-1 unless stated otherwise.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace rmt::generators {
+
+/// Path 0-1-...-(n-1). Requires n >= 1.
+Graph path_graph(std::size_t n);
+
+/// Cycle on n >= 3 nodes.
+Graph cycle_graph(std::size_t n);
+
+/// Complete graph K_n.
+Graph complete_graph(std::size_t n);
+
+/// w×h grid; node (x, y) has id y*w + x. Requires w, h >= 1.
+Graph grid_graph(std::size_t w, std::size_t h);
+
+/// The paper's Figure-1 "basic instance" family G': dealer D = 0, receiver
+/// R = m+1, middle set A(G') = {1..m}, edges only D–a and a–R for each
+/// a in the middle set. Requires m >= 1.
+Graph basic_instance_graph(std::size_t m);
+
+/// `layers` layers of `width` nodes between D = 0 and R = last id; every
+/// node of layer i is adjacent to every node of layer i+1, D to all of the
+/// first layer and R to all of the last. layers=1 gives basic instances.
+Graph layered_graph(std::size_t layers, std::size_t width);
+
+/// Uniform spanning-tree-ish random tree on n nodes (random attachment).
+Graph random_tree(std::size_t n, Rng& rng);
+
+/// Erdős–Rényi G(n, p) conditioned on connectivity: a random tree is laid
+/// down first, then every remaining pair gets an edge with probability p.
+/// Degenerate p = 0 gives a random tree, p = 1 gives K_n.
+Graph random_connected_gnp(std::size_t n, double p, Rng& rng);
+
+/// Random geometric ("sensor network") graph on the unit square: nodes at
+/// uniform positions, edge iff Euclidean distance <= radius; extra edges
+/// are added along a random tree if needed, to guarantee connectivity
+/// (an ad hoc network with a partitioned topology is out of the model).
+Graph random_geometric(std::size_t n, double radius, Rng& rng);
+
+/// d-dimensional hypercube Q_d on 2^d nodes; node ids are the coordinate
+/// bitmasks. Vertex connectivity d — a classic threshold-RMT testbed.
+Graph hypercube(std::size_t d);
+
+/// Complete bipartite K_{a,b}: sides {0..a-1} and {a..a+b-1}.
+Graph complete_bipartite(std::size_t a, std::size_t b);
+
+/// Two K_m cliques joined by a single bridge edge — the worst case for
+/// cut-based adversaries (the bridge endpoints are a 2-cut).
+Graph barbell(std::size_t m);
+
+/// `count` internally node-disjoint D–R paths, each with `hops` >= 1
+/// intermediate nodes. D = 0; path i's intermediates are
+/// 1 + i*hops ... i*hops + hops, in order; R = count*hops + 1.
+/// With singleton-corruptible bottlenecks this family separates the
+/// knowledge models: locally-plausible pair cuts exist (ad hoc fails)
+/// while no two admissible sets cover a cut (full knowledge succeeds).
+Graph parallel_paths(std::size_t count, std::size_t hops);
+
+/// "Generalized wheel": a cycle on n-1 nodes 1..n-1 plus a hub 0 adjacent
+/// to every `spoke_stride`-th cycle node. A classic family where local and
+/// global threshold conditions diverge.
+Graph generalized_wheel(std::size_t n, std::size_t spoke_stride);
+
+}  // namespace rmt::generators

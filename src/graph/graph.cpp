@@ -1,0 +1,116 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace rmt {
+
+void Graph::add_node(NodeId v) {
+  if (v >= adj_.size()) adj_.resize(v + 1);
+  nodes_.insert(v);
+}
+
+void Graph::add_edge(NodeId u, NodeId v) {
+  RMT_REQUIRE(u != v, "self-loop edges are not allowed");
+  add_node(u);
+  add_node(v);
+  adj_[u].insert(v);
+  adj_[v].insert(u);
+}
+
+void Graph::remove_edge(NodeId u, NodeId v) {
+  if (u < adj_.size()) adj_[u].erase(v);
+  if (v < adj_.size()) adj_[v].erase(u);
+}
+
+void Graph::remove_node(NodeId v) {
+  if (!has_node(v)) return;
+  adj_[v].for_each([&](NodeId u) { adj_[u].erase(v); });
+  adj_[v].clear();
+  nodes_.erase(v);
+}
+
+std::size_t Graph::num_edges() const {
+  std::size_t twice = 0;
+  nodes_.for_each([&](NodeId v) { twice += adj_[v].size(); });
+  return twice / 2;
+}
+
+const NodeSet& Graph::neighbors(NodeId v) const {
+  RMT_REQUIRE(has_node(v), "neighbors() of absent node " + std::to_string(v));
+  return adj_[v];
+}
+
+NodeSet Graph::closed_neighborhood(NodeId v) const {
+  NodeSet s = neighbors(v);
+  s.insert(v);
+  return s;
+}
+
+NodeSet Graph::boundary(const NodeSet& s) const {
+  NodeSet out;
+  (s & nodes_).for_each([&](NodeId v) { out |= adj_[v]; });
+  out -= s;
+  return out;
+}
+
+std::vector<Edge> Graph::edges() const {
+  std::vector<Edge> out;
+  nodes_.for_each([&](NodeId v) {
+    adj_[v].for_each([&](NodeId u) {
+      if (v < u) out.push_back({v, u});
+    });
+  });
+  return out;
+}
+
+Graph Graph::induced(const NodeSet& s) const {
+  Graph g;
+  const NodeSet keep = s & nodes_;
+  keep.for_each([&](NodeId v) { g.add_node(v); });
+  keep.for_each([&](NodeId v) {
+    (adj_[v] & keep).for_each([&](NodeId u) {
+      if (v < u) g.add_edge(v, u);
+    });
+  });
+  return g;
+}
+
+Graph Graph::united(const Graph& o) const {
+  Graph g = *this;
+  o.nodes_.for_each([&](NodeId v) { g.add_node(v); });
+  for (const Edge& e : o.edges()) g.add_edge(e.a, e.b);
+  return g;
+}
+
+bool Graph::contains_subgraph(const Graph& o) const {
+  if (!o.nodes_.is_subset_of(nodes_)) return false;
+  bool ok = true;
+  o.nodes_.for_each([&](NodeId v) {
+    if (!o.adj_[v].is_subset_of(adj_[v])) ok = false;
+  });
+  return ok;
+}
+
+bool operator==(const Graph& a, const Graph& b) {
+  if (a.nodes_ != b.nodes_) return false;
+  bool eq = true;
+  a.nodes_.for_each([&](NodeId v) {
+    if (a.adj_[v] != b.adj_[v]) eq = false;
+  });
+  return eq;
+}
+
+std::string Graph::to_string() const {
+  std::string out = "Graph(V=" + nodes_.to_string() + ", E={";
+  bool first = true;
+  for (const Edge& e : edges()) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{" + std::to_string(e.a) + "," + std::to_string(e.b) + "}";
+  }
+  return out + "})";
+}
+
+}  // namespace rmt

@@ -1,0 +1,22 @@
+#include "graph/graphviz.hpp"
+
+namespace rmt {
+
+std::string to_dot(const Graph& g, const DotOptions& opts) {
+  std::string out = "graph " + opts.graph_name + " {\n";
+  out += "  node [shape=circle];\n";
+  g.nodes().for_each([&](NodeId v) {
+    out += "  n" + std::to_string(v) + " [label=\"" + std::to_string(v);
+    if (auto it = opts.labels.find(v); it != opts.labels.end()) out += "\\n" + it->second;
+    out += "\"";
+    if (opts.highlight.contains(v))
+      out += ", style=filled, fillcolor=" + opts.highlight_color;
+    out += "];\n";
+  });
+  for (const Edge& e : g.edges())
+    out += "  n" + std::to_string(e.a) + " -- n" + std::to_string(e.b) + ";\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace rmt

@@ -1,0 +1,26 @@
+// graph/graphviz.hpp — DOT export for inspection of instances and witnesses.
+//
+// Used by the examples and by the network-design tool to visualize where
+// RMT is possible and which cut witnesses infeasibility.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace rmt {
+
+struct DotOptions {
+  std::string graph_name = "G";
+  /// Nodes rendered with a distinct fill (e.g. a cut witness).
+  NodeSet highlight;
+  std::string highlight_color = "lightcoral";
+  /// Extra per-node labels, appended to the id.
+  std::map<NodeId, std::string> labels;
+};
+
+/// Render g as an undirected Graphviz DOT document.
+std::string to_dot(const Graph& g, const DotOptions& opts = {});
+
+}  // namespace rmt

@@ -1,0 +1,95 @@
+#include "graph/node_set.hpp"
+
+#include <algorithm>
+
+namespace rmt {
+
+std::size_t NodeSet::size() const {
+  std::size_t n = 0;
+  for (std::uint64_t w : words_) n += static_cast<std::size_t>(__builtin_popcountll(w));
+  return n;
+}
+
+NodeId NodeSet::min() const {
+  RMT_REQUIRE(!empty(), "min() of empty NodeSet");
+  for (std::size_t w = 0; w < words_.size(); ++w)
+    if (words_[w]) return static_cast<NodeId>(w * 64 + static_cast<std::size_t>(__builtin_ctzll(words_[w])));
+  RMT_CHECK(false, "normalized NodeSet had only zero words");
+}
+
+NodeId NodeSet::max() const {
+  RMT_REQUIRE(!empty(), "max() of empty NodeSet");
+  const std::size_t w = words_.size() - 1;
+  return static_cast<NodeId>(w * 64 + 63 - static_cast<std::size_t>(__builtin_clzll(words_[w])));
+}
+
+std::vector<NodeId> NodeSet::to_vector() const {
+  std::vector<NodeId> out;
+  out.reserve(size());
+  for_each([&](NodeId v) { out.push_back(v); });
+  return out;
+}
+
+NodeSet& NodeSet::operator|=(const NodeSet& o) {
+  if (o.words_.size() > words_.size()) words_.resize(o.words_.size(), 0);
+  for (std::size_t i = 0; i < o.words_.size(); ++i) words_[i] |= o.words_[i];
+  return *this;
+}
+
+NodeSet& NodeSet::operator&=(const NodeSet& o) {
+  if (words_.size() > o.words_.size()) words_.resize(o.words_.size());
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+  normalize();
+  return *this;
+}
+
+NodeSet& NodeSet::operator-=(const NodeSet& o) {
+  const std::size_t n = std::min(words_.size(), o.words_.size());
+  for (std::size_t i = 0; i < n; ++i) words_[i] &= ~o.words_[i];
+  normalize();
+  return *this;
+}
+
+NodeSet& NodeSet::operator^=(const NodeSet& o) {
+  if (o.words_.size() > words_.size()) words_.resize(o.words_.size(), 0);
+  for (std::size_t i = 0; i < o.words_.size(); ++i) words_[i] ^= o.words_[i];
+  normalize();
+  return *this;
+}
+
+bool NodeSet::is_subset_of(const NodeSet& o) const {
+  if (words_.size() > o.words_.size()) return false;  // canonical form: extra words are non-zero
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    if (words_[i] & ~o.words_[i]) return false;
+  return true;
+}
+
+bool NodeSet::intersects(const NodeSet& o) const {
+  const std::size_t n = std::min(words_.size(), o.words_.size());
+  for (std::size_t i = 0; i < n; ++i)
+    if (words_[i] & o.words_[i]) return true;
+  return false;
+}
+
+std::size_t NodeSet::hash() const {
+  // FNV-1a over words; canonical form makes this well-defined per value.
+  std::size_t h = 1469598103934665603ull;
+  for (std::uint64_t w : words_) {
+    h ^= static_cast<std::size_t>(w);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string NodeSet::to_string() const {
+  std::string out = "{";
+  bool first = true;
+  for_each([&](NodeId v) {
+    if (!first) out += ", ";
+    first = false;
+    out += std::to_string(v);
+  });
+  return out + "}";
+}
+
+}  // namespace rmt

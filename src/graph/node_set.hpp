@@ -1,0 +1,140 @@
+// graph/node_set.hpp — NodeSet: a compact dynamic bitset over node ids.
+//
+// NodeSet is the workhorse value type of the library: adversary structures
+// are antichains of NodeSets, cuts and components are NodeSets, and the
+// exact deciders enumerate millions of them. It therefore favours:
+//   * value semantics (regular type: copy, ==, hash, <);
+//   * word-parallel set algebra (|, &, -, subset tests);
+//   * a stable iteration order (ascending node id).
+//
+// A NodeSet does not know its "universe": operations on sets built against
+// different graphs are well-defined bitwise (missing high bits read as 0),
+// which is exactly the semantics of subsets of a common global id space.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace rmt {
+
+/// Node identifier. Dense, 0-based per graph.
+using NodeId = std::uint32_t;
+
+class NodeSet {
+ public:
+  NodeSet() = default;
+  NodeSet(std::initializer_list<NodeId> ids) {
+    for (NodeId v : ids) insert(v);
+  }
+
+  /// The set {0, 1, ..., n-1}.
+  static NodeSet full(std::size_t n) {
+    NodeSet s;
+    if (n == 0) return s;
+    s.words_.assign((n + 63) / 64, ~0ull);
+    const std::size_t tail = n % 64;
+    if (tail != 0) s.words_.back() = (1ull << tail) - 1;
+    return s;
+  }
+
+  /// The singleton {v}.
+  static NodeSet single(NodeId v) {
+    NodeSet s;
+    s.insert(v);
+    return s;
+  }
+
+  void insert(NodeId v) {
+    const std::size_t w = v / 64;
+    if (w >= words_.size()) words_.resize(w + 1, 0);
+    words_[w] |= 1ull << (v % 64);
+  }
+
+  void erase(NodeId v) {
+    const std::size_t w = v / 64;
+    if (w < words_.size()) {
+      words_[w] &= ~(1ull << (v % 64));
+      normalize();
+    }
+  }
+
+  bool contains(NodeId v) const {
+    const std::size_t w = v / 64;
+    return w < words_.size() && (words_[w] >> (v % 64)) & 1;
+  }
+
+  bool empty() const { return words_.empty(); }
+  void clear() { words_.clear(); }
+
+  /// Number of elements.
+  std::size_t size() const;
+
+  /// Smallest element. Requires non-empty.
+  NodeId min() const;
+  /// Largest element. Requires non-empty.
+  NodeId max() const;
+
+  /// Elements in ascending order.
+  std::vector<NodeId> to_vector() const;
+
+  /// Apply f to each element in ascending order.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t bits = words_[w];
+      while (bits) {
+        const int b = __builtin_ctzll(bits);
+        f(static_cast<NodeId>(w * 64 + static_cast<std::size_t>(b)));
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  NodeSet& operator|=(const NodeSet& o);
+  NodeSet& operator&=(const NodeSet& o);
+  NodeSet& operator-=(const NodeSet& o);  // set difference
+  NodeSet& operator^=(const NodeSet& o);  // symmetric difference
+
+  friend NodeSet operator|(NodeSet a, const NodeSet& b) { return a |= b; }
+  friend NodeSet operator&(NodeSet a, const NodeSet& b) { return a &= b; }
+  friend NodeSet operator-(NodeSet a, const NodeSet& b) { return a -= b; }
+  friend NodeSet operator^(NodeSet a, const NodeSet& b) { return a ^= b; }
+
+  bool is_subset_of(const NodeSet& o) const;
+  bool is_superset_of(const NodeSet& o) const { return o.is_subset_of(*this); }
+  bool intersects(const NodeSet& o) const;
+  bool is_disjoint_from(const NodeSet& o) const { return !intersects(o); }
+
+  friend bool operator==(const NodeSet& a, const NodeSet& b) { return a.words_ == b.words_; }
+  /// Lexicographic-on-words total order; used only for canonical sorting
+  /// (e.g. deterministic antichain layout), not for set-theoretic meaning.
+  friend std::strong_ordering operator<=>(const NodeSet& a, const NodeSet& b) {
+    return a.words_ <=> b.words_;
+  }
+
+  std::size_t hash() const;
+
+  /// "{0, 3, 7}" — for diagnostics and DOT labels.
+  std::string to_string() const;
+
+ private:
+  // Invariant: no trailing zero words (canonical form, so == is bitwise).
+  void normalize() {
+    while (!words_.empty() && words_.back() == 0) words_.pop_back();
+  }
+
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace rmt
+
+template <>
+struct std::hash<rmt::NodeSet> {
+  std::size_t operator()(const rmt::NodeSet& s) const { return s.hash(); }
+};

@@ -1,0 +1,107 @@
+#include "graph/paths.hpp"
+
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace rmt {
+
+bool is_simple_path(const Graph& g, const Path& p) {
+  if (p.empty()) return false;
+  NodeSet seen;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (!g.has_node(p[i]) || seen.contains(p[i])) return false;
+    seen.insert(p[i]);
+    if (i > 0 && !g.has_edge(p[i - 1], p[i])) return false;
+  }
+  return true;
+}
+
+std::string path_to_string(const Path& p) {
+  std::string out;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (i) out += "-";
+    out += std::to_string(p[i]);
+  }
+  return out;
+}
+
+namespace {
+
+struct PathDfs {
+  const Graph& g;
+  NodeId target;
+  const std::function<bool(const Path&)>& visit;
+  std::size_t budget;
+  Path current;
+  NodeSet on_path;
+  bool stopped = false;  // either budget exhausted or visitor declined
+
+  // Returns false to abort the whole enumeration.
+  bool run(NodeId v) {
+    current.push_back(v);
+    on_path.insert(v);
+    if (v == target) {
+      // Note: only abort when a path *beyond* the budget is found, so an
+      // enumeration with exactly `max_paths` paths reports kComplete.
+      if (budget == 0 || !visit(current)) {
+        stopped = true;
+      } else {
+        --budget;
+      }
+    } else {
+      NodeSet next = g.neighbors(v);
+      next -= on_path;
+      bool keep_going = true;
+      next.for_each([&](NodeId u) {
+        if (keep_going && !stopped) keep_going = run(u);
+      });
+    }
+    on_path.erase(v);
+    current.pop_back();
+    return !stopped;
+  }
+};
+
+}  // namespace
+
+EnumStatus enumerate_simple_paths(const Graph& g, NodeId s, NodeId t,
+                                  const std::function<bool(const Path&)>& visit,
+                                  std::size_t max_paths) {
+  RMT_REQUIRE(g.has_node(s) && g.has_node(t), "enumerate_simple_paths: absent endpoint");
+  if (max_paths == 0) return EnumStatus::kTruncated;
+  PathDfs dfs{g, t, visit, max_paths, {}, {}, false};
+  dfs.run(s);
+  // `stopped` with remaining budget means the visitor declined — callers of
+  // the callback form asked to stop; we still flag truncation so they can
+  // tell the output is partial.
+  return dfs.stopped ? EnumStatus::kTruncated : EnumStatus::kComplete;
+}
+
+std::vector<Path> all_simple_paths(const Graph& g, NodeId s, NodeId t, std::size_t max_paths) {
+  std::vector<Path> out;
+  const EnumStatus st = enumerate_simple_paths(
+      g, s, t,
+      [&](const Path& p) {
+        out.push_back(p);
+        return true;
+      },
+      max_paths);
+  if (st == EnumStatus::kTruncated)
+    throw std::length_error("all_simple_paths: more than max_paths simple paths");
+  return out;
+}
+
+std::size_t count_simple_paths(const Graph& g, NodeId s, NodeId t, std::size_t cap) {
+  std::size_t n = 0;
+  enumerate_simple_paths(
+      g, s, t,
+      [&](const Path&) {
+        ++n;
+        return true;
+      },
+      cap);
+  return n;
+}
+
+}  // namespace rmt

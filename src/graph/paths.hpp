@@ -1,0 +1,51 @@
+// graph/paths.hpp — simple paths and their enumeration.
+//
+// RMT-PKA (Protocol 1) floods messages tagged with their propagation trail
+// `p`, and its decision rule quantifies over "all the D–R paths which appear
+// in G_M" (Def. 5, full message set). Path enumeration is therefore a core
+// primitive. The number of simple paths is exponential in general — exactly
+// the communication behaviour the paper attributes to path-propagation
+// protocols — so every enumerator takes an explicit budget and reports
+// whether it was exhausted.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace rmt {
+
+/// A simple path as the ordered list of its nodes.
+using Path = std::vector<NodeId>;
+
+/// True if p is non-empty, node-distinct, and each hop is an edge of g.
+bool is_simple_path(const Graph& g, const Path& p);
+
+std::string path_to_string(const Path& p);
+
+/// Result flag for budgeted enumerations.
+enum class EnumStatus : std::uint8_t {
+  kComplete,   ///< every object was produced
+  kTruncated,  ///< the budget ran out; output is a strict subset
+};
+
+/// Enumerate all simple s–t paths of g in DFS order, invoking `visit` for
+/// each. Stops early (returning kTruncated) after `max_paths` paths or if
+/// `visit` returns false. s == t yields the single-node path {s}.
+EnumStatus enumerate_simple_paths(const Graph& g, NodeId s, NodeId t,
+                                  const std::function<bool(const Path&)>& visit,
+                                  std::size_t max_paths = SIZE_MAX);
+
+/// Convenience: collect all simple s–t paths (throws std::length_error if
+/// more than max_paths exist — callers that can tolerate truncation should
+/// use the callback form).
+std::vector<Path> all_simple_paths(const Graph& g, NodeId s, NodeId t,
+                                   std::size_t max_paths = 1u << 20);
+
+/// Number of simple s–t paths, counted up to `cap` (returns cap if >= cap).
+std::size_t count_simple_paths(const Graph& g, NodeId s, NodeId t, std::size_t cap);
+
+}  // namespace rmt

@@ -1,0 +1,64 @@
+// instance/instance.hpp — an RMT problem instance I = (G, Z, γ, D, R).
+//
+// The tuple of §1.3/§3: network G, adversary structure Z, view function γ,
+// dealer D, receiver R. The class validates the model's well-formedness
+// conditions once so every consumer (analysis, protocols, experiments) can
+// rely on them:
+//   * D, R ∈ V(G), D ≠ R;
+//   * every view γ(v) is a subgraph of G containing v;
+//   * Z contains ∅ (an adversary that may corrupt nobody is admissible —
+//     resilience quantifies over *all* admissible sets, including ∅);
+//   * D and R are not members of any admissible set: the dealer is honest
+//     by assumption throughout the paper ("the dealer's presumed honesty"),
+//     and a corrupted receiver makes the decision problem vacuous.
+#pragma once
+
+#include <string>
+
+#include "adversary/structure.hpp"
+#include "knowledge/local_knowledge.hpp"
+#include "knowledge/view.hpp"
+
+namespace rmt {
+
+class Instance {
+ public:
+  /// Validates the conditions listed above; throws std::invalid_argument
+  /// on violation.
+  Instance(Graph g, AdversaryStructure z, ViewFunction gamma, NodeId dealer, NodeId receiver);
+
+  /// Convenience: ad hoc instance (G, Z, D, R) of §4 — γ is derived.
+  static Instance ad_hoc(Graph g, AdversaryStructure z, NodeId dealer, NodeId receiver);
+
+  /// Convenience: full-knowledge instance.
+  static Instance full_knowledge(Graph g, AdversaryStructure z, NodeId dealer, NodeId receiver);
+
+  const Graph& graph() const { return g_; }
+  const AdversaryStructure& adversary() const { return z_; }
+  const ViewFunction& gamma() const { return gamma_; }
+  NodeId dealer() const { return dealer_; }
+  NodeId receiver() const { return receiver_; }
+
+  std::size_t num_players() const { return g_.num_nodes(); }
+
+  /// Z_v — the local adversary structure of v.
+  AdversaryStructure local_structure(NodeId v) const;
+
+  /// v's complete round-0 knowledge.
+  LocalKnowledge knowledge_of(NodeId v) const;
+
+  /// True if `t` is an admissible corruption set (t ∈ Z; the validated
+  /// invariants already exclude D and R from all admissible sets).
+  bool admissible_corruption(const NodeSet& t) const { return z_.contains(t); }
+
+  std::string to_string() const;
+
+ private:
+  Graph g_;
+  AdversaryStructure z_;
+  ViewFunction gamma_;
+  NodeId dealer_;
+  NodeId receiver_;
+};
+
+}  // namespace rmt

@@ -1,0 +1,196 @@
+#include "io/serialize.hpp"
+
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace rmt::io {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& msg) {
+  throw std::invalid_argument("instance parse error at line " + std::to_string(line) + ": " +
+                              msg);
+}
+
+struct Builder {
+  std::size_t n = 0;
+  std::vector<Edge> edges;
+  std::optional<NodeId> dealer, receiver;
+  std::vector<NodeSet> sets;
+  enum class Knowledge { kUnset, kAdHoc, kFull, kKHop, kCustom } knowledge = Knowledge::kUnset;
+  std::size_t k = 0;
+  // custom-view extras: per node, extra known nodes / edges above the star
+  std::map<NodeId, NodeSet> extra_nodes;
+  std::map<NodeId, std::vector<Edge>> extra_edges;
+};
+
+NodeId parse_node(std::istringstream& ss, std::size_t line) {
+  long long v = -1;
+  if (!(ss >> v) || v < 0) fail(line, "expected a node id");
+  return NodeId(v);
+}
+
+}  // namespace
+
+Instance parse_instance(std::istream& in) {
+  Builder b;
+  std::string line;
+  std::size_t lineno = 0;
+  bool header = false;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ss(line);
+    std::string word;
+    if (!(ss >> word)) continue;  // blank / comment-only
+    if (!header) {
+      if (word != "rmt-instance") fail(lineno, "missing 'rmt-instance v1' header");
+      std::string version;
+      ss >> version;
+      if (version != "v1") fail(lineno, "unsupported version '" + version + "'");
+      header = true;
+      continue;
+    }
+    if (word == "nodes") {
+      long long n = -1;
+      if (!(ss >> n) || n <= 0) fail(lineno, "expected a positive node count");
+      b.n = std::size_t(n);
+    } else if (word == "edge") {
+      const NodeId u = parse_node(ss, lineno), v = parse_node(ss, lineno);
+      b.edges.push_back({u, v});
+    } else if (word == "dealer") {
+      b.dealer = parse_node(ss, lineno);
+    } else if (word == "receiver") {
+      b.receiver = parse_node(ss, lineno);
+    } else if (word == "corruptible") {
+      NodeSet s;
+      long long v;
+      while (ss >> v) {
+        if (v < 0) fail(lineno, "negative node id");
+        s.insert(NodeId(v));
+      }
+      b.sets.push_back(std::move(s));
+    } else if (word == "knowledge") {
+      std::string kind;
+      if (!(ss >> kind)) fail(lineno, "expected a knowledge kind");
+      if (kind == "adhoc") b.knowledge = Builder::Knowledge::kAdHoc;
+      else if (kind == "full") b.knowledge = Builder::Knowledge::kFull;
+      else if (kind == "custom") b.knowledge = Builder::Knowledge::kCustom;
+      else if (kind == "k-hop") {
+        b.knowledge = Builder::Knowledge::kKHop;
+        long long k = -1;
+        if (!(ss >> k) || k < 0) fail(lineno, "k-hop needs a radius");
+        b.k = std::size_t(k);
+      } else
+        fail(lineno, "unknown knowledge kind '" + kind + "'");
+    } else if (word == "view" || word == "view-edge") {
+      const NodeId owner = parse_node(ss, lineno);
+      std::string colon;
+      if (!(ss >> colon) || colon != ":") fail(lineno, "expected ':' after view owner");
+      if (word == "view") {
+        long long v;
+        while (ss >> v) {
+          if (v < 0) fail(lineno, "negative node id");
+          b.extra_nodes[owner].insert(NodeId(v));
+        }
+      } else {
+        const NodeId u = parse_node(ss, lineno), v = parse_node(ss, lineno);
+        b.extra_edges[owner].push_back({u, v});
+      }
+    } else {
+      fail(lineno, "unknown directive '" + word + "'");
+    }
+  }
+  if (!header) fail(lineno, "empty input");
+  if (b.n == 0) fail(lineno, "missing 'nodes'");
+  if (!b.dealer || !b.receiver) fail(lineno, "missing dealer/receiver");
+
+  Graph g(b.n);
+  for (const Edge& e : b.edges) {
+    if (e.a >= b.n || e.b >= b.n) throw std::invalid_argument("edge endpoint out of range");
+    g.add_edge(e.a, e.b);
+  }
+  std::vector<NodeSet> sets = b.sets;
+  sets.push_back(NodeSet{});
+  AdversaryStructure z = AdversaryStructure::from_sets(sets);
+
+  ViewFunction gamma = [&] {
+    switch (b.knowledge) {
+      case Builder::Knowledge::kFull:
+        return ViewFunction::full(g);
+      case Builder::Knowledge::kKHop:
+        return ViewFunction::k_hop(g, b.k);
+      case Builder::Knowledge::kUnset:
+      case Builder::Knowledge::kAdHoc:
+      case Builder::Knowledge::kCustom:
+        return ViewFunction::ad_hoc(g);
+    }
+    return ViewFunction::ad_hoc(g);
+  }();
+  if (b.knowledge == Builder::Knowledge::kCustom) {
+    // Extend the ad hoc floor with the declared extras.
+    NodeSet owners;
+    for (const auto& [owner, _] : b.extra_nodes) owners.insert(owner);
+    for (const auto& [owner, _] : b.extra_edges) owners.insert(owner);
+    owners.for_each([&](NodeId owner) {
+      Graph view = gamma.view(owner);
+      if (auto it = b.extra_nodes.find(owner); it != b.extra_nodes.end())
+        it->second.for_each([&](NodeId v) { view.add_node(v); });
+      if (auto it = b.extra_edges.find(owner); it != b.extra_edges.end())
+        for (const Edge& e : it->second) view.add_edge(e.a, e.b);
+      gamma.set_view(owner, std::move(view));  // validates against G
+    });
+  }
+  return Instance(std::move(g), std::move(z), std::move(gamma), *b.dealer, *b.receiver);
+}
+
+Instance parse_instance_string(const std::string& text) {
+  std::istringstream ss(text);
+  return parse_instance(ss);
+}
+
+std::string serialize_instance(const Instance& inst) {
+  std::ostringstream out;
+  out << "rmt-instance v1\n";
+  out << "nodes " << inst.graph().capacity() << "\n";
+  for (const Edge& e : inst.graph().edges()) out << "edge " << e.a << " " << e.b << "\n";
+  out << "dealer " << inst.dealer() << "\n";
+  out << "receiver " << inst.receiver() << "\n";
+  for (const NodeSet& m : inst.adversary().maximal_sets()) {
+    if (m.empty()) continue;
+    out << "corruptible";
+    m.for_each([&](NodeId v) { out << " " << v; });
+    out << "\n";
+  }
+  // Emit custom views as extras over the ad hoc floor.
+  const ViewFunction floor = ViewFunction::ad_hoc(inst.graph());
+  bool is_adhoc = true;
+  inst.graph().nodes().for_each([&](NodeId v) {
+    if (!(inst.gamma().view(v) == floor.view(v))) is_adhoc = false;
+  });
+  if (is_adhoc) {
+    out << "knowledge adhoc\n";
+  } else {
+    out << "knowledge custom\n";
+    inst.graph().nodes().for_each([&](NodeId v) {
+      const Graph& view = inst.gamma().view(v);
+      const Graph& base = floor.view(v);
+      NodeSet extra_nodes = view.nodes() - base.nodes();
+      if (!extra_nodes.empty()) {
+        out << "view " << v << " :";
+        extra_nodes.for_each([&](NodeId u) { out << " " << u; });
+        out << "\n";
+      }
+      for (const Edge& e : view.edges())
+        if (!base.has_edge(e.a, e.b)) out << "view-edge " << v << " : " << e.a << " " << e.b << "\n";
+    });
+  }
+  return out.str();
+}
+
+}  // namespace rmt::io

@@ -1,0 +1,39 @@
+// io/serialize.hpp — a human-editable text format for RMT instances.
+//
+// Lets users describe deployments in files and drive the analysis /
+// simulation tooling (tools/rmt_cli) without writing C++. Format, line
+// oriented, '#' comments:
+//
+//   rmt-instance v1
+//   nodes 8
+//   edge 0 1            # one per channel
+//   dealer 0
+//   receiver 7
+//   corruptible 1 3     # one admissible set per line (∅ always included)
+//   knowledge adhoc     # or: full | k-hop K
+//   view 2 : 0 1 4      # optional, after "knowledge custom": extra known
+//                       #   nodes of node 2 (beyond its star)
+//   view-edge 2 : 0 1   # optional extra known edge of node 2's view
+//
+// parse_instance throws std::invalid_argument with a line-number message
+// on malformed input; serialize_instance(parse_instance(s)) round-trips.
+// The format assumes contiguous node ids 0..n-1 (what every generator in
+// this library produces).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "instance/instance.hpp"
+
+namespace rmt::io {
+
+/// Parse the text format above.
+Instance parse_instance(std::istream& in);
+Instance parse_instance_string(const std::string& text);
+
+/// Write an instance in the same format (custom views are emitted as
+/// view / view-edge lines relative to the ad hoc floor).
+std::string serialize_instance(const Instance& inst);
+
+}  // namespace rmt::io

@@ -1,0 +1,26 @@
+#include "knowledge/local_knowledge.hpp"
+
+#include "util/check.hpp"
+
+namespace rmt {
+
+LocalKnowledge derive_local_knowledge(const Graph& g, const AdversaryStructure& z,
+                                      const ViewFunction& gamma, NodeId v) {
+  RMT_REQUIRE(g.has_node(v), "derive_local_knowledge: absent node");
+  LocalKnowledge lk;
+  lk.self = v;
+  lk.view = gamma.view(v);
+  lk.local_z = z.restricted_to(gamma.view_nodes(v));
+  return lk;
+}
+
+std::vector<LocalKnowledge> derive_all_local_knowledge(const Graph& g,
+                                                       const AdversaryStructure& z,
+                                                       const ViewFunction& gamma) {
+  std::vector<LocalKnowledge> out(g.capacity());
+  g.nodes().for_each(
+      [&](NodeId v) { out[v] = derive_local_knowledge(g, z, gamma, v); });
+  return out;
+}
+
+}  // namespace rmt

@@ -1,0 +1,33 @@
+// knowledge/local_knowledge.hpp — a player's initial information.
+//
+// In the partial knowledge model a player v starts with exactly two pieces
+// of data (§1.3): its topology view γ(v) and its local adversary structure
+// Z_v = Z^{V(γ(v))} = { A ∩ V(γ(v)) : A ∈ Z }. This header bundles them and
+// provides the derivation from a global instance — the *only* place the
+// global Z touches per-player state, which keeps the "players don't know
+// Z" discipline honest throughout the protocol code.
+#pragma once
+
+#include "adversary/structure.hpp"
+#include "knowledge/view.hpp"
+
+namespace rmt {
+
+/// What one player knows at round 0.
+struct LocalKnowledge {
+  NodeId self = 0;
+  Graph view;                 ///< γ(self)
+  AdversaryStructure local_z; ///< Z_self = Z^{V(γ(self))}
+};
+
+/// Derive v's initial knowledge from the global data.
+LocalKnowledge derive_local_knowledge(const Graph& g, const AdversaryStructure& z,
+                                      const ViewFunction& gamma, NodeId v);
+
+/// Derive everyone's initial knowledge (indexed by node id; absent nodes
+/// hold default entries).
+std::vector<LocalKnowledge> derive_all_local_knowledge(const Graph& g,
+                                                       const AdversaryStructure& z,
+                                                       const ViewFunction& gamma);
+
+}  // namespace rmt

@@ -1,0 +1,96 @@
+#include "knowledge/view.hpp"
+
+#include "graph/connectivity.hpp"
+#include "util/check.hpp"
+
+namespace rmt {
+
+ViewFunction ViewFunction::full(const Graph& g) {
+  ViewFunction f(g);
+  g.nodes().for_each([&](NodeId v) { f.set_view(v, g); });
+  return f;
+}
+
+ViewFunction ViewFunction::ad_hoc(const Graph& g) {
+  ViewFunction f(g);
+  g.nodes().for_each([&](NodeId v) {
+    Graph star;
+    star.add_node(v);
+    g.neighbors(v).for_each([&](NodeId u) { star.add_edge(v, u); });
+    f.set_view(v, std::move(star));
+  });
+  return f;
+}
+
+ViewFunction ViewFunction::k_hop(const Graph& g, std::size_t k) {
+  ViewFunction f(g);
+  g.nodes().for_each([&](NodeId v) {
+    // Induced ball, floored with the owner's star (the k = 0 ball is just
+    // {v}; a view below the incident star is outside the model).
+    Graph view = g.induced(ball(g, v, k));
+    g.neighbors(v).for_each([&](NodeId u) { view.add_edge(v, u); });
+    f.set_view(v, std::move(view));
+  });
+  return f;
+}
+
+ViewFunction ViewFunction::custom(const Graph& g) { return ad_hoc(g); }
+
+ViewFunction ViewFunction::social(const Graph& g, std::size_t base_k, double extra_edge_p,
+                                  Rng& rng) {
+  ViewFunction base = k_hop(g, base_k);
+  const std::vector<Edge> edges = g.edges();
+  g.nodes().for_each([&](NodeId v) {
+    Graph view = base.view(v);
+    for (const Edge& e : edges)
+      if (!view.has_edge(e.a, e.b) && rng.chance(extra_edge_p)) view.add_edge(e.a, e.b);
+    base.set_view(v, std::move(view));
+  });
+  return base;
+}
+
+void ViewFunction::set_view(NodeId v, Graph view) {
+  RMT_REQUIRE(ground_.has_node(v), "set_view: node absent from ground graph");
+  RMT_REQUIRE(view.has_node(v), "set_view: a view must include its owner");
+  RMT_REQUIRE(ground_.contains_subgraph(view), "set_view: view is not a subgraph of G");
+  bool has_star = true;
+  ground_.neighbors(v).for_each([&](NodeId u) {
+    if (!view.has_edge(v, u)) has_star = false;
+  });
+  RMT_REQUIRE(has_star, "set_view: a view must contain its owner's incident star");
+  if (view_nodes_.size() < views_.size()) view_nodes_.resize(views_.size());
+  view_nodes_[v] = view.nodes();
+  views_[v] = std::move(view);
+}
+
+const Graph& ViewFunction::view(NodeId v) const {
+  RMT_REQUIRE(v < views_.size() && ground_.has_node(v), "view: absent node");
+  return views_[v];
+}
+
+const NodeSet& ViewFunction::view_nodes(NodeId v) const {
+  RMT_REQUIRE(v < view_nodes_.size() && ground_.has_node(v), "view_nodes: absent node");
+  return view_nodes_[v];
+}
+
+Graph ViewFunction::joint_view(const NodeSet& s) const {
+  Graph out;
+  (s & ground_.nodes()).for_each([&](NodeId v) { out = out.united(view(v)); });
+  return out;
+}
+
+NodeSet ViewFunction::joint_view_nodes(const NodeSet& s) const {
+  NodeSet out;
+  (s & ground_.nodes()).for_each([&](NodeId v) { out |= view_nodes(v); });
+  return out;
+}
+
+bool ViewFunction::refined_by(const ViewFunction& o) const {
+  bool ok = true;
+  ground_.nodes().for_each([&](NodeId v) {
+    if (ok && !(o.ground().has_node(v) && o.view(v).contains_subgraph(view(v)))) ok = false;
+  });
+  return ok;
+}
+
+}  // namespace rmt

@@ -1,0 +1,15 @@
+#include "protocols/cpa.hpp"
+
+namespace rmt::protocols {
+
+Cpa::Cpa(std::size_t t)
+    : t_(t), inner_(reduction::threshold_oracle_factory(t), "CPA(t=" + std::to_string(t) + ")") {}
+
+std::string Cpa::name() const { return inner_.name(); }
+
+std::unique_ptr<sim::ProtocolNode> Cpa::make_node(const LocalKnowledge& lk,
+                                                  const PublicInfo& pub) const {
+  return inner_.make_node(lk, pub);
+}
+
+}  // namespace rmt::protocols

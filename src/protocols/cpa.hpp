@@ -1,0 +1,32 @@
+// protocols/cpa.hpp — Koo's Certified Propagation Algorithm [8] under the
+// t-locally bounded adversary model.
+//
+// CPA's certification rule — "decide x once t+1 neighbors vouch for it,
+// since at least one of them must be honest" — is exactly Z-CPA with the
+// local structure "subsets of N(v) of size at most t". The paper cites CPA
+// as the special case its general machinery subsumes (§1.1); we expose it
+// as a named protocol both as the historic baseline and as a living test
+// that the subsumption holds (tests run CPA and the equivalent Z-CPA
+// side by side).
+#pragma once
+
+#include "protocols/zcpa.hpp"
+
+namespace rmt::protocols {
+
+class Cpa final : public Protocol {
+ public:
+  explicit Cpa(std::size_t t);
+
+  std::string name() const override;
+  std::unique_ptr<sim::ProtocolNode> make_node(const LocalKnowledge& lk,
+                                               const PublicInfo& pub) const override;
+
+  std::size_t threshold() const { return t_; }
+
+ private:
+  std::size_t t_;
+  Zcpa inner_;
+};
+
+}  // namespace rmt::protocols

@@ -1,0 +1,52 @@
+// protocols/dolev.hpp — Dolev's disjoint-path protocol [2], the historic
+// baseline for RMT under a *global* threshold adversary.
+//
+// The dealer floods (x_D, {D}); relays apply the trail-stamped rule; the
+// receiver decides on x once t+1 pairwise internally-node-disjoint
+// delivered trails carry x:
+//   * sound for any corruption of ≤ t nodes — one of t+1 disjoint trails
+//     is all-honest, and an all-honest trail carries x_D (the tail check
+//     forces every forged trail to name a corrupted node);
+//   * complete when D and R are (2t+1)-connected (Dolev's classic bound):
+//     the 2t+1 disjoint honest paths are all delivered and already contain
+//     t+1 pairwise disjoint x_D-trails.
+//
+// The paper's general model subsumes this setting: a global-t structure's
+// two-cover condition is exactly (2t+1)-connectivity (experiment F3a), so
+// Dolev ≈ PPA specialized — we keep it as an independent implementation
+// and cross-check the two in tests and experiment T4.
+//
+// The receiver-side search for t+1 disjoint trails is a set-packing
+// problem; we run greedy packing first and fall back to bounded exhaustive
+// search (budgeted: overruns abstain, never guess).
+#pragma once
+
+#include "protocols/protocol.hpp"
+
+namespace rmt::protocols {
+
+class Dolev final : public Protocol {
+ public:
+  /// `t`: the global corruption bound the receiver defends against.
+  /// `max_trails`: per-value cap on trails considered by the packing
+  /// search (newest trails beyond the cap are dropped — abstain bias).
+  explicit Dolev(std::size_t t, std::size_t max_trails = 64);
+
+  std::string name() const override;
+  std::unique_ptr<sim::ProtocolNode> make_node(const LocalKnowledge& lk,
+                                               const PublicInfo& pub) const override;
+
+  std::size_t threshold() const { return t_; }
+
+ private:
+  std::size_t t_;
+  std::size_t max_trails_;
+};
+
+/// Exposed for unit tests: true iff `trails` contains `count` pairwise
+/// internally-disjoint paths (endpoints shared by construction). Greedy
+/// then bounded exhaustive; `budget` caps explored subsets.
+bool has_disjoint_trails(const std::vector<Path>& trails, std::size_t count,
+                         std::size_t budget = 1u << 16);
+
+}  // namespace rmt::protocols

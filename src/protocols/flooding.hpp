@@ -1,0 +1,61 @@
+// protocols/flooding.hpp — the trail-stamped relay rule shared by the
+// path-propagation protocols (PPA and RMT-PKA type-1/type-2 handling).
+//
+// Protocol 1's relay rule, verbatim: upon reception of (a, p) from node u,
+//   if (v ∈ p) ∨ (tail(p) ≠ u) then discard, else send (a, p‖v) to all
+//   neighbours.
+// The tail check is the linchpin of safety (footnote 1): because channels
+// are authenticated, a message whose trail does not end at its true sender
+// is dropped by the first honest hop — hence any trail that survives to
+// the receiver and is not entirely honest must *name* a corrupted node.
+//
+// Duplicate suppression is an implementation addition the paper's model
+// makes implicitly (each honest node sends each message once); we enforce
+// it against adversarial replays via exact payload serialization.
+#pragma once
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/message.hpp"
+
+namespace rmt::protocols {
+
+class TrailRelay {
+ public:
+  explicit TrailRelay(NodeId self) : self_(self) {}
+
+  /// Returns true iff the trail is well-formed for a message received by
+  /// `self_` from `from`: non-empty, ends at `from`, does not contain self.
+  bool admissible(const Path& trail, NodeId from) const {
+    if (trail.empty() || trail.back() != from) return false;
+    for (NodeId v : trail)
+      if (v == self_) return false;
+    return true;
+  }
+
+  /// Process one incoming trailed message; if admissible and not a replay,
+  /// emit relayed copies (trail extended by self) to every neighbor.
+  template <typename PayloadT>
+  void relay(const sim::Message& m, const PayloadT& body, const NodeSet& neighbors,
+             std::vector<sim::Message>& out) {
+    if (!admissible(body.trail, m.from)) return;
+    if (!seen_.insert(sim::payload_serialize(m.payload)).second) return;
+    PayloadT next = body;
+    next.trail.push_back(self_);
+    neighbors.for_each([&](NodeId u) {
+      sim::Message copy;
+      copy.from = self_;
+      copy.to = u;
+      copy.payload = next;
+      out.push_back(std::move(copy));
+    });
+  }
+
+ private:
+  NodeId self_;
+  std::unordered_set<std::string> seen_;
+};
+
+}  // namespace rmt::protocols

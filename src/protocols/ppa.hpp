@@ -1,0 +1,41 @@
+// protocols/ppa.hpp — the Path Propagation Algorithm, the classic
+// full-knowledge RMT baseline ([13]; decision rule in the spirit of
+// Kumar et al. [9]).
+//
+// Dealer floods (x_D, {D}); intermediate nodes apply the trail-stamped
+// relay rule; the receiver — who under full knowledge holds G and Z —
+// decides on x as soon as some admissible Z ∈ Z explains away all dissent:
+//
+//   decide x  ⇔  ∃Z ∈ Z:  every simple D–R path of G avoiding Z has
+//                delivered exactly x (and at least one such path exists).
+//
+// On instances with no two-cover cut (feasibility.hpp) this is safe and
+// resilient: taking Z ⊇ T (the real corruption) shows completeness by
+// round |V|, and two values with witnesses Z_x, Z_y would make Z_x ∪ T a
+// D–R cut. On *infeasible* instances PPA may decide wrongly — unlike
+// RMT-PKA, which is safe everywhere (Thm 4); experiment T1/T4 exhibits
+// the contrast.
+//
+// PPA only reads knowledge through γ — instantiate it on full-knowledge
+// instances (γ(v) = G), where lk.view *is* G and lk.local_z *is* Z.
+#pragma once
+
+#include "protocols/protocol.hpp"
+
+namespace rmt::protocols {
+
+class Ppa final : public Protocol {
+ public:
+  /// `max_paths`: budget for the receiver's per-decision path enumeration;
+  /// exceeding it makes the receiver abstain that round (safe direction).
+  explicit Ppa(std::size_t max_paths = 4096);
+
+  std::string name() const override { return "PPA"; }
+  std::unique_ptr<sim::ProtocolNode> make_node(const LocalKnowledge& lk,
+                                               const PublicInfo& pub) const override;
+
+ private:
+  std::size_t max_paths_;
+};
+
+}  // namespace rmt::protocols

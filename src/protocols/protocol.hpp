@@ -1,0 +1,50 @@
+// protocols/protocol.hpp — the protocol abstraction driven by the runner.
+//
+// A Protocol is a factory: given one player's *initial knowledge only*
+// (LocalKnowledge: γ(v) and Z_v — never the global instance) plus the
+// public parameters every player holds (the dealer's and receiver's
+// labels, §3: "we assume that the dealer knows the id of player R"), it
+// builds that player's round machine. Keeping the constructor signature
+// down to (LocalKnowledge, PublicInfo) is what makes the partial-knowledge
+// discipline checkable: a protocol cannot cheat and peek at G or Z because
+// they are simply not reachable from its inputs.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "instance/instance.hpp"
+#include "sim/network.hpp"
+
+namespace rmt::protocols {
+
+using sim::Value;
+
+/// Parameters known to every player before the protocol starts.
+struct PublicInfo {
+  NodeId dealer = 0;
+  NodeId receiver = 0;
+  /// Set only when constructing the dealer's own node: x_D.
+  std::optional<Value> dealer_value;
+};
+
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Build the round machine for the player lk.self.
+  virtual std::unique_ptr<sim::ProtocolNode> make_node(const LocalKnowledge& lk,
+                                                       const PublicInfo& pub) const = 0;
+
+  /// Rounds after which the runner gives up. Every protocol here decides
+  /// by round |V(G)| when it decides at all (Thm 5 proof; Z-CPA round
+  /// complexity argument in Thm 9's proof).
+  virtual std::size_t default_max_rounds(const Instance& inst) const {
+    return inst.num_players() + 1;
+  }
+};
+
+}  // namespace rmt::protocols

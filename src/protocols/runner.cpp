@@ -1,0 +1,77 @@
+#include "protocols/runner.hpp"
+
+#include "util/check.hpp"
+
+namespace rmt::protocols {
+
+namespace {
+
+std::vector<std::unique_ptr<sim::ProtocolNode>> build_nodes(const Instance& inst,
+                                                            const Protocol& proto,
+                                                            Value dealer_value,
+                                                            const NodeSet& corruption,
+                                                            NodeId receiver_label) {
+  std::vector<std::unique_ptr<sim::ProtocolNode>> nodes(inst.graph().capacity());
+  inst.graph().nodes().for_each([&](NodeId v) {
+    if (corruption.contains(v)) return;
+    PublicInfo pub;
+    pub.dealer = inst.dealer();
+    pub.receiver = receiver_label;
+    if (v == inst.dealer()) pub.dealer_value = dealer_value;
+    nodes[v] = proto.make_node(inst.knowledge_of(v), pub);
+  });
+  return nodes;
+}
+
+}  // namespace
+
+Outcome run_rmt(const Instance& inst, const Protocol& proto, Value dealer_value,
+                const NodeSet& corruption, sim::AdversaryStrategy* strategy,
+                std::size_t max_rounds, sim::NetworkObserver* observer) {
+  RMT_REQUIRE(inst.admissible_corruption(corruption),
+              "run_rmt: corruption set not admissible under Z");
+  if (max_rounds == 0) max_rounds = proto.default_max_rounds(inst);
+
+  sim::Network net(inst, build_nodes(inst, proto, dealer_value, corruption, inst.receiver()),
+                   corruption, strategy, dealer_value);
+  net.set_observer(observer);
+  Outcome out;
+  out.decision = net.run(max_rounds);
+  out.correct = out.decision.has_value() && *out.decision == dealer_value;
+  out.wrong = out.decision.has_value() && *out.decision != dealer_value;
+  out.stats = net.stats();
+  return out;
+}
+
+BroadcastOutcome run_broadcast(const Instance& inst, const Protocol& proto, Value dealer_value,
+                               const NodeSet& corruption, sim::AdversaryStrategy* strategy,
+                               std::size_t max_rounds) {
+  RMT_REQUIRE(inst.admissible_corruption(corruption),
+              "run_broadcast: corruption set not admissible under Z");
+  if (max_rounds == 0) max_rounds = proto.default_max_rounds(inst);
+
+  // Broadcast semantics ([13]'s Z-CPA): there is no designated receiver —
+  // every player relays on decision. Label the receiver with a sentinel id
+  // that matches no node, so no player takes the output-and-stop role.
+  const NodeId no_receiver = NodeId(inst.graph().capacity());
+  sim::Network net(inst, build_nodes(inst, proto, dealer_value, corruption, no_receiver),
+                   corruption, strategy, dealer_value);
+  for (std::size_t i = 0; i < max_rounds + 1; ++i) net.step();
+
+  BroadcastOutcome out;
+  out.decisions.assign(inst.graph().capacity(), std::nullopt);
+  inst.graph().nodes().for_each([&](NodeId v) {
+    if (corruption.contains(v)) return;
+    ++out.honest_total;
+    const auto d = net.node(v).decision();
+    out.decisions[v] = d;
+    if (d) {
+      ++out.honest_decided;
+      (*d == dealer_value) ? void(++out.honest_correct) : void(++out.honest_wrong);
+    }
+  });
+  out.stats = net.stats();
+  return out;
+}
+
+}  // namespace rmt::protocols

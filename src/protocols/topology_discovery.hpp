@@ -1,0 +1,68 @@
+// protocols/topology_discovery.hpp — Byzantine-resilient topology
+// discovery: the paper's §6 outlook, built.
+//
+// "Although topology discovery was not our motive, techniques used here
+// (e.g. the ⊕ operation) may be applicable to that problem under a
+// Byzantine adversary ([12],[4])." This module takes that suggestion
+// literally: nodes flood their initial knowledge exactly like RMT-PKA's
+// type-2 messages, and every node distills a *certified* map from the
+// claims it collects.
+//
+// Certification rule (the both-endpoints principle): a collected claim
+// "edge {a, b} exists" is certified by node v iff
+//   * it lies inside v's own view γ(v) (ground truth), or
+//   * *both* endpoints' self-reports contain the edge, with consistent
+//     single versions for a and b among v's collected reports.
+// Guarantees, tested operationally:
+//   * soundness for reachable honest pairs — a fabricated edge touching an
+//     honest node whose true self-report reaches v is never certified:
+//     the true report, which omits the edge, conflicts with any forgery
+//     about that node, and conflicted subjects certify nothing;
+//   * completeness — every edge whose two (honest) endpoints are
+//     reachable from v without crossing the corruption set is certified
+//     by round |V|;
+//   * attribution — a certified-but-fake edge can only connect nodes that
+//     are corrupted, fictitious, or cut off from v by the corruption set:
+//     fake regions never attach through a reachable honest node. This is
+//     the discovery analogue of the trail-tail invariant, and the honest
+//     best possible (a fully cut-off region is information-theoretically
+//     forgeable — the same indistinguishability as in Thms 3/8).
+#pragma once
+
+#include "protocols/protocol.hpp"
+
+namespace rmt::protocols {
+
+/// What one node distilled by the end of a discovery run.
+struct DiscoveryReport {
+  Graph certified;          ///< the certified map (nodes + edges)
+  NodeSet conflicted;       ///< subjects with contradictory versions (liars at work)
+  std::size_t claims_seen = 0;  ///< distinct (subject, version) reports collected
+};
+
+/// The discovery protocol: type-2 flooding + per-node certification. It is
+/// not an RMT protocol (there is no value to decide) — decision() always
+/// reports ⊥ and runs are driven for a fixed number of rounds via
+/// run_broadcast or Network::step; reports are read back with
+/// TopologyDiscovery::report_of.
+class TopologyDiscovery final : public Protocol {
+ public:
+  TopologyDiscovery() = default;
+
+  std::string name() const override { return "TopologyDiscovery"; }
+  std::unique_ptr<sim::ProtocolNode> make_node(const LocalKnowledge& lk,
+                                               const PublicInfo& pub) const override;
+
+  /// Extract the report from a node created by this protocol. Requires the
+  /// node to actually be a discovery node (checked).
+  static DiscoveryReport report_of(const sim::ProtocolNode& node);
+};
+
+/// Convenience driver: run discovery on `inst` for |V|+1 rounds with the
+/// given corruption/strategy and return every honest node's report
+/// (indexed by node id; corrupted slots are empty reports).
+std::vector<DiscoveryReport> run_topology_discovery(const Instance& inst,
+                                                    const NodeSet& corruption,
+                                                    sim::AdversaryStrategy* strategy = nullptr);
+
+}  // namespace rmt::protocols

@@ -1,0 +1,98 @@
+#include "protocols/zcpa.hpp"
+
+#include <map>
+
+#include "util/check.hpp"
+
+namespace rmt::protocols {
+
+namespace {
+
+using sim::Message;
+using sim::ValuePayload;
+
+class ZcpaNode final : public sim::ProtocolNode {
+ public:
+  ZcpaNode(const LocalKnowledge& lk, const PublicInfo& pub,
+           std::unique_ptr<reduction::MembershipOracle> oracle)
+      : self_(lk.self), pub_(pub), neighbors_(lk.view.neighbors(lk.self)),
+        oracle_(std::move(oracle)) {}
+
+  std::vector<Message> on_start() override {
+    if (self_ != pub_.dealer) return {};
+    // Dealer: send x_D to all neighbors and terminate.
+    RMT_CHECK(pub_.dealer_value.has_value(), "dealer node without a value");
+    decision_ = *pub_.dealer_value;
+    terminated_ = true;
+    return broadcast(*pub_.dealer_value);
+  }
+
+  std::vector<Message> on_round(std::size_t, const std::vector<Message>& inbox) override {
+    if (terminated_) return {};
+
+    for (const Message& m : inbox) {
+      const auto* v = std::get_if<ValuePayload>(&m.payload);
+      if (!v) continue;  // erroneous dialect for this protocol — discard
+      if (m.from == pub_.dealer) {
+        // Rule 1: the channel is authenticated, the dealer honest.
+        decision_ = v->x;
+        break;
+      }
+      // Record the first value per neighbor; an honest neighbor sends
+      // exactly once, so later conflicting copies are adversarial noise.
+      first_value_.emplace(m.from, v->x);
+    }
+
+    // Rule 2: some value backed by a neighbor set outside Z_v?
+    if (!decision_) {
+      std::map<sim::Value, NodeSet> backers;
+      for (const auto& [u, x] : first_value_) backers[x].insert(u);
+      for (const auto& [x, n] : backers) {
+        if (!oracle_->member(n)) {
+          decision_ = x;
+          break;
+        }
+      }
+    }
+
+    // Rule 3: relay on decision (receiver only outputs).
+    if (decision_) {
+      terminated_ = true;
+      if (self_ != pub_.receiver) return broadcast(*decision_);
+    }
+    return {};
+  }
+
+  std::optional<sim::Value> decision() const override { return decision_; }
+
+  const reduction::MembershipOracle& oracle() const { return *oracle_; }
+
+ private:
+  std::vector<Message> broadcast(sim::Value x) {
+    std::vector<Message> out;
+    neighbors_.for_each([&](NodeId u) { out.push_back({self_, u, ValuePayload{x}}); });
+    return out;
+  }
+
+  NodeId self_;
+  PublicInfo pub_;
+  NodeSet neighbors_;
+  std::unique_ptr<reduction::MembershipOracle> oracle_;
+  std::map<NodeId, sim::Value> first_value_;
+  std::optional<sim::Value> decision_;
+  bool terminated_ = false;
+};
+
+}  // namespace
+
+Zcpa::Zcpa() : Zcpa(reduction::explicit_oracle_factory()) {}
+
+Zcpa::Zcpa(reduction::OracleFactory oracle_factory, std::string variant_name)
+    : oracles_(std::move(oracle_factory)), name_(std::move(variant_name)) {}
+
+std::unique_ptr<sim::ProtocolNode> Zcpa::make_node(const LocalKnowledge& lk,
+                                                   const PublicInfo& pub) const {
+  return std::make_unique<ZcpaNode>(lk, pub, oracles_(lk));
+}
+
+}  // namespace rmt::protocols

@@ -1,0 +1,40 @@
+// protocols/zcpa.hpp — Z-CPA, the Certified Propagation Algorithm for
+// general adversaries ([13], adapted for RMT in §4.1 of the paper).
+//
+//   1. If v ∈ N(D): upon reception of x_D from the dealer, decide x_D.
+//   2. Else: upon receiving the same value x from all neighbors in a set
+//      N ⊆ N(v) with N ∉ Z_v, decide x.
+//   3. On decision: the receiver outputs and terminates; any other player
+//      sends x to all neighbors once and terminates.
+//
+// Z-CPA is safe (an honest player never decides wrong: a deciding set N
+// outside Z_v cannot be all-corrupted) and unique for the ad hoc model
+// (Thms 7 + 8): it succeeds exactly when no RMT Z-pp cut exists.
+//
+// It is implemented as a protocol *scheme* (§5): the rule-2 membership
+// check is delegated to a MembershipOracle. Plugging an ExplicitOracle
+// gives the textbook protocol; a ThresholdOracle gives CPA; Theorem 9's
+// SimulationOracle gives the self-reduction.
+#pragma once
+
+#include "protocols/protocol.hpp"
+#include "reduction/membership_oracle.hpp"
+
+namespace rmt::protocols {
+
+class Zcpa final : public Protocol {
+ public:
+  /// Default: explicit antichain membership on each node's Z_v.
+  Zcpa();
+  explicit Zcpa(reduction::OracleFactory oracle_factory, std::string variant_name = "Z-CPA");
+
+  std::string name() const override { return name_; }
+  std::unique_ptr<sim::ProtocolNode> make_node(const LocalKnowledge& lk,
+                                               const PublicInfo& pub) const override;
+
+ private:
+  reduction::OracleFactory oracles_;
+  std::string name_;
+};
+
+}  // namespace rmt::protocols

@@ -1,0 +1,57 @@
+#include "reduction/basic_instance.hpp"
+
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "util/check.hpp"
+
+namespace rmt::reduction {
+
+bool basic_instance_solvable(const AdversaryStructure& z, const NodeSet& middle) {
+  RMT_REQUIRE(!middle.empty(), "basic_instance_solvable: empty middle set");
+  const AdversaryStructure zr = z.restricted_to(middle);
+  for (const NodeSet& m1 : zr.maximal_sets())
+    for (const NodeSet& m2 : zr.maximal_sets())
+      if (middle.is_subset_of(m1 | m2)) return false;
+  // The empty family cannot cover anything; a non-empty middle is then
+  // trivially uncoverable, matching "no cut can be charged to Z".
+  return true;
+}
+
+BasicInstance make_basic_instance(const AdversaryStructure& z_on_middle, const NodeSet& middle) {
+  RMT_REQUIRE(!middle.empty(), "make_basic_instance: empty middle set");
+  const std::vector<NodeId> original = middle.to_vector();
+  Graph g = generators::basic_instance_graph(original.size());
+
+  std::map<NodeId, NodeId> relabel;
+  for (std::size_t i = 0; i < original.size(); ++i) relabel[original[i]] = NodeId(i + 1);
+
+  // Re-label the structure onto the star's middle ids.
+  std::vector<NodeSet> sets;
+  const AdversaryStructure z_restricted = z_on_middle.restricted_to(middle);
+  for (const NodeSet& m : z_restricted.maximal_sets()) {
+    NodeSet s;
+    m.for_each([&](NodeId v) { s.insert(relabel.at(v)); });
+    sets.push_back(std::move(s));
+  }
+  AdversaryStructure z = AdversaryStructure::from_sets(sets);
+  if (!z.contains(NodeSet{})) z.add(NodeSet{});
+
+  const NodeId receiver = NodeId(original.size() + 1);
+  NodeSet star_middle;
+  for (std::size_t i = 1; i <= original.size(); ++i) star_middle.insert(NodeId(i));
+  return BasicInstance{Instance::ad_hoc(std::move(g), std::move(z), 0, receiver), star_middle,
+                       std::move(relabel)};
+}
+
+std::optional<Value> ZcpaBasicProtocol::decide(const NodeSet& middle,
+                                               const std::map<NodeId, Value>& reported) {
+  std::map<Value, NodeSet> backers;
+  for (const auto& [u, x] : reported)
+    if (middle.contains(u)) backers[x].insert(u);
+  for (const auto& [x, n] : backers)
+    if (!z_.contains(n)) return x;
+  return std::nullopt;
+}
+
+}  // namespace rmt::reduction

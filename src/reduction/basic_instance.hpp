@@ -1,0 +1,70 @@
+// reduction/basic_instance.hpp — the family G' of basic instances (§5.1,
+// Figure 1).
+//
+// A basic instance has dealer D', receiver R', a "middle set" A(G'), and
+// only the edges D'–a and a–R' for a ∈ A(G'). These are the instances the
+// RMT self-reduction decomposes every graph into: the middle sets appear
+// as (partial) neighborhoods of nodes of the original instance, and the
+// structure is the node's local Z_v.
+//
+// On a star, feasibility collapses to a crisp combinatorial fact, proved
+// here and exploited everywhere in §5: the only D'–R' cut is the whole
+// middle set, so an RMT Z-pp cut exists iff A(G') = Z₁ ∪ Z₂ for
+// admissible Z₁, Z₂ — i.e. the instance is solvable iff *no two
+// admissible sets cover the middle* (the classic Q² condition localized).
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "instance/instance.hpp"
+#include "sim/message.hpp"
+
+namespace rmt::reduction {
+
+using sim::Value;
+
+/// Solvability of the basic instance with middle `middle` and structure
+/// `z` (restricted to the middle): no two admissible sets cover the middle.
+bool basic_instance_solvable(const AdversaryStructure& z, const NodeSet& middle);
+
+/// Materialize the G' member as a full Instance (D' = 0, middle = 1..m,
+/// R' = m+1; `z_on_middle`'s sets are re-labelled onto 1..m in ascending
+/// order of the original ids). Useful for running real protocol
+/// executions on the family (experiment F1).
+struct BasicInstance {
+  Instance instance;
+  NodeSet middle;
+  /// original middle id → star node id
+  std::map<NodeId, NodeId> relabel;
+};
+BasicInstance make_basic_instance(const AdversaryStructure& z_on_middle, const NodeSet& middle);
+
+/// Π — an RMT protocol for the family G', abstracted to the receiver's
+/// decision function. On a star the receiver's entire view of a run is
+/// "which middle node delivered which value" (middle nodes have no other
+/// honest paths), so this interface captures any deterministic Π.
+class BasicInstanceProtocol {
+ public:
+  virtual ~BasicInstanceProtocol() = default;
+
+  /// `reported`: middle node → the (single) value it delivered to the
+  /// receiver; absent = silent. Returns the receiver's decision.
+  virtual std::optional<Value> decide(const NodeSet& middle,
+                                      const std::map<NodeId, Value>& reported) = 0;
+};
+
+/// The reference Π: Z-CPA's certification on the star — decide x iff the
+/// set of x-backers is not admissible. Safe always; resilient exactly on
+/// solvable basic instances.
+class ZcpaBasicProtocol final : public BasicInstanceProtocol {
+ public:
+  explicit ZcpaBasicProtocol(AdversaryStructure z) : z_(std::move(z)) {}
+  std::optional<Value> decide(const NodeSet& middle,
+                              const std::map<NodeId, Value>& reported) override;
+
+ private:
+  AdversaryStructure z_;
+};
+
+}  // namespace rmt::reduction

@@ -1,0 +1,17 @@
+#include "reduction/membership_oracle.hpp"
+
+namespace rmt::reduction {
+
+OracleFactory explicit_oracle_factory() {
+  return [](const LocalKnowledge& lk) -> std::unique_ptr<MembershipOracle> {
+    return std::make_unique<ExplicitOracle>(lk.local_z);
+  };
+}
+
+OracleFactory threshold_oracle_factory(std::size_t t) {
+  return [t](const LocalKnowledge&) -> std::unique_ptr<MembershipOracle> {
+    return std::make_unique<ThresholdOracle>(t);
+  };
+}
+
+}  // namespace rmt::reduction

@@ -1,0 +1,82 @@
+// reduction/membership_oracle.hpp — the membership-check subroutine of the
+// Z-CPA protocol *scheme* (§5, Definition 8).
+//
+// Z-CPA's rule 2 asks "is N ∉ Z_v?" but deliberately leaves *how* that is
+// computed unspecified — Z-CPA is a protocol scheme, parameterized by any
+// algorithm B answering the check; each B induces the concrete protocol
+// Z-CPA_B. This header is that parameterization point. Implementations:
+//   * ExplicitOracle    — walks an explicit antichain (poly in |Z|, which
+//                         may itself be exponential in |G|);
+//   * ThresholdOracle   — |N| <= t (the global/local threshold models,
+//                         poly in |G|: this is why CPA is fully polynomial);
+//   * SimulationOracle  — (self_reduction.hpp) answers by simulating an
+//                         RMT protocol Π on basic instances per Theorem 9,
+//                         the self-reduction that makes Z-CPA poly-time
+//                         unique.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "knowledge/local_knowledge.hpp"
+
+namespace rmt::reduction {
+
+class MembershipOracle {
+ public:
+  virtual ~MembershipOracle() = default;
+
+  /// Is `n` an admissible corruption set of this node's local structure
+  /// (n ∈ Z_v)? Z-CPA decides on x exactly when member(N_x) is false.
+  virtual bool member(const NodeSet& n) = 0;
+
+  /// Accounting: number of membership queries answered so far.
+  std::size_t queries() const { return queries_; }
+
+  virtual std::string name() const = 0;
+
+ protected:
+  std::size_t queries_ = 0;
+};
+
+/// Direct antichain lookup on the node's explicit Z_v.
+class ExplicitOracle final : public MembershipOracle {
+ public:
+  explicit ExplicitOracle(AdversaryStructure local_z) : z_(std::move(local_z)) {}
+  bool member(const NodeSet& n) override {
+    ++queries_;
+    return z_.contains(n);
+  }
+  std::string name() const override { return "explicit"; }
+
+ private:
+  AdversaryStructure z_;
+};
+
+/// Global/local threshold check: member iff |n| <= t. Never touches an
+/// explicit structure — constant work per query.
+class ThresholdOracle final : public MembershipOracle {
+ public:
+  explicit ThresholdOracle(std::size_t t) : t_(t) {}
+  bool member(const NodeSet& n) override {
+    ++queries_;
+    return n.size() <= t_;
+  }
+  std::string name() const override { return "threshold(t=" + std::to_string(t_) + ")"; }
+
+ private:
+  std::size_t t_;
+};
+
+/// How a protocol node obtains its oracle from its initial knowledge.
+using OracleFactory =
+    std::function<std::unique_ptr<MembershipOracle>(const LocalKnowledge&)>;
+
+/// The default: an ExplicitOracle over the node's Z_v.
+OracleFactory explicit_oracle_factory();
+
+/// Threshold oracles with a fixed t for every node.
+OracleFactory threshold_oracle_factory(std::size_t t);
+
+}  // namespace rmt::reduction

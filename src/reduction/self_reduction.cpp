@@ -1,0 +1,34 @@
+#include "reduction/self_reduction.hpp"
+
+#include "util/check.hpp"
+
+namespace rmt::reduction {
+
+SimulationOracle::SimulationOracle(NodeSet neighborhood,
+                                   std::unique_ptr<BasicInstanceProtocol> pi)
+    : neighborhood_(std::move(neighborhood)), pi_(std::move(pi)) {
+  RMT_REQUIRE(pi_ != nullptr, "SimulationOracle: null protocol");
+}
+
+bool SimulationOracle::member(const NodeSet& n) {
+  ++queries_;
+  RMT_REQUIRE(n.is_subset_of(neighborhood_), "SimulationOracle: query outside the neighborhood");
+  // Simulate run e₀ᴺ: the receiver's view has N backing the dealer value 0
+  // and A∖N backing 1 (the corrupted players mirroring run e₁ᴺ).
+  ++simulations_;
+  std::map<NodeId, Value> reported;
+  neighborhood_.for_each([&](NodeId u) { reported[u] = n.contains(u) ? 0u : 1u; });
+  const std::optional<Value> d0 = pi_->decide(neighborhood_, reported);
+  // N ∉ Z_v ⇔ decision_{e₀}(v) = 0.
+  return !(d0.has_value() && *d0 == 0);
+}
+
+OracleFactory simulation_oracle_factory() {
+  return [](const LocalKnowledge& lk) -> std::unique_ptr<MembershipOracle> {
+    const NodeSet neighborhood = lk.view.neighbors(lk.self);
+    auto pi = std::make_unique<ZcpaBasicProtocol>(lk.local_z.restricted_to(neighborhood));
+    return std::make_unique<SimulationOracle>(neighborhood, std::move(pi));
+  };
+}
+
+}  // namespace rmt::reduction

@@ -1,0 +1,65 @@
+// reduction/self_reduction.hpp — Theorem 9's Decision Protocol: the RMT
+// self-reduction that makes Z-CPA poly-time unique (Cor. 10).
+//
+// Theorem 9: if some protocol Π solves RMT on the basic-instance family
+// I(G₁) in fully polynomial time, then Z-CPA, using Π as its membership
+// subroutine, solves RMT on G₁ in fully polynomial time. The crux is the
+// Decision Protocol: to answer "is the backer set N admissible (N ∈ Z_v)?"
+// player v *simulates* two coupled runs of Π on the star over its
+// neighborhood A:
+//
+//   e₀ᴺ: dealer value 0, corrupted set A∖N — the corrupted players replay
+//        what they send in e₁ᴺ (where they are honest relays of value 1);
+//   e₁ᴺ: dealer value 1, corrupted set N — symmetric.
+//
+// From the receiver's seat both runs produce the same view: the nodes of N
+// report 0, the nodes of A∖N report 1. The appendix-G equivalence
+//
+//   N ∉ Z_v  ⇔  decision_{e₀ᴺ}(v) = 0
+//
+// turns Π's output into the membership answer: if N ∉ Z_v then A∖N ∈ Z_v
+// is a legal corruption in e₀ᴺ and resilient Π must output the true dealer
+// value 0; conversely if N ∈ Z_v then e₁ᴺ is the legal run, Π must output
+// 1 there, and determinism forces the same (non-0) output on the identical
+// view.
+//
+// SimulationOracle packages this as a MembershipOracle, so the self-
+// reduction is literally "Z-CPA with a different oracle plugged in" — the
+// protocol-scheme composition of §5. One Π-simulation per query; Π runs on
+// a star of |N(v)| nodes, so a fully polynomial Π keeps Z-CPA fully
+// polynomial (the theorem's conclusion, measured by experiment T3).
+#pragma once
+
+#include <memory>
+
+#include "reduction/basic_instance.hpp"
+#include "reduction/membership_oracle.hpp"
+
+namespace rmt::reduction {
+
+class SimulationOracle final : public MembershipOracle {
+ public:
+  /// `neighborhood`: the middle set A of the simulated stars (the paper's
+  /// A; silent neighbors are modeled as adversarial dissenters, the worst
+  /// case). `pi`: the protocol whose runs are simulated.
+  SimulationOracle(NodeSet neighborhood, std::unique_ptr<BasicInstanceProtocol> pi);
+
+  bool member(const NodeSet& n) override;
+
+  std::string name() const override { return "simulation(Thm 9)"; }
+
+  /// Number of Π-runs simulated so far (one per query).
+  std::size_t simulations() const { return simulations_; }
+
+ private:
+  NodeSet neighborhood_;
+  std::unique_ptr<BasicInstanceProtocol> pi_;
+  std::size_t simulations_ = 0;
+};
+
+/// OracleFactory wiring the reference Π (Z-CPA on the star over the
+/// node's own Z_v) into SimulationOracle — the concrete composition that
+/// realizes Corollary 10 in code.
+OracleFactory simulation_oracle_factory();
+
+}  // namespace rmt::reduction

@@ -1,0 +1,125 @@
+#include "sim/adversary_search.hpp"
+
+#include <algorithm>
+
+#include "knowledge/local_knowledge.hpp"
+#include "util/check.hpp"
+
+namespace rmt::sim {
+
+PerNodeModeStrategy::PerNodeModeStrategy(std::map<NodeId, NodeMode> modes, Value lie_offset)
+    : modes_(std::move(modes)), offset_(lie_offset == 0 ? 1 : lie_offset) {}
+
+std::vector<Message> PerNodeModeStrategy::act(const AdversaryView& view) {
+  const Graph& g = view.instance.graph();
+  std::vector<Message> out;
+
+  auto mode_of = [&](NodeId c) {
+    const auto it = modes_.find(c);
+    return it == modes_.end() ? NodeMode::kSilent : it->second;
+  };
+
+  // Round 1: truthful knowledge publication for every non-silent node —
+  // both kTruth and kLie mirror the honest round-1 behavior exactly (the
+  // mirror construction lies about values, never about initial knowledge).
+  if (view.round == 1) {
+    view.corrupted.for_each([&](NodeId c) {
+      if (mode_of(c) == NodeMode::kSilent) return;
+      const LocalKnowledge lk = view.instance.knowledge_of(c);
+      g.neighbors(c).for_each([&](NodeId u) {
+        out.push_back({c, u, KnowledgePayload{c, lk.view, lk.local_z, Path{c}}});
+      });
+    });
+    return out;
+  }
+
+  for (const Message& m : view.corrupted_inbox) {
+    const NodeId c = m.to;
+    const NodeMode mode = mode_of(c);
+    if (mode == NodeMode::kSilent) continue;
+    const bool flip = mode == NodeMode::kLie;
+    struct Relay {
+      std::vector<Message>& out;
+      const Graph& g;
+      NodeId c;
+      NodeId from;
+      Value offset;
+      bool flip;
+      void operator()(const ValuePayload& v) const {
+        const Value x = flip ? v.x + offset : v.x;
+        g.neighbors(c).for_each([&](NodeId u) { out.push_back({c, u, ValuePayload{x}}); });
+      }
+      void operator()(const PathValuePayload& p) const {
+        if (std::find(p.trail.begin(), p.trail.end(), c) != p.trail.end()) return;
+        if (p.trail.empty() || p.trail.back() != from) return;
+        PathValuePayload next = p;
+        if (flip) next.x += offset;
+        next.trail.push_back(c);
+        g.neighbors(c).for_each([&](NodeId u) { out.push_back({c, u, next}); });
+      }
+      void operator()(const KnowledgePayload& k) const {
+        if (std::find(k.trail.begin(), k.trail.end(), c) != k.trail.end()) return;
+        if (k.trail.empty() || k.trail.back() != from) return;
+        KnowledgePayload next = k;
+        next.trail.push_back(c);
+        g.neighbors(c).for_each([&](NodeId u) { out.push_back({c, u, next}); });
+      }
+    };
+    std::visit(Relay{out, g, c, m.from, offset_, flip}, m.payload);
+  }
+  return out;
+}
+
+SearchResult search_behaviors(const Instance& inst, const protocols::Protocol& proto,
+                              Value dealer_value, const NodeSet& corruption) {
+  const std::vector<NodeId> nodes = corruption.to_vector();
+  RMT_REQUIRE(nodes.size() <= 8, "search_behaviors: corruption set too large to enumerate");
+  SearchResult result;
+  std::size_t combos = 1;
+  for (std::size_t i = 0; i < nodes.size(); ++i) combos *= 3;
+  for (std::size_t code = 0; code < combos; ++code) {
+    std::map<NodeId, NodeMode> modes;
+    std::size_t rest = code;
+    for (NodeId v : nodes) {
+      modes[v] = static_cast<NodeMode>(rest % 3);
+      rest /= 3;
+    }
+    PerNodeModeStrategy strategy(modes);
+    const protocols::Outcome out =
+        protocols::run_rmt(inst, proto, dealer_value, corruption, &strategy);
+    ++result.behaviors_tried;
+    if (out.wrong && !result.safety_violation)
+      result.safety_violation = BehaviorWitness{modes, out};
+    if (!out.decision && !result.liveness_block)
+      result.liveness_block = BehaviorWitness{modes, out};
+    if (result.safety_violation) break;  // the fatal witness; stop early
+  }
+  return result;
+}
+
+SearchResult search_all_corruptions(const Instance& inst, const protocols::Protocol& proto,
+                                    Value dealer_value) {
+  SearchResult total;
+  for (const NodeSet& t : inst.adversary().maximal_sets()) {
+    SearchResult r = search_behaviors(inst, proto, dealer_value, t);
+    total.behaviors_tried += r.behaviors_tried;
+    if (!total.safety_violation) total.safety_violation = std::move(r.safety_violation);
+    if (!total.liveness_block) total.liveness_block = std::move(r.liveness_block);
+    if (total.safety_violation) break;
+  }
+  return total;
+}
+
+std::string modes_to_string(const std::map<NodeId, NodeMode>& modes) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [v, mode] : modes) {
+    if (!first) out += ", ";
+    first = false;
+    out += std::to_string(v);
+    out += mode == NodeMode::kSilent ? ":silent" : (mode == NodeMode::kTruth ? ":truth" : ":lie");
+  }
+  return out + "}";
+}
+
+}  // namespace rmt::sim

@@ -1,0 +1,76 @@
+// sim/adversary_search.hpp — bounded adversary model checking.
+//
+// The fixed strategy suite (strategies.hpp) samples adversary behaviors;
+// this module *searches* a structured family of them: each corrupted node
+// independently plays one of
+//   kSilent — omit everything,
+//   kTruth  — behave exactly like an honest node (relay faithfully),
+//   kLie    — honest relay shape with every value flipped (the per-node
+//             slice of the Thm-3/8 mirror construction).
+// That is 3^|T| joint behaviors per corruption set — small enough to
+// enumerate exhaustively on test-sized instances, and expressive enough to
+// contain the lower-bound attacks (all-kLie = TwoFaced, all-kSilent =
+// Silent, mixtures cover split-brain behaviors none of the fixed
+// strategies produce).
+//
+// search_for_violation runs a protocol against every behavior in the
+// family and reports the first safety violation (receiver decided wrong)
+// or, optionally, the first liveness block (receiver abstained). Safe
+// protocols must never yield a safety witness; on instances with an
+// RMT-cut, a blocking witness is expected to exist.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "protocols/protocol.hpp"
+#include "protocols/runner.hpp"
+#include "sim/network.hpp"
+
+namespace rmt::sim {
+
+enum class NodeMode : std::uint8_t { kSilent, kTruth, kLie };
+
+/// The joint behavior: every corrupted node plays its assigned mode.
+/// kTruth/kLie nodes publish their true type-2 knowledge in round 1 and
+/// apply the honest relay rules afterwards (kLie flipping every value).
+class PerNodeModeStrategy final : public AdversaryStrategy {
+ public:
+  explicit PerNodeModeStrategy(std::map<NodeId, NodeMode> modes, Value lie_offset = 1);
+  std::vector<Message> act(const AdversaryView& view) override;
+
+ private:
+  std::map<NodeId, NodeMode> modes_;
+  Value offset_;
+};
+
+/// One found counterexample.
+struct BehaviorWitness {
+  std::map<NodeId, NodeMode> modes;
+  protocols::Outcome outcome;
+};
+
+struct SearchResult {
+  std::size_t behaviors_tried = 0;
+  /// Receiver decided ≠ x_D under this behavior (must stay empty for safe
+  /// protocols — this is the model-checked form of Theorem 4).
+  std::optional<BehaviorWitness> safety_violation;
+  /// Receiver abstained under this behavior (exists on unsolvable
+  /// instances; on solvable ones a unique protocol leaves it empty).
+  std::optional<BehaviorWitness> liveness_block;
+};
+
+/// Exhaustively try every mode assignment for `corruption` (3^|T| runs).
+/// Requires |corruption| <= 8.
+SearchResult search_behaviors(const Instance& inst, const protocols::Protocol& proto,
+                              Value dealer_value, const NodeSet& corruption);
+
+/// Convenience: search over every maximal admissible corruption set;
+/// stops at the first safety violation. The liveness_block field reports
+/// the first block found across all sets.
+SearchResult search_all_corruptions(const Instance& inst, const protocols::Protocol& proto,
+                                    Value dealer_value);
+
+std::string modes_to_string(const std::map<NodeId, NodeMode>& modes);
+
+}  // namespace rmt::sim

@@ -1,0 +1,97 @@
+#include "sim/message.hpp"
+
+namespace rmt::sim {
+
+std::size_t payload_bytes(const Payload& p) {
+  struct Sizer {
+    std::size_t operator()(const ValuePayload&) const { return sizeof(Value); }
+    std::size_t operator()(const PathValuePayload& m) const {
+      return sizeof(Value) + m.trail.size() * sizeof(NodeId);
+    }
+    std::size_t operator()(const KnowledgePayload& m) const {
+      std::size_t bytes = sizeof(NodeId) + m.trail.size() * sizeof(NodeId);
+      bytes += m.view.num_nodes() * sizeof(NodeId) + m.view.num_edges() * 2 * sizeof(NodeId);
+      for (const NodeSet& s : m.local_z.maximal_sets())
+        bytes += (s.size() + 1) * sizeof(NodeId);
+      return bytes;
+    }
+  };
+  return std::visit(Sizer{}, p);
+}
+
+namespace {
+
+void append_u32(std::string& s, std::uint64_t v) {
+  s += std::to_string(v);
+  s += ',';
+}
+
+void append_path(std::string& s, const Path& p) {
+  s += 'p';
+  for (NodeId v : p) append_u32(s, v);
+  s += ';';
+}
+
+void append_graph(std::string& s, const Graph& g) {
+  s += 'g';
+  g.nodes().for_each([&](NodeId v) { append_u32(s, v); });
+  s += '|';
+  for (const Edge& e : g.edges()) {
+    append_u32(s, e.a);
+    append_u32(s, e.b);
+  }
+  s += ';';
+}
+
+void append_structure(std::string& s, const AdversaryStructure& z) {
+  s += 'z';
+  for (const NodeSet& m : z.maximal_sets()) {
+    m.for_each([&](NodeId v) { append_u32(s, v); });
+    s += '|';
+  }
+  s += ';';
+}
+
+}  // namespace
+
+std::string payload_serialize(const Payload& p) {
+  struct Ser {
+    std::string operator()(const ValuePayload& m) const {
+      std::string s = "V";
+      append_u32(s, m.x);
+      return s;
+    }
+    std::string operator()(const PathValuePayload& m) const {
+      std::string s = "1";
+      append_u32(s, m.x);
+      append_path(s, m.trail);
+      return s;
+    }
+    std::string operator()(const KnowledgePayload& m) const {
+      std::string s = "2";
+      append_u32(s, m.subject);
+      append_graph(s, m.view);
+      append_structure(s, m.local_z);
+      append_path(s, m.trail);
+      return s;
+    }
+  };
+  return std::visit(Ser{}, p);
+}
+
+std::string payload_to_string(const Payload& p) {
+  struct Printer {
+    std::string operator()(const ValuePayload& m) const {
+      return "value(" + std::to_string(m.x) + ")";
+    }
+    std::string operator()(const PathValuePayload& m) const {
+      return "type1(x=" + std::to_string(m.x) + ", p=" + path_to_string(m.trail) + ")";
+    }
+    std::string operator()(const KnowledgePayload& m) const {
+      return "type2(u=" + std::to_string(m.subject) + ", p=" + path_to_string(m.trail) + ")";
+    }
+  };
+  return std::visit(Printer{}, p);
+}
+
+}  // namespace rmt::sim

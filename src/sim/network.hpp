@@ -1,0 +1,117 @@
+// sim/network.hpp — the synchronous message-passing substrate.
+//
+// The model of §1.3: rounds proceed in lockstep; in each round every player
+// sends messages over its incident authenticated channels based on what it
+// received in earlier rounds. Corrupted players are driven by an
+// AdversaryStrategy with *full information* (it sees the honest traffic of
+// the current round before choosing its own — a rushing adversary — plus
+// the dealer's value), the worst case an unbounded Byzantine adversary
+// permits in this synchronous setting.
+//
+// The network enforces the model's physical constraints and nothing else:
+//   * only corrupted nodes are driven by the strategy;
+//   * a message travels only over an existing channel of its true sender
+//     (authenticated channels — sender identity cannot be forged);
+// everything above that layer (trail forgery, fictitious topology, lies
+// about Z_v) is adversary content the protocols must survive.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "instance/instance.hpp"
+#include "sim/message.hpp"
+#include "util/rng.hpp"
+
+namespace rmt::sim {
+
+/// One honest player's protocol engine, driven round by round.
+class ProtocolNode {
+ public:
+  virtual ~ProtocolNode() = default;
+
+  /// Round 1 sends (the dealer injects its value here).
+  virtual std::vector<Message> on_start() = 0;
+
+  /// One synchronous round: everything delivered to this node this round,
+  /// in deterministic order; returns the sends for the next round.
+  virtual std::vector<Message> on_round(std::size_t round, const std::vector<Message>& inbox) = 0;
+
+  /// The node's decision, if it has made one (⊥ otherwise).
+  virtual std::optional<Value> decision() const = 0;
+};
+
+/// What the adversary observes each round before acting.
+struct AdversaryView {
+  const Instance& instance;
+  const NodeSet& corrupted;
+  Value dealer_value;  ///< worst case: the adversary knows x_D
+  std::size_t round;   ///< 1-based; round of the sends being produced
+  /// Messages delivered to corrupted nodes at the start of this round.
+  const std::vector<Message>& corrupted_inbox;
+  /// Honest sends of this round (rushing adversary sees them first).
+  const std::vector<Message>& honest_traffic;
+};
+
+/// Byzantine behavior for the whole corrupted set (a general adversary is
+/// one coordinated entity, not per-node code).
+class AdversaryStrategy {
+ public:
+  virtual ~AdversaryStrategy() = default;
+  virtual std::vector<Message> act(const AdversaryView& view) = 0;
+};
+
+class NetworkObserver;  // sim/trace.hpp
+
+/// Per-run accounting.
+struct NetworkStats {
+  std::size_t rounds = 0;
+  std::size_t honest_messages = 0;
+  std::size_t adversary_messages = 0;
+  std::size_t adversary_dropped = 0;  ///< strategy sends violating the channel model
+  std::size_t honest_payload_bytes = 0;
+};
+
+/// Drives one execution. Honest nodes are supplied from outside (built by a
+/// Protocol factory); corrupted node ids must form an admissible set.
+class Network {
+ public:
+  /// `nodes` is indexed by node id; entries for corrupted or absent ids
+  /// must be null, entries for honest ids non-null.
+  Network(const Instance& instance, std::vector<std::unique_ptr<ProtocolNode>> nodes,
+          NodeSet corrupted, AdversaryStrategy* strategy, Value dealer_value);
+
+  /// Run until the receiver decides or `max_rounds` rounds elapse.
+  /// Returns the receiver's decision state afterwards.
+  std::optional<Value> run(std::size_t max_rounds);
+
+  /// Run exactly one more round (for tests that inspect intermediate
+  /// state). Returns false once max rounds of use are exceeded by caller
+  /// logic — the network itself has no built-in limit here.
+  void step();
+
+  const NetworkStats& stats() const { return stats_; }
+  const ProtocolNode& node(NodeId v) const;
+
+  /// Attach a transcript observer (sim/trace.hpp). Not owned; may be null
+  /// to detach. Notified of every delivered message from the next round on.
+  void set_observer(NetworkObserver* observer) { observer_ = observer; }
+
+ private:
+  std::vector<Message> collect_honest_sends();
+  void route(std::vector<Message>&& honest, std::vector<Message>&& adversarial);
+
+  const Instance& instance_;
+  std::vector<std::unique_ptr<ProtocolNode>> nodes_;
+  NodeSet corrupted_;
+  AdversaryStrategy* strategy_;  // may be null: corrupted nodes stay silent
+  Value dealer_value_;
+  std::size_t round_ = 0;
+  std::vector<std::vector<Message>> inboxes_;  // per node id, next round's delivery
+  NetworkStats stats_;
+  NetworkObserver* observer_ = nullptr;
+  bool started_ = false;
+};
+
+}  // namespace rmt::sim

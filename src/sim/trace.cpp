@@ -1,0 +1,30 @@
+#include "sim/trace.hpp"
+
+namespace rmt::sim {
+
+namespace {
+
+std::string render_entry(const TraceRecorder::Entry& e) {
+  std::string line = "[r" + std::to_string(e.round) + "] " + std::to_string(e.message.from) +
+                     " -> " + std::to_string(e.message.to) + "  " +
+                     payload_to_string(e.message.payload);
+  if (e.adversarial) line += "   (adversarial)";
+  return line + "\n";
+}
+
+}  // namespace
+
+std::string TraceRecorder::render() const {
+  std::string out;
+  for (const Entry& e : entries_) out += render_entry(e);
+  return out;
+}
+
+std::string TraceRecorder::render_for(NodeId node) const {
+  std::string out;
+  for (const Entry& e : entries_)
+    if (e.message.to == node) out += render_entry(e);
+  return out;
+}
+
+}  // namespace rmt::sim

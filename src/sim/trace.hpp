@@ -1,0 +1,55 @@
+// sim/trace.hpp — execution transcripts.
+//
+// A TraceRecorder observes every delivery the Network makes and renders a
+// round-by-round textual transcript — the tool for debugging protocol
+// behavior and for teaching (the adversary_lab example can show *why* a
+// receiver abstained). Recording is opt-in per Network via set_observer;
+// the default path pays nothing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/message.hpp"
+
+namespace rmt::sim {
+
+/// Observer interface the Network notifies on every delivered message and
+/// at each round boundary.
+class NetworkObserver {
+ public:
+  virtual ~NetworkObserver() = default;
+  virtual void on_round_begin(std::size_t round) = 0;
+  /// `adversarial` is true for messages produced by the adversary strategy.
+  virtual void on_delivery(const Message& m, bool adversarial) = 0;
+};
+
+/// Records everything; renders a transcript.
+class TraceRecorder final : public NetworkObserver {
+ public:
+  struct Entry {
+    std::size_t round;
+    Message message;
+    bool adversarial;
+  };
+
+  void on_round_begin(std::size_t round) override { round_ = round; }
+  void on_delivery(const Message& m, bool adversarial) override {
+    entries_.push_back({round_, m, adversarial});
+  }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Human-readable transcript, one line per delivery:
+  ///   [r2] 1 -> 3  type1(x=5, p=0-1)   (adversarial)
+  std::string render() const;
+
+  /// Deliveries addressed to `node` only (e.g. the receiver's view).
+  std::string render_for(NodeId node) const;
+
+ private:
+  std::size_t round_ = 0;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace rmt::sim

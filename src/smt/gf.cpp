@@ -1,0 +1,21 @@
+#include "smt/gf.hpp"
+
+namespace rmt::smt {
+
+Fp Fp::pow(std::uint64_t e) const {
+  Fp base = *this;
+  Fp acc(1);
+  while (e) {
+    if (e & 1) acc *= base;
+    base *= base;
+    e >>= 1;
+  }
+  return acc;
+}
+
+Fp Fp::inverse() const {
+  RMT_REQUIRE(v_ != 0, "inverse of zero in GF(p)");
+  return pow(kFieldPrime - 2);
+}
+
+}  // namespace rmt::smt

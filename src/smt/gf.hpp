@@ -1,0 +1,49 @@
+// smt/gf.hpp — arithmetic in GF(p), p = 2^31 − 1 (a Mersenne prime).
+//
+// The substrate for the secure-message-transmission companion module
+// (smt/): Shamir sharing and polynomial decoding need a field; a 31-bit
+// Mersenne prime keeps every product inside 64 bits and reductions cheap,
+// and its size comfortably exceeds the message spaces the experiments use.
+#pragma once
+
+#include <cstdint>
+
+#include "util/check.hpp"
+
+namespace rmt::smt {
+
+/// The field modulus.
+inline constexpr std::uint64_t kFieldPrime = 2147483647ull;  // 2^31 - 1
+
+/// An element of GF(p). Regular value type; all operations are total
+/// (division by zero throws).
+class Fp {
+ public:
+  constexpr Fp() = default;
+  /// Reduces any 64-bit value into the field.
+  constexpr explicit Fp(std::uint64_t v) : v_(v % kFieldPrime) {}
+
+  constexpr std::uint64_t value() const { return v_; }
+
+  friend constexpr Fp operator+(Fp a, Fp b) { return Fp(a.v_ + b.v_); }
+  friend constexpr Fp operator-(Fp a, Fp b) { return Fp(a.v_ + kFieldPrime - b.v_); }
+  friend constexpr Fp operator*(Fp a, Fp b) { return Fp(a.v_ * b.v_); }
+  friend Fp operator/(Fp a, Fp b) { return a * b.inverse(); }
+
+  Fp& operator+=(Fp o) { return *this = *this + o; }
+  Fp& operator-=(Fp o) { return *this = *this - o; }
+  Fp& operator*=(Fp o) { return *this = *this * o; }
+
+  friend constexpr bool operator==(Fp a, Fp b) { return a.v_ == b.v_; }
+
+  /// a^e by square-and-multiply.
+  Fp pow(std::uint64_t e) const;
+
+  /// Multiplicative inverse (Fermat). Requires non-zero.
+  Fp inverse() const;
+
+ private:
+  std::uint64_t v_ = 0;  // invariant: < kFieldPrime
+};
+
+}  // namespace rmt::smt

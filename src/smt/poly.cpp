@@ -1,0 +1,64 @@
+#include "smt/poly.hpp"
+
+#include <algorithm>
+
+namespace rmt::smt {
+
+Fp eval(const Poly& p, Fp x) {
+  Fp acc(0);
+  for (auto it = p.rbegin(); it != p.rend(); ++it) acc = acc * x + *it;
+  return acc;
+}
+
+std::size_t degree(const Poly& p) {
+  for (std::size_t i = p.size(); i-- > 0;)
+    if (!(p[i] == Fp(0))) return i;
+  return 0;
+}
+
+namespace {
+
+// result += q * scale
+void add_scaled(Poly& result, const Poly& q, Fp scale) {
+  if (result.size() < q.size()) result.resize(q.size(), Fp(0));
+  for (std::size_t i = 0; i < q.size(); ++i) result[i] += q[i] * scale;
+}
+
+}  // namespace
+
+Poly interpolate(const std::vector<std::pair<Fp, Fp>>& points) {
+  RMT_REQUIRE(!points.empty(), "interpolate: no points");
+  for (std::size_t i = 0; i < points.size(); ++i)
+    for (std::size_t j = i + 1; j < points.size(); ++j)
+      RMT_REQUIRE(!(points[i].first == points[j].first),
+                  "interpolate: duplicate x coordinate");
+
+  Poly result;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    // Lagrange basis L_i as a coefficient vector.
+    Poly basis{Fp(1)};
+    Fp denom(1);
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      if (j == i) continue;
+      // basis *= (x - x_j)
+      Poly next(basis.size() + 1, Fp(0));
+      for (std::size_t k = 0; k < basis.size(); ++k) {
+        next[k + 1] += basis[k];
+        next[k] -= basis[k] * points[j].first;
+      }
+      basis = std::move(next);
+      denom *= points[i].first - points[j].first;
+    }
+    add_scaled(result, basis, points[i].second / denom);
+  }
+  // Trim trailing zeros for canonical degree reporting.
+  while (result.size() > 1 && result.back() == Fp(0)) result.pop_back();
+  return result;
+}
+
+bool fits(const Poly& p, const std::vector<std::pair<Fp, Fp>>& points) {
+  return std::all_of(points.begin(), points.end(),
+                     [&](const auto& pt) { return eval(p, pt.first) == pt.second; });
+}
+
+}  // namespace rmt::smt

@@ -1,0 +1,30 @@
+// smt/poly.hpp — polynomials over GF(p): evaluation and Lagrange
+// interpolation, the two primitives Shamir sharing stands on.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "smt/gf.hpp"
+
+namespace rmt::smt {
+
+/// A polynomial by its coefficient vector, low degree first; the zero
+/// polynomial is the empty vector.
+using Poly = std::vector<Fp>;
+
+/// Horner evaluation.
+Fp eval(const Poly& p, Fp x);
+
+/// Degree (0 for constants and for the zero polynomial).
+std::size_t degree(const Poly& p);
+
+/// The unique polynomial of degree < points.size() through the given
+/// points. Requires pairwise-distinct x coordinates (checked) and at
+/// least one point.
+Poly interpolate(const std::vector<std::pair<Fp, Fp>>& points);
+
+/// True iff p passes through every point.
+bool fits(const Poly& p, const std::vector<std::pair<Fp, Fp>>& points);
+
+}  // namespace rmt::smt

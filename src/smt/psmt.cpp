@@ -1,0 +1,126 @@
+#include "smt/psmt.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "graph/connectivity.hpp"
+
+namespace rmt::smt {
+
+namespace {
+
+/// Apply faults to the sent values; returns the receiver-side view as
+/// (wire, value) pairs (dropped wires absent).
+std::vector<Share> apply_faults(const std::vector<Share>& sent,
+                                const std::vector<WireFault>& faults) {
+  std::map<std::uint32_t, std::optional<Fp>> mutate;
+  for (const WireFault& f : faults) mutate[f.wire] = f.replace;
+  std::vector<Share> received;
+  for (const Share& s : sent) {
+    const auto it = mutate.find(s.index);
+    if (it == mutate.end()) {
+      received.push_back(s);
+    } else if (it->second) {
+      received.push_back({s.index, *it->second});
+    }  // else dropped
+  }
+  return received;
+}
+
+}  // namespace
+
+TransmissionResult prmt_transmit(Fp value, std::size_t n, std::size_t t,
+                                 const std::vector<WireFault>& faults) {
+  RMT_REQUIRE(n >= 1, "prmt_transmit: need at least one wire");
+  RMT_REQUIRE(faults.size() <= t, "prmt_transmit: more faults than the bound t");
+  std::vector<Share> sent;
+  for (std::size_t i = 1; i <= n; ++i) sent.push_back({std::uint32_t(i), value});
+  const std::vector<Share> received = apply_faults(sent, faults);
+
+  std::map<std::uint64_t, std::size_t> votes;
+  for (const Share& s : received) ++votes[s.value.value()];
+  TransmissionResult out;
+  // Majority of the *wire count* (absent wires count against): a value is
+  // accepted only with > n/2 backing, i.e. guaranteed-honest support.
+  for (const auto& [v, count] : votes) {
+    if (count * 2 > n) {
+      out.delivered = Fp(v);
+      break;
+    }
+  }
+  out.correct = out.delivered && *out.delivered == value;
+  out.wrong = out.delivered && !(*out.delivered == value);
+  return out;
+}
+
+TransmissionResult psmt_transmit(Fp secret, std::size_t n, std::size_t t,
+                                 const std::vector<WireFault>& faults, Rng& rng) {
+  RMT_REQUIRE(faults.size() <= t, "psmt_transmit: more faults than the bound t");
+  const std::vector<Share> sent = share(secret, t, n, rng);
+  const std::vector<Share> received = apply_faults(sent, faults);
+  TransmissionResult out;
+  if (received.size() >= t + 1) {
+    const DecodeResult decoded = robust_reconstruct(received, t);
+    out.delivered = decoded.secret;
+  }
+  out.correct = out.delivered && *out.delivered == secret;
+  out.wrong = out.delivered && !(*out.delivered == secret);
+  return out;
+}
+
+std::vector<Share> psmt_adversary_view(Fp secret, std::size_t n, std::size_t t,
+                                       const NodeSet& corrupted_wires, Rng& rng) {
+  std::vector<Share> view;
+  for (const Share& s : share(secret, t, n, rng))
+    if (corrupted_wires.contains(s.index)) view.push_back(s);
+  return view;
+}
+
+Poly explain_view(const std::vector<Share>& view, Fp claimed_secret) {
+  RMT_REQUIRE(!view.empty(), "explain_view: empty view is explained by anything");
+  std::vector<std::pair<Fp, Fp>> points{{Fp(0), claimed_secret}};
+  for (const Share& s : view) points.push_back({Fp(s.index), s.value});
+  return interpolate(points);
+}
+
+std::vector<Path> disjoint_wires(const Graph& g, NodeId s, NodeId t, std::size_t want) {
+  RMT_REQUIRE(g.has_node(s) && g.has_node(t) && s != t, "disjoint_wires: bad endpoints");
+  std::vector<Path> wires;
+  NodeSet used;      // interiors already spent
+  Graph work = g;    // the direct s-t edge, once used, is also spent
+  while (wires.size() < want) {
+    // BFS for a shortest s-t path avoiding used interiors.
+    std::vector<std::optional<NodeId>> parent(g.capacity());
+    std::deque<NodeId> queue{s};
+    NodeSet seen = used | NodeSet{s};
+    bool found = false;
+    while (!queue.empty() && !found) {
+      const NodeId u = queue.front();
+      queue.pop_front();
+      NodeSet next = work.neighbors(u);
+      next -= seen;
+      next.for_each([&](NodeId w) {
+        if (found) return;
+        parent[w] = u;
+        if (w == t) {
+          found = true;
+          return;
+        }
+        seen.insert(w);
+        queue.push_back(w);
+      });
+    }
+    if (!found) break;
+    Path p{t};
+    for (NodeId v = t; v != s; v = *parent[v]) p.push_back(*parent[v]);
+    std::reverse(p.begin(), p.end());
+    if (p.size() == 2) work.remove_edge(s, t);
+    for (NodeId v : p)
+      if (v != s && v != t) used.insert(v);
+    wires.push_back(std::move(p));
+  }
+  return wires;
+}
+
+}  // namespace rmt::smt

@@ -1,0 +1,75 @@
+// smt/psmt.hpp — message transmission in the *wires* abstraction, the
+// model of the secure-transmission literature the paper builds on
+// (Dolev–Dwork–Waarts–Yung [3]; Kumar et al. [9], whose efficiency
+// techniques §6 discusses).
+//
+// Between sender and receiver run n node-disjoint channels ("wires"); the
+// adversary corrupts at most t of them and may alter or drop whatever they
+// carry. Two one-round protocols:
+//
+//   * PRMT — perfectly *reliable* transmission: the value travels in the
+//     clear on every wire, the receiver takes the majority. Correct iff
+//     n >= 2t+1 (Dolev's bound, the wires-model face of the 2t+1-
+//     connectivity condition recovered in experiment F3a).
+//   * PSMT — perfectly *secure* (reliable + private) transmission: a
+//     degree-t Shamir sharing rides the wires, the receiver robustly
+//     decodes. Reliable iff n >= 3t+1 (one round); private for any t < n:
+//     the adversary's t wire-views are distributionally independent of
+//     the secret.
+//
+// The wires themselves come from a graph via disjoint_wires() — extracting
+// internally node-disjoint D–R paths — which ties this module back to the
+// repository's topology substrate: RMT machinery finds and certifies the
+// routes, smt/ runs coding on top of them.
+#pragma once
+
+#include <optional>
+
+#include "graph/paths.hpp"
+#include "smt/shamir.hpp"
+
+namespace rmt::smt {
+
+/// What the adversary does to the wires it owns.
+struct WireFault {
+  std::uint32_t wire = 0;  ///< 1-based wire index
+  /// Replacement value; nullopt = drop the wire's message entirely.
+  std::optional<Fp> replace;
+};
+
+struct TransmissionResult {
+  std::optional<Fp> delivered;  ///< the receiver's output (⊥ = detected failure)
+  bool correct = false;
+  bool wrong = false;  ///< delivered ≠ sent — a protocol-soundness violation
+};
+
+/// One-round PRMT: value in the clear on every wire + majority. Sound for
+/// |faults| <= t iff n >= 2t+1.
+TransmissionResult prmt_transmit(Fp value, std::size_t n, std::size_t t,
+                                 const std::vector<WireFault>& faults);
+
+/// One-round PSMT: Shamir(t) shares on the wires + robust decode.
+/// Reliable for |faults| <= t iff n >= 3t+1; detects (never lies) for
+/// n >= 2t+1.
+TransmissionResult psmt_transmit(Fp secret, std::size_t n, std::size_t t,
+                                 const std::vector<WireFault>& faults, Rng& rng);
+
+/// The adversary's view of a PSMT transmission: the shares on its wires.
+/// Exposed for the perfect-privacy property tests: for ANY view and ANY
+/// candidate secret there exists a sharing consistent with both — checked
+/// constructively via explain_view.
+std::vector<Share> psmt_adversary_view(Fp secret, std::size_t n, std::size_t t,
+                                       const NodeSet& corrupted_wires, Rng& rng);
+
+/// Constructive privacy witness: a degree-t polynomial with f(0) = claimed
+/// secret passing through every observed share. Exists whenever
+/// |view| <= t — which is exactly why t wires learn nothing.
+Poly explain_view(const std::vector<Share>& view, Fp claimed_secret);
+
+/// Extract up to `want` internally node-disjoint s–t paths from g by
+/// shortest-path peeling (greedy; optimal count is min_vertex_cut, which
+/// greedy may undershoot on adversarial topologies — callers check the
+/// returned count). Paths include both endpoints.
+std::vector<Path> disjoint_wires(const Graph& g, NodeId s, NodeId t, std::size_t want);
+
+}  // namespace rmt::smt

@@ -1,0 +1,84 @@
+#include "smt/shamir.hpp"
+
+#include <algorithm>
+
+namespace rmt::smt {
+
+std::vector<Share> share(Fp secret, std::size_t t, std::size_t n, Rng& rng) {
+  RMT_REQUIRE(t < n, "share: need more shares than the threshold");
+  RMT_REQUIRE(n < kFieldPrime, "share: too many shares for the field");
+  Poly f{secret};
+  for (std::size_t i = 0; i < t; ++i) f.push_back(Fp(rng.uniform(0, kFieldPrime - 1)));
+  std::vector<Share> out;
+  out.reserve(n);
+  for (std::size_t i = 1; i <= n; ++i)
+    out.push_back({std::uint32_t(i), eval(f, Fp(i))});
+  return out;
+}
+
+namespace {
+
+std::vector<std::pair<Fp, Fp>> as_points(const std::vector<Share>& shares) {
+  std::vector<std::pair<Fp, Fp>> pts;
+  pts.reserve(shares.size());
+  for (const Share& s : shares) pts.push_back({Fp(s.index), s.value});
+  return pts;
+}
+
+}  // namespace
+
+Fp reconstruct(const std::vector<Share>& shares, std::size_t t) {
+  RMT_REQUIRE(shares.size() >= t + 1, "reconstruct: not enough shares");
+  std::vector<Share> head(shares.begin(), shares.begin() + std::ptrdiff_t(t + 1));
+  return eval(interpolate(as_points(head)), Fp(0));
+}
+
+DecodeResult robust_reconstruct(const std::vector<Share>& shares, std::size_t t,
+                                std::size_t max_subsets) {
+  DecodeResult result;
+  const std::size_t n = shares.size();
+  if (n < t + 1) return result;
+  // Acceptance threshold by decoding regime: with n >= 3t+1 any degree-t
+  // polynomial agreeing with n-t shares is unique (two such would agree on
+  // n-2t >= t+1 points, forcing equality). Below that, safety demands
+  // *all* shares fit — otherwise a second codeword could out-vote the
+  // truth and decoding would return a wrong secret instead of detecting.
+  const std::size_t need_agree = (n >= 3 * t + 1) ? n - t : n;
+  const auto points = as_points(shares);
+
+  // Enumerate (t+1)-subsets in lexicographic order; the honest fault-free
+  // prefix (first t+1 shares) is tried first, so clean inputs decode in
+  // one interpolation.
+  std::vector<std::size_t> idx(t + 1);
+  for (std::size_t i = 0; i <= t; ++i) idx[i] = i;
+  std::size_t budget = max_subsets;
+  for (;;) {
+    if (budget-- == 0) return result;  // search exhausted — abstain
+    std::vector<std::pair<Fp, Fp>> subset;
+    for (std::size_t i : idx) subset.push_back(points[i]);
+    const Poly f = interpolate(subset);
+    if (degree(f) <= t) {
+      std::size_t agree = 0;
+      for (const auto& pt : points) agree += (eval(f, pt.first) == pt.second);
+      if (agree >= need_agree) {
+        result.secret = eval(f, Fp(0));
+        result.agreeing = agree;
+        for (const Share& s : shares)
+          if (!(eval(f, Fp(s.index)) == s.value)) result.rejected.push_back(s.index);
+        return result;
+      }
+    }
+    // Next combination.
+    std::size_t i = t + 1;
+    while (i-- > 0) {
+      if (idx[i] + (t + 1 - i) < n) {
+        ++idx[i];
+        for (std::size_t j = i + 1; j <= t; ++j) idx[j] = idx[j - 1] + 1;
+        break;
+      }
+      if (i == 0) return result;  // all combinations tried — no codeword
+    }
+  }
+}
+
+}  // namespace rmt::smt

@@ -1,0 +1,52 @@
+// smt/shamir.hpp — Shamir secret sharing with robust reconstruction.
+//
+// share(s, t, n): a uniformly random degree-t polynomial f with f(0) = s;
+// wire i carries f(i). Any t shares are jointly uniform (perfect privacy);
+// t+1 honest shares determine s.
+//
+// robust_reconstruct handles Byzantine shares: with n shares of which at
+// most t are corrupted,
+//   * n >= 3t+1  ⇒ unique decoding — the reconstruction always returns s;
+//   * n >= 2t+1  ⇒ error detection — the result is s or "failure", never
+//     a wrong value (the receiver can tell when the shares do not all fit
+//     one degree-t polynomial).
+// Decoding is by bounded subset search (try polynomials through (t+1)-
+// subsets, accept one agreeing with >= n - t shares) — exponential in the
+// worst case like everything else exact in this repository, fine at wire
+// counts the disjoint-path model produces. (Production systems would use
+// Berlekamp–Welch; the contract is identical.)
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "smt/poly.hpp"
+#include "util/rng.hpp"
+
+namespace rmt::smt {
+
+struct Share {
+  std::uint32_t index = 0;  ///< wire index, 1-based (x coordinate)
+  Fp value;
+};
+
+/// Split `secret` into n shares with threshold t (any t reveal nothing,
+/// t+1 reconstruct). Requires t < n and n < p.
+std::vector<Share> share(Fp secret, std::size_t t, std::size_t n, Rng& rng);
+
+/// Plain reconstruction from any >= t+1 *correct* shares.
+Fp reconstruct(const std::vector<Share>& shares, std::size_t t);
+
+struct DecodeResult {
+  std::optional<Fp> secret;      ///< engaged iff decoding succeeded
+  std::size_t agreeing = 0;      ///< shares consistent with the accepted polynomial
+  std::vector<std::uint32_t> rejected;  ///< indices voted corrupted
+};
+
+/// Robust decode of `shares` assuming at most `t` of them are corrupted
+/// (see header). `max_subsets` bounds the search; exhaustion reports
+/// failure (abstain direction).
+DecodeResult robust_reconstruct(const std::vector<Share>& shares, std::size_t t,
+                                std::size_t max_subsets = 1u << 16);
+
+}  // namespace rmt::smt

@@ -1,0 +1,39 @@
+// util/check.hpp — precondition and invariant checking macros.
+//
+// Conventions (CppCoreGuidelines I.6/I.8):
+//  * RMT_REQUIRE  — precondition on a public API; throws std::invalid_argument
+//                   so misuse is reportable and testable.
+//  * RMT_CHECK    — internal invariant; throws std::logic_error (a bug in the
+//                   library if it ever fires). Kept on in all build types:
+//                   the library is combinatorial, the cost is negligible
+//                   relative to the search loops it guards.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rmt::detail {
+
+[[noreturn]] inline void require_failed(const char* expr, const char* file, int line,
+                                        const std::string& msg) {
+  throw std::invalid_argument(std::string("precondition failed: ") + expr + " at " + file + ":" +
+                              std::to_string(line) + (msg.empty() ? "" : (": " + msg)));
+}
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  throw std::logic_error(std::string("invariant violated: ") + expr + " at " + file + ":" +
+                         std::to_string(line) + (msg.empty() ? "" : (": " + msg)));
+}
+
+}  // namespace rmt::detail
+
+#define RMT_REQUIRE(expr, msg)                                        \
+  do {                                                                \
+    if (!(expr)) ::rmt::detail::require_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#define RMT_CHECK(expr, msg)                                          \
+  do {                                                                \
+    if (!(expr)) ::rmt::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,56 @@
+#include "util/fmt.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace rmt::fmt {
+
+std::string join(const std::vector<std::string>& pieces, const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    if (i) out += sep;
+    out += pieces[i];
+  }
+  return out;
+}
+
+std::string fixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+std::string pad(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return s + std::string(width - s.size(), ' ');
+}
+
+std::string table(const std::vector<std::vector<std::string>>& rows) {
+  if (rows.empty()) return {};
+  std::size_t cols = 0;
+  for (const auto& r : rows) cols = std::max(cols, r.size());
+  std::vector<std::size_t> width(cols, 0);
+  for (const auto& r : rows)
+    for (std::size_t c = 0; c < r.size(); ++c) width[c] = std::max(width[c], r[c].size());
+
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      out += pad(c < r.size() ? r[c] : "", width[c]);
+      if (c + 1 < cols) out += "  ";
+    }
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+  };
+  emit_row(rows[0]);
+  std::string rule;
+  for (std::size_t c = 0; c < cols; ++c) {
+    rule += std::string(width[c], '-');
+    if (c + 1 < cols) rule += "  ";
+  }
+  out += rule + '\n';
+  for (std::size_t i = 1; i < rows.size(); ++i) emit_row(rows[i]);
+  return out;
+}
+
+}  // namespace rmt::fmt

@@ -1,0 +1,25 @@
+// util/fmt.hpp — small text-formatting helpers shared by tools, examples and
+// benchmark table printers. Deliberately tiny: the library proper returns
+// data, and only the presentation layer formats it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rmt::fmt {
+
+/// Join string pieces with a separator: join({"a","b"}, ", ") == "a, b".
+std::string join(const std::vector<std::string>& pieces, const std::string& sep);
+
+/// Fixed-point with the given number of decimals (e.g. for rate columns).
+std::string fixed(double v, int decimals);
+
+/// Left-align `s` into a field of `width` characters (pads with spaces;
+/// never truncates).
+std::string pad(const std::string& s, std::size_t width);
+
+/// Render a simple aligned ASCII table. `rows[0]` is the header.
+/// Column widths are computed from content. Used by the bench table binaries.
+std::string table(const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace rmt::fmt

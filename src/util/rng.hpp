@@ -1,0 +1,54 @@
+// util/rng.hpp — deterministic seeded random number generation.
+//
+// All randomized components of the library (graph generators, random
+// adversary structures, randomized Byzantine strategies, experiment sweeps)
+// take an explicit Rng so that every run is reproducible from a seed. No
+// component reads ambient entropy.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "util/check.hpp"
+
+namespace rmt {
+
+/// Deterministic RNG wrapper around a fixed engine. Copyable; copies evolve
+/// independently (useful for giving each simulated node its own stream).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) {
+    RMT_REQUIRE(lo <= hi, "empty range");
+    return std::uniform_int_distribution<std::uint64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform index in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n) {
+    RMT_REQUIRE(n > 0, "index() over empty range");
+    return static_cast<std::size_t>(uniform(0, n - 1));
+  }
+
+  /// Bernoulli trial with success probability p in [0,1].
+  bool chance(double p) {
+    RMT_REQUIRE(p >= 0.0 && p <= 1.0, "probability out of range");
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_) < p;
+  }
+
+  /// Uniform real in [0,1).
+  double real() { return std::uniform_real_distribution<double>(0.0, 1.0)(engine_); }
+
+  /// Derive an independent child stream; deterministic in (this state, salt).
+  Rng fork(std::uint64_t salt) {
+    return Rng(uniform(0, ~0ull) ^ (salt * 0xbf58476d1ce4e5b9ull + 0x94d049bb133111ebull));
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace rmt

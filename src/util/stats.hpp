@@ -1,0 +1,72 @@
+// util/stats.hpp — streaming summary statistics for the experiment
+// drivers (Welford's online algorithm: numerically stable single pass).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace rmt {
+
+class OnlineStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / double(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+
+  double mean() const {
+    RMT_REQUIRE(n_ > 0, "mean of empty sample");
+    return mean_;
+  }
+  double min() const {
+    RMT_REQUIRE(n_ > 0, "min of empty sample");
+    return min_;
+  }
+  double max() const {
+    RMT_REQUIRE(n_ > 0, "max of empty sample");
+    return max_;
+  }
+  /// Sample variance (n-1 denominator); 0 for a single observation.
+  double variance() const {
+    RMT_REQUIRE(n_ > 0, "variance of empty sample");
+    return n_ < 2 ? 0.0 : m2_ / double(n_ - 1);
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double sum() const { return mean_ * double(n_); }
+
+  /// Merge another sample (parallel Welford combination).
+  void merge(const OnlineStats& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const double delta = o.mean_ - mean_;
+    const std::size_t n = n_ + o.n_;
+    m2_ += o.m2_ + delta * delta * double(n_) * double(o.n_) / double(n);
+    mean_ += delta * double(o.n_) / double(n);
+    n_ = n;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+  }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace rmt

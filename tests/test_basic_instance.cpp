@@ -1,0 +1,104 @@
+// Tests for the G' basic-instance family (reduction/basic_instance.hpp).
+#include "reduction/basic_instance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/zpp_cut.hpp"
+#include "protocols/runner.hpp"
+#include "protocols/zcpa.hpp"
+#include "sim/strategies.hpp"
+#include "tests/test_util.hpp"
+
+namespace rmt::reduction {
+namespace {
+
+using testing::structure;
+
+TEST(BasicInstance, SolvabilityIsTheTwoCoverCondition) {
+  const NodeSet middle{1, 2, 3};
+  // Global-1 on 3 middles: two sets of size 1 cannot cover 3 nodes.
+  EXPECT_TRUE(basic_instance_solvable(threshold_structure(middle, 1), middle));
+  // Global-2: {1,2} ∪ {2,3} covers — unsolvable.
+  EXPECT_FALSE(basic_instance_solvable(threshold_structure(middle, 2), middle));
+  // Trivial adversary: always solvable.
+  EXPECT_TRUE(basic_instance_solvable(AdversaryStructure::trivial(), middle));
+  // A single maximal set covering everything: {1,2,3} ∪ itself covers.
+  EXPECT_FALSE(basic_instance_solvable(structure({NodeSet{1, 2, 3}}), middle));
+  // Empty family: nothing covers anything.
+  EXPECT_TRUE(basic_instance_solvable(AdversaryStructure{}, middle));
+}
+
+TEST(BasicInstance, SolvabilityMatchesTheZppCutDecider) {
+  // The crisp star condition must agree with the general Definition-7
+  // decider on materialized instances.
+  Rng rng(139);
+  for (int trial = 0; trial < 40; ++trial) {
+    const NodeSet middle = testing::from_mask(1 + rng.uniform(0, 30), 5) | NodeSet{0};
+    // Random structure over the middle (ids 0..4 here).
+    std::vector<NodeSet> gen;
+    for (int i = 0; i < 2; ++i)
+      gen.push_back(testing::from_mask(rng.uniform(0, 31), 5) & middle);
+    gen.push_back(NodeSet{});
+    const auto z = AdversaryStructure::from_sets(gen);
+    const BasicInstance bi = make_basic_instance(z, middle);
+    EXPECT_EQ(basic_instance_solvable(z, middle),
+              !analysis::rmt_zpp_cut_exists(bi.instance))
+        << "middle=" << middle.to_string() << " z=" << z.to_string();
+  }
+}
+
+TEST(BasicInstance, MaterializationShape) {
+  const NodeSet middle{4, 7, 9};
+  const auto z = structure({NodeSet{4, 7}});
+  const BasicInstance bi = make_basic_instance(z, middle);
+  EXPECT_EQ(bi.instance.num_players(), 5u);
+  EXPECT_EQ(bi.instance.dealer(), 0u);
+  EXPECT_EQ(bi.instance.receiver(), 4u);
+  EXPECT_EQ(bi.middle, (NodeSet{1, 2, 3}));
+  // Relabeling is ascending: 4→1, 7→2, 9→3.
+  EXPECT_EQ(bi.relabel.at(4), 1u);
+  EXPECT_EQ(bi.relabel.at(9), 3u);
+  EXPECT_TRUE(bi.instance.adversary().contains(NodeSet{1, 2}));
+  EXPECT_FALSE(bi.instance.adversary().contains(NodeSet{3}));
+}
+
+TEST(BasicInstance, ZcpaSolvesSolvableMaterializations) {
+  const NodeSet middle{1, 2, 3};
+  const auto z = threshold_structure(middle, 1);
+  const BasicInstance bi = make_basic_instance(z, middle);
+  sim::ValueFlipStrategy lie;
+  const protocols::Outcome out =
+      protocols::run_rmt(bi.instance, protocols::Zcpa{}, 9, NodeSet{2}, &lie);
+  EXPECT_TRUE(out.correct);
+}
+
+TEST(ZcpaBasicProtocol, DecidesOnUncoverableBackers) {
+  const NodeSet middle{1, 2, 3};
+  ZcpaBasicProtocol pi(threshold_structure(middle, 1));
+  // Two agreeing reporters beat the 1-threshold.
+  EXPECT_EQ(pi.decide(middle, {{1, 7}, {2, 7}, {3, 8}}), 7u);
+  // One against one: both backer sets admissible — abstain.
+  EXPECT_EQ(pi.decide(middle, {{1, 7}, {3, 8}}), std::nullopt);
+  // Reports from outside the middle are ignored.
+  EXPECT_EQ(pi.decide(middle, {{9, 7}, {8, 7}}), std::nullopt);
+  // Silence — nothing to certify.
+  EXPECT_EQ(pi.decide(middle, {}), std::nullopt);
+}
+
+TEST(ZcpaBasicProtocol, SafeOnUnsolvableInstances) {
+  // Even where resilience is impossible, the star rule never certifies a
+  // set the adversary could own.
+  const NodeSet middle{1, 2};
+  ZcpaBasicProtocol pi(structure({NodeSet{1}, NodeSet{2}}));
+  EXPECT_EQ(pi.decide(middle, {{1, 7}, {2, 8}}), std::nullopt);
+}
+
+TEST(BasicInstance, RejectsEmptyMiddle) {
+  EXPECT_THROW(make_basic_instance(AdversaryStructure::trivial(), NodeSet{}),
+               std::invalid_argument);
+  EXPECT_THROW(basic_instance_solvable(AdversaryStructure::trivial(), NodeSet{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rmt::reduction

@@ -1,0 +1,77 @@
+// Tests for analysis/broadcast.hpp — Reliable Broadcast feasibility (§4,
+// Def. 10) and its agreement with operational Z-CPA broadcast runs.
+#include "analysis/broadcast.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "protocols/runner.hpp"
+#include "protocols/zcpa.hpp"
+#include "sim/strategies.hpp"
+#include "tests/test_util.hpp"
+
+namespace rmt::analysis {
+namespace {
+
+using testing::structure;
+
+TEST(Broadcast, TrivialAdversaryAlwaysSolvable) {
+  const Graph g = generators::cycle_graph(6);
+  EXPECT_TRUE(broadcast_solvable_ad_hoc(g, AdversaryStructure::trivial(), 0));
+  EXPECT_EQ(broadcast_reach_ad_hoc(g, AdversaryStructure::trivial(), 0),
+            g.nodes() - NodeSet{0});
+}
+
+TEST(Broadcast, BottleneckBlocksTheFarSide) {
+  // Path 0-1-2-3 with {1} corruptible: nothing past node 1 is reachable.
+  const Graph g = generators::path_graph(4);
+  const auto z = structure({NodeSet{1}});
+  EXPECT_FALSE(broadcast_solvable_ad_hoc(g, z, 0));
+  EXPECT_EQ(broadcast_reach_ad_hoc(g, z, 0), NodeSet{});  // 1 corruptible, 2-3 cut off
+}
+
+TEST(Broadcast, SolvableIffEveryHonestReceiverReachable) {
+  Rng rng(211);
+  for (int trial = 0; trial < 12; ++trial) {
+    const Graph g = generators::random_connected_gnp(6, 0.4, rng);
+    const auto z = random_structure(g.nodes(), 2, 2, NodeSet{0}, rng);
+    NodeSet honest_targets = g.nodes() - z.support();
+    honest_targets.erase(0);
+    const bool solvable = broadcast_solvable_ad_hoc(g, z, 0);
+    const NodeSet reach = broadcast_reach_ad_hoc(g, z, 0);
+    EXPECT_EQ(solvable, reach == honest_targets) << g.to_string() << " " << z.to_string();
+  }
+}
+
+TEST(Broadcast, OperationalAgreement) {
+  // Where the decider says broadcast is solvable, a fault-free Z-CPA
+  // broadcast run must inform every honest player; under attack it must
+  // inform them correctly.
+  Rng rng(223);
+  for (int trial = 0; trial < 12; ++trial) {
+    const Graph g = generators::random_connected_gnp(6, 0.45, rng);
+    const auto z = random_structure(g.nodes(), 2, 2, NodeSet{0}, rng);
+    if (!broadcast_solvable_ad_hoc(g, z, 0)) continue;
+    // Receiver label is irrelevant for broadcast; pick any honest node.
+    NodeSet honest = g.nodes() - z.support();
+    honest.erase(0);
+    if (honest.empty()) continue;
+    const Instance inst = Instance::ad_hoc(g, z, 0, honest.min());
+    for (const NodeSet& t : z.maximal_sets()) {
+      sim::ValueFlipStrategy lie;
+      const protocols::BroadcastOutcome out =
+          protocols::run_broadcast(inst, protocols::Zcpa{}, 5, t, &lie);
+      EXPECT_EQ(out.honest_wrong, 0u);
+      // All honest *and reachable* nodes decided; with broadcast solvable,
+      // reachable = all honest non-corrupted players.
+      g.nodes().for_each([&](NodeId v) {
+        if (v == 0 || t.contains(v) || z.support().contains(v)) return;
+        EXPECT_TRUE(out.decisions[v].has_value())
+            << "node " << v << " undecided on " << inst.to_string();
+      });
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rmt::analysis

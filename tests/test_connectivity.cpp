@@ -1,0 +1,112 @@
+// Unit tests for graph/connectivity.hpp.
+#include "graph/connectivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace rmt {
+namespace {
+
+Graph two_triangles_with_bridge() {
+  // 0-1-2 triangle, 3-4-5 triangle, bridge 2-3.
+  Graph g;
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.add_edge(3, 4);
+  g.add_edge(4, 5);
+  g.add_edge(5, 3);
+  g.add_edge(2, 3);
+  return g;
+}
+
+TEST(Connectivity, ComponentOf) {
+  Graph g = two_triangles_with_bridge();
+  EXPECT_EQ(component_of(g, 0).size(), 6u);
+  // Removing the bridge endpoint splits the graph.
+  EXPECT_EQ(component_of(g, 0, NodeSet{3}), (NodeSet{0, 1, 2}));
+  EXPECT_EQ(component_of(g, 5, NodeSet{3}), (NodeSet{4, 5}));
+  EXPECT_THROW(component_of(g, 9), std::invalid_argument);
+  EXPECT_THROW(component_of(g, 0, NodeSet{0}), std::invalid_argument);
+}
+
+TEST(Connectivity, Components) {
+  Graph g;
+  g.add_edge(0, 1);
+  g.add_edge(3, 4);
+  g.add_node(7);
+  const auto comps = components(g);
+  ASSERT_EQ(comps.size(), 3u);
+  EXPECT_EQ(comps[0], (NodeSet{0, 1}));
+  EXPECT_EQ(comps[1], (NodeSet{3, 4}));
+  EXPECT_EQ(comps[2], (NodeSet{7}));
+}
+
+TEST(Connectivity, IsConnected) {
+  EXPECT_TRUE(is_connected(Graph{}));
+  EXPECT_TRUE(is_connected(generators::cycle_graph(5)));
+  Graph g;
+  g.add_node(0);
+  g.add_node(1);
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(Connectivity, Separates) {
+  Graph g = two_triangles_with_bridge();
+  EXPECT_TRUE(separates(g, NodeSet{2}, 0, 5));
+  EXPECT_TRUE(separates(g, NodeSet{3}, 0, 5));
+  EXPECT_FALSE(separates(g, NodeSet{1}, 0, 5));
+  EXPECT_FALSE(separates(g, NodeSet{}, 0, 5));
+  EXPECT_THROW(separates(g, NodeSet{0}, 0, 5), std::invalid_argument);
+}
+
+TEST(Connectivity, SeparatesVacuousWhenDisconnected) {
+  Graph g;
+  g.add_node(0);
+  g.add_node(1);
+  EXPECT_TRUE(separates(g, NodeSet{}, 0, 1));
+}
+
+TEST(Connectivity, Distance) {
+  const Graph g = generators::path_graph(6);
+  EXPECT_EQ(distance(g, 0, 5), 5u);
+  EXPECT_EQ(distance(g, 2, 2), 0u);
+  EXPECT_EQ(distance(g, 1, 0), 1u);
+  Graph split;
+  split.add_node(0);
+  split.add_node(1);
+  EXPECT_EQ(distance(split, 0, 1), std::nullopt);
+}
+
+TEST(Connectivity, Ball) {
+  const Graph g = generators::path_graph(7);
+  EXPECT_EQ(ball(g, 3, 0), NodeSet{3});
+  EXPECT_EQ(ball(g, 3, 1), (NodeSet{2, 3, 4}));
+  EXPECT_EQ(ball(g, 3, 2), (NodeSet{1, 2, 3, 4, 5}));
+  EXPECT_EQ(ball(g, 3, 100), g.nodes());
+  EXPECT_EQ(ball(g, 0, 1), (NodeSet{0, 1}));
+}
+
+TEST(ConnectivityProperty, ComponentsPartitionNodes) {
+  Rng rng(11);
+  for (int trial = 0; trial < 30; ++trial) {
+    Graph g = generators::random_tree(10, rng);
+    // Randomly delete edges to fragment the tree.
+    for (const Edge& e : g.edges())
+      if (rng.chance(0.3)) g.remove_edge(e.a, e.b);
+    NodeSet all;
+    std::size_t total = 0;
+    for (const NodeSet& c : components(g)) {
+      EXPECT_TRUE(all.is_disjoint_from(c));
+      all |= c;
+      total += c.size();
+    }
+    EXPECT_EQ(all, g.nodes());
+    EXPECT_EQ(total, g.num_nodes());
+  }
+}
+
+}  // namespace
+}  // namespace rmt

@@ -1,0 +1,92 @@
+// Tests for CPA (protocols/cpa.hpp) — Koo's t-local protocol, and the
+// subsumption claim: CPA ≡ Z-CPA with threshold oracles.
+#include "protocols/cpa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "protocols/runner.hpp"
+#include "sim/strategies.hpp"
+#include "tests/test_util.hpp"
+
+namespace rmt::protocols {
+namespace {
+
+TEST(Cpa, Name) {
+  EXPECT_EQ(Cpa(2).name(), "CPA(t=2)");
+  EXPECT_EQ(Cpa(2).threshold(), 2u);
+}
+
+TEST(Cpa, TPlusOneNeighborsCertify) {
+  // Complete graph K_6, t = 1: every non-dealer-neighbor… all are dealer
+  // neighbors, so use two layers: D → 3 relays → R. 2 honest relays beat
+  // t = 1 even with one liar.
+  const Graph g = generators::layered_graph(1, 3);  // D, {1,2,3}, R
+  const auto z =
+      testing::shielding(t_local_structure(g, 1), g.nodes(), NodeSet{0, 4});
+  const Instance inst = Instance::ad_hoc(g, z, 0, 4);
+  sim::ValueFlipStrategy lie;
+  const Outcome out = run_rmt(inst, Cpa(1), 21, NodeSet{2}, &lie);
+  EXPECT_TRUE(out.correct);
+}
+
+TEST(Cpa, InsufficientCertificationAbstains) {
+  // Only 2 relays with t = 1: the honest one alone cannot certify.
+  const Graph g = generators::layered_graph(1, 2);
+  const auto z =
+      testing::shielding(t_local_structure(g, 1), g.nodes(), NodeSet{0, 3});
+  const Instance inst = Instance::ad_hoc(g, z, 0, 3);
+  sim::ValueFlipStrategy lie;
+  const Outcome out = run_rmt(inst, Cpa(1), 21, NodeSet{1}, &lie);
+  EXPECT_FALSE(out.decision.has_value());
+  EXPECT_FALSE(out.wrong);
+}
+
+TEST(Cpa, NeverWrongEvenWhenOverwhelmed) {
+  // t set too low for the real corruption power — CPA may decide wrongly
+  // only if > t corruptions exist in a neighborhood, which Z forbids here;
+  // with admissible corruption it must stay safe.
+  Rng rng(107);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = generators::random_connected_gnp(7, 0.5, rng);
+    const auto z =
+        testing::shielding(t_local_structure(g, 1), g.nodes(), NodeSet{0, 6});
+    const Instance inst = Instance::ad_hoc(g, z, 0, 6);
+    for (const NodeSet& t : inst.adversary().maximal_sets()) {
+      sim::TwoFacedStrategy attack;
+      const Outcome out = run_rmt(inst, Cpa(1), 3, t, &attack);
+      EXPECT_FALSE(out.wrong) << inst.to_string();
+    }
+  }
+}
+
+// The subsumption: CPA(t) and Z-CPA over the t-local neighborhood
+// structures decide identically, run for run.
+TEST(CpaProperty, EquivalentToZcpaWithLocalThresholdStructures) {
+  Rng rng(109);
+  for (int trial = 0; trial < 12; ++trial) {
+    const Graph g = generators::random_connected_gnp(7, 0.4, rng);
+    const auto z =
+        testing::shielding(t_local_structure(g, 1), g.nodes(), NodeSet{0, 6});
+    const Instance inst = Instance::ad_hoc(g, z, 0, 6);
+    for (const NodeSet& t : inst.adversary().maximal_sets()) {
+      sim::ValueFlipStrategy lie;
+      const Outcome cpa = run_rmt(inst, Cpa(1), 9, t, &lie);
+      sim::ValueFlipStrategy lie2;  // fresh (strategies keep round state)
+      const Outcome zcpa = run_rmt(inst, Zcpa{}, 9, t, &lie2);
+      // Z-CPA with the *exact* local structures can only be at least as
+      // decisive as threshold-CPA; on t-local structures restricted to
+      // neighborhoods the two coincide on the certification sets CPA
+      // uses, so decisions must match when both decide.
+      if (cpa.decision && zcpa.decision) {
+        EXPECT_EQ(*cpa.decision, *zcpa.decision);
+      }
+      if (cpa.decision) {
+        EXPECT_TRUE(zcpa.decision.has_value()) << inst.to_string();
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rmt::protocols

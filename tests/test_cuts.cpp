@@ -1,0 +1,130 @@
+// Unit tests for graph/cuts.hpp — connected-subset enumeration and Menger.
+#include "graph/cuts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace rmt {
+namespace {
+
+std::set<NodeSet> collect_connected(const Graph& g, NodeId seed, const NodeSet& forbidden = {}) {
+  std::set<NodeSet> out;
+  enumerate_connected_subsets(g, seed, forbidden, [&](const NodeSet& b) {
+    out.insert(b);
+    return true;
+  });
+  return out;
+}
+
+TEST(ConnectedSubsets, PathGraphCounts) {
+  // On a path 0-1-2-3, connected subsets containing 0 are the prefixes.
+  const auto sets = collect_connected(generators::path_graph(4), 0);
+  EXPECT_EQ(sets.size(), 4u);
+  EXPECT_TRUE(sets.count(NodeSet{0}));
+  EXPECT_TRUE(sets.count(NodeSet{0, 1, 2, 3}));
+  EXPECT_FALSE(sets.count(NodeSet{0, 2}));
+}
+
+TEST(ConnectedSubsets, MiddleSeedOnPath) {
+  // Subsets containing node 1 of 0-1-2: {1},{0,1},{1,2},{0,1,2}.
+  const auto sets = collect_connected(generators::path_graph(3), 1);
+  EXPECT_EQ(sets.size(), 4u);
+}
+
+TEST(ConnectedSubsets, CompleteGraphCounts) {
+  // On K_4 every subset containing the seed is connected: 2^3 = 8.
+  const auto sets = collect_connected(generators::complete_graph(4), 0);
+  EXPECT_EQ(sets.size(), 8u);
+}
+
+TEST(ConnectedSubsets, AllEnumeratedAreConnectedAndContainSeed) {
+  Rng rng(5);
+  const Graph g = generators::random_connected_gnp(8, 0.3, rng);
+  for (const NodeSet& b : collect_connected(g, 2)) {
+    EXPECT_TRUE(b.contains(2));
+    EXPECT_EQ(component_of(g.induced(b), 2), b);
+  }
+}
+
+TEST(ConnectedSubsets, RespectsForbidden) {
+  const Graph g = generators::cycle_graph(5);
+  for (const NodeSet& b : collect_connected(g, 0, NodeSet{2}))
+    EXPECT_FALSE(b.contains(2));
+  // Forbidding a cycle node leaves the remaining path's subsets around 0:
+  // subsets of path 3-4-0-1 containing 0: 2*3 = 6 intervals.
+  EXPECT_EQ(collect_connected(g, 0, NodeSet{2}).size(), 6u);
+}
+
+TEST(ConnectedSubsets, NoDuplicates) {
+  const Graph g = generators::grid_graph(3, 2);
+  std::size_t count = 0;
+  std::set<NodeSet> distinct;
+  enumerate_connected_subsets(g, 0, {}, [&](const NodeSet& b) {
+    ++count;
+    distinct.insert(b);
+    return true;
+  });
+  EXPECT_EQ(count, distinct.size());
+}
+
+TEST(ConnectedSubsets, VisitorStops) {
+  const Graph g = generators::complete_graph(5);
+  std::size_t count = 0;
+  const bool completed =
+      enumerate_connected_subsets(g, 0, {}, [&](const NodeSet&) { return ++count < 3; });
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(ConnectedSubsets, Preconditions) {
+  const Graph g = generators::path_graph(3);
+  EXPECT_THROW(collect_connected(g, 9), std::invalid_argument);
+  EXPECT_THROW(collect_connected(g, 1, NodeSet{1}), std::invalid_argument);
+}
+
+TEST(MinVertexCut, KnownGraphs) {
+  EXPECT_EQ(min_vertex_cut(generators::path_graph(5), 0, 4), 1u);
+  EXPECT_EQ(min_vertex_cut(generators::cycle_graph(6), 0, 3), 2u);
+  // K_5 has s,t adjacent: no separator.
+  EXPECT_EQ(min_vertex_cut(generators::complete_graph(5), 0, 4), 5u);
+  // 3-wide layered graph: connectivity 3.
+  EXPECT_EQ(min_vertex_cut(generators::layered_graph(2, 3), 0, 7), 3u);
+}
+
+TEST(MinVertexCut, DisconnectedIsZero) {
+  Graph g;
+  g.add_node(0);
+  g.add_node(1);
+  EXPECT_EQ(min_vertex_cut(g, 0, 1), 0u);
+}
+
+TEST(MinVertexCut, MengerAgainstBoundaryEnumeration) {
+  // Cross-check the flow answer against brute-force over boundary cuts.
+  Rng rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = generators::random_connected_gnp(8, 0.25, rng);
+    const NodeId s = 0, t = 7;
+    if (g.has_edge(s, t)) continue;
+    std::size_t best = g.num_nodes();
+    enumerate_connected_subsets(g, t, NodeSet::single(s), [&](const NodeSet& b) {
+      const NodeSet c = g.boundary(b);
+      if (!c.contains(s) && separates(g, c, s, t)) best = std::min(best, c.size());
+      return true;
+    });
+    EXPECT_EQ(min_vertex_cut(g, s, t), best) << g.to_string();
+  }
+}
+
+TEST(KConnected, Between) {
+  const Graph g = generators::cycle_graph(6);
+  EXPECT_TRUE(is_k_connected_between(g, 0, 3, 2));
+  EXPECT_FALSE(is_k_connected_between(g, 0, 3, 3));
+}
+
+}  // namespace
+}  // namespace rmt

@@ -1,0 +1,92 @@
+// Tests for analysis/design_tool.hpp — the "exact subgraph in which RMT is
+// possible" network-design by-product (§1.2(a)).
+#include "analysis/design_tool.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/rmt_cut.hpp"
+#include "graph/generators.hpp"
+#include "tests/test_util.hpp"
+
+namespace rmt::analysis {
+namespace {
+
+using testing::structure;
+
+TEST(DesignTool, PathWithCorruptibleMiddle) {
+  // 0-1-2-3, Z = {{2}}: the dealer reaches 1 (direct channel) but nothing
+  // past the corruptible bottleneck 2.
+  const Graph g = generators::path_graph(4);
+  const auto z = structure({NodeSet{2}});
+  const ViewFunction gamma = ViewFunction::full(g);
+  EXPECT_EQ(rmt_region(g, z, gamma, 0), NodeSet{1});
+  const auto reports = receiver_reports(g, z, gamma, 0);
+  ASSERT_EQ(reports.size(), 3u);
+  for (const auto& rep : reports) {
+    if (rep.receiver == 1) {
+      EXPECT_TRUE(rep.solvable);
+    }
+    if (rep.receiver == 2) {
+      EXPECT_TRUE(rep.corruptible);
+      EXPECT_FALSE(rep.solvable);
+    }
+    if (rep.receiver == 3) {
+      EXPECT_FALSE(rep.solvable);
+    }
+  }
+}
+
+TEST(DesignTool, TrivialAdversaryReachesEveryone) {
+  const Graph g = generators::cycle_graph(5);
+  const NodeSet region = rmt_region(g, AdversaryStructure::trivial(), ViewFunction::ad_hoc(g), 0);
+  EXPECT_EQ(region, g.nodes() - NodeSet{0});
+}
+
+TEST(DesignTool, RegionAgreesWithPerReceiverDecider) {
+  Rng rng(83);
+  const Graph g = generators::random_connected_gnp(7, 0.3, rng);
+  const auto z = random_structure(g.nodes(), 2, 2, NodeSet{0}, rng);
+  const ViewFunction gamma = ViewFunction::k_hop(g, 1);
+  const NodeSet region = rmt_region(g, z, gamma, 0);
+  const NodeSet corruptible = z.support();
+  g.nodes().for_each([&](NodeId r) {
+    if (r == 0) return;
+    if (corruptible.contains(r)) {
+      EXPECT_FALSE(region.contains(r));
+      return;
+    }
+    const Instance inst(g, z, gamma, 0, r);
+    EXPECT_EQ(region.contains(r), !rmt_cut_exists(inst)) << "r=" << r;
+  });
+}
+
+TEST(DesignTool, SubgraphContainsDealerAndRegion) {
+  const Graph g = generators::parallel_paths(3, 2);
+  const auto z = structure({NodeSet{1}, NodeSet{3}, NodeSet{5}});
+  const Graph zone = rmt_subgraph(g, z, ViewFunction::full(g), 0);
+  EXPECT_TRUE(zone.has_node(0));
+  // Under full knowledge the far receiver is reachable (no two-cover).
+  EXPECT_TRUE(zone.has_node(NodeId(g.num_nodes() - 1)));
+}
+
+TEST(DesignTool, CorruptibleDealerRejected) {
+  const Graph g = generators::path_graph(3);
+  const auto z = structure({NodeSet{0}});
+  EXPECT_THROW(rmt_region(g, z, ViewFunction::full(g), 0), std::invalid_argument);
+}
+
+TEST(DesignTool, KnowledgeGrowsTheRegion) {
+  // The triple-path family again: ad hoc sees an empty far region, 2-hop
+  // knowledge recovers it.
+  const Graph g = generators::parallel_paths(3, 2);
+  const auto z = structure({NodeSet{1}, NodeSet{3}, NodeSet{5}});
+  const NodeId r = NodeId(g.num_nodes() - 1);
+  const NodeSet adhoc_region = rmt_region(g, z, ViewFunction::ad_hoc(g), 0);
+  const NodeSet k2_region = rmt_region(g, z, ViewFunction::k_hop(g, 2), 0);
+  EXPECT_FALSE(adhoc_region.contains(r));
+  EXPECT_TRUE(k2_region.contains(r));
+  EXPECT_TRUE(adhoc_region.is_subset_of(k2_region));
+}
+
+}  // namespace
+}  // namespace rmt::analysis

@@ -1,0 +1,129 @@
+// Tests for analysis/enumeration.hpp plus the *exhaustive* tightness
+// verification: on EVERY connected 4-node graph × EVERY small structure,
+// the paper's quantifiers are checked literally.
+#include "analysis/enumeration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/connectivity.hpp"
+
+#include "analysis/feasibility.hpp"
+#include "protocols/rmt_pka.hpp"
+#include "protocols/runner.hpp"
+#include "protocols/zcpa.hpp"
+#include "sim/strategies.hpp"
+#include "tests/test_util.hpp"
+
+namespace rmt::analysis {
+namespace {
+
+TEST(Enumeration, ConnectedGraphCountsMatchOeis) {
+  // A001187: labeled connected graphs.
+  EXPECT_EQ(count_connected_graphs(1), 1u);
+  EXPECT_EQ(count_connected_graphs(2), 1u);
+  EXPECT_EQ(count_connected_graphs(3), 4u);
+  EXPECT_EQ(count_connected_graphs(4), 38u);
+  EXPECT_EQ(count_connected_graphs(5), 728u);
+}
+
+TEST(Enumeration, GraphsAreConnectedAndDistinct) {
+  std::set<std::vector<Edge>> seen;
+  for_each_connected_graph(4, [&](const Graph& g) {
+    EXPECT_TRUE(is_connected(g));
+    EXPECT_EQ(g.num_nodes(), 4u);
+    EXPECT_TRUE(seen.insert(g.edges()).second);
+    return true;
+  });
+}
+
+TEST(Enumeration, VisitorStops) {
+  std::size_t n = 0;
+  EXPECT_FALSE(for_each_connected_graph(4, [&](const Graph&) { return ++n < 5; }));
+  EXPECT_EQ(n, 5u);
+}
+
+TEST(Enumeration, StructureFamiliesAreDistinctAndValid) {
+  std::size_t count = 0;
+  std::set<std::vector<NodeSet>> seen;
+  for_each_structure(NodeSet{1, 2}, 2, [&](const AdversaryStructure& z) {
+    ++count;
+    EXPECT_TRUE(z.contains(NodeSet{}));
+    EXPECT_TRUE(z.support().is_subset_of(NodeSet{1, 2}));
+    EXPECT_TRUE(seen.insert(z.maximal_sets()).second);
+    return true;
+  });
+  // Over {1,2}: antichains of nonempty subsets with ≤2 elements:
+  // trivial; {1}; {2}; {12}; {1},{2}  — {1},{12} collapses to {12}, etc.
+  EXPECT_EQ(count, 5u);
+}
+
+TEST(Enumeration, Guards) {
+  EXPECT_THROW(for_each_connected_graph(7, [](const Graph&) { return true; }),
+               std::invalid_argument);
+  EXPECT_THROW(
+      for_each_structure(NodeSet::full(5), 2, [](const AdversaryStructure&) { return true; }),
+      std::invalid_argument);
+}
+
+// THE exhaustive sweep: all 38 connected 4-node graphs × all structures
+// over {1, 2} (D = 0, R = 3) × ad hoc and full knowledge:
+//   * ad hoc: RMT-cut ⇔ RMT Z-pp cut (the two deciders must agree);
+//   * solvable ⇒ RMT-PKA delivers against every maximal corruption under
+//     the two-faced attack; unsolvable ⇒ it never answers wrong;
+//   * Z-CPA delivers fault-free exactly on ad hoc solvable instances.
+TEST(ExhaustiveTightness, AllFourNodeInstances) {
+  std::size_t instances = 0, solvable_count = 0;
+  for_each_connected_graph(4, [&](const Graph& g) {
+    for_each_structure(NodeSet{1, 2}, 2, [&](const AdversaryStructure& z) {
+      for (const bool full : {false, true}) {
+        const Instance inst = full ? Instance::full_knowledge(g, z, 0, 3)
+                                   : Instance::ad_hoc(g, z, 0, 3);
+        ++instances;
+        const bool ok = !rmt_cut_exists(inst);
+        solvable_count += ok;
+        if (!full) {
+          EXPECT_EQ(ok, !rmt_zpp_cut_exists(inst)) << inst.to_string();
+          const protocols::Outcome ff =
+              protocols::run_rmt(inst, protocols::Zcpa{}, 3, NodeSet{});
+          if (ok) {
+            EXPECT_TRUE(ff.correct) << inst.to_string();
+          }
+        }
+        for (const NodeSet& t : z.maximal_sets()) {
+          sim::TwoFacedStrategy attack;
+          const protocols::Outcome out =
+              protocols::run_rmt(inst, protocols::RmtPka{}, 3, t, &attack);
+          EXPECT_FALSE(out.wrong) << inst.to_string() << " T=" << t.to_string();
+          if (ok) {
+            EXPECT_TRUE(out.correct) << inst.to_string() << " T=" << t.to_string();
+          }
+        }
+      }
+      return true;
+    });
+    return true;
+  });
+  EXPECT_EQ(instances, 38u * 5u * 2u);
+  EXPECT_GT(solvable_count, 0u);
+}
+
+// Five-node sweep of the decider agreement only (protocol runs at this
+// scale belong to the bench, not the unit suite).
+TEST(ExhaustiveTightness, FiveNodeDeciderAgreement) {
+  std::size_t checked = 0;
+  for_each_connected_graph(5, [&](const Graph& g) {
+    for_each_structure(NodeSet{1, 3}, 1, [&](const AdversaryStructure& z) {
+      const Instance inst = Instance::ad_hoc(g, z, 0, 4);
+      EXPECT_EQ(rmt_cut_exists(inst), rmt_zpp_cut_exists(inst)) << inst.to_string();
+      ++checked;
+      return true;
+    });
+    return true;
+  });
+  EXPECT_EQ(checked, 728u * 4u);
+}
+
+}  // namespace
+}  // namespace rmt::analysis

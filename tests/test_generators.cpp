@@ -1,0 +1,153 @@
+// Unit tests for graph/generators.hpp.
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.hpp"
+#include "graph/cuts.hpp"
+
+namespace rmt::generators {
+namespace {
+
+TEST(Generators, PathGraph) {
+  const Graph g = path_graph(5);
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 2u);
+  EXPECT_EQ(path_graph(1).num_edges(), 0u);
+  EXPECT_THROW(path_graph(0), std::invalid_argument);
+}
+
+TEST(Generators, CycleGraph) {
+  const Graph g = cycle_graph(5);
+  EXPECT_EQ(g.num_edges(), 5u);
+  g.nodes().for_each([&](NodeId v) { EXPECT_EQ(g.degree(v), 2u); });
+  EXPECT_THROW(cycle_graph(2), std::invalid_argument);
+}
+
+TEST(Generators, CompleteGraph) {
+  const Graph g = complete_graph(6);
+  EXPECT_EQ(g.num_edges(), 15u);
+  g.nodes().for_each([&](NodeId v) { EXPECT_EQ(g.degree(v), 5u); });
+}
+
+TEST(Generators, GridGraph) {
+  const Graph g = grid_graph(4, 3);
+  EXPECT_EQ(g.num_nodes(), 12u);
+  EXPECT_EQ(g.num_edges(), 3u * 3 + 4u * 2);  // horizontal + vertical
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 4));
+  EXPECT_FALSE(g.has_edge(3, 4));  // no wraparound
+}
+
+TEST(Generators, BasicInstanceGraph) {
+  const Graph g = basic_instance_graph(4);
+  EXPECT_EQ(g.num_nodes(), 6u);
+  EXPECT_EQ(g.num_edges(), 8u);
+  EXPECT_FALSE(g.has_edge(0, 5));  // dealer not adjacent to receiver
+  for (NodeId a = 1; a <= 4; ++a) {
+    EXPECT_TRUE(g.has_edge(0, a));
+    EXPECT_TRUE(g.has_edge(a, 5));
+    EXPECT_EQ(g.degree(a), 2u);
+  }
+}
+
+TEST(Generators, LayeredGraph) {
+  const Graph g = layered_graph(3, 2);
+  EXPECT_EQ(g.num_nodes(), 8u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.degree(0), 2u);           // dealer to first layer
+  EXPECT_EQ(g.degree(7), 2u);           // receiver from last layer
+  EXPECT_TRUE(g.has_edge(1, 3));        // inter-layer complete bipartite
+  EXPECT_FALSE(g.has_edge(1, 2));       // no intra-layer edges
+  // One layer degenerates to the basic-instance star.
+  EXPECT_EQ(layered_graph(1, 3).num_edges(), basic_instance_graph(3).num_edges());
+}
+
+TEST(Generators, RandomTreeIsTree) {
+  Rng rng(1);
+  for (std::size_t n : {1u, 2u, 10u, 40u}) {
+    const Graph g = random_tree(n, rng);
+    EXPECT_EQ(g.num_nodes(), n);
+    EXPECT_EQ(g.num_edges(), n - 1);
+    EXPECT_TRUE(is_connected(g));
+  }
+}
+
+TEST(Generators, RandomConnectedGnp) {
+  Rng rng(2);
+  const Graph sparse = random_connected_gnp(12, 0.0, rng);
+  EXPECT_EQ(sparse.num_edges(), 11u);  // pure tree
+  const Graph dense = random_connected_gnp(8, 1.0, rng);
+  EXPECT_EQ(dense.num_edges(), 28u);  // K_8
+  const Graph mid = random_connected_gnp(15, 0.2, rng);
+  EXPECT_TRUE(is_connected(mid));
+  EXPECT_THROW(random_connected_gnp(5, 1.5, rng), std::invalid_argument);
+}
+
+TEST(Generators, Determinism) {
+  Rng a(77), b(77);
+  EXPECT_EQ(random_connected_gnp(10, 0.3, a), random_connected_gnp(10, 0.3, b));
+  Rng c(77), d(78);
+  EXPECT_FALSE(random_connected_gnp(10, 0.3, c) == random_connected_gnp(10, 0.3, d));
+}
+
+TEST(Generators, RandomGeometricConnectedAndSane) {
+  Rng rng(3);
+  const Graph g = random_geometric(20, 0.25, rng);
+  EXPECT_EQ(g.num_nodes(), 20u);
+  EXPECT_TRUE(is_connected(g));
+  // Tiny radius: connectivity patched via tree edges, still a valid graph.
+  const Graph tiny = random_geometric(10, 0.01, rng);
+  EXPECT_TRUE(is_connected(tiny));
+  // Huge radius: complete.
+  const Graph full = random_geometric(6, 2.0, rng);
+  EXPECT_EQ(full.num_edges(), 15u);
+}
+
+TEST(Generators, Hypercube) {
+  const Graph g = hypercube(3);
+  EXPECT_EQ(g.num_nodes(), 8u);
+  EXPECT_EQ(g.num_edges(), 12u);  // d * 2^(d-1)
+  g.nodes().for_each([&](NodeId v) { EXPECT_EQ(g.degree(v), 3u); });
+  EXPECT_TRUE(g.has_edge(0b000, 0b100));
+  EXPECT_FALSE(g.has_edge(0b000, 0b110));
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_THROW(hypercube(0), std::invalid_argument);
+}
+
+TEST(Generators, CompleteBipartite) {
+  const Graph g = complete_bipartite(2, 3);
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(0, 1));  // no intra-side edges
+  EXPECT_FALSE(g.has_edge(2, 3));
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_EQ(g.degree(4), 2u);
+}
+
+TEST(Generators, Barbell) {
+  const Graph g = barbell(4);
+  EXPECT_EQ(g.num_nodes(), 8u);
+  EXPECT_EQ(g.num_edges(), 2u * 6 + 1);  // two K_4 + bridge
+  EXPECT_TRUE(g.has_edge(3, 4));         // the bridge
+  EXPECT_TRUE(is_connected(g));
+  // The bridge endpoints form the only small cut.
+  EXPECT_EQ(min_vertex_cut(g, 0, 7), 1u);
+}
+
+TEST(Generators, GeneralizedWheel) {
+  const Graph g = generalized_wheel(7, 2);  // ring of 6, hub 0 on every 2nd
+  EXPECT_EQ(g.num_nodes(), 7u);
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  const Graph full_wheel = generalized_wheel(5, 1);
+  EXPECT_EQ(full_wheel.degree(0), 4u);
+}
+
+}  // namespace
+}  // namespace rmt::generators

@@ -1,0 +1,94 @@
+// Unit tests for Instance (instance/instance.hpp) — model validation.
+#include "instance/instance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "tests/test_util.hpp"
+
+namespace rmt {
+namespace {
+
+TEST(Instance, ValidConstruction) {
+  const Graph g = generators::path_graph(4);
+  const auto z = testing::structure({NodeSet{1}});
+  const Instance inst = Instance::ad_hoc(g, z, 0, 3);
+  EXPECT_EQ(inst.dealer(), 0u);
+  EXPECT_EQ(inst.receiver(), 3u);
+  EXPECT_EQ(inst.num_players(), 4u);
+  EXPECT_TRUE(inst.admissible_corruption(NodeSet{1}));
+  EXPECT_TRUE(inst.admissible_corruption(NodeSet{}));
+  EXPECT_FALSE(inst.admissible_corruption(NodeSet{2}));
+}
+
+TEST(Instance, RejectsBadEndpoints) {
+  const Graph g = generators::path_graph(3);
+  const auto z = AdversaryStructure::trivial();
+  EXPECT_THROW(Instance::ad_hoc(g, z, 0, 0), std::invalid_argument);
+  EXPECT_THROW(Instance::ad_hoc(g, z, 0, 9), std::invalid_argument);
+  EXPECT_THROW(Instance::ad_hoc(g, z, 9, 2), std::invalid_argument);
+}
+
+TEST(Instance, RejectsEmptyFamily) {
+  const Graph g = generators::path_graph(3);
+  EXPECT_THROW(Instance::ad_hoc(g, AdversaryStructure{}, 0, 2), std::invalid_argument);
+}
+
+TEST(Instance, RejectsCorruptibleDealerOrReceiver) {
+  const Graph g = generators::path_graph(3);
+  EXPECT_THROW(Instance::ad_hoc(g, testing::structure({NodeSet{0}}), 0, 2),
+               std::invalid_argument);
+  EXPECT_THROW(Instance::ad_hoc(g, testing::structure({NodeSet{2}}), 0, 2),
+               std::invalid_argument);
+}
+
+TEST(Instance, RejectsStructureOutsideGraph) {
+  const Graph g = generators::path_graph(3);
+  EXPECT_THROW(Instance::ad_hoc(g, testing::structure({NodeSet{7}}), 0, 2),
+               std::invalid_argument);
+}
+
+TEST(Instance, RejectsIllFormedViews) {
+  const Graph g = generators::path_graph(3);
+  const auto z = AdversaryStructure::trivial();
+  ViewFunction gamma = ViewFunction::custom(g);
+  // Valid baseline passes.
+  EXPECT_NO_THROW(Instance(g, z, gamma, 0, 2));
+  // ViewFunction::set_view already validates subgraph-ness, so an Instance
+  // can only be fed views built against the same graph; a view function
+  // built against a different graph must be rejected.
+  const Graph other = generators::cycle_graph(4);
+  ViewFunction foreign = ViewFunction::full(other);
+  EXPECT_THROW(Instance(g, z, foreign, 0, 2), std::invalid_argument);
+}
+
+TEST(Instance, LocalStructureMatchesDerivation) {
+  const Graph g = generators::path_graph(5);
+  const auto z = testing::structure({NodeSet{1, 3}, NodeSet{2}});
+  const Instance inst = Instance::ad_hoc(g, z, 0, 4);
+  const AdversaryStructure z2 = inst.local_structure(2);
+  // Node 2's view nodes are {1,2,3}: Z_2 = {{1,3},{2}}.
+  EXPECT_TRUE(z2.contains(NodeSet{1, 3}));
+  EXPECT_TRUE(z2.contains(NodeSet{2}));
+  EXPECT_FALSE(z2.contains(NodeSet{1, 2}));
+  EXPECT_EQ(inst.knowledge_of(2).local_z, z2);
+}
+
+TEST(Instance, FullKnowledgeConvenience) {
+  const Graph g = generators::cycle_graph(4);
+  const auto z = testing::structure({NodeSet{1}});
+  const Instance inst = Instance::full_knowledge(g, z, 0, 2);
+  EXPECT_EQ(inst.gamma().view(3), g);
+  EXPECT_EQ(inst.local_structure(3), z);
+}
+
+TEST(Instance, ToStringMentionsEndpoints) {
+  const Graph g = generators::path_graph(3);
+  const Instance inst = Instance::ad_hoc(g, AdversaryStructure::trivial(), 0, 2);
+  const std::string s = inst.to_string();
+  EXPECT_NE(s.find("D=0"), std::string::npos);
+  EXPECT_NE(s.find("R=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rmt

@@ -1,0 +1,119 @@
+// Tests for the instance text format (io/serialize.hpp).
+#include "io/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/feasibility.hpp"
+#include "graph/generators.hpp"
+#include "tests/test_util.hpp"
+
+namespace rmt::io {
+namespace {
+
+constexpr const char* kTriplePath = R"(
+rmt-instance v1
+nodes 8
+# three disjoint 2-hop paths D -> R
+edge 0 1
+edge 1 2
+edge 2 7
+edge 0 3
+edge 3 4
+edge 4 7
+edge 0 5
+edge 5 6
+edge 6 7
+dealer 0
+receiver 7
+corruptible 1
+corruptible 3
+corruptible 5
+knowledge k-hop 2
+)";
+
+TEST(IoParse, TriplePathInstance) {
+  const Instance inst = parse_instance_string(kTriplePath);
+  EXPECT_EQ(inst.num_players(), 8u);
+  EXPECT_EQ(inst.graph().num_edges(), 9u);
+  EXPECT_EQ(inst.dealer(), 0u);
+  EXPECT_EQ(inst.receiver(), 7u);
+  EXPECT_TRUE(inst.admissible_corruption(NodeSet{3}));
+  EXPECT_FALSE(inst.admissible_corruption(NodeSet{1, 3}));
+  EXPECT_TRUE(analysis::solvable(inst));  // 2-hop knowledge suffices
+}
+
+TEST(IoParse, KnowledgeKinds) {
+  auto with_knowledge = [](const std::string& k) {
+    return parse_instance_string("rmt-instance v1\nnodes 3\nedge 0 1\nedge 1 2\n"
+                                 "dealer 0\nreceiver 2\nknowledge " + k + "\n");
+  };
+  EXPECT_EQ(with_knowledge("adhoc").gamma().view(1).num_edges(), 2u);
+  EXPECT_EQ(with_knowledge("full").gamma().view(0), generators::path_graph(3));
+  EXPECT_EQ(with_knowledge("k-hop 2").gamma().view(0).num_nodes(), 3u);
+  // Missing knowledge directive defaults to ad hoc.
+  const Instance def = parse_instance_string(
+      "rmt-instance v1\nnodes 3\nedge 0 1\nedge 1 2\ndealer 0\nreceiver 2\n");
+  EXPECT_EQ(def.gamma().view(1).num_edges(), 2u);
+}
+
+TEST(IoParse, CustomViews) {
+  const Instance inst = parse_instance_string(
+      "rmt-instance v1\nnodes 4\nedge 0 1\nedge 1 2\nedge 2 3\n"
+      "dealer 0\nreceiver 3\nknowledge custom\n"
+      "view 3 : 1\nview-edge 3 : 0 1\n");
+  const Graph& view = inst.gamma().view(3);
+  EXPECT_TRUE(view.has_edge(0, 1));   // declared extra edge
+  EXPECT_TRUE(view.has_edge(2, 3));   // the star floor is implicit
+  EXPECT_FALSE(view.has_edge(1, 2));  // not declared
+}
+
+TEST(IoParse, Errors) {
+  EXPECT_THROW(parse_instance_string(""), std::invalid_argument);
+  EXPECT_THROW(parse_instance_string("bogus v1\n"), std::invalid_argument);
+  EXPECT_THROW(parse_instance_string("rmt-instance v2\n"), std::invalid_argument);
+  EXPECT_THROW(parse_instance_string("rmt-instance v1\nnodes 3\ndealer 0\n"),
+               std::invalid_argument);  // missing receiver
+  EXPECT_THROW(parse_instance_string("rmt-instance v1\nnodes 3\nedge 0 9\n"
+                                     "dealer 0\nreceiver 2\n"),
+               std::invalid_argument);  // edge out of range
+  EXPECT_THROW(parse_instance_string("rmt-instance v1\nnodes 3\nfrobnicate\n"),
+               std::invalid_argument);  // unknown directive
+  EXPECT_THROW(parse_instance_string("rmt-instance v1\nnodes 3\nedge 0 1\nedge 1 2\n"
+                                     "dealer 0\nreceiver 2\ncorruptible 0\n"),
+               std::invalid_argument);  // corruptible dealer
+  EXPECT_THROW(parse_instance_string("rmt-instance v1\nnodes 3\nedge 0 1\nedge 1 2\n"
+                                     "dealer 0\nreceiver 2\nknowledge warp\n"),
+               std::invalid_argument);
+}
+
+TEST(IoRoundTrip, PreservesSemantics) {
+  Rng rng(191);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Instance inst = testing::random_instance(7, 0.3, 2, 2, 0, rng);
+    const std::string text = serialize_instance(inst);
+    const Instance back = parse_instance_string(text);
+    EXPECT_EQ(back.graph(), inst.graph());
+    EXPECT_EQ(back.adversary(), inst.adversary());
+    EXPECT_EQ(back.dealer(), inst.dealer());
+    EXPECT_EQ(back.receiver(), inst.receiver());
+    EXPECT_EQ(analysis::solvable(back), analysis::solvable(inst));
+  }
+}
+
+TEST(IoRoundTrip, CustomViewsSurvive) {
+  const Graph g = generators::parallel_paths(3, 2);
+  const auto z = testing::structure({NodeSet{1}, NodeSet{3}, NodeSet{5}});
+  const Instance inst(g, z, ViewFunction::k_hop(g, 2), 0, 7);
+  const Instance back = parse_instance_string(serialize_instance(inst));
+  bool views_equal = true;
+  g.nodes().for_each([&](NodeId v) {
+    if (!(back.gamma().view(v) == inst.gamma().view(v))) views_equal = false;
+  });
+  EXPECT_TRUE(views_equal);
+  EXPECT_EQ(analysis::solvable(back), analysis::solvable(inst));
+}
+
+}  // namespace
+}  // namespace rmt::io

@@ -1,0 +1,88 @@
+// Tests for analysis/minimal_knowledge.hpp — §3.1 "RMT under minimal
+// knowledge".
+#include "analysis/minimal_knowledge.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/rmt_cut.hpp"
+#include "graph/generators.hpp"
+#include "tests/test_util.hpp"
+
+namespace rmt::analysis {
+namespace {
+
+using testing::structure;
+
+Instance triple_path_full() {
+  const Graph g = generators::parallel_paths(3, 2);
+  const auto z = structure({NodeSet{1}, NodeSet{3}, NodeSet{5}});
+  return Instance::full_knowledge(g, z, 0, NodeId(g.num_nodes() - 1));
+}
+
+TEST(MinimalKnowledge, UnsolvableReturnsNothing) {
+  const Graph g = generators::path_graph(3);
+  const Instance inst = Instance::ad_hoc(g, structure({NodeSet{1}}), 0, 2);
+  EXPECT_EQ(find_minimal_sufficient_view(inst), std::nullopt);
+}
+
+TEST(MinimalKnowledge, ResultIsSufficientAndBelowInput) {
+  const Instance inst = triple_path_full();
+  const auto result = find_minimal_sufficient_view(inst);
+  ASSERT_TRUE(result.has_value());
+  // Still solvable with the minimized γ.
+  const Instance minimized(inst.graph(), inst.adversary(), result->gamma, inst.dealer(),
+                           inst.receiver());
+  EXPECT_FALSE(rmt_cut_exists(minimized));
+  // Pointwise below the original γ.
+  EXPECT_TRUE(knowledge_leq(result->gamma, inst.gamma()));
+  // Full knowledge of this instance is far from minimal.
+  EXPECT_GT(result->removed_edges + result->removed_nodes, 0u);
+}
+
+TEST(MinimalKnowledge, ResultIsEdgeMinimal) {
+  // Removing any single remaining view edge must break sufficiency —
+  // that is what "minimal" means under the paper's partial ordering.
+  const Instance inst = triple_path_full();
+  const auto result = find_minimal_sufficient_view(inst);
+  ASSERT_TRUE(result.has_value());
+  const ViewFunction& gamma = result->gamma;
+  inst.graph().nodes().for_each([&](NodeId v) {
+    for (const Edge& e : gamma.view(v).edges()) {
+      if (e.a == v || e.b == v) continue;  // model floor — not removable
+      Graph shrunk = gamma.view(v);
+      shrunk.remove_edge(e.a, e.b);
+      ViewFunction trial = gamma;
+      trial.set_view(v, shrunk);
+      const Instance t(inst.graph(), inst.adversary(), trial, inst.dealer(),
+                       inst.receiver());
+      EXPECT_TRUE(rmt_cut_exists(t))
+          << "dropping view edge {" << e.a << "," << e.b << "} of node " << v
+          << " kept the instance solvable — not minimal";
+    }
+  });
+}
+
+TEST(MinimalKnowledge, TrivialAdversaryMinimizesToTheAdHocFloor) {
+  // With a trivial adversary the problem is solvable under the minimum
+  // legal views (the ad hoc stars); greedy minimization must strip every
+  // piece of knowledge above that floor.
+  const Graph g = generators::cycle_graph(4);
+  const Instance inst = Instance::full_knowledge(g, AdversaryStructure::trivial(), 0, 2);
+  const auto result = find_minimal_sufficient_view(inst);
+  ASSERT_TRUE(result.has_value());
+  const ViewFunction floor = ViewFunction::ad_hoc(g);
+  EXPECT_TRUE(knowledge_leq(result->gamma, floor));
+  EXPECT_TRUE(knowledge_leq(floor, result->gamma));
+}
+
+TEST(MinimalKnowledge, KnowledgeLeqBasics) {
+  const Graph g = generators::path_graph(4);
+  const ViewFunction adhoc = ViewFunction::ad_hoc(g);
+  const ViewFunction full = ViewFunction::full(g);
+  EXPECT_TRUE(knowledge_leq(adhoc, full));
+  EXPECT_FALSE(knowledge_leq(full, adhoc));
+  EXPECT_TRUE(knowledge_leq(full, full));
+}
+
+}  // namespace
+}  // namespace rmt::analysis

@@ -1,0 +1,178 @@
+// Unit and property tests for NodeSet (graph/node_set.hpp).
+#include "graph/node_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "tests/test_util.hpp"
+#include "util/rng.hpp"
+
+namespace rmt {
+namespace {
+
+TEST(NodeSet, DefaultIsEmpty) {
+  NodeSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_FALSE(s.contains(0));
+  EXPECT_FALSE(s.contains(1000));
+}
+
+TEST(NodeSet, InsertContainsErase) {
+  NodeSet s;
+  s.insert(3);
+  s.insert(70);  // second word
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_TRUE(s.contains(70));
+  EXPECT_FALSE(s.contains(4));
+  EXPECT_EQ(s.size(), 2u);
+  s.erase(70);
+  EXPECT_FALSE(s.contains(70));
+  EXPECT_EQ(s.size(), 1u);
+  s.erase(70);  // idempotent
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(NodeSet, EraseNormalizesSoEqualityIsValueBased) {
+  NodeSet a{1};
+  NodeSet b{1, 200};
+  b.erase(200);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(NodeSet, InitializerListAndToVector) {
+  NodeSet s{5, 1, 9};
+  EXPECT_EQ(s.to_vector(), (std::vector<NodeId>{1, 5, 9}));
+}
+
+TEST(NodeSet, FullSet) {
+  const NodeSet s = NodeSet::full(67);
+  EXPECT_EQ(s.size(), 67u);
+  EXPECT_TRUE(s.contains(0));
+  EXPECT_TRUE(s.contains(66));
+  EXPECT_FALSE(s.contains(67));
+  EXPECT_TRUE(NodeSet::full(0).empty());
+  EXPECT_EQ(NodeSet::full(64).size(), 64u);  // exact word boundary
+}
+
+TEST(NodeSet, MinMax) {
+  NodeSet s{7, 130, 42};
+  EXPECT_EQ(s.min(), 7u);
+  EXPECT_EQ(s.max(), 130u);
+  EXPECT_THROW(NodeSet{}.min(), std::invalid_argument);
+  EXPECT_THROW(NodeSet{}.max(), std::invalid_argument);
+}
+
+TEST(NodeSet, SetAlgebra) {
+  const NodeSet a{1, 2, 3};
+  const NodeSet b{3, 4};
+  EXPECT_EQ(a | b, (NodeSet{1, 2, 3, 4}));
+  EXPECT_EQ(a & b, (NodeSet{3}));
+  EXPECT_EQ(a - b, (NodeSet{1, 2}));
+  EXPECT_EQ(a ^ b, (NodeSet{1, 2, 4}));
+}
+
+TEST(NodeSet, AlgebraAcrossWordBoundaries) {
+  const NodeSet a{0, 63, 64, 200};
+  const NodeSet b{63, 200, 300};
+  EXPECT_EQ((a & b), (NodeSet{63, 200}));
+  EXPECT_EQ((a - b), (NodeSet{0, 64}));
+  EXPECT_EQ((a | b).size(), 5u);
+}
+
+TEST(NodeSet, SubsetSupersetDisjoint) {
+  const NodeSet a{1, 2};
+  const NodeSet b{1, 2, 9};
+  EXPECT_TRUE(a.is_subset_of(b));
+  EXPECT_FALSE(b.is_subset_of(a));
+  EXPECT_TRUE(b.is_superset_of(a));
+  EXPECT_TRUE(a.is_subset_of(a));
+  EXPECT_TRUE(NodeSet{}.is_subset_of(a));
+  EXPECT_TRUE((NodeSet{5}).is_disjoint_from(a));
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_FALSE(NodeSet{}.intersects(a));
+}
+
+TEST(NodeSet, SubsetWithHighBitsInOther) {
+  // a has a longer word vector than b — canonical-form shortcut must not lie.
+  const NodeSet a{1, 100};
+  const NodeSet b{1};
+  EXPECT_FALSE(a.is_subset_of(b));
+  EXPECT_TRUE(b.is_subset_of(a));
+}
+
+TEST(NodeSet, ForEachAscending) {
+  NodeSet s{64, 2, 128, 5};
+  std::vector<NodeId> seen;
+  s.for_each([&](NodeId v) { seen.push_back(v); });
+  EXPECT_EQ(seen, (std::vector<NodeId>{2, 5, 64, 128}));
+}
+
+TEST(NodeSet, SingleFactory) {
+  const NodeSet s = NodeSet::single(77);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_TRUE(s.contains(77));
+}
+
+TEST(NodeSet, ToString) {
+  EXPECT_EQ((NodeSet{0, 3}).to_string(), "{0, 3}");
+  EXPECT_EQ(NodeSet{}.to_string(), "{}");
+}
+
+TEST(NodeSet, HashingIntoUnorderedSet) {
+  std::unordered_set<NodeSet> pool;
+  pool.insert(NodeSet{1, 2});
+  pool.insert(NodeSet{2, 1});
+  pool.insert(NodeSet{3});
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+// Property: NodeSet agrees with std::set<NodeId> under a random op sequence.
+TEST(NodeSetProperty, MatchesReferenceImplementation) {
+  Rng rng(42);
+  NodeSet s;
+  std::set<NodeId> ref;
+  for (int step = 0; step < 2000; ++step) {
+    const NodeId v = NodeId(rng.uniform(0, 150));
+    switch (rng.index(3)) {
+      case 0:
+        s.insert(v);
+        ref.insert(v);
+        break;
+      case 1:
+        s.erase(v);
+        ref.erase(v);
+        break;
+      case 2:
+        ASSERT_EQ(s.contains(v), ref.count(v) > 0) << "at step " << step;
+        break;
+    }
+    ASSERT_EQ(s.size(), ref.size());
+  }
+  EXPECT_EQ(s.to_vector(), std::vector<NodeId>(ref.begin(), ref.end()));
+}
+
+// Property: algebra laws on random sets.
+TEST(NodeSetProperty, AlgebraLaws) {
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    const NodeSet a = testing::from_mask(rng.uniform(0, (1u << 16) - 1), 16);
+    const NodeSet b = testing::from_mask(rng.uniform(0, (1u << 16) - 1), 16);
+    const NodeSet c = testing::from_mask(rng.uniform(0, (1u << 16) - 1), 16);
+    EXPECT_EQ(a | b, b | a);
+    EXPECT_EQ(a & b, b & a);
+    EXPECT_EQ((a | b) | c, a | (b | c));
+    EXPECT_EQ((a & b) & c, a & (b & c));
+    EXPECT_EQ(a & (b | c), (a & b) | (a & c));
+    EXPECT_EQ(a - b, a & (a ^ (a & b)));
+    EXPECT_TRUE((a & b).is_subset_of(a));
+    EXPECT_TRUE(a.is_subset_of(a | b));
+    EXPECT_EQ((a - b) | (a & b), a);
+  }
+}
+
+}  // namespace
+}  // namespace rmt

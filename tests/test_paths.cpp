@@ -1,0 +1,107 @@
+// Unit tests for graph/paths.hpp.
+#include "graph/paths.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace rmt {
+namespace {
+
+TEST(Paths, IsSimplePath) {
+  const Graph g = generators::cycle_graph(4);
+  EXPECT_TRUE(is_simple_path(g, {0, 1, 2}));
+  EXPECT_TRUE(is_simple_path(g, {0}));
+  EXPECT_FALSE(is_simple_path(g, {}));
+  EXPECT_FALSE(is_simple_path(g, {0, 2}));        // not an edge
+  EXPECT_FALSE(is_simple_path(g, {0, 1, 0}));     // repeats a node
+  EXPECT_FALSE(is_simple_path(g, {0, 1, 2, 9}));  // absent node
+}
+
+TEST(Paths, PathToString) {
+  EXPECT_EQ(path_to_string({0, 3, 2}), "0-3-2");
+  EXPECT_EQ(path_to_string({}), "");
+}
+
+TEST(Paths, EnumerateOnPathGraph) {
+  const Graph g = generators::path_graph(5);
+  const auto paths = all_simple_paths(g, 0, 4);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0], (Path{0, 1, 2, 3, 4}));
+}
+
+TEST(Paths, EnumerateOnCycle) {
+  const Graph g = generators::cycle_graph(5);
+  EXPECT_EQ(all_simple_paths(g, 0, 2).size(), 2u);  // clockwise + counter
+}
+
+TEST(Paths, CountOnCompleteGraph) {
+  // K_5: number of simple s-t paths = sum over k of P(3, k) = 1+3+6+6 = 16.
+  const Graph g = generators::complete_graph(5);
+  EXPECT_EQ(count_simple_paths(g, 0, 4, 1000), 16u);
+}
+
+TEST(Paths, SameSourceAndTarget) {
+  const Graph g = generators::cycle_graph(4);
+  const auto paths = all_simple_paths(g, 2, 2);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0], (Path{2}));
+}
+
+TEST(Paths, DisconnectedYieldsNoPaths) {
+  Graph g;
+  g.add_node(0);
+  g.add_node(1);
+  EXPECT_TRUE(all_simple_paths(g, 0, 1).empty());
+}
+
+TEST(Paths, BudgetExactFitIsComplete) {
+  const Graph g = generators::cycle_graph(5);
+  std::size_t n = 0;
+  const EnumStatus st = enumerate_simple_paths(
+      g, 0, 2, [&](const Path&) { ++n; return true; }, 2);
+  EXPECT_EQ(st, EnumStatus::kComplete);
+  EXPECT_EQ(n, 2u);
+}
+
+TEST(Paths, BudgetTruncates) {
+  const Graph g = generators::complete_graph(5);
+  std::size_t n = 0;
+  const EnumStatus st = enumerate_simple_paths(
+      g, 0, 4, [&](const Path&) { ++n; return true; }, 3);
+  EXPECT_EQ(st, EnumStatus::kTruncated);
+  EXPECT_EQ(n, 3u);
+}
+
+TEST(Paths, VisitorCanStop) {
+  const Graph g = generators::complete_graph(5);
+  std::size_t n = 0;
+  const EnumStatus st =
+      enumerate_simple_paths(g, 0, 4, [&](const Path&) { return ++n < 2; });
+  EXPECT_EQ(st, EnumStatus::kTruncated);
+  EXPECT_EQ(n, 2u);
+}
+
+TEST(Paths, AllSimplePathsThrowsOverBudget) {
+  const Graph g = generators::complete_graph(5);
+  EXPECT_THROW(all_simple_paths(g, 0, 4, 10), std::length_error);
+}
+
+TEST(Paths, EveryEnumeratedPathIsSimpleAndTerminal) {
+  const Graph g = generators::grid_graph(3, 3);
+  for (const Path& p : all_simple_paths(g, 0, 8)) {
+    EXPECT_TRUE(is_simple_path(g, p));
+    EXPECT_EQ(p.front(), 0u);
+    EXPECT_EQ(p.back(), 8u);
+  }
+}
+
+TEST(Paths, GridPathCountKnownValue) {
+  // 2x2 grid (square): exactly 2 corner-to-corner simple paths.
+  EXPECT_EQ(count_simple_paths(generators::grid_graph(2, 2), 0, 3, 100), 2u);
+  // 3x3 grid corner-to-corner: 12 simple paths (known enumeration).
+  EXPECT_EQ(count_simple_paths(generators::grid_graph(3, 3), 0, 8, 1000), 12u);
+}
+
+}  // namespace
+}  // namespace rmt

@@ -1,0 +1,91 @@
+// Tests for PPA (protocols/ppa.hpp) — the full-knowledge baseline.
+#include "protocols/ppa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/feasibility.hpp"
+#include "graph/generators.hpp"
+#include "protocols/runner.hpp"
+#include "sim/strategies.hpp"
+#include "tests/test_util.hpp"
+
+namespace rmt::protocols {
+namespace {
+
+using testing::structure;
+
+TEST(Ppa, FaultFreeDelivery) {
+  const Graph g = generators::cycle_graph(6);
+  const Instance inst = Instance::full_knowledge(g, structure({NodeSet{1}}), 0, 3);
+  const Outcome out = run_rmt(inst, Ppa{}, 77, NodeSet{});
+  EXPECT_TRUE(out.correct);
+}
+
+TEST(Ppa, SurvivesSilentCutOfOnePath) {
+  // Cycle: corrupting 1 silences one arc; the Z = {1}-avoiding paths all
+  // delivered via the other arc.
+  const Graph g = generators::cycle_graph(6);
+  const Instance inst = Instance::full_knowledge(g, structure({NodeSet{1}}), 0, 3);
+  sim::SilentStrategy silent;
+  const Outcome out = run_rmt(inst, Ppa{}, 77, NodeSet{1}, &silent);
+  EXPECT_TRUE(out.correct);
+}
+
+TEST(Ppa, SurvivesActiveLiar) {
+  const Graph g = generators::cycle_graph(6);
+  const Instance inst = Instance::full_knowledge(g, structure({NodeSet{1}}), 0, 3);
+  sim::TwoFacedStrategy attack;
+  const Outcome out = run_rmt(inst, Ppa{}, 77, NodeSet{1}, &attack);
+  EXPECT_TRUE(out.correct);
+  EXPECT_FALSE(out.wrong);
+}
+
+TEST(Ppa, DeliversOnTriplePathWhereAdHocFails) {
+  // The knowledge-separating family under full knowledge: solvable, and
+  // PPA must actually deliver against the pair-cut attack.
+  const Graph g = generators::parallel_paths(3, 2);
+  const auto z = structure({NodeSet{1}, NodeSet{3}, NodeSet{5}});
+  const NodeId r = NodeId(g.num_nodes() - 1);
+  const Instance inst = Instance::full_knowledge(g, z, 0, r);
+  ASSERT_TRUE(analysis::solvable_full_knowledge(g, z, 0, r));
+  for (NodeId liar : {1u, 3u, 5u}) {
+    sim::TwoFacedStrategy attack;
+    const Outcome out = run_rmt(inst, Ppa{}, 5, NodeSet{liar}, &attack);
+    EXPECT_TRUE(out.correct) << "liar=" << liar;
+  }
+}
+
+TEST(Ppa, SafeOnSolvableInstancesUnderAllStrategies) {
+  Rng rng(113);
+  for (int trial = 0; trial < 12; ++trial) {
+    const Instance inst = testing::random_instance(7, 0.35, 3, 2, SIZE_MAX, rng);
+    if (!analysis::solvable_full_knowledge(inst.graph(), inst.adversary(), inst.dealer(),
+                                           inst.receiver()))
+      continue;
+    for (const NodeSet& t : inst.adversary().maximal_sets()) {
+      sim::SilentStrategy silent;
+      sim::ValueFlipStrategy flip;
+      sim::TwoFacedStrategy twofaced;
+      for (sim::AdversaryStrategy* s : std::vector<sim::AdversaryStrategy*>{
+               &silent, &flip, &twofaced}) {
+        const Outcome out = run_rmt(inst, Ppa{}, 3, t, s);
+        EXPECT_FALSE(out.wrong) << inst.to_string() << " T=" << t.to_string();
+        EXPECT_TRUE(out.correct) << inst.to_string() << " T=" << t.to_string();
+      }
+    }
+  }
+}
+
+TEST(Ppa, TruncatedPathBudgetAbstainsInsteadOfGuessing) {
+  // A graph with more simple paths than the budget: the receiver must
+  // abstain (stay safe), never decide heuristically.
+  const Graph g = generators::complete_graph(7);
+  const Instance inst = Instance::full_knowledge(g, structure({NodeSet{1}}), 0, 6);
+  const Outcome out = run_rmt(inst, Ppa{2}, 4, NodeSet{1}, nullptr);
+  // With max_paths = 2 every witness check is truncated.
+  EXPECT_FALSE(out.decision.has_value());
+  EXPECT_FALSE(out.wrong);
+}
+
+}  // namespace
+}  // namespace rmt::protocols

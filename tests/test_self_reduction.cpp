@@ -1,0 +1,95 @@
+// Tests for the Theorem-9 self-reduction (reduction/self_reduction.hpp):
+// the SimulationOracle must answer membership *exactly* like the explicit
+// oracle, and Z-CPA composed with it must behave identically on the wire.
+#include "reduction/self_reduction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "protocols/runner.hpp"
+#include "protocols/zcpa.hpp"
+#include "sim/strategies.hpp"
+#include "tests/test_util.hpp"
+
+namespace rmt::reduction {
+namespace {
+
+using testing::structure;
+
+TEST(SimulationOracle, MatchesExplicitOnHandStructure) {
+  const NodeSet neighborhood{1, 2, 3};
+  const auto z = structure({NodeSet{1, 2}, NodeSet{3}});
+  SimulationOracle sim(neighborhood, std::make_unique<ZcpaBasicProtocol>(z));
+  ExplicitOracle exact(z);
+  for (std::size_t mask = 0; mask < 8; ++mask) {
+    NodeSet n;
+    if (mask & 1) n.insert(1);
+    if (mask & 2) n.insert(2);
+    if (mask & 4) n.insert(3);
+    EXPECT_EQ(sim.member(n), exact.member(n)) << n.to_string();
+  }
+  EXPECT_EQ(sim.simulations(), 8u);
+  EXPECT_EQ(sim.queries(), 8u);
+}
+
+// The appendix-G equivalence N ∉ Z_v ⇔ decision_{e₀}(v) = 0, across random
+// local structures and queries.
+TEST(SimulationOracleProperty, EquivalenceSweep) {
+  Rng rng(149);
+  for (int trial = 0; trial < 60; ++trial) {
+    const NodeSet neighborhood = testing::from_mask(1 + rng.uniform(0, 62), 6);
+    std::vector<NodeSet> gen;
+    for (int i = 0; i < 1 + int(rng.index(3)); ++i)
+      gen.push_back(testing::from_mask(rng.uniform(0, 63), 6) & neighborhood);
+    gen.push_back(NodeSet{});
+    const auto z = AdversaryStructure::from_sets(gen);
+    SimulationOracle sim(neighborhood, std::make_unique<ZcpaBasicProtocol>(z));
+    ExplicitOracle exact(z);
+    for (int probe = 0; probe < 20; ++probe) {
+      const NodeSet n = testing::from_mask(rng.uniform(0, 63), 6) & neighborhood;
+      ASSERT_EQ(sim.member(n), exact.member(n))
+          << "N=" << n.to_string() << " A=" << neighborhood.to_string()
+          << " Z=" << z.to_string();
+    }
+  }
+}
+
+TEST(SimulationOracle, RejectsQueriesOutsideNeighborhood) {
+  SimulationOracle sim(NodeSet{1, 2},
+                       std::make_unique<ZcpaBasicProtocol>(AdversaryStructure::trivial()));
+  EXPECT_THROW(sim.member(NodeSet{3}), std::invalid_argument);
+}
+
+// Corollary 10, operational: Z-CPA(simulation oracle) ≡ Z-CPA(explicit
+// oracle) as protocols — identical outcomes on identical executions.
+TEST(SelfReduction, ZcpaWithSimulationOracleIsIndistinguishable) {
+  Rng rng(151);
+  for (int trial = 0; trial < 12; ++trial) {
+    const Instance inst = testing::random_instance(6, 0.35, 2, 2, 0, rng);
+    for (const NodeSet& t : inst.adversary().maximal_sets()) {
+      sim::ValueFlipStrategy lie1, lie2;
+      const protocols::Outcome explicit_run =
+          protocols::run_rmt(inst, protocols::Zcpa{}, 4, t, &lie1);
+      const protocols::Outcome simulated_run = protocols::run_rmt(
+          inst, protocols::Zcpa{simulation_oracle_factory(), "Z-CPA[sim]"}, 4, t, &lie2);
+      EXPECT_EQ(explicit_run.decision, simulated_run.decision) << inst.to_string();
+      EXPECT_EQ(explicit_run.stats.rounds, simulated_run.stats.rounds);
+      EXPECT_EQ(explicit_run.stats.honest_messages, simulated_run.stats.honest_messages);
+    }
+  }
+}
+
+TEST(SelfReduction, FactoryWiresTheNodesOwnKnowledge) {
+  // The factory must build the star protocol over the node's Z_v — check
+  // through a full execution that certification still works.
+  const Graph g = generators::parallel_paths(3, 1);
+  const auto z = threshold_structure(NodeSet{1, 2, 3}, 1);
+  const Instance inst = Instance::ad_hoc(g, z, 0, 4);
+  sim::ValueFlipStrategy lie;
+  const protocols::Outcome out = protocols::run_rmt(
+      inst, protocols::Zcpa{simulation_oracle_factory(), "Z-CPA[sim]"}, 6, NodeSet{1}, &lie);
+  EXPECT_TRUE(out.correct);
+}
+
+}  // namespace
+}  // namespace rmt::reduction

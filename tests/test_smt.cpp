@@ -1,0 +1,250 @@
+// Tests for the secure-transmission companion module (smt/): field,
+// polynomials, Shamir sharing with robust decoding, and the wires-model
+// PRMT/PSMT protocols — including the *perfect privacy* property, checked
+// constructively.
+#include "smt/psmt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/cuts.hpp"
+#include "graph/generators.hpp"
+#include "tests/test_util.hpp"
+
+namespace rmt::smt {
+namespace {
+
+TEST(Gf, FieldLaws) {
+  Rng rng(501);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Fp a(rng.uniform(0, ~0ull)), b(rng.uniform(0, ~0ull)), c(rng.uniform(0, ~0ull));
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a - a, Fp(0));
+    EXPECT_EQ(a + Fp(0), a);
+    EXPECT_EQ(a * Fp(1), a);
+    if (!(a == Fp(0))) {
+      EXPECT_EQ(a * a.inverse(), Fp(1));
+      EXPECT_EQ((a / a), Fp(1));
+    }
+  }
+  EXPECT_THROW(Fp(0).inverse(), std::invalid_argument);
+  EXPECT_EQ(Fp(kFieldPrime), Fp(0));  // reduction
+  EXPECT_EQ(Fp(3).pow(0), Fp(1));
+}
+
+TEST(Gf, MersenneOrder) {
+  // p = 2^31 - 1 ⇒ 2^31 ≡ 1 (mod p).
+  EXPECT_EQ(Fp(2).pow(31), Fp(1));
+  // Fermat: a^(p-1) = 1.
+  EXPECT_EQ(Fp(123456789).pow(kFieldPrime - 1), Fp(1));
+}
+
+TEST(Poly, EvalAndDegree) {
+  const Poly f{Fp(5), Fp(0), Fp(2)};  // 5 + 2x^2
+  EXPECT_EQ(eval(f, Fp(0)), Fp(5));
+  EXPECT_EQ(eval(f, Fp(3)), Fp(23));
+  EXPECT_EQ(degree(f), 2u);
+  EXPECT_EQ(degree(Poly{Fp(7)}), 0u);
+  EXPECT_EQ(degree(Poly{}), 0u);
+}
+
+TEST(Poly, InterpolationRoundTrip) {
+  Rng rng(503);
+  for (int trial = 0; trial < 40; ++trial) {
+    Poly f;
+    const std::size_t deg = rng.index(6);
+    for (std::size_t i = 0; i <= deg; ++i) f.push_back(Fp(rng.uniform(0, kFieldPrime - 1)));
+    std::vector<std::pair<Fp, Fp>> pts;
+    for (std::size_t x = 1; x <= deg + 1; ++x) pts.push_back({Fp(x), eval(f, Fp(x))});
+    const Poly g = interpolate(pts);
+    EXPECT_TRUE(fits(g, pts));
+    for (std::uint64_t x = 0; x < 10; ++x) EXPECT_EQ(eval(g, Fp(x)), eval(f, Fp(x)));
+  }
+  EXPECT_THROW(interpolate({}), std::invalid_argument);
+  EXPECT_THROW(interpolate({{Fp(1), Fp(2)}, {Fp(1), Fp(3)}}), std::invalid_argument);
+}
+
+TEST(Shamir, ShareAndReconstruct) {
+  Rng rng(509);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Fp secret(rng.uniform(0, kFieldPrime - 1));
+    const std::size_t t = rng.index(4), n = t + 1 + rng.index(5);
+    const auto shares = share(secret, t, n, rng);
+    ASSERT_EQ(shares.size(), n);
+    EXPECT_EQ(reconstruct(shares, t), secret);
+    // Any (t+1)-subset reconstructs too.
+    std::vector<Share> tail(shares.end() - std::ptrdiff_t(t + 1), shares.end());
+    EXPECT_EQ(reconstruct(tail, t), secret);
+  }
+  Rng r2(1);
+  EXPECT_THROW(share(Fp(1), 3, 3, r2), std::invalid_argument);
+}
+
+TEST(Shamir, RobustDecodingUniqueRegime) {
+  // n = 3t+1: up to t arbitrarily corrupted shares never change the result.
+  Rng rng(521);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t t = 1 + rng.index(2), n = 3 * t + 1;
+    const Fp secret(rng.uniform(0, kFieldPrime - 1));
+    auto shares = share(secret, t, n, rng);
+    for (std::size_t k = 0; k < t; ++k)
+      shares[rng.index(n)].value = Fp(rng.uniform(0, kFieldPrime - 1));
+    const DecodeResult r = robust_reconstruct(shares, t);
+    ASSERT_TRUE(r.secret.has_value());
+    EXPECT_EQ(*r.secret, secret);
+    EXPECT_GE(r.agreeing, n - t);
+  }
+}
+
+TEST(Shamir, RobustDecodingIdentifiesTheLiars) {
+  Rng rng(523);
+  const Fp secret(42);
+  auto shares = share(secret, 2, 7, rng);  // t=2, n=7=3t+1
+  shares[1].value += Fp(1);
+  shares[4].value += Fp(99);
+  const DecodeResult r = robust_reconstruct(shares, 2);
+  ASSERT_TRUE(r.secret.has_value());
+  EXPECT_EQ(*r.secret, secret);
+  EXPECT_EQ(r.rejected, (std::vector<std::uint32_t>{shares[1].index, shares[4].index}));
+}
+
+TEST(Shamir, DetectionRegimeNeverLies) {
+  // 2t+1 <= n < 3t+1: corrupted shares may force a failure but never a
+  // wrong secret.
+  Rng rng(541);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t t = 2, n = 5;  // 2t+1 = 5 < 3t+1 = 7
+    const Fp secret(rng.uniform(0, kFieldPrime - 1));
+    auto shares = share(secret, t, n, rng);
+    const std::size_t k = rng.index(t + 1);
+    std::set<std::size_t> hit;
+    while (hit.size() < k) hit.insert(rng.index(n));
+    for (std::size_t i : hit) shares[i].value += Fp(1 + rng.uniform(0, 100));
+    const DecodeResult r = robust_reconstruct(shares, t);
+    if (r.secret) {
+      EXPECT_EQ(*r.secret, secret) << "decoded a WRONG secret";
+    }
+    if (hit.empty()) {
+      EXPECT_TRUE(r.secret.has_value());  // clean input decodes
+    }
+  }
+}
+
+TEST(Prmt, MajorityBound) {
+  // n = 2t+1 tolerates t liars; n = 2t does not (must abstain, not lie).
+  for (std::size_t t = 1; t <= 3; ++t) {
+    std::vector<WireFault> faults;
+    for (std::size_t i = 1; i <= t; ++i) faults.push_back({std::uint32_t(i), Fp(999)});
+    const auto good = prmt_transmit(Fp(7), 2 * t + 1, t, faults);
+    EXPECT_TRUE(good.correct);
+    const auto tight = prmt_transmit(Fp(7), 2 * t, t, faults);
+    EXPECT_FALSE(tight.wrong);
+    EXPECT_FALSE(tight.delivered.has_value());
+  }
+}
+
+TEST(Prmt, DropsCountAgainstEveryone) {
+  // t dropped wires: the survivors still form a majority at n = 2t+1.
+  std::vector<WireFault> faults{{1, std::nullopt}, {2, std::nullopt}};
+  const auto out = prmt_transmit(Fp(3), 5, 2, faults);
+  EXPECT_TRUE(out.correct);
+}
+
+TEST(Psmt, ReliableAt3tPlus1) {
+  Rng rng(547);
+  for (std::size_t t = 1; t <= 2; ++t) {
+    for (int trial = 0; trial < 10; ++trial) {
+      std::vector<WireFault> faults;
+      for (std::size_t i = 1; i <= t; ++i)
+        faults.push_back({std::uint32_t(1 + rng.index(3 * t + 1)), Fp(rng.uniform(0, 1000))});
+      // Deduplicate wire indices (a wire corrupted twice is one fault).
+      std::set<std::uint32_t> seen;
+      std::vector<WireFault> unique_faults;
+      for (const auto& f : faults)
+        if (seen.insert(f.wire).second) unique_faults.push_back(f);
+      const auto out = psmt_transmit(Fp(1234), 3 * t + 1, t, unique_faults, rng);
+      EXPECT_TRUE(out.correct) << "t=" << t;
+    }
+  }
+}
+
+TEST(Psmt, DetectionAt2tPlus1) {
+  Rng rng(557);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<WireFault> faults{{1, Fp(rng.uniform(0, 1000))},
+                                  {3, Fp(rng.uniform(0, 1000))}};
+    const auto out = psmt_transmit(Fp(77), 5, 2, faults, rng);  // n = 2t+1
+    EXPECT_FALSE(out.wrong);  // may abstain, never lies
+  }
+}
+
+TEST(Psmt, PerfectPrivacyConstructive) {
+  // For every adversary view (t wires) and EVERY candidate secret there is
+  // a degree-t sharing consistent with both — the adversary's view carries
+  // zero information about the secret.
+  Rng rng(563);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t t = 1 + rng.index(3), n = 3 * t + 1;
+    const Fp secret(rng.uniform(0, kFieldPrime - 1));
+    NodeSet corrupted;
+    while (corrupted.size() < t) corrupted.insert(NodeId(1 + rng.index(n)));
+    const auto view = psmt_adversary_view(secret, n, t, corrupted, rng);
+    ASSERT_EQ(view.size(), t);
+    for (int candidate = 0; candidate < 5; ++candidate) {
+      const Fp claimed(rng.uniform(0, kFieldPrime - 1));
+      const Poly f = explain_view(view, claimed);
+      EXPECT_LE(degree(f), t);
+      EXPECT_EQ(eval(f, Fp(0)), claimed);
+      for (const Share& s : view) EXPECT_EQ(eval(f, Fp(s.index)), s.value);
+    }
+  }
+}
+
+TEST(Wires, DisjointExtraction) {
+  // Layered width-3: exactly 3 disjoint wires.
+  const Graph g = generators::layered_graph(2, 3);
+  const NodeId r = NodeId(g.num_nodes() - 1);
+  const auto wires = disjoint_wires(g, 0, r, 5);
+  EXPECT_EQ(wires.size(), 3u);
+  NodeSet interiors;
+  for (const Path& w : wires) {
+    EXPECT_TRUE(is_simple_path(g, w));
+    EXPECT_EQ(w.front(), 0u);
+    EXPECT_EQ(w.back(), r);
+    for (NodeId v : w)
+      if (v != 0 && v != r) {
+        EXPECT_FALSE(interiors.contains(v)) << "wires share interior " << v;
+        interiors.insert(v);
+      }
+  }
+}
+
+TEST(Wires, DirectEdgeUsedOnce) {
+  const Graph g = generators::complete_graph(4);
+  const auto wires = disjoint_wires(g, 0, 3, 5);
+  EXPECT_EQ(wires.size(), 3u);  // direct + via 1 + via 2
+  std::size_t direct = 0;
+  for (const Path& w : wires) direct += (w.size() == 2);
+  EXPECT_EQ(direct, 1u);
+}
+
+TEST(Wires, EndToEndPsmtOverAGraph) {
+  // The full story: find wires in a topology, run PSMT over them with the
+  // max tolerable t, corrupt a wire, still deliver.
+  const Graph g = generators::layered_graph(2, 4);  // 4 disjoint wires
+  const NodeId r = NodeId(g.num_nodes() - 1);
+  const auto wires = disjoint_wires(g, 0, r, 4);
+  ASSERT_EQ(wires.size(), 4u);
+  const std::size_t t = (wires.size() - 1) / 3;  // n >= 3t+1
+  Rng rng(569);
+  const auto out = psmt_transmit(Fp(31337), wires.size(), t, {{2, Fp(666)}}, rng);
+  EXPECT_TRUE(out.correct);
+}
+
+}  // namespace
+}  // namespace rmt::smt

@@ -1,0 +1,116 @@
+// Unit tests for adversary/threshold.hpp — the classic models the general
+// adversary subsumes.
+#include "adversary/threshold.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "tests/test_util.hpp"
+
+namespace rmt {
+namespace {
+
+TEST(Threshold, GlobalThresholdCounts) {
+  const NodeSet u = NodeSet::full(5);
+  const auto z = threshold_structure(u, 2);
+  EXPECT_EQ(z.num_maximal_sets(), 10u);  // C(5,2)
+  EXPECT_TRUE(z.contains(NodeSet{0, 4}));
+  EXPECT_TRUE(z.contains(NodeSet{3}));
+  EXPECT_FALSE(z.contains(NodeSet{0, 1, 2}));
+}
+
+TEST(Threshold, ZeroThresholdIsTrivial) {
+  const auto z = threshold_structure(NodeSet::full(4), 0);
+  EXPECT_EQ(z, AdversaryStructure::trivial());
+}
+
+TEST(Threshold, ThresholdAboveUniverse) {
+  const auto z = threshold_structure(NodeSet::full(3), 10);
+  EXPECT_EQ(z.num_maximal_sets(), 1u);
+  EXPECT_TRUE(z.contains(NodeSet{0, 1, 2}));
+}
+
+TEST(Threshold, SubsetUniverse) {
+  const auto z = threshold_structure(NodeSet{2, 5, 7}, 1);
+  EXPECT_EQ(z.num_maximal_sets(), 3u);
+  EXPECT_FALSE(z.contains(NodeSet{0}));
+}
+
+TEST(TLocal, PathGraphStructure) {
+  // On a path, the 1-local bound forbids two corruptions within any closed
+  // neighborhood — i.e. no two adjacent-or-distance-2 corruptions.
+  const Graph g = generators::path_graph(5);
+  const auto z = t_local_structure(g, 1);
+  EXPECT_TRUE(z.contains(NodeSet{0, 3}));   // distance 3 apart
+  EXPECT_TRUE(z.contains(NodeSet{1, 4}));
+  EXPECT_FALSE(z.contains(NodeSet{1, 2}));  // both in N[1]
+  EXPECT_FALSE(z.contains(NodeSet{1, 3}));  // both in N[2]
+  EXPECT_TRUE(z.contains(NodeSet{0, 3}));
+}
+
+TEST(TLocal, EveryMemberSatisfiesLocalBound) {
+  Rng rng(3);
+  const Graph g = generators::random_connected_gnp(8, 0.3, rng);
+  const std::size_t t = 2;
+  const auto z = t_local_structure(g, t);
+  z.enumerate_members([&](const NodeSet& s) {
+    bool ok = true;
+    g.nodes().for_each([&](NodeId v) {
+      if ((s & g.closed_neighborhood(v)).size() > t) ok = false;
+    });
+    EXPECT_TRUE(ok) << s.to_string();
+    return true;
+  });
+}
+
+TEST(TLocal, MaximalSetsAreMaximal) {
+  const Graph g = generators::cycle_graph(6);
+  const auto z = t_local_structure(g, 1);
+  for (const NodeSet& m : z.maximal_sets()) {
+    // Adding any further node must violate the local bound.
+    (g.nodes() - m).for_each([&](NodeId v) {
+      NodeSet bigger = m;
+      bigger.insert(v);
+      bool violates = false;
+      g.nodes().for_each([&](NodeId u) {
+        if ((bigger & g.closed_neighborhood(u)).size() > 1) violates = true;
+      });
+      EXPECT_TRUE(violates);
+    });
+  }
+}
+
+TEST(TLocal, SubsumesGlobalOnCompleteGraph) {
+  // On K_n every node's closed neighborhood is V, so t-local = global-t.
+  const Graph g = generators::complete_graph(5);
+  EXPECT_EQ(t_local_structure(g, 2), threshold_structure(g.nodes(), 2));
+}
+
+TEST(TLocal, NeighborhoodStructure) {
+  const Graph g = generators::path_graph(4);
+  const auto z = t_local_neighborhood_structure(g, 1, 1);
+  EXPECT_TRUE(z.contains(NodeSet{0}));
+  EXPECT_TRUE(z.contains(NodeSet{2}));
+  EXPECT_FALSE(z.contains(NodeSet{0, 2}));  // |{0,2}| > t
+  EXPECT_FALSE(z.contains(NodeSet{1}));     // not a neighbor of 1
+}
+
+TEST(RandomStructure, RespectsExclusionsAndContainsEmpty) {
+  Rng rng(8);
+  const NodeSet universe = NodeSet::full(10);
+  const NodeSet excluded{0, 9};
+  const auto z = random_structure(universe, 5, 3, excluded, rng);
+  EXPECT_TRUE(z.contains(NodeSet{}));
+  EXPECT_TRUE(z.support().is_disjoint_from(excluded));
+  EXPECT_LE(z.max_corruption_size(), 3u);
+}
+
+TEST(RandomStructure, Deterministic) {
+  Rng a(5), b(5);
+  const auto za = random_structure(NodeSet::full(8), 4, 2, NodeSet{}, a);
+  const auto zb = random_structure(NodeSet::full(8), 4, 2, NodeSet{}, b);
+  EXPECT_EQ(za, zb);
+}
+
+}  // namespace
+}  // namespace rmt

@@ -1,0 +1,151 @@
+// Tests for Byzantine-resilient topology discovery
+// (protocols/topology_discovery.hpp) — the §6 outlook, verified.
+#include "protocols/topology_discovery.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "protocols/zcpa.hpp"
+#include "sim/strategies.hpp"
+#include "tests/test_util.hpp"
+
+namespace rmt::protocols {
+namespace {
+
+using testing::structure;
+
+TEST(TopologyDiscovery, FaultFreeRecoversTheWholeGraph) {
+  Rng rng(431);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Graph g = generators::random_connected_gnp(8, 0.3, rng);
+    const Instance inst = Instance::ad_hoc(g, AdversaryStructure::trivial(), 0, 7);
+    const auto reports = run_topology_discovery(inst, NodeSet{});
+    g.nodes().for_each([&](NodeId v) {
+      EXPECT_EQ(reports[v].certified, g) << "node " << v << " on " << g.to_string();
+      EXPECT_TRUE(reports[v].conflicted.empty());
+    });
+  }
+}
+
+TEST(TopologyDiscovery, SilentCorruptionHidesOnlyTheFarSide) {
+  // Path 0-1-2-3-4 with node 2 corrupted and silent: node 0 still learns
+  // everything its side vouches for — edges {0,1},{1,2} (1's report
+  // arrives and 2's absence only hides 2's own claims).
+  const Graph g = generators::path_graph(5);
+  const auto z = structure({NodeSet{2}});
+  const Instance inst = Instance::ad_hoc(g, z, 0, 4);
+  sim::SilentStrategy silent;
+  const auto reports = run_topology_discovery(inst, NodeSet{2}, &silent);
+  const Graph& map0 = reports[0].certified;
+  EXPECT_TRUE(map0.has_edge(0, 1));
+  // {1,2} needs BOTH endpoints; 2 is silent → not certified.
+  EXPECT_FALSE(map0.has_edge(1, 2));
+  EXPECT_FALSE(map0.has_node(4));  // the far side is invisible
+  // The far node 4 symmetrically sees only its side.
+  EXPECT_TRUE(reports[4].certified.has_edge(3, 4));
+  EXPECT_FALSE(reports[4].certified.has_node(0));
+}
+
+TEST(TopologyDiscovery, ForgedClaimsAboutReachableHonestNodesConflictOut) {
+  // Cycle of 5: node 1 corrupted, fabricating a false self-report for the
+  // honest, reachable node 3 (phantom edge 3-9). Node 3's true report
+  // also reaches everyone → subject 3 becomes conflicted → no 3-incident
+  // certification from claims; and the fake edge never appears.
+  const Graph g = generators::cycle_graph(5);
+  const auto z = structure({NodeSet{1}});
+  const Instance inst = Instance::ad_hoc(g, z, 0, 2);
+
+  class ForgeAboutHonest final : public sim::AdversaryStrategy {
+   public:
+    std::vector<sim::Message> act(const sim::AdversaryView& view) override {
+      if (view.round != 2) return {};
+      std::vector<sim::Message> out;
+      Graph fake;
+      fake.add_edge(3, 9);
+      fake.add_edge(3, 2);
+      fake.add_edge(3, 4);
+      view.corrupted.for_each([&](NodeId c) {
+        view.instance.graph().neighbors(c).for_each([&](NodeId u) {
+          out.push_back({c, u,
+                         sim::KnowledgePayload{3, fake, AdversaryStructure::trivial(),
+                                               Path{3, c}}});
+        });
+      });
+      return out;
+    }
+  };
+  ForgeAboutHonest forger;
+  const auto reports = run_topology_discovery(inst, NodeSet{1}, &forger);
+  for (NodeId v : {0u, 2u, 4u}) {
+    EXPECT_FALSE(reports[v].certified.has_edge(3, 9)) << "node " << v;
+    EXPECT_FALSE(reports[v].certified.has_node(9)) << "node " << v;
+    EXPECT_TRUE(reports[v].conflicted.contains(3)) << "node " << v;
+  }
+  // Node 3's own star is still known to its neighbors via their own views
+  // (ground truth) even though subject 3 is conflicted.
+  EXPECT_TRUE(reports[2].certified.has_edge(2, 3));
+  EXPECT_TRUE(reports[4].certified.has_edge(3, 4));
+}
+
+TEST(TopologyDiscovery, PhantomRegionsAttachOnlyThroughCorruptedNodes) {
+  // The FictitiousWorldStrategy invents a phantom chain D—q1—q2—c. The
+  // phantom *interior* edges may get certified (nothing contradicts
+  // them), but no edge from a phantom to a reachable honest node may —
+  // in particular the claimed D—q1 edge must be rejected (D's true
+  // report conflicts with nothing but simply never vouches for q1).
+  const Graph g = generators::cycle_graph(5);
+  const auto z = structure({NodeSet{1}});
+  const Instance inst = Instance::ad_hoc(g, z, 0, 2);
+  sim::FictitiousWorldStrategy phantom(1, 2);
+  const auto reports = run_topology_discovery(inst, NodeSet{1}, &phantom);
+  const std::size_t cap = g.capacity();
+  g.nodes().for_each([&](NodeId v) {
+    if (v == 1) return;
+    const Graph& map = reports[v].certified;
+    for (const Edge& e : map.edges()) {
+      const bool a_phantom = e.a >= cap, b_phantom = e.b >= cap;
+      if (a_phantom != b_phantom) {
+        // Mixed edge: the real endpoint must be the corrupted node.
+        const NodeId real = a_phantom ? e.b : e.a;
+        EXPECT_EQ(real, 1u) << "node " << v << " certified " << e.a << "-" << e.b;
+      }
+    }
+  });
+}
+
+TEST(TopologyDiscovery, ActiveLiarCannotPreventHonestSideDiscovery) {
+  Rng rng(443);
+  for (int trial = 0; trial < 6; ++trial) {
+    const Graph g = generators::random_connected_gnp(7, 0.35, rng);
+    const auto z = random_structure(g.nodes(), 1, 1, NodeSet{0, 6}, rng);
+    NodeSet t;
+    for (const NodeSet& m : z.maximal_sets())
+      if (!m.empty()) t = m;
+    if (t.empty()) continue;
+    const Instance inst = Instance::ad_hoc(g, z, 0, 6);
+    sim::TwoFacedStrategy attack;
+    const auto reports = run_topology_discovery(inst, t, &attack);
+    // Every edge between honest nodes reachable from 0 avoiding t must be
+    // certified in node 0's map.
+    const NodeSet reachable = component_of(g, 0, t);
+    for (const Edge& e : g.edges()) {
+      if (t.contains(e.a) || t.contains(e.b)) continue;
+      if (!reachable.contains(e.a) || !reachable.contains(e.b)) continue;
+      EXPECT_TRUE(reports[0].certified.has_edge(e.a, e.b))
+          << e.a << "-" << e.b << " missing on " << g.to_string();
+    }
+  }
+}
+
+TEST(TopologyDiscovery, ReportOfRejectsForeignNodes) {
+  const Graph g = generators::path_graph(3);
+  const Instance inst = Instance::ad_hoc(g, AdversaryStructure::trivial(), 0, 2);
+  const Zcpa zcpa;
+  PublicInfo pub{0, 2, std::nullopt};
+  const auto node = zcpa.make_node(inst.knowledge_of(1), pub);
+  EXPECT_THROW(TopologyDiscovery::report_of(*node), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rmt::protocols

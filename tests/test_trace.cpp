@@ -1,0 +1,68 @@
+// Tests for the execution transcript machinery (sim/trace.hpp).
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "protocols/runner.hpp"
+#include "protocols/zcpa.hpp"
+#include "sim/strategies.hpp"
+#include "tests/test_util.hpp"
+
+namespace rmt::sim {
+namespace {
+
+using testing::structure;
+
+TEST(Trace, RecordsHonestAndAdversarialDeliveries) {
+  const Graph g = generators::parallel_paths(3, 1);
+  const auto z = threshold_structure(NodeSet{1, 2, 3}, 1);
+  const Instance inst = Instance::ad_hoc(g, z, 0, 4);
+  TraceRecorder trace;
+  ValueFlipStrategy lie;
+  const protocols::Outcome out =
+      protocols::run_rmt(inst, protocols::Zcpa{}, 9, NodeSet{2}, &lie, 0, &trace);
+  EXPECT_TRUE(out.correct);
+  ASSERT_FALSE(trace.entries().empty());
+  bool saw_honest = false, saw_adversarial = false, rounds_monotone = true;
+  std::size_t prev_round = 0;
+  for (const auto& e : trace.entries()) {
+    (e.adversarial ? saw_adversarial : saw_honest) = true;
+    if (e.round < prev_round) rounds_monotone = false;
+    prev_round = e.round;
+    EXPECT_TRUE(inst.graph().has_edge(e.message.from, e.message.to));
+  }
+  EXPECT_TRUE(saw_honest);
+  EXPECT_TRUE(saw_adversarial);
+  EXPECT_TRUE(rounds_monotone);
+}
+
+TEST(Trace, RenderedTranscriptIsReadable) {
+  const Graph g = generators::path_graph(3);
+  const Instance inst = Instance::ad_hoc(g, AdversaryStructure::trivial(), 0, 2);
+  TraceRecorder trace;
+  protocols::run_rmt(inst, protocols::Zcpa{}, 5, NodeSet{}, nullptr, 0, &trace);
+  const std::string text = trace.render();
+  EXPECT_NE(text.find("[r1] 0 -> 1  value(5)"), std::string::npos);
+  EXPECT_NE(text.find("[r"), std::string::npos);
+  // Per-node filter only keeps deliveries to that node.
+  const std::string for_receiver = trace.render_for(2);
+  EXPECT_NE(for_receiver.find("-> 2"), std::string::npos);
+  EXPECT_EQ(for_receiver.find("-> 1"), std::string::npos);
+}
+
+TEST(Trace, CountsMatchNetworkStats) {
+  const Graph g = generators::cycle_graph(5);
+  const Instance inst = Instance::ad_hoc(g, structure({NodeSet{1}}), 0, 2);
+  TraceRecorder trace;
+  ValueFlipStrategy lie;
+  const protocols::Outcome out =
+      protocols::run_rmt(inst, protocols::Zcpa{}, 9, NodeSet{1}, &lie, 0, &trace);
+  std::size_t honest = 0, adversarial = 0;
+  for (const auto& e : trace.entries()) (e.adversarial ? adversarial : honest) += 1;
+  EXPECT_EQ(honest, out.stats.honest_messages);
+  EXPECT_EQ(adversarial, out.stats.adversary_messages);
+}
+
+}  // namespace
+}  // namespace rmt::sim

@@ -1,0 +1,117 @@
+// Tests for the util layer: OnlineStats, Rng, fmt.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "util/fmt.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace rmt {
+namespace {
+
+TEST(OnlineStats, MatchesNaiveComputation) {
+  Rng rng(61);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> xs;
+    OnlineStats s;
+    const std::size_t n = 1 + rng.index(200);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double x = rng.real() * 100.0 - 50.0;
+      xs.push_back(x);
+      s.add(x);
+    }
+    const double mean = std::accumulate(xs.begin(), xs.end(), 0.0) / double(n);
+    double var = 0;
+    for (double x : xs) var += (x - mean) * (x - mean);
+    var = n < 2 ? 0.0 : var / double(n - 1);
+    EXPECT_EQ(s.count(), n);
+    EXPECT_NEAR(s.mean(), mean, 1e-9);
+    EXPECT_NEAR(s.variance(), var, 1e-7);
+    EXPECT_NEAR(s.min(), *std::min_element(xs.begin(), xs.end()), 0);
+    EXPECT_NEAR(s.max(), *std::max_element(xs.begin(), xs.end()), 0);
+    EXPECT_NEAR(s.sum(), std::accumulate(xs.begin(), xs.end(), 0.0), 1e-7);
+  }
+}
+
+TEST(OnlineStats, MergeEqualsConcatenation) {
+  Rng rng(67);
+  OnlineStats a, b, whole;
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.real();
+    (i % 2 ? a : b).add(x);
+    whole.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-10);
+  EXPECT_EQ(a.min(), whole.min());
+  EXPECT_EQ(a.max(), whole.max());
+}
+
+TEST(OnlineStats, EmptyAndSingleton) {
+  OnlineStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_THROW(s.mean(), std::invalid_argument);
+  s.add(3.5);
+  EXPECT_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  OnlineStats empty;
+  s.merge(empty);  // no-op
+  EXPECT_EQ(s.count(), 1u);
+  empty.merge(s);  // adopt
+  EXPECT_EQ(empty.count(), 1u);
+}
+
+TEST(Rng, DeterministicAndInRange) {
+  Rng a(5), b(5);
+  for (int i = 0; i < 100; ++i) {
+    const auto x = a.uniform(10, 20);
+    EXPECT_EQ(x, b.uniform(10, 20));
+    EXPECT_GE(x, 10u);
+    EXPECT_LE(x, 20u);
+  }
+  EXPECT_THROW(a.uniform(5, 4), std::invalid_argument);
+  EXPECT_THROW(a.index(0), std::invalid_argument);
+  EXPECT_THROW(a.chance(1.5), std::invalid_argument);
+}
+
+TEST(Rng, ForkDiverges) {
+  Rng base(9);
+  Rng c1 = base.fork(1);
+  Rng c2 = base.fork(2);
+  bool differs = false;
+  for (int i = 0; i < 32 && !differs; ++i)
+    differs = c1.uniform(0, 1u << 30) != c2.uniform(0, 1u << 30);
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Fmt, JoinFixedPad) {
+  EXPECT_EQ(fmt::join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(fmt::join({}, ","), "");
+  EXPECT_EQ(fmt::fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt::fixed(2.0, 0), "2");
+  EXPECT_EQ(fmt::pad("ab", 4), "ab  ");
+  EXPECT_EQ(fmt::pad("abcdef", 3), "abcdef");  // never truncates
+}
+
+TEST(Fmt, Table) {
+  const std::string t = fmt::table({{"col", "x"}, {"row1", "12345"}});
+  EXPECT_NE(t.find("col"), std::string::npos);
+  EXPECT_NE(t.find("-----"), std::string::npos);  // rule sized to widest cell
+  EXPECT_NE(t.find("row1  12345"), std::string::npos);
+  EXPECT_EQ(fmt::table({}), "");
+}
+
+}  // namespace
+}  // namespace rmt

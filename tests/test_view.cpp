@@ -1,0 +1,159 @@
+// Unit tests for the Partial Knowledge Model's view functions
+// (knowledge/view.hpp) and local knowledge derivation.
+#include "knowledge/view.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adversary/threshold.hpp"
+#include "graph/generators.hpp"
+#include "knowledge/local_knowledge.hpp"
+#include "util/rng.hpp"
+
+namespace rmt {
+namespace {
+
+TEST(View, FullKnowledge) {
+  const Graph g = generators::cycle_graph(5);
+  const ViewFunction gamma = ViewFunction::full(g);
+  g.nodes().for_each([&](NodeId v) { EXPECT_EQ(gamma.view(v), g); });
+  EXPECT_EQ(gamma.view_nodes(2), g.nodes());
+}
+
+TEST(View, AdHocIsTheIncidentStar) {
+  const Graph g = generators::cycle_graph(5);
+  const ViewFunction gamma = ViewFunction::ad_hoc(g);
+  const Graph& v0 = gamma.view(0);
+  EXPECT_EQ(v0.nodes(), (NodeSet{0, 1, 4}));
+  EXPECT_TRUE(v0.has_edge(0, 1));
+  EXPECT_TRUE(v0.has_edge(0, 4));
+  EXPECT_FALSE(v0.has_edge(1, 4));  // no knowledge of edges among neighbors
+  EXPECT_EQ(v0.num_edges(), 2u);
+}
+
+TEST(View, KHopInterpolates) {
+  const Graph g = generators::path_graph(7);
+  const ViewFunction k0 = ViewFunction::k_hop(g, 0);
+  // k = 0 is floored to the ad hoc star.
+  EXPECT_EQ(k0.view(3).nodes(), (NodeSet{2, 3, 4}));
+  EXPECT_TRUE(k0.refined_by(ViewFunction::ad_hoc(g)));
+  EXPECT_TRUE(ViewFunction::ad_hoc(g).refined_by(k0));
+  const ViewFunction k1 = ViewFunction::k_hop(g, 1);
+  EXPECT_EQ(k1.view(3).nodes(), (NodeSet{2, 3, 4}));
+  const ViewFunction k9 = ViewFunction::k_hop(g, 9);
+  EXPECT_EQ(k9.view(3), g);
+}
+
+TEST(View, KHopOneContainsAdHoc) {
+  // k_hop(1) is the induced subgraph on N[v] — at least the ad hoc star.
+  Rng rng(13);
+  const Graph g = generators::random_connected_gnp(8, 0.4, rng);
+  const ViewFunction adhoc = ViewFunction::ad_hoc(g);
+  const ViewFunction k1 = ViewFunction::k_hop(g, 1);
+  EXPECT_TRUE(adhoc.refined_by(k1));
+}
+
+TEST(View, KnowledgeHierarchy) {
+  Rng rng(14);
+  const Graph g = generators::random_connected_gnp(9, 0.3, rng);
+  const ViewFunction k1 = ViewFunction::k_hop(g, 1);
+  const ViewFunction k2 = ViewFunction::k_hop(g, 2);
+  const ViewFunction full = ViewFunction::full(g);
+  EXPECT_TRUE(k1.refined_by(k2));
+  EXPECT_TRUE(k2.refined_by(full));
+  EXPECT_TRUE(k1.refined_by(full));
+  EXPECT_TRUE(k1.refined_by(k1));  // reflexive
+}
+
+TEST(View, JointView) {
+  const Graph g = generators::path_graph(5);
+  const ViewFunction gamma = ViewFunction::ad_hoc(g);
+  const Graph joint = gamma.joint_view(NodeSet{1, 2});
+  // γ({1,2}) = star(1) ∪ star(2) = path segment 0-1-2-3.
+  EXPECT_EQ(joint.nodes(), (NodeSet{0, 1, 2, 3}));
+  EXPECT_EQ(joint.num_edges(), 3u);
+  EXPECT_EQ(gamma.joint_view_nodes(NodeSet{1, 2}), joint.nodes());
+}
+
+TEST(View, SetViewValidation) {
+  const Graph g = generators::path_graph(3);
+  ViewFunction gamma = ViewFunction::custom(g);
+  Graph ok;
+  ok.add_edge(0, 1);  // node 0's full star on the path
+  gamma.set_view(0, ok);
+  EXPECT_EQ(gamma.view(0).num_edges(), 1u);
+
+  Graph missing_owner;
+  missing_owner.add_edge(1, 2);
+  EXPECT_THROW(gamma.set_view(0, missing_owner), std::invalid_argument);
+
+  Graph not_subgraph;
+  not_subgraph.add_edge(0, 2);  // not an edge of the path
+  EXPECT_THROW(gamma.set_view(0, not_subgraph), std::invalid_argument);
+
+  // Below the model floor: node 1 must know both of its channels.
+  Graph half_star;
+  half_star.add_edge(1, 0);
+  EXPECT_THROW(gamma.set_view(1, half_star), std::invalid_argument);
+
+  EXPECT_THROW(gamma.set_view(9, ok), std::invalid_argument);
+}
+
+TEST(View, CustomDefaultsToTheAdHocFloor) {
+  const Graph g = generators::path_graph(3);
+  const ViewFunction gamma = ViewFunction::custom(g);
+  EXPECT_EQ(gamma.view(1).nodes(), (NodeSet{0, 1, 2}));
+  EXPECT_EQ(gamma.view(1).num_edges(), 2u);
+  EXPECT_TRUE(gamma.refined_by(ViewFunction::ad_hoc(g)));
+  EXPECT_TRUE(ViewFunction::ad_hoc(g).refined_by(gamma));
+}
+
+TEST(View, SocialModelExtendsKHop) {
+  Rng rng(77);
+  const Graph g = generators::random_connected_gnp(10, 0.3, rng);
+  Rng seed1(5), seed2(5), seed3(6);
+  const ViewFunction base = ViewFunction::k_hop(g, 1);
+  const ViewFunction s1 = ViewFunction::social(g, 1, 0.3, seed1);
+  const ViewFunction s2 = ViewFunction::social(g, 1, 0.3, seed2);
+  // Social views dominate the base radius and are seed-deterministic.
+  EXPECT_TRUE(base.refined_by(s1));
+  bool equal = true;
+  g.nodes().for_each([&](NodeId v) {
+    if (!(s1.view(v) == s2.view(v))) equal = false;
+  });
+  EXPECT_TRUE(equal);
+  // p = 0 degenerates to k-hop; p = 1 to full knowledge.
+  Rng z(1);
+  EXPECT_TRUE(ViewFunction::social(g, 1, 0.0, z).refined_by(base));
+  Rng o(1);
+  const ViewFunction all = ViewFunction::social(g, 1, 1.0, o);
+  g.nodes().for_each([&](NodeId v) { EXPECT_EQ(all.view(v).num_edges(), g.num_edges()); });
+  (void)seed3;
+}
+
+TEST(LocalKnowledge, DerivesLocalStructure) {
+  // Z = {{1,2},{3}} on path 0-1-2-3-4; γ ad hoc. Node 2 sees {1,2,3}:
+  // Z_2 = {{1,2},{3}} restricted = {{1,2},{3}} (already inside).
+  const Graph g = generators::path_graph(5);
+  const auto z = AdversaryStructure::from_sets({NodeSet{1, 2}, NodeSet{3}, NodeSet{}});
+  const ViewFunction gamma = ViewFunction::ad_hoc(g);
+  const LocalKnowledge lk2 = derive_local_knowledge(g, z, gamma, 2);
+  EXPECT_EQ(lk2.self, 2u);
+  EXPECT_TRUE(lk2.local_z.contains(NodeSet{1, 2}));
+  EXPECT_TRUE(lk2.local_z.contains(NodeSet{3}));
+  // Node 0 sees {0,1}: Z_0 = {{1}}.
+  const LocalKnowledge lk0 = derive_local_knowledge(g, z, gamma, 0);
+  EXPECT_TRUE(lk0.local_z.contains(NodeSet{1}));
+  EXPECT_FALSE(lk0.local_z.contains(NodeSet{1, 2}));
+  EXPECT_FALSE(lk0.local_z.contains(NodeSet{3}));
+}
+
+TEST(LocalKnowledge, DeriveAll) {
+  const Graph g = generators::cycle_graph(4);
+  const auto z = AdversaryStructure::trivial();
+  const auto all = derive_all_local_knowledge(g, z, ViewFunction::ad_hoc(g));
+  ASSERT_EQ(all.size(), 4u);
+  for (NodeId v = 0; v < 4; ++v) EXPECT_EQ(all[v].self, v);
+}
+
+}  // namespace
+}  // namespace rmt

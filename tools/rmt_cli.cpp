@@ -1,0 +1,133 @@
+// tools/rmt_cli — command-line front end over instance files.
+//
+//   rmt_cli analyze  <file>            feasibility report (all deciders)
+//   rmt_cli run      <file> <x> [T..]  run RMT-PKA with value x, corrupting
+//                                      the listed nodes under the two-faced
+//                                      attack
+//   rmt_cli region   <file>            per-receiver reliable region
+//   rmt_cli dot      <file>            Graphviz of the instance
+//   rmt_cli minimize <file>            greedy minimal sufficient views
+//
+// Instance file format: see src/io/serialize.hpp. Exit code 0 on success,
+// 1 on usage errors, 2 on malformed input.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "analysis/design_tool.hpp"
+#include "analysis/feasibility.hpp"
+#include "analysis/minimal_knowledge.hpp"
+#include "graph/graphviz.hpp"
+#include "io/serialize.hpp"
+#include "protocols/rmt_pka.hpp"
+#include "protocols/runner.hpp"
+#include "sim/strategies.hpp"
+
+namespace {
+
+using namespace rmt;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: rmt_cli <analyze|run|region|dot|minimize> <instance-file> [args]\n"
+               "       rmt_cli run <file> <dealer-value> [corrupted-node ...]\n");
+  return 1;
+}
+
+Instance load(const char* path) {
+  std::ifstream in(path);
+  if (!in) throw std::invalid_argument(std::string("cannot open ") + path);
+  return io::parse_instance(in);
+}
+
+int cmd_analyze(const Instance& inst) {
+  std::printf("instance: %zu players, %zu channels, D=%u, R=%u, |Z|max=%zu sets\n",
+              inst.num_players(), inst.graph().num_edges(), inst.dealer(), inst.receiver(),
+              inst.adversary().num_maximal_sets());
+  const auto rmt_cut = analysis::find_rmt_cut(inst);
+  std::printf("RMT solvable (no RMT-cut): %s\n", rmt_cut ? "no" : "yes");
+  if (rmt_cut)
+    std::printf("  witness: C1=%s C2=%s receiver-side B=%s\n", rmt_cut->c1.to_string().c_str(),
+                rmt_cut->c2.to_string().c_str(), rmt_cut->b.to_string().c_str());
+  const auto zpp = analysis::find_rmt_zpp_cut(inst);
+  std::printf("Z-CPA solvable (no RMT Z-pp cut): %s\n", zpp ? "no" : "yes");
+  std::printf("full-knowledge solvable (no two-cover): %s\n",
+              analysis::solvable_full_knowledge(inst.graph(), inst.adversary(), inst.dealer(),
+                                                inst.receiver())
+                  ? "yes"
+                  : "no");
+  return 0;
+}
+
+int cmd_run(const Instance& inst, int argc, char** argv) {
+  if (argc < 1) return usage();
+  const sim::Value x = std::strtoull(argv[0], nullptr, 10);
+  NodeSet corrupted;
+  for (int i = 1; i < argc; ++i) corrupted.insert(NodeId(std::strtoul(argv[i], nullptr, 10)));
+  if (!inst.admissible_corruption(corrupted)) {
+    std::fprintf(stderr, "corruption set %s is not admissible under Z\n",
+                 corrupted.to_string().c_str());
+    return 2;
+  }
+  sim::TwoFacedStrategy attack;
+  const protocols::Outcome out =
+      protocols::run_rmt(inst, protocols::RmtPka{}, x, corrupted, &attack);
+  if (out.decision)
+    std::printf("decision: %llu (%s) — rounds=%zu messages=%zu bytes=%zu\n",
+                static_cast<unsigned long long>(*out.decision),
+                out.correct ? "correct" : "WRONG", out.stats.rounds,
+                out.stats.honest_messages, out.stats.honest_payload_bytes);
+  else
+    std::printf("no decision (safe abstention) — rounds=%zu\n", out.stats.rounds);
+  return 0;
+}
+
+int cmd_region(const Instance& inst) {
+  for (const auto& rep : analysis::receiver_reports(inst.graph(), inst.adversary(),
+                                                    inst.gamma(), inst.dealer()))
+    std::printf("receiver %u: %s\n", rep.receiver,
+                rep.corruptible ? "corruptible (excluded)"
+                                : (rep.solvable ? "reachable" : "unreachable"));
+  return 0;
+}
+
+int cmd_dot(const Instance& inst) {
+  DotOptions opts;
+  opts.highlight = inst.adversary().support();
+  opts.labels[inst.dealer()] = "D";
+  opts.labels[inst.receiver()] = "R";
+  std::printf("%s", to_dot(inst.graph(), opts).c_str());
+  return 0;
+}
+
+int cmd_minimize(const Instance& inst) {
+  const auto result = analysis::find_minimal_sufficient_view(inst);
+  if (!result) {
+    std::printf("instance is unsolvable — no sufficient view function below γ\n");
+    return 0;
+  }
+  std::printf("shed %zu view edges and %zu known nodes; minimal instance:\n\n%s",
+              result->removed_edges, result->removed_nodes,
+              io::serialize_instance(Instance(inst.graph(), inst.adversary(), result->gamma,
+                                              inst.dealer(), inst.receiver()))
+                  .c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  try {
+    const Instance inst = load(argv[2]);
+    if (!std::strcmp(argv[1], "analyze")) return cmd_analyze(inst);
+    if (!std::strcmp(argv[1], "run")) return cmd_run(inst, argc - 3, argv + 3);
+    if (!std::strcmp(argv[1], "region")) return cmd_region(inst);
+    if (!std::strcmp(argv[1], "dot")) return cmd_dot(inst);
+    if (!std::strcmp(argv[1], "minimize")) return cmd_minimize(inst);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
