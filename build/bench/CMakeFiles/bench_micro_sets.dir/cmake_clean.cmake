@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_sets.dir/bench_micro_sets.cpp.o"
+  "CMakeFiles/bench_micro_sets.dir/bench_micro_sets.cpp.o.d"
+  "bench_micro_sets"
+  "bench_micro_sets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_f1_basic_instances.dir/fig_f1_basic_instances.cpp.o"
+  "CMakeFiles/fig_f1_basic_instances.dir/fig_f1_basic_instances.cpp.o.d"
+  "fig_f1_basic_instances"
+  "fig_f1_basic_instances.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_f1_basic_instances.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

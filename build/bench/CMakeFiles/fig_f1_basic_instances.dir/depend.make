@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_f1_basic_instances.
+# This may be replaced when dependencies are built.

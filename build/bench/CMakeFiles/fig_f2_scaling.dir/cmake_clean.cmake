@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_f2_scaling.dir/fig_f2_scaling.cpp.o"
+  "CMakeFiles/fig_f2_scaling.dir/fig_f2_scaling.cpp.o.d"
+  "fig_f2_scaling"
+  "fig_f2_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_f2_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

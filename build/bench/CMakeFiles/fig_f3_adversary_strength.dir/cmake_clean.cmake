@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_f3_adversary_strength.dir/fig_f3_adversary_strength.cpp.o"
+  "CMakeFiles/fig_f3_adversary_strength.dir/fig_f3_adversary_strength.cpp.o.d"
+  "fig_f3_adversary_strength"
+  "fig_f3_adversary_strength.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_f3_adversary_strength.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

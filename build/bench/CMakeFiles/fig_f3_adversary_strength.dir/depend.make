@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_f3_adversary_strength.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_f4_complexity.dir/fig_f4_complexity.cpp.o"
+  "CMakeFiles/fig_f4_complexity.dir/fig_f4_complexity.cpp.o.d"
+  "fig_f4_complexity"
+  "fig_f4_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_f4_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

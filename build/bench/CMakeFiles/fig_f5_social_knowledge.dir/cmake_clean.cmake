@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_f5_social_knowledge.dir/fig_f5_social_knowledge.cpp.o"
+  "CMakeFiles/fig_f5_social_knowledge.dir/fig_f5_social_knowledge.cpp.o.d"
+  "fig_f5_social_knowledge"
+  "fig_f5_social_knowledge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_f5_social_knowledge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

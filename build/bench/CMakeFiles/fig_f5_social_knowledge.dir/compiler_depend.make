@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig_f5_social_knowledge.
+# This may be replaced when dependencies are built.

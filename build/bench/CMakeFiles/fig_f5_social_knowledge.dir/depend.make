@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_f5_social_knowledge.
+# This may be replaced when dependencies are built.

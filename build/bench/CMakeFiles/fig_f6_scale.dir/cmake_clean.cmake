@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_f6_scale.dir/fig_f6_scale.cpp.o"
+  "CMakeFiles/fig_f6_scale.dir/fig_f6_scale.cpp.o.d"
+  "fig_f6_scale"
+  "fig_f6_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_f6_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig_f6_scale.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_a1_decider_ablation.dir/table_a1_decider_ablation.cpp.o"
+  "CMakeFiles/table_a1_decider_ablation.dir/table_a1_decider_ablation.cpp.o.d"
+  "table_a1_decider_ablation"
+  "table_a1_decider_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_a1_decider_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

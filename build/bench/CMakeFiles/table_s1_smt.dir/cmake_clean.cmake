@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_s1_smt.dir/table_s1_smt.cpp.o"
+  "CMakeFiles/table_s1_smt.dir/table_s1_smt.cpp.o.d"
+  "table_s1_smt"
+  "table_s1_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_s1_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

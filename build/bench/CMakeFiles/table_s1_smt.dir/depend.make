@@ -1,0 +1,2 @@
+# Empty dependencies file for table_s1_smt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_t1_tightness.dir/table_t1_tightness.cpp.o"
+  "CMakeFiles/table_t1_tightness.dir/table_t1_tightness.cpp.o.d"
+  "table_t1_tightness"
+  "table_t1_tightness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_t1_tightness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_t2_knowledge.dir/table_t2_knowledge.cpp.o"
+  "CMakeFiles/table_t2_knowledge.dir/table_t2_knowledge.cpp.o.d"
+  "table_t2_knowledge"
+  "table_t2_knowledge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_t2_knowledge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

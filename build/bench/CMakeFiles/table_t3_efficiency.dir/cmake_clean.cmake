@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_t3_efficiency.dir/table_t3_efficiency.cpp.o"
+  "CMakeFiles/table_t3_efficiency.dir/table_t3_efficiency.cpp.o.d"
+  "table_t3_efficiency"
+  "table_t3_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_t3_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_t4_safety.dir/table_t4_safety.cpp.o"
+  "CMakeFiles/table_t4_safety.dir/table_t4_safety.cpp.o.d"
+  "table_t4_safety"
+  "table_t4_safety.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_t4_safety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

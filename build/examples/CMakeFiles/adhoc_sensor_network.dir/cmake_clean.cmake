@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adhoc_sensor_network.dir/adhoc_sensor_network.cpp.o"
+  "CMakeFiles/adhoc_sensor_network.dir/adhoc_sensor_network.cpp.o.d"
+  "adhoc_sensor_network"
+  "adhoc_sensor_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adhoc_sensor_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minimal_knowledge.dir/minimal_knowledge.cpp.o"
+  "CMakeFiles/minimal_knowledge.dir/minimal_knowledge.cpp.o.d"
+  "minimal_knowledge"
+  "minimal_knowledge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minimal_knowledge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_design.dir/network_design.cpp.o"
+  "CMakeFiles/network_design.dir/network_design.cpp.o.d"
+  "network_design"
+  "network_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_transmission.dir/secure_transmission.cpp.o"
+  "CMakeFiles/secure_transmission.dir/secure_transmission.cpp.o.d"
+  "secure_transmission"
+  "secure_transmission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_transmission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

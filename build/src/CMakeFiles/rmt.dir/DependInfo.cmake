@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adversary/joint.cpp" "src/CMakeFiles/rmt.dir/adversary/joint.cpp.o" "gcc" "src/CMakeFiles/rmt.dir/adversary/joint.cpp.o.d"
+  "/root/repo/src/adversary/oplus.cpp" "src/CMakeFiles/rmt.dir/adversary/oplus.cpp.o" "gcc" "src/CMakeFiles/rmt.dir/adversary/oplus.cpp.o.d"
+  "/root/repo/src/adversary/structure.cpp" "src/CMakeFiles/rmt.dir/adversary/structure.cpp.o" "gcc" "src/CMakeFiles/rmt.dir/adversary/structure.cpp.o.d"
+  "/root/repo/src/adversary/threshold.cpp" "src/CMakeFiles/rmt.dir/adversary/threshold.cpp.o" "gcc" "src/CMakeFiles/rmt.dir/adversary/threshold.cpp.o.d"
+  "/root/repo/src/analysis/broadcast.cpp" "src/CMakeFiles/rmt.dir/analysis/broadcast.cpp.o" "gcc" "src/CMakeFiles/rmt.dir/analysis/broadcast.cpp.o.d"
+  "/root/repo/src/analysis/design_tool.cpp" "src/CMakeFiles/rmt.dir/analysis/design_tool.cpp.o" "gcc" "src/CMakeFiles/rmt.dir/analysis/design_tool.cpp.o.d"
+  "/root/repo/src/analysis/enumeration.cpp" "src/CMakeFiles/rmt.dir/analysis/enumeration.cpp.o" "gcc" "src/CMakeFiles/rmt.dir/analysis/enumeration.cpp.o.d"
+  "/root/repo/src/analysis/feasibility.cpp" "src/CMakeFiles/rmt.dir/analysis/feasibility.cpp.o" "gcc" "src/CMakeFiles/rmt.dir/analysis/feasibility.cpp.o.d"
+  "/root/repo/src/analysis/minimal_knowledge.cpp" "src/CMakeFiles/rmt.dir/analysis/minimal_knowledge.cpp.o" "gcc" "src/CMakeFiles/rmt.dir/analysis/minimal_knowledge.cpp.o.d"
+  "/root/repo/src/analysis/rmt_cut.cpp" "src/CMakeFiles/rmt.dir/analysis/rmt_cut.cpp.o" "gcc" "src/CMakeFiles/rmt.dir/analysis/rmt_cut.cpp.o.d"
+  "/root/repo/src/analysis/zpp_cut.cpp" "src/CMakeFiles/rmt.dir/analysis/zpp_cut.cpp.o" "gcc" "src/CMakeFiles/rmt.dir/analysis/zpp_cut.cpp.o.d"
+  "/root/repo/src/graph/connectivity.cpp" "src/CMakeFiles/rmt.dir/graph/connectivity.cpp.o" "gcc" "src/CMakeFiles/rmt.dir/graph/connectivity.cpp.o.d"
+  "/root/repo/src/graph/cuts.cpp" "src/CMakeFiles/rmt.dir/graph/cuts.cpp.o" "gcc" "src/CMakeFiles/rmt.dir/graph/cuts.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/rmt.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/rmt.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/rmt.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/rmt.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/graphviz.cpp" "src/CMakeFiles/rmt.dir/graph/graphviz.cpp.o" "gcc" "src/CMakeFiles/rmt.dir/graph/graphviz.cpp.o.d"
+  "/root/repo/src/graph/node_set.cpp" "src/CMakeFiles/rmt.dir/graph/node_set.cpp.o" "gcc" "src/CMakeFiles/rmt.dir/graph/node_set.cpp.o.d"
+  "/root/repo/src/graph/paths.cpp" "src/CMakeFiles/rmt.dir/graph/paths.cpp.o" "gcc" "src/CMakeFiles/rmt.dir/graph/paths.cpp.o.d"
+  "/root/repo/src/instance/instance.cpp" "src/CMakeFiles/rmt.dir/instance/instance.cpp.o" "gcc" "src/CMakeFiles/rmt.dir/instance/instance.cpp.o.d"
+  "/root/repo/src/io/serialize.cpp" "src/CMakeFiles/rmt.dir/io/serialize.cpp.o" "gcc" "src/CMakeFiles/rmt.dir/io/serialize.cpp.o.d"
+  "/root/repo/src/knowledge/local_knowledge.cpp" "src/CMakeFiles/rmt.dir/knowledge/local_knowledge.cpp.o" "gcc" "src/CMakeFiles/rmt.dir/knowledge/local_knowledge.cpp.o.d"
+  "/root/repo/src/knowledge/view.cpp" "src/CMakeFiles/rmt.dir/knowledge/view.cpp.o" "gcc" "src/CMakeFiles/rmt.dir/knowledge/view.cpp.o.d"
+  "/root/repo/src/protocols/cpa.cpp" "src/CMakeFiles/rmt.dir/protocols/cpa.cpp.o" "gcc" "src/CMakeFiles/rmt.dir/protocols/cpa.cpp.o.d"
+  "/root/repo/src/protocols/dolev.cpp" "src/CMakeFiles/rmt.dir/protocols/dolev.cpp.o" "gcc" "src/CMakeFiles/rmt.dir/protocols/dolev.cpp.o.d"
+  "/root/repo/src/protocols/pka_decision.cpp" "src/CMakeFiles/rmt.dir/protocols/pka_decision.cpp.o" "gcc" "src/CMakeFiles/rmt.dir/protocols/pka_decision.cpp.o.d"
+  "/root/repo/src/protocols/ppa.cpp" "src/CMakeFiles/rmt.dir/protocols/ppa.cpp.o" "gcc" "src/CMakeFiles/rmt.dir/protocols/ppa.cpp.o.d"
+  "/root/repo/src/protocols/rmt_pka.cpp" "src/CMakeFiles/rmt.dir/protocols/rmt_pka.cpp.o" "gcc" "src/CMakeFiles/rmt.dir/protocols/rmt_pka.cpp.o.d"
+  "/root/repo/src/protocols/runner.cpp" "src/CMakeFiles/rmt.dir/protocols/runner.cpp.o" "gcc" "src/CMakeFiles/rmt.dir/protocols/runner.cpp.o.d"
+  "/root/repo/src/protocols/topology_discovery.cpp" "src/CMakeFiles/rmt.dir/protocols/topology_discovery.cpp.o" "gcc" "src/CMakeFiles/rmt.dir/protocols/topology_discovery.cpp.o.d"
+  "/root/repo/src/protocols/zcpa.cpp" "src/CMakeFiles/rmt.dir/protocols/zcpa.cpp.o" "gcc" "src/CMakeFiles/rmt.dir/protocols/zcpa.cpp.o.d"
+  "/root/repo/src/reduction/basic_instance.cpp" "src/CMakeFiles/rmt.dir/reduction/basic_instance.cpp.o" "gcc" "src/CMakeFiles/rmt.dir/reduction/basic_instance.cpp.o.d"
+  "/root/repo/src/reduction/membership_oracle.cpp" "src/CMakeFiles/rmt.dir/reduction/membership_oracle.cpp.o" "gcc" "src/CMakeFiles/rmt.dir/reduction/membership_oracle.cpp.o.d"
+  "/root/repo/src/reduction/self_reduction.cpp" "src/CMakeFiles/rmt.dir/reduction/self_reduction.cpp.o" "gcc" "src/CMakeFiles/rmt.dir/reduction/self_reduction.cpp.o.d"
+  "/root/repo/src/sim/adversary_search.cpp" "src/CMakeFiles/rmt.dir/sim/adversary_search.cpp.o" "gcc" "src/CMakeFiles/rmt.dir/sim/adversary_search.cpp.o.d"
+  "/root/repo/src/sim/message.cpp" "src/CMakeFiles/rmt.dir/sim/message.cpp.o" "gcc" "src/CMakeFiles/rmt.dir/sim/message.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/CMakeFiles/rmt.dir/sim/network.cpp.o" "gcc" "src/CMakeFiles/rmt.dir/sim/network.cpp.o.d"
+  "/root/repo/src/sim/strategies.cpp" "src/CMakeFiles/rmt.dir/sim/strategies.cpp.o" "gcc" "src/CMakeFiles/rmt.dir/sim/strategies.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/rmt.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/rmt.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/smt/gf.cpp" "src/CMakeFiles/rmt.dir/smt/gf.cpp.o" "gcc" "src/CMakeFiles/rmt.dir/smt/gf.cpp.o.d"
+  "/root/repo/src/smt/poly.cpp" "src/CMakeFiles/rmt.dir/smt/poly.cpp.o" "gcc" "src/CMakeFiles/rmt.dir/smt/poly.cpp.o.d"
+  "/root/repo/src/smt/psmt.cpp" "src/CMakeFiles/rmt.dir/smt/psmt.cpp.o" "gcc" "src/CMakeFiles/rmt.dir/smt/psmt.cpp.o.d"
+  "/root/repo/src/smt/shamir.cpp" "src/CMakeFiles/rmt.dir/smt/shamir.cpp.o" "gcc" "src/CMakeFiles/rmt.dir/smt/shamir.cpp.o.d"
+  "/root/repo/src/util/fmt.cpp" "src/CMakeFiles/rmt.dir/util/fmt.cpp.o" "gcc" "src/CMakeFiles/rmt.dir/util/fmt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmt_cli.dir/__/tools/rmt_cli.cpp.o"
+  "CMakeFiles/rmt_cli.dir/__/tools/rmt_cli.cpp.o.d"
+  "rmt_cli"
+  "rmt_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmt_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

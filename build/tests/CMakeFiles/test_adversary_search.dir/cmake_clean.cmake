@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adversary_search.dir/test_adversary_search.cpp.o"
+  "CMakeFiles/test_adversary_search.dir/test_adversary_search.cpp.o.d"
+  "test_adversary_search"
+  "test_adversary_search.pdb"
+  "test_adversary_search[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adversary_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_basic_instance.dir/test_basic_instance.cpp.o"
+  "CMakeFiles/test_basic_instance.dir/test_basic_instance.cpp.o.d"
+  "test_basic_instance"
+  "test_basic_instance.pdb"
+  "test_basic_instance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_basic_instance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpa.dir/test_cpa.cpp.o"
+  "CMakeFiles/test_cpa.dir/test_cpa.cpp.o.d"
+  "test_cpa"
+  "test_cpa.pdb"
+  "test_cpa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_design_tool.dir/test_design_tool.cpp.o"
+  "CMakeFiles/test_design_tool.dir/test_design_tool.cpp.o.d"
+  "test_design_tool"
+  "test_design_tool.pdb"
+  "test_design_tool[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_design_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dolev.dir/test_dolev.cpp.o"
+  "CMakeFiles/test_dolev.dir/test_dolev.cpp.o.d"
+  "test_dolev"
+  "test_dolev.pdb"
+  "test_dolev[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dolev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minimal_knowledge.dir/test_minimal_knowledge.cpp.o"
+  "CMakeFiles/test_minimal_knowledge.dir/test_minimal_knowledge.cpp.o.d"
+  "test_minimal_knowledge"
+  "test_minimal_knowledge.pdb"
+  "test_minimal_knowledge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minimal_knowledge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_node_set.dir/test_node_set.cpp.o"
+  "CMakeFiles/test_node_set.dir/test_node_set.cpp.o.d"
+  "test_node_set"
+  "test_node_set.pdb"
+  "test_node_set[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_node_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

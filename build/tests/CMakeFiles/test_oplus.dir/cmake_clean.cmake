@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oplus.dir/test_oplus.cpp.o"
+  "CMakeFiles/test_oplus.dir/test_oplus.cpp.o.d"
+  "test_oplus"
+  "test_oplus.pdb"
+  "test_oplus[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oplus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pka_decision.dir/test_pka_decision.cpp.o"
+  "CMakeFiles/test_pka_decision.dir/test_pka_decision.cpp.o.d"
+  "test_pka_decision"
+  "test_pka_decision.pdb"
+  "test_pka_decision[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pka_decision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rmt_cut.dir/test_rmt_cut.cpp.o"
+  "CMakeFiles/test_rmt_cut.dir/test_rmt_cut.cpp.o.d"
+  "test_rmt_cut"
+  "test_rmt_cut.pdb"
+  "test_rmt_cut[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rmt_cut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rmt_pka.dir/test_rmt_pka.cpp.o"
+  "CMakeFiles/test_rmt_pka.dir/test_rmt_pka.cpp.o.d"
+  "test_rmt_pka"
+  "test_rmt_pka.pdb"
+  "test_rmt_pka[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rmt_pka.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

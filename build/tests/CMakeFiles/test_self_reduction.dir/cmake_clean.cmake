@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_self_reduction.dir/test_self_reduction.cpp.o"
+  "CMakeFiles/test_self_reduction.dir/test_self_reduction.cpp.o.d"
+  "test_self_reduction"
+  "test_self_reduction.pdb"
+  "test_self_reduction[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_self_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

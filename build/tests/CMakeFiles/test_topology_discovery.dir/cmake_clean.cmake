@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topology_discovery.dir/test_topology_discovery.cpp.o"
+  "CMakeFiles/test_topology_discovery.dir/test_topology_discovery.cpp.o.d"
+  "test_topology_discovery"
+  "test_topology_discovery.pdb"
+  "test_topology_discovery[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topology_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

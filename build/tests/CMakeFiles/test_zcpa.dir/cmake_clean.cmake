@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zcpa.dir/test_zcpa.cpp.o"
+  "CMakeFiles/test_zcpa.dir/test_zcpa.cpp.o.d"
+  "test_zcpa"
+  "test_zcpa.pdb"
+  "test_zcpa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zcpa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
