@@ -1,9 +1,14 @@
 // bench_micro_sets — microbenchmarks for NodeSet, AdversaryStructure and
-// the ⊕ machinery (experiment µB of DESIGN.md).
+// the ⊕ machinery (experiment µB of DESIGN.md). With `--json <path>` the
+// per-benchmark timings and the observability snapshot (phase histograms
+// of the instrumented ⊕/restrict operations) are also written as an
+// rmt.bench/1 artifact.
 #include <benchmark/benchmark.h>
 
 #include "adversary/joint.hpp"
 #include "adversary/threshold.hpp"
+#include "obs/bench_report.hpp"
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -112,6 +117,36 @@ void BM_ThresholdStructureBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_ThresholdStructureBuild)->Arg(8)->Arg(12)->Arg(16);
 
+/// ConsoleReporter that additionally captures every run for JSON export.
+class CapturingReporter final : public benchmark::ConsoleReporter {
+ public:
+  std::vector<Run> runs;
+  void ReportRuns(const std::vector<Run>& report) override {
+    runs.insert(runs.end(), report.begin(), report.end());
+    ConsoleReporter::ReportRuns(report);
+  }
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const auto json_path = rmt::obs::consume_json_flag(argc, argv);
+  rmt::obs::Registry::global().reset();
+  rmt::obs::set_enabled(true);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (json_path) {
+    rmt::obs::BenchReport rep("bench_micro_sets");
+    rep.set_columns({"benchmark", "iterations", "real_ns", "cpu_ns"});
+    for (const auto& r : reporter.runs) {
+      if (r.error_occurred) continue;
+      rep.add_row({r.benchmark_name(), std::uint64_t(r.iterations), r.GetAdjustedRealTime(),
+                   r.GetAdjustedCPUTime()});
+    }
+    rep.write(*json_path);
+  }
+  benchmark::Shutdown();
+  return 0;
+}

@@ -5,12 +5,16 @@
 #include <cstdio>
 #include <functional>
 #include <memory>
+#include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "adversary/threshold.hpp"
 #include "graph/generators.hpp"
 #include "instance/instance.hpp"
+#include "obs/bench_report.hpp"
+#include "obs/metrics.hpp"
 #include "protocols/runner.hpp"
 #include "sim/strategies.hpp"
 #include "util/fmt.hpp"
@@ -33,6 +37,61 @@ inline void print_table(const std::string& title,
   std::printf("\n## %s\n\n%s", title.c_str(), fmt::table(rows).c_str());
 }
 
+/// Typed result collector for the table/fig drivers: every row feeds both
+/// the human ASCII table and (when the driver was invoked with
+/// `--json <path>`) an rmt.bench/1 artifact carrying the same cells as
+/// typed values plus the observability snapshot (per-phase timings,
+/// "sim.*" counters). Construction enables observability so the snapshot
+/// is populated; the metrics registry is reset so the artifact covers
+/// only this driver's work.
+class Reporter {
+ public:
+  Reporter(int& argc, char** argv, std::string name)
+      : report_(std::move(name)), json_path_(obs::consume_json_flag(argc, argv)) {
+    obs::Registry::global().reset();
+    obs::set_enabled(true);
+  }
+
+  void columns(std::vector<std::string> names) {
+    table_.push_back(names);
+    report_.set_columns(std::move(names));
+  }
+
+  void row(std::vector<obs::BenchValue> cells) {
+    std::vector<std::string> text;
+    text.reserve(cells.size());
+    for (const obs::BenchValue& c : cells) text.push_back(cell_text(c));
+    table_.push_back(std::move(text));
+    report_.add_row(std::move(cells));
+  }
+
+  /// Print the ASCII table; write the JSON artifact if requested.
+  void finish(const std::string& title) {
+    print_table(title, table_);
+    if (json_path_) {
+      report_.write(*json_path_);
+      if (*json_path_ != "-")
+        std::printf("\nwrote %s (%zu rows)\n", json_path_->c_str(), report_.num_rows());
+    }
+  }
+
+ private:
+  static std::string cell_text(const obs::BenchValue& v) {
+    struct Visitor {
+      std::string operator()(const std::string& s) const { return s; }
+      std::string operator()(double d) const { return fmt::fixed(d, 2); }
+      std::string operator()(std::int64_t i) const { return std::to_string(i); }
+      std::string operator()(std::uint64_t u) const { return std::to_string(u); }
+      std::string operator()(bool b) const { return b ? "yes" : "no"; }
+    };
+    return std::visit(Visitor{}, v);
+  }
+
+  std::vector<std::vector<std::string>> table_;
+  obs::BenchReport report_;
+  std::optional<std::string> json_path_;
+};
+
 /// The knowledge levels the experiments sweep, in increasing order.
 struct KnowledgeLevel {
   std::string label;
@@ -49,13 +108,16 @@ inline std::vector<KnowledgeLevel> knowledge_ladder() {
 }
 
 /// A fresh strategy instance by name (strategies are stateful per run).
+/// Unknown names are an error — a typo must not silently mislabel a bench
+/// row as some other attack.
 inline std::unique_ptr<sim::AdversaryStrategy> make_strategy(const std::string& name,
                                                              std::uint64_t seed) {
   if (name == "silent") return std::make_unique<sim::SilentStrategy>();
   if (name == "value-flip") return std::make_unique<sim::ValueFlipStrategy>();
   if (name == "random-lies") return std::make_unique<sim::RandomLieStrategy>(Rng{seed}, 4);
   if (name == "phantom-world") return std::make_unique<sim::FictitiousWorldStrategy>();
-  return std::make_unique<sim::TwoFacedStrategy>();
+  if (name == "two-faced") return std::make_unique<sim::TwoFacedStrategy>();
+  throw std::invalid_argument("make_strategy: unknown adversary strategy '" + name + "'");
 }
 
 inline std::vector<std::string> all_strategies() {

@@ -17,12 +17,12 @@
 #include "protocols/rmt_pka.hpp"
 #include "protocols/zcpa.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rmt;
   using namespace rmt::bench;
 
-  std::vector<std::vector<std::string>> rows;
-  rows.push_back(
+  Reporter rep(argc, argv, "fig_f2_scaling");
+  rep.columns(
       {"n", "rmt-cut(us)", "oplus-mat(us)", "joint-lazy(us)", "pka-decide(us)", "zcpa-run(us)"});
 
   for (std::size_t n : {6u, 8u, 10u, 12u, 14u}) {
@@ -56,9 +56,8 @@ int main() {
         [&] { protocols::run_rmt(inst, protocols::RmtPka{}, 1, NodeSet{}); });
     zcpa_us = time_us([&] { protocols::run_rmt(inst, protocols::Zcpa{}, 1, NodeSet{}); });
 
-    rows.push_back({std::to_string(n), fmt::fixed(cut_us, 1), fmt::fixed(mat_us, 1),
-                    fmt::fixed(lazy_us, 2), fmt::fixed(pka_us, 1), fmt::fixed(zcpa_us, 1)});
+    rep.row({std::uint64_t(n), cut_us, mat_us, lazy_us, pka_us, zcpa_us});
   }
-  print_table("F2 — scaling of the core machinery (wall time per call)", rows);
+  rep.finish("F2 — scaling of the core machinery (wall time per call)");
   return 0;
 }

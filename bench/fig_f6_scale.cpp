@@ -25,13 +25,12 @@
 #include "protocols/cpa.hpp"
 #include "protocols/zcpa.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rmt;
   using namespace rmt::bench;
 
-  std::vector<std::vector<std::string>> rows;
-  rows.push_back(
-      {"n", "edges", "protocol", "delivered", "rounds", "messages", "time(ms)"});
+  Reporter rep(argc, argv, "fig_f6_scale");
+  rep.columns({"n", "edges", "protocol", "delivered", "rounds", "messages", "time(ms)"});
 
   for (std::size_t n : {100u, 250u, 500u, 1000u}) {
     Rng rng(4242 + n);
@@ -59,12 +58,11 @@ int main() {
       const double ms =
           time_us([&] { out = protocols::run_rmt(inst, proto, 7, corrupted, strategy.get()); }) /
           1000.0;
-      rows.push_back({std::to_string(n), std::to_string(g.num_edges()), label,
-                      out.correct ? "yes" : (out.wrong ? "WRONG" : "no"),
-                      std::to_string(out.stats.rounds),
-                      std::to_string(out.stats.honest_messages), fmt::fixed(ms, 1)});
+      rep.row({std::uint64_t(n), std::uint64_t(g.num_edges()), label,
+               std::string(out.correct ? "yes" : (out.wrong ? "WRONG" : "no")),
+               std::uint64_t(out.stats.rounds), std::uint64_t(out.stats.honest_messages), ms});
     }
   }
-  print_table("F6 — certified propagation at scale (geometric fields, active liar)", rows);
+  rep.finish("F6 — certified propagation at scale (geometric fields, active liar)");
   return 0;
 }

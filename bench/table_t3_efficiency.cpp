@@ -55,12 +55,12 @@ struct CountingFactory {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rmt;
   using namespace rmt::bench;
 
-  std::vector<std::vector<std::string>> rows;
-  rows.push_back({"n", "oracle", "delivered", "rounds", "messages", "queries", "time(us)"});
+  Reporter rep(argc, argv, "table_t3_efficiency");
+  rep.columns({"n", "oracle", "delivered", "rounds", "messages", "queries", "time(us)"});
 
   for (std::size_t n : {8u, 11u, 14u, 17u}) {
     // Deterministically scan seeds for a Z-CPA-feasible sensor field — the
@@ -105,12 +105,11 @@ int main() {
             time_us([&] { out = protocols::run_rmt(inst, proto, 99, corrupted, strategy.get()); });
         best_us = std::min(best_us, us);
       }
-      rows.push_back({std::to_string(n), v.label, out.correct ? "yes" : "no",
-                      std::to_string(out.stats.rounds),
-                      std::to_string(out.stats.honest_messages),
-                      std::to_string(*counting.queries), fmt::fixed(best_us, 1)});
+      rep.row({std::uint64_t(n), v.label, out.correct, std::uint64_t(out.stats.rounds),
+               std::uint64_t(out.stats.honest_messages), std::uint64_t(*counting.queries),
+               best_us});
     }
   }
-  print_table("T3 — Z-CPA scheme under different membership oracles", rows);
+  rep.finish("T3 — Z-CPA scheme under different membership oracles");
   return 0;
 }

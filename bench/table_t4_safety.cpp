@@ -13,9 +13,11 @@
 #include "protocols/rmt_pka.hpp"
 #include "protocols/zcpa.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rmt;
   using namespace rmt::bench;
+
+  Reporter rep(argc, argv, "table_t4_safety");
 
   struct Row {
     std::string protocol;
@@ -63,11 +65,10 @@ int main() {
     }
   }
 
-  std::vector<std::vector<std::string>> rows;
-  rows.push_back({"protocol", "runs", "wrong", "correct", "abstained"});
+  rep.columns({"protocol", "runs", "wrong", "correct", "abstained"});
   for (const Row& r : tally)
-    rows.push_back({r.protocol, std::to_string(r.runs), std::to_string(r.wrong),
-                    std::to_string(r.correct), std::to_string(r.abstained)});
-  print_table("T4 — safety under active attack (expected: wrong = 0 everywhere)", rows);
+    rep.row({r.protocol, std::uint64_t(r.runs), std::uint64_t(r.wrong),
+             std::uint64_t(r.correct), std::uint64_t(r.abstained)});
+  rep.finish("T4 — safety under active attack (expected: wrong = 0 everywhere)");
   return 0;
 }

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "obs/timer.hpp"
 #include "util/check.hpp"
 
 namespace rmt {
@@ -14,6 +15,7 @@ std::string RestrictedStructure::to_string() const {
 }
 
 RestrictedStructure oplus(const RestrictedStructure& a, const RestrictedStructure& b) {
+  RMT_OBS_SCOPE("adversary.oplus");
   // Degenerate operands: an empty *family* joined with anything is the
   // empty family (no Z₁ exists to pair), mirroring Definition 2 literally.
   const NodeSet joint_ground = a.ground() | b.ground();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "obs/timer.hpp"
 #include "util/check.hpp"
 
 namespace rmt {
@@ -39,6 +40,7 @@ std::size_t AdversaryStructure::max_corruption_size() const {
 }
 
 AdversaryStructure AdversaryStructure::restricted_to(const NodeSet& a) const {
+  RMT_OBS_SCOPE("adversary.restrict");
   AdversaryStructure out;
   out.maximal_.reserve(maximal_.size());
   for (const NodeSet& m : maximal_) out.maximal_.push_back(m & a);

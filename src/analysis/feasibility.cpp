@@ -1,6 +1,7 @@
 #include "analysis/feasibility.hpp"
 
 #include "graph/connectivity.hpp"
+#include "obs/timer.hpp"
 #include "util/check.hpp"
 
 namespace rmt::analysis {
@@ -11,6 +12,7 @@ bool solvable_by_zcpa(const Instance& inst) { return !rmt_zpp_cut_exists(inst); 
 
 std::optional<TwoCoverWitness> find_two_cover_cut(const Graph& g, const AdversaryStructure& z,
                                                   NodeId dealer, NodeId receiver) {
+  RMT_OBS_SCOPE("feasibility.two_cover");
   RMT_REQUIRE(g.has_node(dealer) && g.has_node(receiver) && dealer != receiver,
               "find_two_cover_cut: bad endpoints");
   // Maximal sets suffice: unions of smaller admissible sets are subsets of

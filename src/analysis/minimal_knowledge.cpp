@@ -1,6 +1,7 @@
 #include "analysis/minimal_knowledge.hpp"
 
 #include "analysis/rmt_cut.hpp"
+#include "obs/timer.hpp"
 
 namespace rmt::analysis {
 
@@ -18,6 +19,7 @@ bool sufficient(const Instance& base, const ViewFunction& gamma) {
 }  // namespace
 
 std::optional<MinimalKnowledge> find_minimal_sufficient_view(const Instance& inst) {
+  RMT_OBS_SCOPE("minimal_knowledge.search");
   if (rmt_cut_exists(inst)) return std::nullopt;
 
   ViewFunction gamma = inst.gamma();

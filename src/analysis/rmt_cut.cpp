@@ -2,11 +2,13 @@
 
 #include "adversary/joint.hpp"
 #include "graph/cuts.hpp"
+#include "obs/timer.hpp"
 #include "util/check.hpp"
 
 namespace rmt::analysis {
 
 std::optional<RmtCutWitness> find_rmt_cut(const Instance& inst) {
+  RMT_OBS_SCOPE("rmt_cut.find");
   RMT_REQUIRE(inst.num_players() <= kMaxExactNodes,
               "find_rmt_cut: instance too large for the exact decider");
   const Graph& g = inst.graph();

@@ -4,11 +4,13 @@
 
 #include "analysis/rmt_cut.hpp"
 #include "graph/cuts.hpp"
+#include "obs/timer.hpp"
 #include "util/check.hpp"
 
 namespace rmt::analysis {
 
 std::optional<ZppCutWitness> find_rmt_zpp_cut(const Instance& inst) {
+  RMT_OBS_SCOPE("zpp_cut.find");
   RMT_REQUIRE(inst.num_players() <= kMaxExactNodes,
               "find_rmt_zpp_cut: instance too large for the exact decider");
   const Graph& g = inst.graph();

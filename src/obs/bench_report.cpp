@@ -1,0 +1,97 @@
+#include "obs/bench_report.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "util/check.hpp"
+
+namespace rmt::obs {
+
+void BenchReport::set_columns(std::vector<std::string> columns) {
+  RMT_REQUIRE(rows_.empty(), "BenchReport: set_columns after rows were added");
+  columns_ = std::move(columns);
+}
+
+void BenchReport::add_row(std::vector<BenchValue> cells) {
+  RMT_REQUIRE(cells.size() == columns_.size(),
+              "BenchReport: row width does not match the column count");
+  rows_.push_back(std::move(cells));
+}
+
+namespace {
+
+void write_cell(json::Writer& w, const BenchValue& v) {
+  struct Visitor {
+    json::Writer& w;
+    void operator()(const std::string& s) const { w.value(s); }
+    void operator()(double d) const { w.value(d); }
+    void operator()(std::int64_t i) const { w.value(i); }
+    void operator()(std::uint64_t u) const { w.value(u); }
+    void operator()(bool b) const { w.value(b); }
+  };
+  std::visit(Visitor{w}, v);
+}
+
+}  // namespace
+
+std::string BenchReport::to_json() const {
+  json::Writer w;
+  w.begin_object();
+  w.field("schema", "rmt.bench/1");
+  w.field("name", name_);
+  w.key("columns").begin_array();
+  for (const auto& c : columns_) w.value(c);
+  w.end_array();
+  w.key("rows").begin_array();
+  for (const auto& row : rows_) {
+    w.begin_object();
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      w.key(columns_[i]);
+      write_cell(w, row[i]);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.key("metrics").raw_value(snapshot_json(Registry::global()));
+  w.end_object();
+  return w.take();
+}
+
+void BenchReport::write(const std::string& path) const {
+  const std::string doc = to_json();
+  if (path == "-") {
+    std::printf("%s\n", doc.c_str());
+    return;
+  }
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("BenchReport: cannot open " + path);
+  out << doc << '\n';
+  if (!out) throw std::runtime_error("BenchReport: write failed for " + path);
+}
+
+std::optional<std::string> consume_json_flag(int& argc, char** argv) {
+  constexpr const char* kFlag = "--json";
+  constexpr const char* kPrefix = "--json=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::optional<std::string> path;
+    int consumed = 0;
+    if (arg == kFlag && i + 1 < argc) {
+      path = argv[i + 1];
+      consumed = 2;
+    } else if (arg.rfind(kPrefix, 0) == 0) {
+      path = arg.substr(std::string(kPrefix).size());
+      consumed = 1;
+    }
+    if (!path) continue;
+    for (int j = i; j + consumed < argc; ++j) argv[j] = argv[j + consumed];
+    argc -= consumed;
+    return path;
+  }
+  return std::nullopt;
+}
+
+}  // namespace rmt::obs

@@ -1,0 +1,240 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "obs/metrics.hpp"
+#include "util/check.hpp"
+
+namespace rmt::obs {
+
+namespace json {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void Writer::before_value() {
+  if (!stack_.empty() && stack_.back() == Ctx::kObject)
+    RMT_CHECK(pending_key_, "json::Writer: value inside an object requires key() first");
+  if (needs_comma_) out_ += ',';
+  needs_comma_ = false;
+  pending_key_ = false;
+}
+
+Writer& Writer::begin_object() {
+  before_value();
+  out_ += '{';
+  stack_.push_back(Ctx::kObject);
+  return *this;
+}
+
+Writer& Writer::end_object() {
+  RMT_CHECK(!stack_.empty() && stack_.back() == Ctx::kObject && !pending_key_,
+            "json::Writer: unbalanced end_object");
+  stack_.pop_back();
+  out_ += '}';
+  needs_comma_ = true;
+  return *this;
+}
+
+Writer& Writer::begin_array() {
+  before_value();
+  out_ += '[';
+  stack_.push_back(Ctx::kArray);
+  return *this;
+}
+
+Writer& Writer::end_array() {
+  RMT_CHECK(!stack_.empty() && stack_.back() == Ctx::kArray,
+            "json::Writer: unbalanced end_array");
+  stack_.pop_back();
+  out_ += ']';
+  needs_comma_ = true;
+  return *this;
+}
+
+Writer& Writer::key(const std::string& k) {
+  RMT_CHECK(!stack_.empty() && stack_.back() == Ctx::kObject && !pending_key_,
+            "json::Writer: key() outside an object");
+  if (needs_comma_) out_ += ',';
+  needs_comma_ = false;
+  out_ += '"';
+  out_ += escape(k);
+  out_ += "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+Writer& Writer::value(const std::string& v) {
+  before_value();
+  out_ += '"';
+  out_ += escape(v);
+  out_ += '"';
+  needs_comma_ = true;
+  return *this;
+}
+
+Writer& Writer::value(const char* v) { return value(std::string(v)); }
+
+Writer& Writer::value(double v) {
+  if (!std::isfinite(v)) return null();
+  before_value();
+  // Shortest %g form that round-trips the double exactly.
+  char buf[40];
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    double parsed = 0;
+    std::sscanf(buf, "%lf", &parsed);
+    if (parsed == v) break;
+  }
+  out_ += buf;
+  needs_comma_ = true;
+  return *this;
+}
+
+Writer& Writer::value(std::uint64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  needs_comma_ = true;
+  return *this;
+}
+
+Writer& Writer::value(std::int64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  needs_comma_ = true;
+  return *this;
+}
+
+Writer& Writer::value(bool v) {
+  before_value();
+  out_ += v ? "true" : "false";
+  needs_comma_ = true;
+  return *this;
+}
+
+Writer& Writer::null() {
+  before_value();
+  out_ += "null";
+  needs_comma_ = true;
+  return *this;
+}
+
+Writer& Writer::raw_value(const std::string& document) {
+  before_value();
+  out_ += document;
+  needs_comma_ = true;
+  return *this;
+}
+
+std::string Writer::take() {
+  RMT_CHECK(stack_.empty(), "json::Writer: take() with open containers");
+  return std::move(out_);
+}
+
+}  // namespace json
+
+namespace {
+
+std::string series_key(const Registry::Entry& e, const std::string& name) {
+  if (e.labels.empty()) return name;
+  std::string k = name + "{";
+  for (std::size_t i = 0; i < e.labels.size(); ++i) {
+    if (i) k += ",";
+    k += e.labels[i].first + "=" + e.labels[i].second;
+  }
+  return k + "}";
+}
+
+void write_histogram_body(json::Writer& w, const Histogram& h) {
+  w.begin_object();
+  w.field("count", h.count());
+  w.field("total_us", h.sum());
+  w.field("mean_us", h.mean());
+  w.field("min_us", h.min());
+  w.field("p50_us", h.p50());
+  w.field("p95_us", h.p95());
+  w.field("p99_us", h.p99());
+  w.field("max_us", h.max());
+  w.end_object();
+}
+
+}  // namespace
+
+std::string snapshot_json(const Registry& r) {
+  constexpr const char* kPhasePrefix = "phase.";
+  const auto entries = r.entries();
+  json::Writer w;
+  w.begin_object();
+
+  w.key("counters").begin_object();
+  for (const auto& e : entries)
+    if (e.kind == Registry::Entry::Kind::kCounter)
+      w.field(series_key(e, e.name), e.counter->value());
+  w.end_object();
+
+  w.key("gauges").begin_object();
+  for (const auto& e : entries)
+    if (e.kind == Registry::Entry::Kind::kGauge)
+      w.field(series_key(e, e.name), e.gauge->value());
+  w.end_object();
+
+  w.key("phases").begin_object();
+  for (const auto& e : entries) {
+    if (e.kind != Registry::Entry::Kind::kHistogram || e.name.rfind(kPhasePrefix, 0) != 0)
+      continue;
+    w.key(series_key(e, e.name.substr(std::string(kPhasePrefix).size())));
+    write_histogram_body(w, *e.histogram);
+  }
+  w.end_object();
+
+  w.key("histograms").begin_object();
+  for (const auto& e : entries) {
+    if (e.kind != Registry::Entry::Kind::kHistogram || e.name.rfind(kPhasePrefix, 0) == 0)
+      continue;
+    w.key(series_key(e, e.name));
+    write_histogram_body(w, *e.histogram);
+  }
+  w.end_object();
+
+  w.key("summaries").begin_object();
+  for (const auto& e : entries) {
+    if (e.kind != Registry::Entry::Kind::kSummary) continue;
+    const OnlineStats s = e.summary->snapshot();
+    w.key(series_key(e, e.name)).begin_object();
+    w.field("count", s.count());
+    if (!s.empty()) {
+      w.field("mean", s.mean());
+      w.field("stddev", s.stddev());
+      w.field("min", s.min());
+      w.field("max", s.max());
+    }
+    w.end_object();
+  }
+  w.end_object();
+
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace rmt::obs

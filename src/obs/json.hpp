@@ -1,0 +1,83 @@
+// obs/json.hpp — a dependency-free streaming JSON writer, plus the
+// registry-snapshot export.
+//
+// Deliberately a writer, not a document model: everything this repository
+// exports (metric snapshots, JSONL trace events, bench reports) is
+// produced in one forward pass, so a push API with automatic comma and
+// escape handling is all that is needed — and it cannot produce
+// malformed output short of unbalanced begin/end calls, which it checks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rmt::obs {
+
+class Registry;
+
+namespace json {
+
+/// Forward-only JSON builder. Usage:
+///   Writer w;
+///   w.begin_object();
+///   w.key("rounds").value(12);
+///   w.key("phases").begin_array(); ... w.end_array();
+///   w.end_object();
+///   std::string out = w.take();
+class Writer {
+ public:
+  Writer& begin_object();
+  Writer& end_object();
+  Writer& begin_array();
+  Writer& end_array();
+
+  /// Must be called inside an object, immediately before the value.
+  Writer& key(const std::string& k);
+
+  Writer& value(const std::string& v);
+  Writer& value(const char* v);
+  Writer& value(double v);  ///< non-finite values render as null
+  Writer& value(std::uint64_t v);
+  Writer& value(std::int64_t v);
+  Writer& value(int v) { return value(std::int64_t(v)); }
+  Writer& value(unsigned v) { return value(std::uint64_t(v)); }
+  Writer& value(bool v);
+  Writer& null();
+
+  /// Splice an already-serialized JSON document in value position (e.g.
+  /// a snapshot_json() string). The caller vouches for its validity.
+  Writer& raw_value(const std::string& document);
+
+  /// Shorthand for key(k).value(v).
+  template <typename T>
+  Writer& field(const std::string& k, const T& v) {
+    return key(k).value(v);
+  }
+
+  /// Finish and return the document. Throws if containers are unbalanced.
+  std::string take();
+
+ private:
+  enum class Ctx : unsigned char { kArray, kObject };
+  void before_value();
+  std::string out_;
+  std::vector<Ctx> stack_;
+  bool needs_comma_ = false;
+  bool pending_key_ = false;
+};
+
+/// JSON string escaping per RFC 8259 (quotes, backslash, control chars).
+std::string escape(const std::string& s);
+
+}  // namespace json
+
+/// Serialize every metric of `r` as one JSON object:
+///   {"counters": {...}, "gauges": {...},
+///    "phases": {"rmt_cut.find": {"count":..,"total_us":..,"p50_us":..}},
+///    "histograms": {...}, "summaries": {...}}
+/// Histograms named "phase.<x>" are reported under "phases" (keyed by
+/// <x>); labels render as a "name{k=v,...}" key suffix.
+std::string snapshot_json(const Registry& r);
+
+}  // namespace rmt::obs

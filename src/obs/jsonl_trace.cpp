@@ -1,0 +1,43 @@
+#include "obs/jsonl_trace.hpp"
+
+#include "obs/json.hpp"
+
+namespace rmt::obs {
+
+const char* payload_kind(const sim::Payload& p) {
+  struct Visitor {
+    const char* operator()(const sim::ValuePayload&) const { return "value"; }
+    const char* operator()(const sim::PathValuePayload&) const { return "path_value"; }
+    const char* operator()(const sim::KnowledgePayload&) const { return "knowledge"; }
+  };
+  return std::visit(Visitor{}, p);
+}
+
+void JsonlTraceObserver::on_round_begin(std::size_t round) {
+  round_ = round;
+  json::Writer w;
+  w.begin_object();
+  w.field("event", "round");
+  w.field("round", round);
+  w.end_object();
+  out_ << w.take() << '\n';
+  ++events_;
+}
+
+void JsonlTraceObserver::on_delivery(const sim::Message& m, bool adversarial) {
+  if (only_to_ && m.to != *only_to_) return;
+  json::Writer w;
+  w.begin_object();
+  w.field("event", "delivery");
+  w.field("round", round_);
+  w.field("from", std::uint64_t(m.from));
+  w.field("to", std::uint64_t(m.to));
+  w.field("kind", payload_kind(m.payload));
+  w.field("bytes", sim::payload_bytes(m.payload));
+  w.field("adversarial", adversarial);
+  w.end_object();
+  out_ << w.take() << '\n';
+  ++events_;
+}
+
+}  // namespace rmt::obs

@@ -1,0 +1,47 @@
+// obs/jsonl_trace.hpp — the machine-readable sibling of sim::TraceRecorder.
+//
+// Observes the same Network callbacks but appends one JSON object per
+// line to an ostream, so transcripts can be post-processed (jq, pandas)
+// instead of read by eye:
+//
+//   {"event":"round","round":1}
+//   {"event":"delivery","round":1,"from":0,"to":1,"kind":"value",
+//    "bytes":9,"adversarial":false}
+//
+// An optional receiver filter keeps only deliveries addressed to one
+// node — the JSONL analogue of TraceRecorder::render_for.
+#pragma once
+
+#include <optional>
+#include <ostream>
+
+#include "sim/message.hpp"
+#include "sim/trace.hpp"
+
+namespace rmt::obs {
+
+class JsonlTraceObserver final : public sim::NetworkObserver {
+ public:
+  /// Writes events to `out` (not owned; must outlive the observer). If
+  /// `only_to` is set, deliveries to other nodes are skipped (round
+  /// boundary events are always emitted).
+  explicit JsonlTraceObserver(std::ostream& out, std::optional<NodeId> only_to = std::nullopt)
+      : out_(out), only_to_(only_to) {}
+
+  void on_round_begin(std::size_t round) override;
+  void on_delivery(const sim::Message& m, bool adversarial) override;
+
+  std::size_t events_written() const { return events_; }
+
+ private:
+  std::ostream& out_;
+  std::optional<NodeId> only_to_;
+  std::size_t round_ = 0;
+  std::size_t events_ = 0;
+};
+
+/// Short payload-kind tag used in trace events ("value", "path_value",
+/// "knowledge").
+const char* payload_kind(const sim::Payload& p);
+
+}  // namespace rmt::obs

@@ -1,0 +1,156 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace rmt::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+void atomic_min(std::atomic<double>& slot, double v) {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (v < cur && !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& slot, double v) {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (v > cur && !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_add(std::atomic<double>& slot, double v) {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (!slot.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+std::size_t Histogram::bucket_of(double v) {
+  if (!(v > 1.0)) return 0;  // [0,1] and any negative/NaN input
+  // Bucket i (i ≥ 1) holds (2^(i-1), 2^i]: ceil(log2(v)) clamped to range.
+  const double lg = std::ceil(std::log2(v));
+  if (lg >= double(kBuckets - 1)) return kBuckets - 1;
+  return std::size_t(lg);
+}
+
+void Histogram::observe(double v) {
+  if (v < 0) v = 0;  // durations and byte counts are non-negative by contract
+  count_.fetch_add(1, std::memory_order_relaxed);
+  buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, v);
+  atomic_min(min_, v);
+  atomic_max(max_, v);
+}
+
+double Histogram::min() const {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+double Histogram::max() const { return max_.load(std::memory_order_relaxed); }
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / double(n);
+}
+
+double Histogram::quantile(double q) const {
+  RMT_REQUIRE(q >= 0.0 && q <= 1.0, "Histogram::quantile: q outside [0,1]");
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  // Rank of the target observation, 1-based, nearest-rank method.
+  const std::uint64_t rank = std::max<std::uint64_t>(1, std::uint64_t(std::ceil(q * double(n))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const std::uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    if (seen + c >= rank) {
+      // Interpolate inside (lo, hi], clamped to the observed range so a
+      // single-bucket distribution reports within [min, max].
+      const double hi = std::min(i == 0 ? 1.0 : std::ldexp(1.0, int(i)), max());
+      const double lo = std::max(i == 0 ? 0.0 : std::ldexp(1.0, int(i) - 1), min());
+      const double frac = double(rank - seen) / double(c);
+      return lo + (hi - lo) * frac;
+    }
+    seen += c;
+  }
+  return max();
+}
+
+std::vector<std::pair<double, std::uint64_t>> Histogram::nonzero_buckets() const {
+  std::vector<std::pair<double, std::uint64_t>> out;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const std::uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+    if (c) out.emplace_back(i == 0 ? 1.0 : std::ldexp(1.0, int(i)), c);
+  }
+  return out;
+}
+
+Registry& Registry::global() {
+  static Registry r;
+  return r;
+}
+
+Registry::Slot& Registry::slot(const std::string& name, Labels&& labels, Entry::Kind kind) {
+  std::sort(labels.begin(), labels.end());
+  std::lock_guard<std::mutex> lock(m_);
+  auto [it, inserted] = metrics_.try_emplace(Key{name, std::move(labels)});
+  Slot& s = it->second;
+  if (inserted) {
+    s.kind = kind;
+    switch (kind) {
+      case Entry::Kind::kCounter: s.counter = std::make_unique<Counter>(); break;
+      case Entry::Kind::kGauge: s.gauge = std::make_unique<Gauge>(); break;
+      case Entry::Kind::kHistogram: s.histogram = std::make_unique<Histogram>(); break;
+      case Entry::Kind::kSummary: s.summary = std::make_unique<Summary>(); break;
+    }
+  } else {
+    RMT_REQUIRE(s.kind == kind, "metric '" + name + "' already registered with another kind");
+  }
+  return s;
+}
+
+Counter& Registry::counter(const std::string& name, Labels labels) {
+  return *slot(name, std::move(labels), Entry::Kind::kCounter).counter;
+}
+Gauge& Registry::gauge(const std::string& name, Labels labels) {
+  return *slot(name, std::move(labels), Entry::Kind::kGauge).gauge;
+}
+Histogram& Registry::histogram(const std::string& name, Labels labels) {
+  return *slot(name, std::move(labels), Entry::Kind::kHistogram).histogram;
+}
+Summary& Registry::summary(const std::string& name, Labels labels) {
+  return *slot(name, std::move(labels), Entry::Kind::kSummary).summary;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(m_);
+  metrics_.clear();
+}
+
+std::vector<Registry::Entry> Registry::entries() const {
+  std::lock_guard<std::mutex> lock(m_);
+  std::vector<Entry> out;
+  out.reserve(metrics_.size());
+  for (const auto& [key, s] : metrics_) {
+    Entry e;
+    e.name = key.name;
+    e.labels = key.labels;
+    e.kind = s.kind;
+    e.counter = s.counter.get();
+    e.gauge = s.gauge.get();
+    e.histogram = s.histogram.get();
+    e.summary = s.summary.get();
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+}  // namespace rmt::obs

@@ -1,0 +1,10 @@
+#include "obs/timer.hpp"
+
+namespace rmt::obs::detail {
+
+PhaseProfile*& current_profile() {
+  thread_local PhaseProfile* p = nullptr;
+  return p;
+}
+
+}  // namespace rmt::obs::detail

@@ -1,0 +1,110 @@
+// obs/timer.hpp — scoped phase timers for the hot paths.
+//
+//   void find_rmt_cut(...) {
+//     RMT_OBS_SCOPE("rmt_cut.find");
+//     ...
+//   }
+//
+// When observability is on (obs::set_enabled), each scope exit records its
+// wall-clock duration twice: into the global registry histogram
+// "phase.<name>" (microseconds — the cross-run aggregate the bench
+// reports export), and into the thread-local PhaseProfile collector, if
+// one is installed (the per-run breakdown protocols::Outcome carries).
+// When observability is off the macro costs one relaxed atomic load and
+// no clock reads — cheap enough to leave in the deciders' entry points.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace rmt::obs {
+
+/// Accumulated wall time of one named phase within a profiled region.
+struct PhaseStat {
+  std::uint64_t count = 0;
+  double total_us = 0;
+  double max_us = 0;
+};
+
+/// name -> accumulated stat. Attached to run outcomes; merged by drivers.
+class PhaseProfile {
+ public:
+  void record(const char* name, double us) {
+    PhaseStat& s = phases_[name];
+    ++s.count;
+    s.total_us += us;
+    if (us > s.max_us) s.max_us = us;
+  }
+
+  void merge(const PhaseProfile& o) {
+    for (const auto& [name, s] : o.phases_) {
+      PhaseStat& mine = phases_[name];
+      mine.count += s.count;
+      mine.total_us += s.total_us;
+      if (s.max_us > mine.max_us) mine.max_us = s.max_us;
+    }
+  }
+
+  bool empty() const { return phases_.empty(); }
+  const std::map<std::string, PhaseStat>& phases() const { return phases_; }
+
+ private:
+  std::map<std::string, PhaseStat> phases_;
+};
+
+namespace detail {
+/// The thread's active per-run collector (null when none). Exposed only
+/// for ScopedCollector/ScopedTimer.
+PhaseProfile*& current_profile();
+}  // namespace detail
+
+/// RAII: routes this thread's scope timings into `profile` (in addition
+/// to the global registry) until destruction. Nest-safe: restores the
+/// previous collector on exit.
+class ScopedCollector {
+ public:
+  explicit ScopedCollector(PhaseProfile& profile)
+      : prev_(detail::current_profile()) {
+    detail::current_profile() = &profile;
+  }
+  ~ScopedCollector() { detail::current_profile() = prev_; }
+  ScopedCollector(const ScopedCollector&) = delete;
+  ScopedCollector& operator=(const ScopedCollector&) = delete;
+
+ private:
+  PhaseProfile* prev_;
+};
+
+/// The object RMT_OBS_SCOPE plants. `name` must outlive the scope (the
+/// macro passes a string literal).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const char* name) : name_(name), armed_(enabled()) {
+    if (armed_) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (!armed_) return;
+    const auto end = std::chrono::steady_clock::now();
+    const double us = std::chrono::duration<double, std::micro>(end - start_).count();
+    Registry::global().histogram(std::string("phase.") + name_).observe(us);
+    if (PhaseProfile* p = detail::current_profile()) p->record(name_, us);
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  const char* name_;
+  bool armed_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace rmt::obs
+
+#define RMT_OBS_CONCAT_INNER(a, b) a##b
+#define RMT_OBS_CONCAT(a, b) RMT_OBS_CONCAT_INNER(a, b)
+/// Time the enclosing scope as observability phase `name` (a literal).
+#define RMT_OBS_SCOPE(name) ::rmt::obs::ScopedTimer RMT_OBS_CONCAT(rmt_obs_scope_, __LINE__)(name)

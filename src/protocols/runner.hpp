@@ -7,6 +7,7 @@
 // instance I against adversary S?" questions.
 #pragma once
 
+#include "obs/timer.hpp"
 #include "protocols/protocol.hpp"
 
 namespace rmt::protocols {
@@ -16,6 +17,9 @@ struct Outcome {
   bool correct = false;               ///< decided and equal to x_D
   bool wrong = false;                 ///< decided and ≠ x_D — a safety violation
   sim::NetworkStats stats;
+  /// Per-phase wall-time breakdown of this run (RMT_OBS_SCOPE sites hit
+  /// while it executed). Empty unless obs::set_enabled(true).
+  obs::PhaseProfile phases;
 };
 
 /// Run one RMT execution. `corruption` must be admissible under the
@@ -36,6 +40,8 @@ struct BroadcastOutcome {
   std::size_t honest_wrong = 0;
   std::size_t honest_total = 0;
   sim::NetworkStats stats;
+  /// Per-phase wall-time breakdown (see Outcome::phases).
+  obs::PhaseProfile phases;
 };
 
 /// Run to the round bound without early receiver termination and collect

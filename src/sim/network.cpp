@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/timer.hpp"
 #include "sim/trace.hpp"
 #include "util/check.hpp"
 
@@ -28,6 +29,7 @@ const ProtocolNode& Network::node(NodeId v) const {
 }
 
 std::vector<Message> Network::collect_honest_sends() {
+  RMT_OBS_SCOPE("sim.honest_round");
   std::vector<Message> out;
   instance_.graph().nodes().for_each([&](NodeId v) {
     if (!nodes_[v]) return;
@@ -47,6 +49,10 @@ std::vector<Message> Network::collect_honest_sends() {
 }
 
 void Network::route(std::vector<Message>&& honest, std::vector<Message>&& adversarial) {
+  RMT_OBS_SCOPE("sim.route");
+  const std::size_t delivered = honest.size() + adversarial.size();
+  stats_.peak_round_messages = std::max(stats_.peak_round_messages, delivered);
+  if (delivered == 0) ++stats_.quiet_rounds;
   for (Message& m : honest) {
     if (observer_) observer_->on_delivery(m, /*adversarial=*/false);
     inboxes_[m.to].push_back(std::move(m));
@@ -70,6 +76,7 @@ void Network::step() {
 
   std::vector<Message> adversarial;
   if (strategy_ && !corrupted_.empty()) {
+    RMT_OBS_SCOPE("sim.adversary_act");
     // The corrupted inbox for this round was populated by the previous
     // route(); gather it for the strategy.
     std::vector<Message> corrupted_inbox;
@@ -85,6 +92,7 @@ void Network::step() {
       // the adversary may *try* anything; the network is what stops it.
       if (corrupted_.contains(m.from) && instance_.graph().has_edge(m.from, m.to)) {
         ++stats_.adversary_messages;
+        stats_.adversary_payload_bytes += payload_bytes(m.payload);
         adversarial.push_back(std::move(m));
       } else {
         ++stats_.adversary_dropped;

@@ -64,13 +64,18 @@ class AdversaryStrategy {
 
 class NetworkObserver;  // sim/trace.hpp
 
-/// Per-run accounting.
+/// Per-run accounting. Always collected (the counters are a handful of
+/// integer bumps); the obs layer additionally aggregates them into the
+/// global metrics registry when observability is enabled.
 struct NetworkStats {
   std::size_t rounds = 0;
   std::size_t honest_messages = 0;
   std::size_t adversary_messages = 0;
   std::size_t adversary_dropped = 0;  ///< strategy sends violating the channel model
   std::size_t honest_payload_bytes = 0;
+  std::size_t adversary_payload_bytes = 0;
+  std::size_t peak_round_messages = 0;  ///< max deliveries in any single round
+  std::size_t quiet_rounds = 0;         ///< rounds in which nothing was delivered
 };
 
 /// Drives one execution. Honest nodes are supplied from outside (built by a

@@ -1,0 +1,70 @@
+// Tests for the shared experiment-driver machinery (bench/bench_util.hpp):
+// the name→strategy mapping must be total on the advertised names and
+// reject everything else (a typo must never silently run a different
+// attack than the row label claims).
+#include "bench/bench_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <typeinfo>
+
+namespace rmt::bench {
+namespace {
+
+TEST(MakeStrategy, EveryAdvertisedNameConstructs) {
+  for (const std::string& name : all_strategies()) {
+    const auto s = make_strategy(name, 7);
+    EXPECT_NE(s, nullptr) << name;
+  }
+}
+
+TEST(MakeStrategy, NamesMapToTheRightTypes) {
+  const auto type_of = [](const std::string& name) -> const std::type_info& {
+    const auto s = make_strategy(name, 7);
+    return typeid(*s);
+  };
+  EXPECT_EQ(type_of("silent"), typeid(sim::SilentStrategy));
+  EXPECT_EQ(type_of("value-flip"), typeid(sim::ValueFlipStrategy));
+  EXPECT_EQ(type_of("random-lies"), typeid(sim::RandomLieStrategy));
+  EXPECT_EQ(type_of("phantom-world"), typeid(sim::FictitiousWorldStrategy));
+  EXPECT_EQ(type_of("two-faced"), typeid(sim::TwoFacedStrategy));
+  // Distinct names yield distinct behaviors — no two aliases collapse.
+  for (const std::string& a : all_strategies())
+    for (const std::string& b : all_strategies())
+      if (a != b) {
+        EXPECT_NE(type_of(a), type_of(b)) << a << " vs " << b;
+      }
+}
+
+TEST(MakeStrategy, UnknownNameThrowsInsteadOfDefaulting) {
+  EXPECT_THROW(make_strategy("two-faecd", 0), std::invalid_argument);  // the typo case
+  EXPECT_THROW(make_strategy("", 0), std::invalid_argument);
+  EXPECT_THROW(make_strategy("TWO-FACED", 0), std::invalid_argument);
+}
+
+TEST(Reporter, RowsFeedTableAndJson) {
+  // Reporter consumes "--json <path>" and writes the artifact on finish().
+  const std::string path = ::testing::TempDir() + "rmt_reporter_test.json";
+  const char* raw[] = {"prog", "--json", path.c_str()};
+  char* argv[3];
+  for (int i = 0; i < 3; ++i) argv[i] = const_cast<char*>(raw[i]);
+  int argc = 3;
+  Reporter rep(argc, argv, "reporter_unit_test");
+  EXPECT_EQ(argc, 1);  // flag consumed
+  rep.columns({"n", "ok"});
+  rep.row({std::uint64_t(3), true});
+  rep.finish("unit test table");
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("\"name\":\"reporter_unit_test\""), std::string::npos);
+  EXPECT_NE(buf.str().find("{\"n\":3,\"ok\":true}"), std::string::npos);
+  std::remove(path.c_str());
+  obs::set_enabled(false);  // Reporter enabled observability; restore default
+}
+
+}  // namespace
+}  // namespace rmt::bench

@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""Validate the JSON artifacts emitted by the rmt observability layer.
+
+Understands the three schemas the repository produces:
+  * rmt.bench/1   — bench/ driver reports (obs::BenchReport);
+  * rmt.analyze/1 — `rmt_cli analyze --json`;
+  * rmt.run/1     — `rmt_cli run --json`.
+
+Usage:
+  check_bench_json.py [--require-phases] [--require-sim] FILE [FILE ...]
+
+  --require-phases  fail unless metrics.phases has at least one entry
+  --require-sim     fail unless the simulator counters (sim.runs > 0)
+                    are present in metrics.counters
+
+Exit code 0 if every file validates, 1 otherwise (problems on stderr).
+Wired into ctest so a malformed artifact fails the build's test suite.
+"""
+
+import argparse
+import json
+import sys
+
+SCALAR = (str, int, float, bool)
+HISTOGRAM_FIELDS = [
+    "count", "total_us", "mean_us", "min_us", "p50_us", "p95_us", "p99_us", "max_us",
+]
+METRICS_SECTIONS = ["counters", "gauges", "phases", "histograms", "summaries"]
+NETWORK_STAT_FIELDS = [
+    "rounds", "honest_messages", "adversary_messages", "adversary_dropped",
+    "honest_payload_bytes", "adversary_payload_bytes", "peak_round_messages",
+    "quiet_rounds",
+]
+
+
+class Problems:
+    def __init__(self, path):
+        self.path = path
+        self.items = []
+
+    def add(self, msg):
+        self.items.append(f"{self.path}: {msg}")
+
+
+def check_histogram(h, where, problems):
+    if not isinstance(h, dict):
+        problems.add(f"{where}: not an object")
+        return
+    for field in HISTOGRAM_FIELDS:
+        if not isinstance(h.get(field), (int, float)) or isinstance(h.get(field), bool):
+            problems.add(f"{where}.{field}: missing or non-numeric")
+    if all(isinstance(h.get(f), (int, float)) for f in ("p50_us", "p95_us", "p99_us", "max_us")):
+        if not h["p50_us"] <= h["p95_us"] <= h["p99_us"] <= h["max_us"] * (1 + 1e-9):
+            problems.add(f"{where}: percentiles not monotone "
+                         f"(p50={h['p50_us']} p95={h['p95_us']} p99={h['p99_us']} max={h['max_us']})")
+    if isinstance(h.get("count"), int) and h["count"] < 0:
+        problems.add(f"{where}.count: negative")
+
+
+def check_metrics(metrics, problems, require_phases, require_sim):
+    if not isinstance(metrics, dict):
+        problems.add("metrics: not an object")
+        return
+    for section in METRICS_SECTIONS:
+        if not isinstance(metrics.get(section), dict):
+            problems.add(f"metrics.{section}: missing or not an object")
+    counters = metrics.get("counters", {})
+    if isinstance(counters, dict):
+        for name, v in counters.items():
+            if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                problems.add(f"metrics.counters[{name}]: not a non-negative integer")
+    for section in ("phases", "histograms"):
+        entries = metrics.get(section, {})
+        if isinstance(entries, dict):
+            for name, h in entries.items():
+                check_histogram(h, f"metrics.{section}[{name}]", problems)
+    if require_phases and not metrics.get("phases"):
+        problems.add("metrics.phases: empty (per-phase timings required; "
+                     "was observability enabled in the producer?)")
+    if require_sim:
+        if not isinstance(counters, dict) or not counters.get("sim.runs"):
+            problems.add("metrics.counters['sim.runs']: missing or zero "
+                         "(simulator counters required)")
+
+
+def check_bench(doc, problems, args):
+    name = doc.get("name")
+    if not isinstance(name, str) or not name:
+        problems.add("name: missing or empty")
+    columns = doc.get("columns")
+    if not (isinstance(columns, list) and columns
+            and all(isinstance(c, str) for c in columns)):
+        problems.add("columns: must be a non-empty array of strings")
+        columns = []
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        problems.add("rows: must be a non-empty array")
+        rows = []
+    for i, row in enumerate(rows):
+        if not isinstance(row, dict):
+            problems.add(f"rows[{i}]: not an object")
+            continue
+        if columns and list(row.keys()) != columns:
+            problems.add(f"rows[{i}]: keys {list(row.keys())} != columns {columns}")
+        for key, v in row.items():
+            if not isinstance(v, SCALAR):
+                problems.add(f"rows[{i}][{key}]: non-scalar value")
+    check_metrics(doc.get("metrics"), problems, args.require_phases, args.require_sim)
+
+
+def check_analyze(doc, problems, args):
+    inst = doc.get("instance")
+    if not isinstance(inst, dict):
+        problems.add("instance: missing or not an object")
+    else:
+        for field in ("players", "channels", "dealer", "receiver", "maximal_sets"):
+            if not isinstance(inst.get(field), int) or isinstance(inst.get(field), bool):
+                problems.add(f"instance.{field}: missing or non-integer")
+    for field in ("rmt_solvable", "zcpa_solvable", "full_knowledge_solvable"):
+        if not isinstance(doc.get(field), bool):
+            problems.add(f"{field}: missing or non-boolean")
+    if "rmt_cut_witness" not in doc:
+        problems.add("rmt_cut_witness: missing (null expected when solvable)")
+    check_metrics(doc.get("metrics"), problems, args.require_phases, args.require_sim)
+
+
+def check_run(doc, problems, args):
+    for field in ("correct", "wrong"):
+        if not isinstance(doc.get(field), bool):
+            problems.add(f"{field}: missing or non-boolean")
+    if "decision" not in doc:
+        problems.add("decision: missing (null expected on abstention)")
+    stats = doc.get("stats")
+    if not isinstance(stats, dict):
+        problems.add("stats: missing or not an object")
+    else:
+        for field in NETWORK_STAT_FIELDS:
+            if not isinstance(stats.get(field), int) or isinstance(stats.get(field), bool):
+                problems.add(f"stats.{field}: missing or non-integer")
+    phases = doc.get("phases")
+    if not isinstance(phases, dict):
+        problems.add("phases: missing or not an object")
+    elif args.require_phases and not phases:
+        problems.add("phases: empty (per-run phase breakdown required)")
+    check_metrics(doc.get("metrics"), problems, args.require_phases, args.require_sim)
+
+
+CHECKERS = {
+    "rmt.bench/1": check_bench,
+    "rmt.analyze/1": check_analyze,
+    "rmt.run/1": check_run,
+}
+
+
+def check_file(path, args):
+    problems = Problems(path)
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        problems.add(f"unreadable or invalid JSON: {e}")
+        return problems.items
+    if not isinstance(doc, dict):
+        problems.add("top level is not an object")
+        return problems.items
+    schema = doc.get("schema")
+    checker = CHECKERS.get(schema)
+    if checker is None:
+        problems.add(f"schema: unknown or missing ({schema!r}); "
+                     f"expected one of {sorted(CHECKERS)}")
+        return problems.items
+    checker(doc, problems, args)
+    return problems.items
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--require-phases", action="store_true")
+    parser.add_argument("--require-sim", action="store_true")
+    parser.add_argument("files", nargs="+", metavar="FILE")
+    args = parser.parse_args()
+
+    failures = 0
+    for path in args.files:
+        items = check_file(path, args)
+        if items:
+            failures += 1
+            for item in items:
+                print(item, file=sys.stderr)
+        else:
+            print(f"{path}: OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

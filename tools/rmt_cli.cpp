@@ -8,20 +8,34 @@
 //   rmt_cli dot      <file>            Graphviz of the instance
 //   rmt_cli minimize <file>            greedy minimal sufficient views
 //
+// Observability flags (analyze/run):
+//   --stats              print per-phase timing table after the command
+//   --json <path|->      write a machine-readable report (rmt.analyze/1
+//                        or rmt.run/1 schema, incl. the metrics snapshot)
+//   --jsonl-trace <path> (run only) write the delivery transcript as JSONL
+//
 // Instance file format: see src/io/serialize.hpp. Exit code 0 on success,
 // 1 on usage errors, 2 on malformed input.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
 
 #include "analysis/design_tool.hpp"
 #include "analysis/feasibility.hpp"
 #include "analysis/minimal_knowledge.hpp"
 #include "graph/graphviz.hpp"
 #include "io/serialize.hpp"
+#include "obs/json.hpp"
+#include "obs/jsonl_trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
 #include "protocols/rmt_pka.hpp"
 #include "protocols/runner.hpp"
 #include "sim/strategies.hpp"
+#include "util/fmt.hpp"
 
 namespace {
 
@@ -30,8 +44,92 @@ using namespace rmt;
 int usage() {
   std::fprintf(stderr,
                "usage: rmt_cli <analyze|run|region|dot|minimize> <instance-file> [args]\n"
-               "       rmt_cli run <file> <dealer-value> [corrupted-node ...]\n");
+               "       rmt_cli run <file> <dealer-value> [corrupted-node ...]\n"
+               "flags: --stats | --json <path|-> | --jsonl-trace <path> (run only)\n");
   return 1;
+}
+
+struct ObsFlags {
+  bool stats = false;
+  std::optional<std::string> json_path;
+  std::optional<std::string> jsonl_trace_path;
+};
+
+/// Strip the observability flags out of argv (any position).
+ObsFlags consume_obs_flags(int& argc, char** argv) {
+  ObsFlags flags;
+  int w = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--stats") {
+      flags.stats = true;
+    } else if (arg == "--json" || arg == "--jsonl-trace") {
+      if (i + 1 >= argc) throw std::invalid_argument(arg + " requires a path argument");
+      (arg == "--json" ? flags.json_path : flags.jsonl_trace_path) = argv[++i];
+    } else {
+      argv[w++] = argv[i];
+    }
+  }
+  argc = w;
+  return flags;
+}
+
+/// Where the human-readable summary goes: stderr when the JSON document
+/// owns stdout (`--json -`), so piped output stays machine-parseable.
+FILE* human_out(const ObsFlags& flags) {
+  return flags.json_path && *flags.json_path == "-" ? stderr : stdout;
+}
+
+void emit_document(const std::string& doc, const std::string& path) {
+  if (path == "-") {
+    std::printf("%s\n", doc.c_str());
+    return;
+  }
+  std::ofstream out(path);
+  if (!out) throw std::invalid_argument("cannot open " + path + " for writing");
+  out << doc << '\n';
+}
+
+void print_phase_stats(FILE* hout) {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"phase", "count", "total(us)", "mean(us)", "p95(us)", "max(us)"});
+  for (const auto& e : obs::Registry::global().entries()) {
+    if (e.kind != obs::Registry::Entry::Kind::kHistogram || e.name.rfind("phase.", 0) != 0)
+      continue;
+    const obs::Histogram& h = *e.histogram;
+    rows.push_back({e.name.substr(6), std::to_string(h.count()), fmt::fixed(h.sum(), 1),
+                    fmt::fixed(h.mean(), 1), fmt::fixed(h.p95(), 1), fmt::fixed(h.max(), 1)});
+  }
+  if (rows.size() == 1) {
+    std::fprintf(hout, "\n(no phases recorded)\n");
+    return;
+  }
+  std::fprintf(hout, "\n## phase timings\n\n%s", fmt::table(rows).c_str());
+}
+
+void write_network_stats(obs::json::Writer& w, const sim::NetworkStats& s) {
+  w.begin_object();
+  w.field("rounds", s.rounds);
+  w.field("honest_messages", s.honest_messages);
+  w.field("adversary_messages", s.adversary_messages);
+  w.field("adversary_dropped", s.adversary_dropped);
+  w.field("honest_payload_bytes", s.honest_payload_bytes);
+  w.field("adversary_payload_bytes", s.adversary_payload_bytes);
+  w.field("peak_round_messages", s.peak_round_messages);
+  w.field("quiet_rounds", s.quiet_rounds);
+  w.end_object();
+}
+
+void write_phase_profile(obs::json::Writer& w, const obs::PhaseProfile& p) {
+  w.begin_object();
+  for (const auto& [name, s] : p.phases()) {
+    w.key(name).begin_object();
+    w.field("count", s.count);
+    w.field("total_us", s.total_us);
+    w.field("max_us", s.max_us);
+    w.end_object();
+  }
+  w.end_object();
 }
 
 Instance load(const char* path) {
@@ -40,26 +138,55 @@ Instance load(const char* path) {
   return io::parse_instance(in);
 }
 
-int cmd_analyze(const Instance& inst) {
-  std::printf("instance: %zu players, %zu channels, D=%u, R=%u, |Z|max=%zu sets\n",
-              inst.num_players(), inst.graph().num_edges(), inst.dealer(), inst.receiver(),
-              inst.adversary().num_maximal_sets());
+int cmd_analyze(const Instance& inst, const ObsFlags& flags) {
+  FILE* hout = human_out(flags);
+  std::fprintf(hout, "instance: %zu players, %zu channels, D=%u, R=%u, |Z|max=%zu sets\n",
+               inst.num_players(), inst.graph().num_edges(), inst.dealer(), inst.receiver(),
+               inst.adversary().num_maximal_sets());
   const auto rmt_cut = analysis::find_rmt_cut(inst);
-  std::printf("RMT solvable (no RMT-cut): %s\n", rmt_cut ? "no" : "yes");
+  std::fprintf(hout, "RMT solvable (no RMT-cut): %s\n", rmt_cut ? "no" : "yes");
   if (rmt_cut)
-    std::printf("  witness: C1=%s C2=%s receiver-side B=%s\n", rmt_cut->c1.to_string().c_str(),
-                rmt_cut->c2.to_string().c_str(), rmt_cut->b.to_string().c_str());
+    std::fprintf(hout, "  witness: C1=%s C2=%s receiver-side B=%s\n",
+                 rmt_cut->c1.to_string().c_str(), rmt_cut->c2.to_string().c_str(),
+                 rmt_cut->b.to_string().c_str());
   const auto zpp = analysis::find_rmt_zpp_cut(inst);
-  std::printf("Z-CPA solvable (no RMT Z-pp cut): %s\n", zpp ? "no" : "yes");
-  std::printf("full-knowledge solvable (no two-cover): %s\n",
-              analysis::solvable_full_knowledge(inst.graph(), inst.adversary(), inst.dealer(),
-                                                inst.receiver())
-                  ? "yes"
-                  : "no");
+  std::fprintf(hout, "Z-CPA solvable (no RMT Z-pp cut): %s\n", zpp ? "no" : "yes");
+  const bool full_solvable = analysis::solvable_full_knowledge(
+      inst.graph(), inst.adversary(), inst.dealer(), inst.receiver());
+  std::fprintf(hout, "full-knowledge solvable (no two-cover): %s\n", full_solvable ? "yes" : "no");
+
+  if (flags.json_path) {
+    obs::json::Writer w;
+    w.begin_object();
+    w.field("schema", "rmt.analyze/1");
+    w.key("instance").begin_object();
+    w.field("players", inst.num_players());
+    w.field("channels", inst.graph().num_edges());
+    w.field("dealer", std::uint64_t(inst.dealer()));
+    w.field("receiver", std::uint64_t(inst.receiver()));
+    w.field("maximal_sets", inst.adversary().num_maximal_sets());
+    w.end_object();
+    w.field("rmt_solvable", !rmt_cut.has_value());
+    w.key("rmt_cut_witness");
+    if (rmt_cut) {
+      w.begin_object();
+      w.field("c1", rmt_cut->c1.to_string());
+      w.field("c2", rmt_cut->c2.to_string());
+      w.field("b", rmt_cut->b.to_string());
+      w.end_object();
+    } else {
+      w.null();
+    }
+    w.field("zcpa_solvable", !zpp.has_value());
+    w.field("full_knowledge_solvable", full_solvable);
+    w.key("metrics").raw_value(obs::snapshot_json(obs::Registry::global()));
+    w.end_object();
+    emit_document(w.take(), *flags.json_path);
+  }
   return 0;
 }
 
-int cmd_run(const Instance& inst, int argc, char** argv) {
+int cmd_run(const Instance& inst, int argc, char** argv, const ObsFlags& flags) {
   if (argc < 1) return usage();
   const sim::Value x = std::strtoull(argv[0], nullptr, 10);
   NodeSet corrupted;
@@ -69,16 +196,49 @@ int cmd_run(const Instance& inst, int argc, char** argv) {
                  corrupted.to_string().c_str());
     return 2;
   }
+  std::ofstream trace_out;
+  std::optional<obs::JsonlTraceObserver> trace;
+  if (flags.jsonl_trace_path) {
+    trace_out.open(*flags.jsonl_trace_path);
+    if (!trace_out)
+      throw std::invalid_argument("cannot open " + *flags.jsonl_trace_path + " for writing");
+    trace.emplace(trace_out);
+  }
   sim::TwoFacedStrategy attack;
-  const protocols::Outcome out =
-      protocols::run_rmt(inst, protocols::RmtPka{}, x, corrupted, &attack);
+  const protocols::Outcome out = protocols::run_rmt(inst, protocols::RmtPka{}, x, corrupted,
+                                                    &attack, 0, trace ? &*trace : nullptr);
   if (out.decision)
-    std::printf("decision: %llu (%s) — rounds=%zu messages=%zu bytes=%zu\n",
-                static_cast<unsigned long long>(*out.decision),
-                out.correct ? "correct" : "WRONG", out.stats.rounds,
-                out.stats.honest_messages, out.stats.honest_payload_bytes);
+    std::fprintf(human_out(flags), "decision: %llu (%s) — rounds=%zu messages=%zu bytes=%zu\n",
+                 static_cast<unsigned long long>(*out.decision),
+                 out.correct ? "correct" : "WRONG", out.stats.rounds,
+                 out.stats.honest_messages, out.stats.honest_payload_bytes);
   else
-    std::printf("no decision (safe abstention) — rounds=%zu\n", out.stats.rounds);
+    std::fprintf(human_out(flags), "no decision (safe abstention) — rounds=%zu\n",
+                 out.stats.rounds);
+
+  if (flags.json_path) {
+    obs::json::Writer w;
+    w.begin_object();
+    w.field("schema", "rmt.run/1");
+    w.field("protocol", "RMT-PKA");
+    w.field("dealer_value", std::uint64_t(x));
+    w.field("corrupted", corrupted.to_string());
+    w.key("decision");
+    if (out.decision) {
+      w.value(std::uint64_t(*out.decision));
+    } else {
+      w.null();
+    }
+    w.field("correct", out.correct);
+    w.field("wrong", out.wrong);
+    w.key("stats");
+    write_network_stats(w, out.stats);
+    w.key("phases");
+    write_phase_profile(w, out.phases);
+    w.key("metrics").raw_value(obs::snapshot_json(obs::Registry::global()));
+    w.end_object();
+    emit_document(w.take(), *flags.json_path);
+  }
   return 0;
 }
 
@@ -117,15 +277,29 @@ int cmd_minimize(const Instance& inst) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return usage();
   try {
+    const ObsFlags flags = consume_obs_flags(argc, argv);
+    if (argc < 3) return usage();
+    // Phase timing and the JSON reports both read the metrics registry, so
+    // observability goes on whenever either surface was requested.
+    if (flags.stats || flags.json_path) obs::set_enabled(true);
     const Instance inst = load(argv[2]);
-    if (!std::strcmp(argv[1], "analyze")) return cmd_analyze(inst);
-    if (!std::strcmp(argv[1], "run")) return cmd_run(inst, argc - 3, argv + 3);
-    if (!std::strcmp(argv[1], "region")) return cmd_region(inst);
-    if (!std::strcmp(argv[1], "dot")) return cmd_dot(inst);
-    if (!std::strcmp(argv[1], "minimize")) return cmd_minimize(inst);
-    return usage();
+    int rc = 1;
+    if (!std::strcmp(argv[1], "analyze")) {
+      rc = cmd_analyze(inst, flags);
+    } else if (!std::strcmp(argv[1], "run")) {
+      rc = cmd_run(inst, argc - 3, argv + 3, flags);
+    } else if (!std::strcmp(argv[1], "region")) {
+      rc = cmd_region(inst);
+    } else if (!std::strcmp(argv[1], "dot")) {
+      rc = cmd_dot(inst);
+    } else if (!std::strcmp(argv[1], "minimize")) {
+      rc = cmd_minimize(inst);
+    } else {
+      return usage();
+    }
+    if (flags.stats) print_phase_stats(human_out(flags));
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
