@@ -98,7 +98,7 @@ int main(int argc, char** argv) {
       protocols::Outcome out;
       // Median-ish of 5 runs for the timing column.
       double best_us = 1e18;
-      for (int rep = 0; rep < 5; ++rep) {
+      for (int trial = 0; trial < 5; ++trial) {
         *counting.queries = 0;
         auto strategy = make_strategy("value-flip", 0);
         const double us =

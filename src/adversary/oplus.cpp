@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "obs/timer.hpp"
+#include "util/audit.hpp"
 #include "util/check.hpp"
 
 namespace rmt {
@@ -14,8 +15,20 @@ std::string RestrictedStructure::to_string() const {
   return family_.to_string() + "^" + ground_.to_string();
 }
 
+void RestrictedStructure::debug_validate() const {
+  family_.debug_validate();
+  ground_.debug_validate();
+  const NodeSet support = family_.support();
+  if (!support.is_subset_of(ground_))
+    audit::detail::fail("restricted", "family mentions nodes outside its ground set: " +
+                                          (support - ground_).to_string() + " ⊄ " +
+                                          ground_.to_string());
+}
+
 RestrictedStructure oplus(const RestrictedStructure& a, const RestrictedStructure& b) {
   RMT_OBS_SCOPE("adversary.oplus");
+  RMT_AUDIT_VALIDATE(a);
+  RMT_AUDIT_VALIDATE(b);
   // Degenerate operands: an empty *family* joined with anything is the
   // empty family (no Z₁ exists to pair), mirroring Definition 2 literally.
   const NodeSet joint_ground = a.ground() | b.ground();
@@ -31,7 +44,9 @@ RestrictedStructure oplus(const RestrictedStructure& a, const RestrictedStructur
       joined.push_back(std::move(x));
     }
   }
-  return RestrictedStructure(AdversaryStructure::from_sets(joined), joint_ground);
+  RestrictedStructure out(AdversaryStructure::from_sets(joined), joint_ground);
+  RMT_AUDIT_VALIDATE(out);
+  return out;
 }
 
 }  // namespace rmt

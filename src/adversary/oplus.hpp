@@ -49,7 +49,13 @@ class RestrictedStructure {
 
   std::string to_string() const;
 
+  /// Deep invariant check (rmt::audit): the family is canonical and every
+  /// admissible set lies inside `ground`. Throws audit::AuditError.
+  void debug_validate() const;
+
  private:
+  friend struct AuditTestAccess;  // tests corrupt internals to prove detection
+
   AdversaryStructure family_;
   NodeSet ground_;
 };

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "obs/timer.hpp"
+#include "util/audit.hpp"
 #include "util/check.hpp"
 
 namespace rmt {
@@ -41,10 +42,12 @@ std::size_t AdversaryStructure::max_corruption_size() const {
 
 AdversaryStructure AdversaryStructure::restricted_to(const NodeSet& a) const {
   RMT_OBS_SCOPE("adversary.restrict");
+  RMT_AUDIT_VALIDATE(*this);
   AdversaryStructure out;
   out.maximal_.reserve(maximal_.size());
   for (const NodeSet& m : maximal_) out.maximal_.push_back(m & a);
   out.prune_and_sort();
+  RMT_AUDIT_VALIDATE(out);
   return out;
 }
 
@@ -81,6 +84,21 @@ bool AdversaryStructure::enumerate_members(
     }
   }
   return true;
+}
+
+void AdversaryStructure::debug_validate() const {
+  for (std::size_t i = 0; i < maximal_.size(); ++i) {
+    maximal_[i].debug_validate();
+    if (i > 0 && !(maximal_[i - 1] < maximal_[i]))
+      audit::detail::fail("adversary",
+                          "maximal sets not in strict canonical order at index " +
+                              std::to_string(i) + ": " + maximal_[i - 1].to_string() +
+                              " !< " + maximal_[i].to_string());
+    for (std::size_t j = 0; j < maximal_.size(); ++j)
+      if (i != j && maximal_[i].is_subset_of(maximal_[j]))
+        audit::detail::fail("adversary", "antichain violated: " + maximal_[i].to_string() +
+                                             " ⊆ " + maximal_[j].to_string());
+  }
 }
 
 std::string AdversaryStructure::to_string() const {

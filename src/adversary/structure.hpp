@@ -75,7 +75,15 @@ class AdversaryStructure {
 
   std::string to_string() const;
 
+  /// Deep invariant check (rmt::audit): the representation really is the
+  /// canonical antichain — strictly ascending (hence duplicate-free), no
+  /// set contained in another, every member canonical. Throws
+  /// audit::AuditError.
+  void debug_validate() const;
+
  private:
+  friend struct AuditTestAccess;  // tests corrupt internals to prove detection
+
   void prune_and_sort();
 
   std::vector<NodeSet> maximal_;  // canonical: antichain, sorted ascending

@@ -2,6 +2,7 @@
 
 #include "graph/connectivity.hpp"
 #include "obs/timer.hpp"
+#include "util/audit.hpp"
 #include "util/check.hpp"
 
 namespace rmt::analysis {
@@ -15,6 +16,8 @@ std::optional<TwoCoverWitness> find_two_cover_cut(const Graph& g, const Adversar
   RMT_OBS_SCOPE("feasibility.two_cover");
   RMT_REQUIRE(g.has_node(dealer) && g.has_node(receiver) && dealer != receiver,
               "find_two_cover_cut: bad endpoints");
+  RMT_AUDIT_VALIDATE(g);
+  RMT_AUDIT_VALIDATE(z);
   // Maximal sets suffice: unions of smaller admissible sets are subsets of
   // unions of maximal ones, and "separates" is monotone in the removed set
   // as long as D, R stay out — which instance validation guarantees for

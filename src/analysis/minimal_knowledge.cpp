@@ -2,6 +2,7 @@
 
 #include "analysis/rmt_cut.hpp"
 #include "obs/timer.hpp"
+#include "util/audit.hpp"
 
 namespace rmt::analysis {
 
@@ -20,6 +21,7 @@ bool sufficient(const Instance& base, const ViewFunction& gamma) {
 
 std::optional<MinimalKnowledge> find_minimal_sufficient_view(const Instance& inst) {
   RMT_OBS_SCOPE("minimal_knowledge.search");
+  RMT_AUDIT_VALIDATE(inst);
   if (rmt_cut_exists(inst)) return std::nullopt;
 
   ViewFunction gamma = inst.gamma();

@@ -3,6 +3,7 @@
 #include "adversary/joint.hpp"
 #include "graph/cuts.hpp"
 #include "obs/timer.hpp"
+#include "util/audit.hpp"
 #include "util/check.hpp"
 
 namespace rmt::analysis {
@@ -11,6 +12,7 @@ std::optional<RmtCutWitness> find_rmt_cut(const Instance& inst) {
   RMT_OBS_SCOPE("rmt_cut.find");
   RMT_REQUIRE(inst.num_players() <= kMaxExactNodes,
               "find_rmt_cut: instance too large for the exact decider");
+  RMT_AUDIT_VALIDATE(inst);
   const Graph& g = inst.graph();
   const NodeId d = inst.dealer();
   const NodeId r = inst.receiver();

@@ -5,6 +5,7 @@
 #include "analysis/rmt_cut.hpp"
 #include "graph/cuts.hpp"
 #include "obs/timer.hpp"
+#include "util/audit.hpp"
 #include "util/check.hpp"
 
 namespace rmt::analysis {
@@ -13,6 +14,7 @@ std::optional<ZppCutWitness> find_rmt_zpp_cut(const Instance& inst) {
   RMT_OBS_SCOPE("zpp_cut.find");
   RMT_REQUIRE(inst.num_players() <= kMaxExactNodes,
               "find_rmt_zpp_cut: instance too large for the exact decider");
+  RMT_AUDIT_VALIDATE(inst);
   const Graph& g = inst.graph();
   const NodeId d = inst.dealer();
   const NodeId r = inst.receiver();

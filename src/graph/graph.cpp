@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/audit.hpp"
 #include "util/check.hpp"
 
 namespace rmt {
@@ -102,15 +103,59 @@ bool operator==(const Graph& a, const Graph& b) {
   return eq;
 }
 
+void Graph::debug_validate() const {
+  // Messages are assembled with += (not chained operator+) to sidestep a
+  // GCC 12 -Wrestrict false positive on nested string concatenation.
+  const auto fail_at = [](const char* what, std::size_t v, const std::string& detail) {
+    std::string msg = what;
+    msg += " at node ";
+    msg += std::to_string(v);
+    if (!detail.empty()) {
+      msg += ": ";
+      msg += detail;
+    }
+    audit::detail::fail("graph", msg);
+  };
+  nodes_.debug_validate();
+  if (!nodes_.empty() && nodes_.max() >= adj_.size())
+    fail_at("missing adjacency row", nodes_.max(),
+            "capacity " + std::to_string(adj_.size()));
+  for (std::size_t v = 0; v < adj_.size(); ++v) {
+    adj_[v].debug_validate();
+    if (!nodes_.contains(NodeId(v))) {
+      if (!adj_[v].empty())
+        fail_at("non-empty adjacency row for absent node", v, adj_[v].to_string());
+      continue;
+    }
+    if (adj_[v].contains(NodeId(v))) fail_at("self-loop", v, "");
+    if (!adj_[v].is_subset_of(nodes_))
+      fail_at("adjacency to non-nodes", v, (adj_[v] - nodes_).to_string());
+    adj_[v].for_each([&](NodeId u) {
+      if (!adj_[u].contains(NodeId(v)))
+        fail_at("asymmetric adjacency", v,
+                "edge to " + std::to_string(u) + " recorded in one direction only");
+    });
+  }
+}
+
 std::string Graph::to_string() const {
-  std::string out = "Graph(V=" + nodes_.to_string() + ", E={";
+  // Assembled with += (not chained operator+) to sidestep a GCC 12
+  // -Wrestrict false positive on nested string concatenation.
+  std::string out = "Graph(V=";
+  out += nodes_.to_string();
+  out += ", E={";
   bool first = true;
   for (const Edge& e : edges()) {
     if (!first) out += ", ";
     first = false;
-    out += "{" + std::to_string(e.a) + "," + std::to_string(e.b) + "}";
+    out += "{";
+    out += std::to_string(e.a);
+    out += ",";
+    out += std::to_string(e.b);
+    out += "}";
   }
-  return out + "})";
+  out += "})";
+  return out;
 }
 
 }  // namespace rmt

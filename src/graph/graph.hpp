@@ -85,7 +85,14 @@ class Graph {
 
   std::string to_string() const;
 
+  /// Deep invariant check (rmt::audit): adjacency symmetry, no self-loops,
+  /// neighbors ⊆ nodes, no adjacency rows for absent nodes, canonical
+  /// NodeSets throughout. Throws audit::AuditError.
+  void debug_validate() const;
+
  private:
+  friend struct AuditTestAccess;  // tests corrupt internals to prove detection
+
   NodeSet nodes_;
   std::vector<NodeSet> adj_;  // indexed by node id; empty for absent nodes
 };

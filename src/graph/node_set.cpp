@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/audit.hpp"
+
 namespace rmt {
 
 std::size_t NodeSet::size() const {
@@ -79,6 +81,13 @@ std::size_t NodeSet::hash() const {
     h *= 1099511628211ull;
   }
   return h;
+}
+
+void NodeSet::debug_validate() const {
+  if (!words_.empty() && words_.back() == 0)
+    audit::detail::fail("node_set",
+                        "trailing zero word breaks canonical form (==/hash/subset tests "
+                        "assume normalized words) in " + to_string());
 }
 
 std::string NodeSet::to_string() const {

@@ -123,7 +123,12 @@ class NodeSet {
   /// "{0, 3, 7}" — for diagnostics and DOT labels.
   std::string to_string() const;
 
+  /// Deep invariant check (rmt::audit): canonical form — no trailing zero
+  /// words, so == and hash() are value-correct. Throws audit::AuditError.
+  void debug_validate() const;
+
  private:
+  friend struct AuditTestAccess;  // tests corrupt internals to prove detection
   // Invariant: no trailing zero words (canonical form, so == is bitwise).
   void normalize() {
     while (!words_.empty() && words_.back() == 0) words_.pop_back();

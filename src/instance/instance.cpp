@@ -1,5 +1,6 @@
 #include "instance/instance.hpp"
 
+#include "util/audit.hpp"
 #include "util/check.hpp"
 
 namespace rmt {
@@ -41,6 +42,24 @@ AdversaryStructure Instance::local_structure(NodeId v) const {
 
 LocalKnowledge Instance::knowledge_of(NodeId v) const {
   return derive_local_knowledge(g_, z_, gamma_, v);
+}
+
+void Instance::debug_validate() const {
+  if (!g_.has_node(dealer_)) audit::detail::fail("instance", "dealer not in graph");
+  if (!g_.has_node(receiver_)) audit::detail::fail("instance", "receiver not in graph");
+  if (dealer_ == receiver_) audit::detail::fail("instance", "dealer equals receiver");
+  if (!z_.contains(NodeSet{}))
+    audit::detail::fail("instance", "adversary structure does not contain ∅");
+  const NodeSet support = z_.support();
+  if (support.contains(dealer_))
+    audit::detail::fail("instance", "dealer is a member of an admissible set");
+  if (support.contains(receiver_))
+    audit::detail::fail("instance", "receiver is a member of an admissible set");
+  if (!support.is_subset_of(g_.nodes()))
+    audit::detail::fail("instance", "Z mentions nodes outside G: " +
+                                        (support - g_.nodes()).to_string());
+  if (!(gamma_.ground() == g_))
+    audit::detail::fail("instance", "view function is grounded on a different graph");
 }
 
 std::string Instance::to_string() const {

@@ -53,7 +53,15 @@ class Instance {
 
   std::string to_string() const;
 
+  /// Deep invariant check (rmt::audit): re-derives the constructor's
+  /// well-formedness conditions against the *current* members (catching
+  /// post-construction corruption the one-shot validation cannot). Throws
+  /// audit::AuditError.
+  void debug_validate() const;
+
  private:
+  friend struct AuditTestAccess;  // tests corrupt internals to prove detection
+
   Graph g_;
   AdversaryStructure z_;
   ViewFunction gamma_;

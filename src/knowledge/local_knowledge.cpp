@@ -1,5 +1,6 @@
 #include "knowledge/local_knowledge.hpp"
 
+#include "util/audit.hpp"
 #include "util/check.hpp"
 
 namespace rmt {
@@ -11,6 +12,7 @@ LocalKnowledge derive_local_knowledge(const Graph& g, const AdversaryStructure& 
   lk.self = v;
   lk.view = gamma.view(v);
   lk.local_z = z.restricted_to(gamma.view_nodes(v));
+  RMT_AUDIT_VALIDATE(lk, z, gamma);
   return lk;
 }
 
@@ -21,6 +23,23 @@ std::vector<LocalKnowledge> derive_all_local_knowledge(const Graph& g,
   g.nodes().for_each(
       [&](NodeId v) { out[v] = derive_local_knowledge(g, z, gamma, v); });
   return out;
+}
+
+void debug_validate(const LocalKnowledge& lk, const AdversaryStructure& z,
+                    const ViewFunction& gamma) {
+  if (!gamma.ground().has_node(lk.self))
+    audit::detail::fail("knowledge", "player " + std::to_string(lk.self) +
+                                         " is not a node of the ground graph");
+  if (!(lk.view == gamma.view(lk.self)))
+    audit::detail::fail("knowledge", "view of player " + std::to_string(lk.self) +
+                                         " is not γ(v): " + lk.view.to_string());
+  // Z_v = Z^{V(γ(v))} (§1.3) — recompute the restriction and compare
+  // antichains exactly.
+  const AdversaryStructure expected = z.restricted_to(gamma.view_nodes(lk.self));
+  if (!(lk.local_z == expected))
+    audit::detail::fail("knowledge", "local structure of player " + std::to_string(lk.self) +
+                                         " is not Z^{V(γ(v))}: have " + lk.local_z.to_string() +
+                                         ", expected " + expected.to_string());
 }
 
 }  // namespace rmt

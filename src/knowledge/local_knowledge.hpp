@@ -30,4 +30,10 @@ std::vector<LocalKnowledge> derive_all_local_knowledge(const Graph& g,
                                                        const AdversaryStructure& z,
                                                        const ViewFunction& gamma);
 
+/// Deep invariant check (rmt::audit): lk really is the restriction of the
+/// global data — lk.view == γ(lk.self) and lk.local_z == Z^{V(γ(lk.self))},
+/// both recomputed from scratch. Throws audit::AuditError.
+void debug_validate(const LocalKnowledge& lk, const AdversaryStructure& z,
+                    const ViewFunction& gamma);
+
 }  // namespace rmt

@@ -1,6 +1,7 @@
 #include "knowledge/view.hpp"
 
 #include "graph/connectivity.hpp"
+#include "util/audit.hpp"
 #include "util/check.hpp"
 
 namespace rmt {
@@ -83,6 +84,29 @@ NodeSet ViewFunction::joint_view_nodes(const NodeSet& s) const {
   NodeSet out;
   (s & ground_.nodes()).for_each([&](NodeId v) { out |= view_nodes(v); });
   return out;
+}
+
+void ViewFunction::debug_validate() const {
+  ground_.debug_validate();
+  if (views_.size() < ground_.capacity())
+    audit::detail::fail("view", "view table smaller than the ground graph's id space");
+  ground_.nodes().for_each([&](NodeId v) {
+    const Graph& view = views_[v];
+    view.debug_validate();
+    if (!view.has_node(v))
+      audit::detail::fail("view", "γ(" + std::to_string(v) + ") does not contain its owner");
+    if (!ground_.contains_subgraph(view))
+      audit::detail::fail("view", "γ(" + std::to_string(v) + ") is not a subgraph of G");
+    ground_.neighbors(v).for_each([&](NodeId u) {
+      if (!view.has_edge(v, u))
+        audit::detail::fail("view", "γ(" + std::to_string(v) +
+                                        ") is missing incident-star edge {" +
+                                        std::to_string(v) + "," + std::to_string(u) + "}");
+    });
+    if (v >= view_nodes_.size() || view_nodes_[v] != view.nodes())
+      audit::detail::fail("view", "cached V(γ(" + std::to_string(v) +
+                                      ")) does not match the view's node set");
+  });
 }
 
 bool ViewFunction::refined_by(const ViewFunction& o) const {

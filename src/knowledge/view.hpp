@@ -82,7 +82,14 @@ class ViewFunction {
 
   const Graph& ground() const { return ground_; }
 
+  /// Deep invariant check (rmt::audit): every view is a subgraph of the
+  /// ground graph containing its owner's star, and the cached view-node
+  /// sets match the views they cache. Throws audit::AuditError.
+  void debug_validate() const;
+
  private:
+  friend struct AuditTestAccess;  // tests corrupt internals to prove detection
+
   explicit ViewFunction(const Graph& g) : ground_(g), views_(g.capacity()) {}
 
   Graph ground_;

@@ -20,6 +20,8 @@
 #include <string>
 
 #include "obs/metrics.hpp"
+#include "obs/phase_names.hpp"
+#include "util/audit.hpp"
 
 namespace rmt::obs {
 
@@ -84,6 +86,12 @@ class ScopedCollector {
 class ScopedTimer {
  public:
   explicit ScopedTimer(const char* name) : name_(name), armed_(enabled()) {
+    // Audited builds enforce the closed phase registry at runtime (the
+    // linter enforces it statically); see obs/phase_names.hpp.
+    if constexpr (audit::kEnabled) {
+      if (!is_known_phase(name_))
+        audit::detail::fail("obs", std::string("unregistered phase name: ") + name_);
+    }
     if (armed_) start_ = std::chrono::steady_clock::now();
   }
   ~ScopedTimer() {

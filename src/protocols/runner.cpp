@@ -1,6 +1,7 @@
 #include "protocols/runner.hpp"
 
 #include "obs/metrics.hpp"
+#include "util/audit.hpp"
 #include "util/check.hpp"
 
 namespace rmt::protocols {
@@ -47,6 +48,7 @@ Outcome run_rmt(const Instance& inst, const Protocol& proto, Value dealer_value,
                 std::size_t max_rounds, sim::NetworkObserver* observer) {
   RMT_REQUIRE(inst.admissible_corruption(corruption),
               "run_rmt: corruption set not admissible under Z");
+  RMT_AUDIT_VALIDATE(inst);
   if (max_rounds == 0) max_rounds = proto.default_max_rounds(inst);
 
   Outcome out;
@@ -70,6 +72,7 @@ BroadcastOutcome run_broadcast(const Instance& inst, const Protocol& proto, Valu
                                std::size_t max_rounds) {
   RMT_REQUIRE(inst.admissible_corruption(corruption),
               "run_broadcast: corruption set not admissible under Z");
+  RMT_AUDIT_VALIDATE(inst);
   if (max_rounds == 0) max_rounds = proto.default_max_rounds(inst);
 
   // Broadcast semantics ([13]'s Z-CPA): there is no designated receiver —

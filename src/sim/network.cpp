@@ -4,6 +4,7 @@
 
 #include "obs/timer.hpp"
 #include "sim/trace.hpp"
+#include "util/audit.hpp"
 #include "util/check.hpp"
 
 namespace rmt::sim {
@@ -21,6 +22,27 @@ Network::Network(const Instance& instance, std::vector<std::unique_ptr<ProtocolN
     RMT_REQUIRE(is_corrupted == (nodes_[v] == nullptr),
                 "Network: exactly the corrupted ids must have null protocol nodes");
   });
+}
+
+std::size_t Network::queued_messages() const {
+  std::size_t n = 0;
+  for (const std::vector<Message>& inbox : inboxes_) n += inbox.size();
+  return n;
+}
+
+void Network::debug_validate() const {
+  for (std::size_t v = 0; v < inboxes_.size(); ++v) {
+    for (const Message& m : inboxes_[v]) {
+      if (m.to != NodeId(v))
+        audit::detail::fail("sim", "message from " + std::to_string(m.from) + " to " +
+                                       std::to_string(m.to) + " queued in inbox of " +
+                                       std::to_string(v));
+      if (!instance_.graph().has_edge(m.from, m.to))
+        audit::detail::fail("sim", "queued message travels a non-channel {" +
+                                       std::to_string(m.from) + "," + std::to_string(m.to) +
+                                       "}");
+    }
+  }
 }
 
 const ProtocolNode& Network::node(NodeId v) const {
@@ -102,7 +124,22 @@ void Network::step() {
     corrupted_.for_each([&](NodeId v) { inboxes_[v].clear(); });
   }
 
+  // Message conservation: routing must deliver exactly what this round
+  // produced (post-drop) — nothing lost, nothing duplicated, and only over
+  // real channels. The pre/post counts are only computed under audit.
+  std::size_t produced = 0, queued_before = 0;
+  if constexpr (audit::kEnabled) {
+    produced = honest.size() + adversarial.size();
+    queued_before = queued_messages();
+  }
   route(std::move(honest), std::move(adversarial));
+  if constexpr (audit::kEnabled) {
+    if (queued_messages() != queued_before + produced)
+      audit::detail::fail("sim", "round " + std::to_string(round_) + " routed " +
+                                     std::to_string(produced) + " messages but inboxes grew by " +
+                                     std::to_string(queued_messages() - queued_before));
+    RMT_AUDIT_VALIDATE(*this);
+  }
   stats_.rounds = round_;
 }
 

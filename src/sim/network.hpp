@@ -24,6 +24,10 @@
 #include "sim/message.hpp"
 #include "util/rng.hpp"
 
+namespace rmt {
+struct AuditTestAccess;  // tests corrupt internals to prove detection
+}
+
 namespace rmt::sim {
 
 /// One honest player's protocol engine, driven round by round.
@@ -103,8 +107,17 @@ class Network {
   /// to detach. Notified of every delivered message from the next round on.
   void set_observer(NetworkObserver* observer) { observer_ = observer; }
 
+  /// Deep invariant check (rmt::audit): every queued message sits in its
+  /// addressee's inbox and travels an existing channel of the graph. The
+  /// per-round conservation count (produced == delivered) lives in step(),
+  /// which knows the round's production totals. Throws audit::AuditError.
+  void debug_validate() const;
+
  private:
+  friend struct ::rmt::AuditTestAccess;
+
   std::vector<Message> collect_honest_sends();
+  std::size_t queued_messages() const;
   void route(std::vector<Message>&& honest, std::vector<Message>&& adversarial);
 
   const Instance& instance_;

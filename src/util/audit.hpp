@@ -1,0 +1,117 @@
+// util/audit.hpp — rmt::audit: deep structural validators behind RMT_AUDIT.
+//
+// RMT_REQUIRE/RMT_CHECK (util/check.hpp) guard cheap, local conditions and
+// stay on in every build. This layer is the opposite trade: validators that
+// re-derive whole representation invariants — antichain canonicality of an
+// AdversaryStructure, adjacency symmetry of a Graph, the Z_v = Z^{V(γ(v))}
+// consistency of derived knowledge, per-round message conservation in the
+// simulator — and therefore cost as much as the operations they audit.
+//
+// Two-level design:
+//  * The `debug_validate()` entry points below are *always* compiled, so
+//    tests and `rmt_cli validate` can run them in any build.
+//  * The RMT_AUDIT_VALIDATE(...) hook macro, planted at the entry points of
+//    ⊕, restriction, the analysis deciders and the protocol runner, expands
+//    to nothing unless the library is configured with -DRMT_AUDIT=ON
+//    (CMake option; defines RMT_AUDIT). With the option off the hooks do
+//    not evaluate their arguments and reference no audit symbol — audited
+//    hot paths are bit-identical to an unaudited build.
+//
+// A violation is a library bug, never user error: validators throw
+// AuditError (a std::logic_error) after bumping the obs counters
+// "audit.violations{component=...}". Passing checks bump
+// "audit.checks{component=...}", which is how tests assert that an
+// RMT_AUDIT=ON run actually exercised every validator.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace rmt {
+
+class AdversaryStructure;
+class Graph;
+class Instance;
+class NodeSet;
+class RestrictedStructure;
+class ViewFunction;
+struct LocalKnowledge;
+
+namespace sim {
+class Network;
+}
+
+namespace audit {
+
+/// True when the library was configured with -DRMT_AUDIT=ON and the hook
+/// macro below is live. Tests branch on this to assert both the detecting
+/// (on) and the zero-overhead (off) behavior from one source.
+#ifdef RMT_AUDIT
+inline constexpr bool kEnabled = true;
+#else
+inline constexpr bool kEnabled = false;
+#endif
+
+/// Thrown on any deep-validation failure. `component()` names the audited
+/// module ("adversary", "graph", "knowledge", "instance", "sim", "obs") so
+/// diagnostics can be grouped machine-readably.
+class AuditError : public std::logic_error {
+ public:
+  AuditError(std::string component, const std::string& message)
+      : std::logic_error("audit[" + component + "]: " + message),
+        component_(std::move(component)) {}
+
+  const std::string& component() const { return component_; }
+
+ private:
+  std::string component_;
+};
+
+namespace detail {
+/// Bump audit.violations{component} and throw AuditError.
+[[noreturn]] void fail(const char* component, const std::string& message);
+/// Bump audit.checks{component} (called once per passing validator).
+void passed(const char* component);
+}  // namespace detail
+
+/// Deep validators. Each re-derives the audited invariant from scratch and
+/// throws AuditError on the first violation. Always compiled; see header
+/// comment for the cost model.
+void validate(const NodeSet& s);
+void validate(const Graph& g);
+void validate(const AdversaryStructure& z);
+void validate(const RestrictedStructure& r);
+void validate(const ViewFunction& gamma);
+void validate(const Instance& inst);
+/// Consistency of derived round-0 knowledge against the global data:
+/// lk.view == γ(lk.self) and lk.local_z == Z^{V(γ(lk.self))}, recomputed.
+void validate(const LocalKnowledge& lk, const AdversaryStructure& z, const ViewFunction& gamma);
+/// Simulator channel/addressing invariants over the queued inboxes (the
+/// per-round conservation count lives in Network::step, which knows the
+/// round's production totals).
+void validate(const sim::Network& net);
+
+/// One collected violation, for machine-readable reporting
+/// (`rmt_cli validate`).
+struct Diagnostic {
+  std::string component;
+  std::string message;
+};
+
+/// Run every instance-level validator (graph, adversary structure, view
+/// function, instance well-formedness, per-player derived knowledge),
+/// collecting instead of throwing: one Diagnostic per failed component.
+/// Empty result means the instance passed the full audit.
+std::vector<Diagnostic> check_instance(const Instance& inst);
+
+}  // namespace audit
+}  // namespace rmt
+
+/// Entry-point hook: validates its argument(s) when RMT_AUDIT is on,
+/// disappears entirely (arguments unevaluated) when off.
+#ifdef RMT_AUDIT
+#define RMT_AUDIT_VALIDATE(...) ::rmt::audit::validate(__VA_ARGS__)
+#else
+#define RMT_AUDIT_VALIDATE(...) static_cast<void>(0)
+#endif

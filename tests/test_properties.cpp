@@ -80,12 +80,22 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Values("silent", "value-flip", "random-lies", "phantom-world",
                           "two-faced"),
         ::testing::Values(std::size_t{0}, std::size_t{1}, SIZE_MAX)),
-    [](const ::testing::TestParamInfo<SafetyParam>& info) {
+    [](const ::testing::TestParamInfo<SafetyParam>& param_info) {
       // NOTE: no structured bindings here — the commas inside `[p, s, k]`
       // would be split by the INSTANTIATE_TEST_SUITE_P macro.
-      const std::size_t k = std::get<2>(info.param);
-      std::string name = std::get<0>(info.param) + "_" + std::get<1>(info.param) + "_" +
-                         ((k == SIZE_MAX) ? "full" : ("k" + std::to_string(k)));
+      // Assembled with += (not chained operator+) to sidestep a GCC 12
+      // -Wrestrict false positive on nested string concatenation.
+      const std::size_t k = std::get<2>(param_info.param);
+      std::string name = std::get<0>(param_info.param);
+      name += "_";
+      name += std::get<1>(param_info.param);
+      name += "_";
+      if (k == SIZE_MAX) {
+        name += "full";
+      } else {
+        name += "k";
+        name += std::to_string(k);
+      }
       for (char& c : name)
         if (c == '-') c = '_';
       return name;
@@ -115,8 +125,8 @@ TEST_P(CpaSafetyP, NeverDecidesWrongUnderTLocalAdversaries) {
 INSTANTIATE_TEST_SUITE_P(TLocalMatrix, CpaSafetyP,
                          ::testing::Values("silent", "value-flip", "random-lies",
                                            "phantom-world", "two-faced"),
-                         [](const ::testing::TestParamInfo<std::string>& info) {
-                           std::string name = info.param;
+                         [](const ::testing::TestParamInfo<std::string>& param_info) {
+                           std::string name = param_info.param;
                            for (char& c : name)
                              if (c == '-') c = '_';
                            return name;
@@ -150,8 +160,8 @@ INSTANTIATE_TEST_SUITE_P(
     BaselineMatrix, BaselineSafetyP,
     ::testing::Combine(::testing::Values("ppa", "dolev"),
                        ::testing::Values("silent", "value-flip", "two-faced")),
-    [](const ::testing::TestParamInfo<BaselineParam>& info) {
-      std::string name = std::get<0>(info.param) + "_" + std::get<1>(info.param);
+    [](const ::testing::TestParamInfo<BaselineParam>& param_info) {
+      std::string name = std::get<0>(param_info.param) + "_" + std::get<1>(param_info.param);
       for (char& c : name)
         if (c == '-') c = '_';
       return name;
@@ -236,8 +246,8 @@ TEST_P(RoundBoundP, DecisionWithinNRounds) {
 
 INSTANTIATE_TEST_SUITE_P(Protocols, RoundBoundP,
                          ::testing::Values("rmt-pka", "zcpa"),
-                         [](const ::testing::TestParamInfo<std::string>& info) {
-                           std::string name = info.param;
+                         [](const ::testing::TestParamInfo<std::string>& param_info) {
+                           std::string name = param_info.param;
                            for (char& c : name)
                              if (c == '-') c = '_';
                            return name;
@@ -292,8 +302,8 @@ TEST_P(DeterminismP, RunsAreReproducible) {
 
 INSTANTIATE_TEST_SUITE_P(Protocols, DeterminismP,
                          ::testing::Values("rmt-pka", "zcpa", "cpa"),
-                         [](const ::testing::TestParamInfo<std::string>& info) {
-                           std::string name = info.param;
+                         [](const ::testing::TestParamInfo<std::string>& param_info) {
+                           std::string name = param_info.param;
                            for (char& c : name)
                              if (c == '-') c = '_';
                            return name;

@@ -1,17 +1,21 @@
 #!/usr/bin/env python3
 """Validate the JSON artifacts emitted by the rmt observability layer.
 
-Understands the three schemas the repository produces:
-  * rmt.bench/1   — bench/ driver reports (obs::BenchReport);
-  * rmt.analyze/1 — `rmt_cli analyze --json`;
-  * rmt.run/1     — `rmt_cli run --json`.
+Understands the four schemas the repository produces:
+  * rmt.bench/1    — bench/ driver reports (obs::BenchReport);
+  * rmt.analyze/1  — `rmt_cli analyze --json`;
+  * rmt.run/1      — `rmt_cli run --json`;
+  * rmt.validate/1 — `rmt_cli validate --json` (rmt::audit diagnostics).
 
 Usage:
   check_bench_json.py [--require-phases] [--require-sim] FILE [FILE ...]
+  check_bench_json.py --self-test
 
   --require-phases  fail unless metrics.phases has at least one entry
   --require-sim     fail unless the simulator counters (sim.runs > 0)
                     are present in metrics.counters
+  --self-test       validate the checkers themselves against embedded
+                    good/bad documents and exit
 
 Exit code 0 if every file validates, 1 otherwise (problems on stderr).
 Wired into ctest so a malformed artifact fails the build's test suite.
@@ -145,10 +149,40 @@ def check_run(doc, problems, args):
     check_metrics(doc.get("metrics"), problems, args.require_phases, args.require_sim)
 
 
+def check_validate(doc, problems, args):
+    inst = doc.get("instance")
+    if not isinstance(inst, dict):
+        problems.add("instance: missing or not an object")
+    else:
+        for field in ("players", "channels", "dealer", "receiver", "maximal_sets"):
+            if not isinstance(inst.get(field), int) or isinstance(inst.get(field), bool):
+                problems.add(f"instance.{field}: missing or non-integer")
+    valid = doc.get("valid")
+    if not isinstance(valid, bool):
+        problems.add("valid: missing or non-boolean")
+    diags = doc.get("diagnostics")
+    if not isinstance(diags, list):
+        problems.add("diagnostics: missing or not an array")
+        diags = []
+    for i, d in enumerate(diags):
+        if not isinstance(d, dict):
+            problems.add(f"diagnostics[{i}]: not an object")
+            continue
+        for field in ("component", "message"):
+            if not isinstance(d.get(field), str) or not d.get(field):
+                problems.add(f"diagnostics[{i}].{field}: missing or empty")
+    if valid is True and diags:
+        problems.add("diagnostics: non-empty although valid=true")
+    if valid is False and not diags:
+        problems.add("diagnostics: empty although valid=false")
+    check_metrics(doc.get("metrics"), problems, args.require_phases, args.require_sim)
+
+
 CHECKERS = {
     "rmt.bench/1": check_bench,
     "rmt.analyze/1": check_analyze,
     "rmt.run/1": check_run,
+    "rmt.validate/1": check_validate,
 }
 
 
@@ -173,13 +207,85 @@ def check_file(path, args):
     return problems.items
 
 
+def _selftest_docs():
+    metrics = {s: {} for s in METRICS_SECTIONS}
+    hist = {f: 1 for f in HISTOGRAM_FIELDS}
+    inst = {"players": 8, "channels": 9, "dealer": 0, "receiver": 7, "maximal_sets": 3}
+    stats = {f: 0 for f in NETWORK_STAT_FIELDS}
+    good = [
+        {"schema": "rmt.bench/1", "name": "b", "columns": ["n"],
+         "rows": [{"n": 4}], "metrics": metrics},
+        {"schema": "rmt.analyze/1", "instance": inst, "rmt_solvable": True,
+         "rmt_cut_witness": None, "zcpa_solvable": True,
+         "full_knowledge_solvable": True, "metrics": metrics},
+        {"schema": "rmt.run/1", "decision": 42, "correct": True, "wrong": False,
+         "stats": stats, "phases": {"sim.route": hist}, "metrics": metrics},
+        {"schema": "rmt.validate/1", "instance": inst, "valid": True,
+         "diagnostics": [], "metrics": metrics},
+        {"schema": "rmt.validate/1", "instance": inst, "valid": False,
+         "diagnostics": [{"component": "graph", "message": "asymmetric adjacency"}],
+         "metrics": metrics},
+    ]
+    bad = [
+        {"schema": "rmt.unknown/9"},
+        {"schema": "rmt.bench/1", "name": "", "columns": [], "rows": [],
+         "metrics": metrics},
+        {"schema": "rmt.analyze/1", "instance": {"players": "eight"},
+         "rmt_solvable": "yes", "metrics": metrics},
+        {"schema": "rmt.run/1", "correct": True, "wrong": False,
+         "stats": {"rounds": -1.5}, "phases": {}, "metrics": metrics},
+        {"schema": "rmt.validate/1", "instance": inst, "valid": True,
+         "diagnostics": [{"component": "graph", "message": "stale"}],
+         "metrics": metrics},
+        {"schema": "rmt.validate/1", "instance": inst, "valid": False,
+         "diagnostics": [], "metrics": metrics},
+        {"schema": "rmt.validate/1", "instance": inst, "valid": False,
+         "diagnostics": [{"component": "", "message": "x"}], "metrics": metrics},
+    ]
+    return good, bad
+
+
+def self_test():
+    args = argparse.Namespace(require_phases=False, require_sim=False)
+
+    def problems_for(doc):
+        problems = Problems("<self-test>")
+        checker = CHECKERS.get(doc.get("schema"))
+        if checker is None:
+            problems.add("schema: unknown")
+        else:
+            checker(doc, problems, args)
+        return problems.items
+
+    good, bad = _selftest_docs()
+    failures = []
+    for i, doc in enumerate(good):
+        items = problems_for(doc)
+        if items:
+            failures.append(f"good[{i}] ({doc['schema']}): unexpectedly rejected: {items}")
+    for i, doc in enumerate(bad):
+        if not problems_for(doc):
+            failures.append(f"bad[{i}] ({doc['schema']}): unexpectedly accepted")
+    for f in failures:
+        print(f"self-test: {f}", file=sys.stderr)
+    print(f"self-test: {len(good) + len(bad)} documents, {len(failures)} failures")
+    return 1 if failures else 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("--require-phases", action="store_true")
     parser.add_argument("--require-sim", action="store_true")
-    parser.add_argument("files", nargs="+", metavar="FILE")
+    parser.add_argument("--self-test", action="store_true",
+                        help="validate the checkers against embedded documents")
+    parser.add_argument("files", nargs="*", metavar="FILE")
     args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.files:
+        parser.error("at least one FILE is required (or use --self-test)")
 
     failures = 0
     for path in args.files:

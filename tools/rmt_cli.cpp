@@ -7,6 +7,9 @@
 //   rmt_cli region   <file>            per-receiver reliable region
 //   rmt_cli dot      <file>            Graphviz of the instance
 //   rmt_cli minimize <file>            greedy minimal sufficient views
+//   rmt_cli validate <file>            run the deep invariant validators
+//                                      (rmt::audit) against the instance;
+//                                      --validate is accepted as an alias
 //
 // Observability flags (analyze/run):
 //   --stats              print per-phase timing table after the command
@@ -15,7 +18,8 @@
 //   --jsonl-trace <path> (run only) write the delivery transcript as JSONL
 //
 // Instance file format: see src/io/serialize.hpp. Exit code 0 on success,
-// 1 on usage errors, 2 on malformed input.
+// 1 on usage errors, 2 on malformed input, 3 when `validate` found an
+// invariant violation.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -35,6 +39,7 @@
 #include "protocols/rmt_pka.hpp"
 #include "protocols/runner.hpp"
 #include "sim/strategies.hpp"
+#include "util/audit.hpp"
 #include "util/fmt.hpp"
 
 namespace {
@@ -43,7 +48,7 @@ using namespace rmt;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: rmt_cli <analyze|run|region|dot|minimize> <instance-file> [args]\n"
+               "usage: rmt_cli <analyze|run|region|dot|minimize|validate> <instance-file> [args]\n"
                "       rmt_cli run <file> <dealer-value> [corrupted-node ...]\n"
                "flags: --stats | --json <path|-> | --jsonl-trace <path> (run only)\n");
   return 1;
@@ -260,6 +265,44 @@ int cmd_dot(const Instance& inst) {
   return 0;
 }
 
+int cmd_validate(const Instance& inst, const ObsFlags& flags) {
+  const std::vector<audit::Diagnostic> diags = audit::check_instance(inst);
+  FILE* hout = human_out(flags);
+  if (diags.empty()) {
+    std::fprintf(hout, "valid: all deep invariants hold (%zu players, %zu channels)\n",
+                 inst.num_players(), inst.graph().num_edges());
+  } else {
+    for (const audit::Diagnostic& d : diags)
+      std::fprintf(hout, "invalid [%s]: %s\n", d.component.c_str(), d.message.c_str());
+  }
+
+  if (flags.json_path) {
+    obs::json::Writer w;
+    w.begin_object();
+    w.field("schema", "rmt.validate/1");
+    w.key("instance").begin_object();
+    w.field("players", inst.num_players());
+    w.field("channels", inst.graph().num_edges());
+    w.field("dealer", std::uint64_t(inst.dealer()));
+    w.field("receiver", std::uint64_t(inst.receiver()));
+    w.field("maximal_sets", inst.adversary().num_maximal_sets());
+    w.end_object();
+    w.field("valid", diags.empty());
+    w.key("diagnostics").begin_array();
+    for (const audit::Diagnostic& d : diags) {
+      w.begin_object();
+      w.field("component", d.component);
+      w.field("message", d.message);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("metrics").raw_value(obs::snapshot_json(obs::Registry::global()));
+    w.end_object();
+    emit_document(w.take(), *flags.json_path);
+  }
+  return diags.empty() ? 0 : 3;
+}
+
 int cmd_minimize(const Instance& inst) {
   const auto result = analysis::find_minimal_sufficient_view(inst);
   if (!result) {
@@ -295,6 +338,8 @@ int main(int argc, char** argv) {
       rc = cmd_dot(inst);
     } else if (!std::strcmp(argv[1], "minimize")) {
       rc = cmd_minimize(inst);
+    } else if (!std::strcmp(argv[1], "validate") || !std::strcmp(argv[1], "--validate")) {
+      rc = cmd_validate(inst, flags);
     } else {
       return usage();
     }

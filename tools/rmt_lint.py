@@ -1,0 +1,274 @@
+#!/usr/bin/env python3
+"""Project-specific static linter for the rmt library.
+
+Machine-enforces the conventions the code review would otherwise have to
+catch by hand (wired into ctest as lint_project / lint_selftest):
+
+  pragma-once       every header uses #pragma once as its include guard
+  header-namespace  no `using namespace` at any scope in a header
+  banned-token      src/ may not use rand() (Rng is seeded and forkable),
+                    raw assert() (RMT_REQUIRE/RMT_CHECK throw and carry
+                    messages), or iostream writes (the library reports via
+                    return values and exceptions; printing is for tools/)
+  entry-require     each registered public API entry point contains an
+                    RMT_REQUIRE precondition (or an RMT_AUDIT_VALIDATE deep
+                    hook) in its body
+  phase-registry    the RMT_OBS_SCOPE phase names used across src/ form a
+                    closed vocabulary: exactly the names listed in
+                    src/obs/phase_names.hpp (both directions checked)
+
+Usage:
+  rmt_lint.py [--repo DIR]   lint the repository (default: the linter's
+                             parent repo checkout)
+  rmt_lint.py --self-test    run the rules against embedded good/bad
+                             fixtures instead of the repository
+
+Exit code 0 when clean, 1 on violations (reported one per line on stderr).
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+# --- rule configuration ------------------------------------------------------
+
+BANNED_TOKENS = [
+    (re.compile(r"\brand\s*\("), "rand() — use util/rng.hpp (seeded, forkable)"),
+    (re.compile(r"\bassert\s*\("), "assert() — use RMT_REQUIRE/RMT_CHECK (util/check.hpp)"),
+    (re.compile(r"std::cout\b"), "std::cout — the library must not write to stdout"),
+    (re.compile(r"std::cerr\b"), "std::cerr — the library must not write to stderr"),
+]
+
+# Public API entry points that must keep a precondition (RMT_REQUIRE) or a
+# deep-audit hook (RMT_AUDIT_VALIDATE) in their body. Listed explicitly so
+# removing a guard is a reviewed decision, not an accident.
+ENTRY_POINTS = [
+    ("src/analysis/rmt_cut.cpp", "find_rmt_cut"),
+    ("src/analysis/zpp_cut.cpp", "find_rmt_zpp_cut"),
+    ("src/analysis/feasibility.cpp", "find_two_cover_cut"),
+    ("src/protocols/runner.cpp", "run_rmt"),
+    ("src/protocols/runner.cpp", "run_broadcast"),
+    ("src/sim/network.cpp", "Network::Network"),
+    ("src/graph/graph.cpp", "Graph::add_edge"),
+    ("src/knowledge/view.cpp", "ViewFunction::set_view"),
+    ("src/knowledge/local_knowledge.cpp", "derive_local_knowledge"),
+    ("src/instance/instance.cpp", "Instance::Instance"),
+]
+
+PHASE_REGISTRY_FILE = "src/obs/phase_names.hpp"
+OBS_SCOPE_RE = re.compile(r'RMT_OBS_SCOPE\(\s*"([^"]+)"\s*\)')
+USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\b")
+
+
+def strip_line_comments(text):
+    """Drop // comments so doc examples don't trip token rules."""
+    return "\n".join(line.split("//", 1)[0] for line in text.splitlines())
+
+
+# --- rules -------------------------------------------------------------------
+# Each rule takes (relpath, text) and yields "relpath:line: rule: message".
+
+
+def check_pragma_once(relpath, text):
+    if not relpath.endswith(".hpp"):
+        return
+    if "#pragma once" not in text:
+        yield f"{relpath}:1: pragma-once: header lacks '#pragma once'"
+
+
+def check_header_namespace(relpath, text):
+    if not relpath.endswith(".hpp"):
+        return
+    for i, line in enumerate(strip_line_comments(text).splitlines(), 1):
+        if USING_NAMESPACE_RE.match(line):
+            yield f"{relpath}:{i}: header-namespace: 'using namespace' in a header"
+
+
+def check_banned_tokens(relpath, text):
+    if not relpath.startswith("src/"):
+        return
+    for i, line in enumerate(strip_line_comments(text).splitlines(), 1):
+        for pattern, why in BANNED_TOKENS:
+            if pattern.search(line):
+                yield f"{relpath}:{i}: banned-token: {why}"
+
+
+def function_body(text, name):
+    """The brace-balanced body of the first definition of `name`, or None.
+
+    Good enough for the entry registry: finds `name` followed (possibly
+    across lines) by an argument list and an opening brace, then matches
+    braces textually. The sources are clang-format-clean, which keeps this
+    reliable without a real parser.
+    """
+    # Match e.g. "find_rmt_cut(" or "Network::Network(" at a non-word boundary.
+    sig = re.compile(r"(?<![\w:])" + re.escape(name) + r"\s*\(")
+    m = sig.search(text)
+    if not m:
+        return None
+    depth = 0
+    start = None
+    for pos in range(m.end() - 1, len(text)):
+        c = text[pos]
+        if c == "{":
+            if start is None:
+                start = pos
+            depth += 1
+        elif c == "}":
+            depth -= 1
+            if start is not None and depth == 0:
+                return text[start : pos + 1]
+        elif c == ";" and start is None:
+            return None  # declaration only
+    return None
+
+
+def check_entry_requires(repo, findings):
+    for relpath, name in ENTRY_POINTS:
+        path = repo / relpath
+        if not path.is_file():
+            findings.append(f"{relpath}:1: entry-require: registered file is missing")
+            continue
+        body = function_body(path.read_text(encoding="utf-8"), name)
+        if body is None:
+            findings.append(
+                f"{relpath}:1: entry-require: cannot find a definition of '{name}'")
+        elif "RMT_REQUIRE" not in body and "RMT_AUDIT_VALIDATE" not in body:
+            findings.append(
+                f"{relpath}:1: entry-require: '{name}' has neither RMT_REQUIRE "
+                f"nor RMT_AUDIT_VALIDATE")
+
+
+def parse_phase_registry(text):
+    """Names listed between the lint:phase-registry markers, or None."""
+    m = re.search(r"lint:phase-registry-begin(.*?)lint:phase-registry-end", text, re.S)
+    if not m:
+        return None
+    return set(re.findall(r'"([^"]+)"', m.group(1)))
+
+
+def check_phase_registry(repo, sources, findings):
+    registry_path = repo / PHASE_REGISTRY_FILE
+    if not registry_path.is_file():
+        findings.append(f"{PHASE_REGISTRY_FILE}:1: phase-registry: registry file is missing")
+        return
+    registry = parse_phase_registry(registry_path.read_text(encoding="utf-8"))
+    if registry is None:
+        findings.append(
+            f"{PHASE_REGISTRY_FILE}:1: phase-registry: lint:phase-registry markers not found")
+        return
+    used = {}  # name -> first "file:line"
+    for relpath, text in sources:
+        if not relpath.startswith("src/"):
+            continue
+        for i, line in enumerate(strip_line_comments(text).splitlines(), 1):
+            for name in OBS_SCOPE_RE.findall(line):
+                used.setdefault(name, f"{relpath}:{i}")
+    for name, where in sorted(used.items()):
+        if name.startswith("test."):
+            findings.append(
+                f"{where}: phase-registry: prefix 'test.' is reserved for unit tests, "
+                f"not library code ('{name}')")
+        elif name not in registry:
+            findings.append(
+                f"{where}: phase-registry: phase '{name}' is not in {PHASE_REGISTRY_FILE}")
+    for name in sorted(registry - set(used)):
+        findings.append(
+            f"{PHASE_REGISTRY_FILE}:1: phase-registry: registered phase '{name}' "
+            f"has no RMT_OBS_SCOPE site left")
+
+
+# --- driver ------------------------------------------------------------------
+
+LINT_DIRS = ["src", "bench", "tests", "tools", "examples"]
+PER_FILE_RULES = [check_pragma_once, check_header_namespace, check_banned_tokens]
+
+
+def gather_sources(repo):
+    out = []
+    for d in LINT_DIRS:
+        root = repo / d
+        if not root.is_dir():
+            continue
+        for path in sorted(root.rglob("*")):
+            if path.suffix in (".hpp", ".cpp"):
+                relpath = path.relative_to(repo).as_posix()
+                out.append((relpath, path.read_text(encoding="utf-8")))
+    return out
+
+
+def lint_repo(repo):
+    findings = []
+    sources = gather_sources(repo)
+    for relpath, text in sources:
+        for rule in PER_FILE_RULES:
+            findings.extend(rule(relpath, text))
+    check_entry_requires(repo, findings)
+    check_phase_registry(repo, sources, findings)
+    return findings
+
+
+# --- self-test ---------------------------------------------------------------
+
+SELFTEST_CASES = [
+    # (rule, relpath, text, expect_finding)
+    (check_pragma_once, "src/x.hpp", "#pragma once\nint x;\n", False),
+    (check_pragma_once, "src/x.hpp", "int x;\n", True),
+    (check_pragma_once, "src/x.cpp", "int x;\n", False),
+    (check_header_namespace, "src/x.hpp", "using namespace std;\n", True),
+    (check_header_namespace, "src/x.hpp", "// using namespace std; (docs)\n", False),
+    (check_header_namespace, "src/x.cpp", "using namespace rmt;\n", False),
+    (check_banned_tokens, "src/x.cpp", "int r = rand();\n", True),
+    (check_banned_tokens, "src/x.cpp", "int operand(int);\n", False),
+    (check_banned_tokens, "src/x.cpp", "assert(x);\n", True),
+    (check_banned_tokens, "src/x.cpp", "static_assert(sizeof(int) == 4);\n", False),
+    (check_banned_tokens, "src/x.cpp", "std::cout << x;\n", True),
+    (check_banned_tokens, "tools/x.cpp", "std::cout << x;\n", False),
+]
+
+
+def self_test():
+    failures = []
+    for i, (rule, relpath, text, expect) in enumerate(SELFTEST_CASES):
+        got = bool(list(rule(relpath, text)))
+        if got != expect:
+            failures.append(f"case {i} ({rule.__name__}): expected "
+                            f"{'a finding' if expect else 'clean'}, got the opposite")
+    body = function_body("int f() { return 0; }\nvoid g(int a) { RMT_REQUIRE(a, \"\"); }", "g")
+    if body is None or "RMT_REQUIRE" not in body:
+        failures.append("function_body: failed to extract g's body")
+    if function_body("void h(int);", "h") is not None:
+        failures.append("function_body: declaration misread as definition")
+    registry = parse_phase_registry(
+        '// lint:phase-registry-begin\n"a.b",\n"c.d",\n// lint:phase-registry-end\n')
+    if registry != {"a.b", "c.d"}:
+        failures.append(f"parse_phase_registry: got {registry!r}")
+    for f in failures:
+        print(f"self-test: {f}", file=sys.stderr)
+    print(f"self-test: {len(SELFTEST_CASES) + 3} checks, {len(failures)} failures")
+    return 1 if failures else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--repo", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve().parent.parent,
+                        help="repository root to lint")
+    parser.add_argument("--self-test", action="store_true",
+                        help="check the rules against embedded fixtures and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    findings = lint_repo(args.repo)
+    for finding in findings:
+        print(finding, file=sys.stderr)
+    print(f"rmt_lint: {len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
