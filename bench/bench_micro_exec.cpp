@@ -1,0 +1,140 @@
+// bench_micro_exec — microbenchmarks for the rmt::exec scheduling core
+// and the per-worker metric-sink pattern it enables.
+//
+// The headline comparison is contended-vs-merged instrumentation: N
+// threads bumping one shared Counter/Histogram (cache-line ping-pong on
+// the atomics) against N threads each feeding a private Registry that the
+// owner folds together once with Registry::merge_from. The merge path is
+// what Campaign shards and parallel loops should use for hot counters;
+// merge_from itself is benchmarked to show the fold is a cheap, boundary-
+// time operation. Pool overheads (submit round-trip, parallel_for over an
+// empty body) quantify the scheduling cost a grain size must amortize.
+// With `--json <path>` the timings are exported as an rmt.bench/1
+// artifact.
+#include <benchmark/benchmark.h>
+
+#include "exec/thread_pool.hpp"
+#include "obs/bench_report.hpp"
+#include "obs/metrics.hpp"
+
+namespace {
+
+using namespace rmt;
+
+// --- contended vs per-worker sinks ---------------------------------------
+
+void BM_CounterContended(benchmark::State& state) {
+  static obs::Counter shared;
+  for (auto _ : state) shared.inc();
+}
+BENCHMARK(BM_CounterContended)->Threads(1)->Threads(4);
+
+void BM_CounterPerWorkerMerged(benchmark::State& state) {
+  static obs::Counter aggregate;
+  obs::Counter local;  // one sink per thread; no sharing inside the loop
+  for (auto _ : state) local.inc();
+  aggregate.merge(local);  // the boundary-time fold
+}
+BENCHMARK(BM_CounterPerWorkerMerged)->Threads(1)->Threads(4);
+
+void BM_HistogramContended(benchmark::State& state) {
+  static obs::Histogram shared;
+  double v = 1.0;
+  for (auto _ : state) {
+    shared.observe(v);
+    v = v < 1e6 ? v * 1.5 : 1.0;
+  }
+}
+BENCHMARK(BM_HistogramContended)->Threads(1)->Threads(4);
+
+void BM_HistogramPerWorkerMerged(benchmark::State& state) {
+  static obs::Histogram aggregate;
+  obs::Histogram local;
+  double v = 1.0;
+  for (auto _ : state) {
+    local.observe(v);
+    v = v < 1e6 ? v * 1.5 : 1.0;
+  }
+  aggregate.merge(local);
+}
+BENCHMARK(BM_HistogramPerWorkerMerged)->Threads(1)->Threads(4);
+
+void BM_RegistryMergeFrom(benchmark::State& state) {
+  // A realistically-sized worker registry: a few counters, a histogram
+  // with spread-out buckets, a summary.
+  obs::Registry worker;
+  for (int i = 0; i < 8; ++i)
+    worker.counter("exec.bench.c" + std::to_string(i)).inc(std::uint64_t(i) * 17);
+  obs::Histogram& h = worker.histogram("exec.bench.h");
+  for (int i = 0; i < 64; ++i) h.observe(double(1 << (i % 20)));
+  for (int i = 0; i < 64; ++i) worker.summary("exec.bench.s").observe(double(i));
+  for (auto _ : state) {
+    obs::Registry aggregate;
+    aggregate.merge_from(worker);
+    benchmark::DoNotOptimize(aggregate.entries());
+  }
+}
+BENCHMARK(BM_RegistryMergeFrom);
+
+// --- pool scheduling overheads -------------------------------------------
+
+void BM_PoolSubmitDrain(benchmark::State& state) {
+  exec::ThreadPool pool(std::size_t(state.range(0)));
+  const std::size_t tasks = 256;
+  for (auto _ : state) {
+    // parallel_for is the submit-then-drain round trip the library uses.
+    exec::parallel_for(&pool, 0, tasks, 1, [](std::size_t i) { benchmark::DoNotOptimize(i); });
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) * std::int64_t(tasks));
+}
+BENCHMARK(BM_PoolSubmitDrain)->Arg(2)->Arg(4);
+
+void BM_ParallelForGrain(benchmark::State& state) {
+  // Same index range, varying grain: shows the per-chunk cost a grain
+  // size must amortize (see DESIGN.md §10 for the guidance derived here).
+  exec::ThreadPool pool(4);
+  const std::size_t total = 1 << 12;
+  const std::size_t grain = std::size_t(state.range(0));
+  for (auto _ : state) {
+    std::atomic<std::uint64_t> sink{0};
+    exec::parallel_for(&pool, 0, total, grain,
+                       [&](std::size_t i) { sink.fetch_add(i, std::memory_order_relaxed); });
+    benchmark::DoNotOptimize(sink.load());
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) * std::int64_t(total));
+}
+BENCHMARK(BM_ParallelForGrain)->Arg(1)->Arg(16)->Arg(256);
+
+/// ConsoleReporter that additionally captures every run for JSON export.
+class CapturingReporter final : public benchmark::ConsoleReporter {
+ public:
+  std::vector<Run> runs;
+  void ReportRuns(const std::vector<Run>& report) override {
+    runs.insert(runs.end(), report.begin(), report.end());
+    ConsoleReporter::ReportRuns(report);
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto json_path = rmt::obs::consume_json_flag(argc, argv);
+  rmt::obs::Registry::global().reset();
+  rmt::obs::set_enabled(true);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (json_path) {
+    rmt::obs::BenchReport rep("bench_micro_exec");
+    rep.set_columns({"benchmark", "iterations", "real_ns", "cpu_ns"});
+    for (const auto& r : reporter.runs) {
+      if (r.error_occurred) continue;
+      rep.add_row({r.benchmark_name(), std::uint64_t(r.iterations), r.GetAdjustedRealTime(),
+                   r.GetAdjustedCPUTime()});
+    }
+    rep.write(*json_path);
+  }
+  benchmark::Shutdown();
+  return 0;
+}

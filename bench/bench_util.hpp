@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -11,6 +12,9 @@
 #include <vector>
 
 #include "adversary/threshold.hpp"
+#include "exec/campaign.hpp"
+#include "exec/options.hpp"
+#include "exec/thread_pool.hpp"
 #include "graph/generators.hpp"
 #include "instance/instance.hpp"
 #include "obs/bench_report.hpp"
@@ -47,9 +51,30 @@ inline void print_table(const std::string& title,
 class Reporter {
  public:
   Reporter(int& argc, char** argv, std::string name)
-      : report_(std::move(name)), json_path_(obs::consume_json_flag(argc, argv)) {
+      : report_(std::move(name)), json_path_(obs::consume_json_flag(argc, argv)),
+        exec_(consume_exec_flags_or_exit(argc, argv)) {
     obs::Registry::global().reset();
     obs::set_enabled(true);
+  }
+
+  /// The --jobs/--shard/--resume options this driver was invoked with.
+  const exec::ExecOptions& exec() const { return exec_; }
+
+  /// The worker pool sized by --jobs, built on first use. Returns nullptr
+  /// for --jobs 1 so callers hit the sequential-inline paths directly.
+  exec::ThreadPool* pool() {
+    if (exec_.jobs <= 1) return nullptr;
+    if (!pool_) pool_ = std::make_unique<exec::ThreadPool>(exec_.jobs);
+    return pool_.get();
+  }
+
+  /// Campaign subset/manifest options straight from the command line.
+  exec::Campaign::RunOptions campaign_options() const {
+    exec::Campaign::RunOptions opts;
+    opts.subset_index = exec_.shard_index;
+    opts.subset_count = exec_.shard_count;
+    if (exec_.resume) opts.manifest_path = *exec_.resume;
+    return opts;
   }
 
   void columns(std::vector<std::string> names) {
@@ -67,6 +92,7 @@ class Reporter {
 
   /// Print the ASCII table; write the JSON artifact if requested.
   void finish(const std::string& title) {
+    if (pool_) pool_->publish_stats();  // exec.* metrics join the snapshot
     print_table(title, table_);
     if (json_path_) {
       report_.write(*json_path_);
@@ -76,6 +102,16 @@ class Reporter {
   }
 
  private:
+  /// Flag errors are user errors: report and exit(2), no stack trace.
+  static exec::ExecOptions consume_exec_flags_or_exit(int& argc, char** argv) {
+    try {
+      return exec::consume_exec_flags(argc, argv);
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "fatal: %s\n", e.what());
+      std::exit(2);
+    }
+  }
+
   static std::string cell_text(const obs::BenchValue& v) {
     struct Visitor {
       std::string operator()(const std::string& s) const { return s; }
@@ -90,6 +126,8 @@ class Reporter {
   std::vector<std::vector<std::string>> table_;
   obs::BenchReport report_;
   std::optional<std::string> json_path_;
+  exec::ExecOptions exec_;
+  std::unique_ptr<exec::ThreadPool> pool_;
 };
 
 /// The knowledge levels the experiments sweep, in increasing order.

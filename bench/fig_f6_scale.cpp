@@ -19,9 +19,16 @@
 //    where Z-CPA — same wire format, exact structure knowledge — stays
 //    correct. This is the paper's §1 motivation for general adversary
 //    structures, reproduced at n = 1000.
+//
+// The sweep runs as an rmt::exec campaign: one shard per field size, each
+// seeded from the campaign root via derive_seed, so the emitted rows are
+// byte-identical at any --jobs level and the sweep supports --shard i/k
+// slicing and --resume <manifest> checkpointing.
 #include <cmath>
+#include <cstdio>
 
 #include "bench_util.hpp"
+#include "obs/json.hpp"
 #include "protocols/cpa.hpp"
 #include "protocols/zcpa.hpp"
 
@@ -32,37 +39,75 @@ int main(int argc, char** argv) {
   Reporter rep(argc, argv, "fig_f6_scale");
   rep.columns({"n", "edges", "protocol", "delivered", "rounds", "messages", "time(ms)"});
 
-  for (std::size_t n : {100u, 250u, 500u, 1000u}) {
-    Rng rng(4242 + n);
-    // Keep expected degree roughly constant: radius ~ sqrt(12 / n).
-    const double radius = std::sqrt(12.0 / double(n));
-    const Graph g = generators::random_geometric(n, radius, rng);
-    const NodeId r = NodeId(n - 1);
-    // Sparse explicit structure: a handful of 3-node corruption pockets.
-    const AdversaryStructure z = random_structure(g.nodes(), 6, 3, NodeSet{0, r}, rng);
-    const Instance inst = Instance::ad_hoc(g, z, 0, r);
-    NodeSet corrupted;
-    for (const NodeSet& m : z.maximal_sets())
-      if (m.size() > corrupted.size()) corrupted = m;
+  const std::vector<std::size_t> field_sizes = {100, 250, 500, 1000};
+  const exec::Campaign campaign("fig_f6_scale", field_sizes.size(), field_sizes.size(), 4242);
 
-    struct Variant {
-      std::string label;
-      const protocols::Protocol& proto;
-    };
-    const protocols::Zcpa zcpa;
-    const protocols::Cpa cpa(1);
-    for (const auto& [label, proto] :
-         std::vector<Variant>{{"Z-CPA[explicit]", zcpa}, {"CPA(t=1)", cpa}}) {
-      protocols::Outcome out;
-      auto strategy = make_strategy("value-flip", 0);
-      const double ms =
-          time_us([&] { out = protocols::run_rmt(inst, proto, 7, corrupted, strategy.get()); }) /
-          1000.0;
-      rep.row({std::uint64_t(n), std::uint64_t(g.num_edges()), label,
-               std::string(out.correct ? "yes" : (out.wrong ? "WRONG" : "no")),
-               std::uint64_t(out.stats.rounds), std::uint64_t(out.stats.honest_messages), ms});
+  // Pure function of the shard: every row it emits depends only on the
+  // shard geometry and seed, never on scheduling.
+  const auto run_shard = [&](const exec::Shard& shard) -> std::string {
+    obs::json::Writer w;
+    w.begin_array();
+    for (std::size_t unit = shard.begin; unit < shard.end; ++unit) {
+      const std::size_t n = field_sizes[unit];
+      Rng rng(exec::derive_seed(shard.seed, unit - shard.begin));
+      // Keep expected degree roughly constant: radius ~ sqrt(12 / n).
+      const double radius = std::sqrt(12.0 / double(n));
+      const Graph g = generators::random_geometric(n, radius, rng);
+      const NodeId r = NodeId(n - 1);
+      // Sparse explicit structure: a handful of 3-node corruption pockets.
+      const AdversaryStructure z = random_structure(g.nodes(), 6, 3, NodeSet{0, r}, rng);
+      const Instance inst = Instance::ad_hoc(g, z, 0, r);
+      NodeSet corrupted;
+      for (const NodeSet& m : z.maximal_sets())
+        if (m.size() > corrupted.size()) corrupted = m;
+
+      struct Variant {
+        std::string label;
+        const protocols::Protocol& proto;
+      };
+      const protocols::Zcpa zcpa;
+      const protocols::Cpa cpa(1);
+      for (const auto& [label, proto] :
+           std::vector<Variant>{{"Z-CPA[explicit]", zcpa}, {"CPA(t=1)", cpa}}) {
+        protocols::Outcome out;
+        auto strategy = make_strategy("value-flip", 0);
+        const double ms =
+            time_us([&] { out = protocols::run_rmt(inst, proto, 7, corrupted, strategy.get()); }) /
+            1000.0;
+        w.begin_object();
+        w.field("n", std::uint64_t(n));
+        w.field("edges", std::uint64_t(g.num_edges()));
+        w.field("protocol", label);
+        w.field("delivered", std::string(out.correct ? "yes" : (out.wrong ? "WRONG" : "no")));
+        w.field("rounds", std::uint64_t(out.stats.rounds));
+        w.field("messages", std::uint64_t(out.stats.honest_messages));
+        w.field("ms", ms);
+        w.end_object();
+      }
+    }
+    w.end_array();
+    return w.take();
+  };
+
+  exec::ThreadPool sequential(1);
+  exec::ThreadPool* pool = rep.pool() != nullptr ? rep.pool() : &sequential;
+  const exec::Campaign::Result result = campaign.run(*pool, run_shard, rep.campaign_options());
+
+  // Rows in shard (= field size) order; a --shard slice reports only its
+  // own units, and a --resume run re-reports checkpointed ones.
+  for (const std::optional<std::string>& payload : result.payloads) {
+    if (!payload) continue;
+    const obs::json::Value rows = obs::json::Value::parse(*payload);
+    for (const obs::json::Value& row : rows.array()) {
+      rep.row({row.find("n")->as_u64(), row.find("edges")->as_u64(),
+               row.find("protocol")->as_string(), row.find("delivered")->as_string(),
+               row.find("rounds")->as_u64(), row.find("messages")->as_u64(),
+               row.find("ms")->as_double()});
     }
   }
+  if (!result.complete())
+    std::printf("note: partial sweep — %zu shard(s) outside this --shard slice\n",
+                result.skipped);
   rep.finish("F6 — certified propagation at scale (geometric fields, active liar)");
   return 0;
 }

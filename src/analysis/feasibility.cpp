@@ -1,5 +1,8 @@
 #include "analysis/feasibility.hpp"
 
+#include <limits>
+
+#include "exec/thread_pool.hpp"
 #include "graph/connectivity.hpp"
 #include "obs/timer.hpp"
 #include "util/audit.hpp"
@@ -30,6 +33,46 @@ std::optional<TwoCoverWitness> find_two_cover_cut(const Graph& g, const Adversar
       if (separates(g, cut, dealer, receiver)) return TwoCoverWitness{z1, z2};
     }
   return std::nullopt;
+}
+
+std::optional<TwoCoverWitness> find_two_cover_cut(const Graph& g, const AdversaryStructure& z,
+                                                  NodeId dealer, NodeId receiver,
+                                                  exec::ThreadPool* pool) {
+  if (pool == nullptr || pool->num_workers() <= 1)
+    return find_two_cover_cut(g, z, dealer, receiver);
+  RMT_OBS_SCOPE("feasibility.two_cover");
+  RMT_REQUIRE(g.has_node(dealer) && g.has_node(receiver) && dealer != receiver,
+              "find_two_cover_cut: bad endpoints");
+  RMT_AUDIT_VALIDATE(g);
+  RMT_AUDIT_VALIDATE(z);
+  const auto& max_sets = z.maximal_sets();
+  const std::size_t n = max_sets.size();
+  if (n == 0) return std::nullopt;
+
+  // Flatten the pair grid to row-major indices and keep the lowest hit:
+  // the same (z1, z2) the sequential double loop would have returned.
+  struct First {
+    std::size_t index = std::numeric_limits<std::size_t>::max();
+  };
+  const First f = exec::parallel_reduce<First>(
+      pool, 0, n * n, exec::suggest_grain(n * n, pool), First{},
+      [&](std::size_t lo, std::size_t hi) {
+        First p;
+        for (std::size_t i = lo; i < hi; ++i) {
+          const NodeSet& z1 = max_sets[i / n];
+          const NodeSet& z2 = max_sets[i % n];
+          const NodeSet cut = z1 | z2;
+          if (cut.contains(dealer) || cut.contains(receiver)) continue;
+          if (separates(g, cut, dealer, receiver)) {
+            p.index = i;
+            break;
+          }
+        }
+        return p;
+      },
+      [](First a, First b) { return a.index <= b.index ? a : b; });
+  if (f.index == std::numeric_limits<std::size_t>::max()) return std::nullopt;
+  return TwoCoverWitness{max_sets[f.index / n], max_sets[f.index % n]};
 }
 
 bool solvable_full_knowledge(const Graph& g, const AdversaryStructure& z, NodeId dealer,

@@ -1,6 +1,9 @@
 #include "analysis/rmt_cut.hpp"
 
+#include <limits>
+
 #include "adversary/joint.hpp"
+#include "exec/thread_pool.hpp"
 #include "graph/cuts.hpp"
 #include "obs/timer.hpp"
 #include "util/audit.hpp"
@@ -41,6 +44,78 @@ std::optional<RmtCutWitness> find_rmt_cut(const Instance& inst) {
     }
     return true;
   });
+  return witness;
+}
+
+std::optional<RmtCutWitness> find_rmt_cut(const Instance& inst, exec::ThreadPool* pool) {
+  if (pool == nullptr || pool->num_workers() <= 1) return find_rmt_cut(inst);
+  RMT_OBS_SCOPE("rmt_cut.find");
+  RMT_REQUIRE(inst.num_players() <= kMaxExactNodes,
+              "find_rmt_cut: instance too large for the exact decider");
+  RMT_AUDIT_VALIDATE(inst);
+  const Graph& g = inst.graph();
+  const NodeId d = inst.dealer();
+  const NodeId r = inst.receiver();
+
+  std::vector<AdversaryStructure> local_z(g.capacity());
+  g.nodes().for_each([&](NodeId v) { local_z[v] = inst.local_structure(v); });
+
+  // The per-B work from the sequential scan, as a pure function of B.
+  const auto eval_b = [&](const NodeSet& b) -> std::optional<RmtCutWitness> {
+    const NodeSet cut = g.boundary(b);
+    if (cut.contains(d)) return std::nullopt;
+    JointStructure zb;
+    b.for_each([&](NodeId v) {
+      zb.add_constraint(inst.gamma().view_nodes(v), local_z[v]);
+    });
+    const NodeSet gamma_b = inst.gamma().joint_view_nodes(b);
+    for (const NodeSet& m : inst.adversary().maximal_sets()) {
+      const NodeSet c2 = cut - m;
+      if (zb.contains(c2 & gamma_b)) return RmtCutWitness{cut & m, c2, b};
+    }
+    return std::nullopt;
+  };
+
+  // The enumeration itself is a sequential DFS, so the pipeline is:
+  // collect a batch of candidate Bs, fan the batch out over the pool,
+  // keep the lowest-index witness (== the first in enumeration order, so
+  // the answer matches the sequential decider bit for bit), stop at the
+  // first batch that produced one.
+  struct First {
+    std::size_t index = std::numeric_limits<std::size_t>::max();
+    std::optional<RmtCutWitness> w;
+  };
+  const std::size_t batch_size = 64 * pool->num_workers();
+  std::vector<NodeSet> batch;
+  batch.reserve(batch_size);
+  std::optional<RmtCutWitness> witness;
+
+  const auto flush = [&]() {
+    if (batch.empty() || witness) return;
+    First f = exec::parallel_reduce<First>(
+        pool, 0, batch.size(), exec::suggest_grain(batch.size(), pool), First{},
+        [&](std::size_t lo, std::size_t hi) {
+          First p;
+          for (std::size_t i = lo; i < hi; ++i) {
+            if (std::optional<RmtCutWitness> w = eval_b(batch[i])) {
+              p.index = i;
+              p.w = std::move(w);
+              break;  // lowest index within the chunk; rest cannot win
+            }
+          }
+          return p;
+        },
+        [](First a, First b2) { return a.index <= b2.index ? std::move(a) : std::move(b2); });
+    batch.clear();
+    if (f.w) witness = std::move(*f.w);
+  };
+
+  enumerate_connected_subsets(g, r, NodeSet::single(d), [&](const NodeSet& b) {
+    batch.push_back(b);
+    if (batch.size() >= batch_size) flush();
+    return !witness.has_value();
+  });
+  flush();
   return witness;
 }
 

@@ -24,6 +24,10 @@
 
 #include "instance/instance.hpp"
 
+namespace rmt::exec {
+class ThreadPool;
+}
+
 namespace rmt::analysis {
 
 /// A concrete RMT-cut, returned as proof of infeasibility.
@@ -39,6 +43,13 @@ inline constexpr std::size_t kMaxExactNodes = 26;
 /// Find an RMT-cut, or nullopt if none exists (⇒ RMT-PKA succeeds, Thm 5).
 /// Requires num_players() <= kMaxExactNodes.
 std::optional<RmtCutWitness> find_rmt_cut(const Instance& inst);
+
+/// Parallel decider: batches the connected-subset enumeration and
+/// evaluates each batch across `pool`, keeping the lowest-index witness —
+/// so the returned witness is exactly the sequential one at any worker
+/// count. pool == nullptr (or a one-worker pool) falls back to the
+/// sequential scan above.
+std::optional<RmtCutWitness> find_rmt_cut(const Instance& inst, exec::ThreadPool* pool);
 
 bool rmt_cut_exists(const Instance& inst);
 

@@ -1,0 +1,116 @@
+// exec/campaign.hpp — sharded parameter sweeps with deterministic seeding
+// and checkpoint/resume.
+//
+// A Campaign splits `total_units` work items (instances to decide, codes
+// to enumerate, rows to measure) into `num_shards` contiguous shards.
+// Each shard carries an RNG seed derived *only* from (root_seed, shard
+// index) — never from scheduling — so a shard computes the same payload
+// whether it runs first or last, on one worker or eight, in this process
+// or on another machine. The campaign aggregate (payloads joined in shard
+// order) is therefore byte-identical at any worker count, including a
+// sequential run.
+//
+// Checkpointing: every completed shard is appended to a JSONL manifest
+// ("rmt.campaign/1", validated by tools/check_bench_json.py):
+//
+//   {"schema":"rmt.campaign/1","campaign":NAME,"root_seed":S,
+//    "total_units":N,"shards":K}                                 # header
+//   {"schema":"rmt.campaign/1","campaign":NAME,"shard":i,"of":K,
+//    "begin":b,"end":e,"seed":s,"wall_us":t,"payload":"..."}     # 1/shard
+//
+// A resumed run loads the manifest, verifies the header against its own
+// identity (name, root seed, unit and shard counts — a mismatched
+// manifest is an error, not a silent restart), marks the listed shards
+// complete, and runs only the rest. A truncated final line (the process
+// died mid-append) is ignored and recomputed. Manifests from distributed
+// slices (`--shard i/k` runs) can be concatenated and resumed as one.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+
+namespace rmt::exec {
+
+/// Mix (root_seed, stream) into an independent 64-bit seed (splitmix64
+/// finalizer over the golden-ratio sequence). Stable across platforms and
+/// releases: manifests record the derived seeds, so this function is part
+/// of the rmt.campaign/1 format.
+std::uint64_t derive_seed(std::uint64_t root_seed, std::uint64_t stream);
+
+/// One contiguous slice of a campaign's unit range.
+struct Shard {
+  std::size_t index = 0;  ///< 0-based shard number
+  std::size_t of = 1;     ///< total shards in the campaign
+  std::size_t begin = 0;  ///< first unit (inclusive)
+  std::size_t end = 0;    ///< last unit (exclusive)
+  std::uint64_t seed = 0; ///< derive_seed(root_seed, index)
+};
+
+class Campaign {
+ public:
+  /// Requires total_units >= 1 and 1 <= num_shards <= total_units.
+  Campaign(std::string name, std::size_t total_units, std::size_t num_shards,
+           std::uint64_t root_seed);
+
+  const std::string& name() const { return name_; }
+  std::size_t total_units() const { return total_units_; }
+  std::uint64_t root_seed() const { return root_seed_; }
+  const std::vector<Shard>& shards() const { return shards_; }
+
+  /// Computes one shard's aggregate payload. Must be a pure function of
+  /// the Shard (use Rng(shard.seed) for randomness); must not contain
+  /// newlines (payloads are manifest-line and aggregate-line atoms).
+  using ShardFn = std::function<std::string(const Shard&)>;
+
+  struct RunOptions {
+    /// Distributed slice (--shard i/k): only shards with
+    /// index % subset_count == subset_index execute locally.
+    std::size_t subset_index = 0;
+    std::size_t subset_count = 1;
+    /// Manifest to load completed shards from and append new ones to
+    /// (--resume). Empty disables checkpointing. A nonexistent file is a
+    /// fresh start, not an error.
+    std::string manifest_path;
+  };
+
+  struct Result {
+    std::vector<std::optional<std::string>> payloads;  ///< by shard index
+    std::size_t ran = 0;       ///< shards computed in this run
+    std::size_t resumed = 0;   ///< shards loaded from the manifest
+    std::size_t skipped = 0;   ///< shards outside the subset filter
+    std::size_t corrupt_manifest_lines = 0;  ///< ignored (truncated) lines
+
+    bool complete() const;
+    /// Payloads joined in shard order, one line each. Requires complete().
+    std::string aggregate() const;
+  };
+
+  /// Run every shard not already checkpointed (and inside the subset
+  /// filter) on `pool`, shards concurrently, checkpointing each as it
+  /// completes. Exceptions from shard functions propagate (lowest shard
+  /// first) after in-flight shards drain; completed shards stay
+  /// checkpointed, so a crashed campaign resumes where it died.
+  Result run(ThreadPool& pool, const ShardFn& fn, const RunOptions& opts) const;
+  Result run(ThreadPool& pool, const ShardFn& fn) const { return run(pool, fn, RunOptions()); }
+
+ private:
+  std::string name_;
+  std::size_t total_units_;
+  std::uint64_t root_seed_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace rmt::exec
+
+namespace rmt::audit {
+/// Deep invariants of the shard plan: contiguous cover of [0, total),
+/// sequential indices, seeds re-derived from the root. Hooked (via
+/// RMT_AUDIT_VALIDATE) at Campaign::run entry and per-shard boundaries.
+void validate(const exec::Shard& s);
+void validate(const exec::Campaign& c);
+}  // namespace rmt::audit

@@ -1,0 +1,82 @@
+#include "exec/options.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+namespace rmt::exec {
+
+namespace {
+
+[[noreturn]] void bad(const std::string& flag, const std::string& why) {
+  throw std::invalid_argument(flag + ": " + why);
+}
+
+/// Strict non-negative integer: all digits, fits std::size_t. Rejects
+/// "-3", "4x", "" — a sweep's shape must never be a silent surprise.
+std::size_t parse_count(const std::string& flag, const std::string& text) {
+  if (text.empty() || text.find_first_not_of("0123456789") != std::string::npos)
+    bad(flag, "expected a non-negative integer, got '" + text + "'");
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size())
+    bad(flag, "value out of range: '" + text + "'");
+  return std::size_t(v);
+}
+
+}  // namespace
+
+ExecOptions consume_exec_flags(int& argc, char** argv) {
+  ExecOptions opts;
+  std::vector<char*> keep;
+  keep.reserve(std::size_t(argc));
+  keep.push_back(argv[0]);
+
+  int i = 1;
+  // Pull "--flag value" / "--flag=value"; returns nullopt when argv[i] is
+  // not `flag` (advancing i is the caller's loop's job).
+  auto take_value = [&](const char* flag) -> std::optional<std::string> {
+    const std::string arg = argv[i];
+    const std::string prefix = std::string(flag) + "=";
+    if (arg == flag) {
+      if (i + 1 >= argc) bad(flag, "missing value");
+      ++i;
+      return std::string(argv[i]);
+    }
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+    return std::nullopt;
+  };
+
+  for (; i < argc; ++i) {
+    if (std::optional<std::string> v = take_value("--jobs")) {
+      opts.jobs = parse_count("--jobs", *v);
+      if (opts.jobs == 0) bad("--jobs", "needs at least one worker (got 0)");
+      continue;
+    }
+    if (std::optional<std::string> v = take_value("--shard")) {
+      const std::size_t slash = v->find('/');
+      if (slash == std::string::npos || v->find('/', slash + 1) != std::string::npos)
+        bad("--shard", "expected i/k (e.g. 0/4), got '" + *v + "'");
+      opts.shard_index = parse_count("--shard", v->substr(0, slash));
+      opts.shard_count = parse_count("--shard", v->substr(slash + 1));
+      if (opts.shard_count == 0) bad("--shard", "k must be >= 1 in i/k");
+      if (opts.shard_index >= opts.shard_count)
+        bad("--shard", "i must be < k in i/k (got " + *v + ")");
+      continue;
+    }
+    if (std::optional<std::string> v = take_value("--resume")) {
+      if (v->empty()) bad("--resume", "manifest path must be non-empty");
+      opts.resume = std::move(*v);
+      continue;
+    }
+    keep.push_back(argv[i]);
+  }
+
+  for (std::size_t k = 0; k < keep.size(); ++k) argv[k] = keep[k];
+  argc = int(keep.size());
+  return opts;
+}
+
+}  // namespace rmt::exec

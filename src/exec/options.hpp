@@ -1,0 +1,35 @@
+// exec/options.hpp — the shared command-line surface of the execution
+// engine: --jobs N, --shard i/k, --resume MANIFEST.
+//
+// Every bench/fig driver (via bench::Reporter) and campaign-aware tool
+// consumes these flags through one parser so the validation story is
+// uniform: malformed input ("--jobs 0", "--shard 3/2", a missing value)
+// throws std::invalid_argument with a message naming the flag, and the
+// drivers turn that into a clear fatal line and nonzero exit — a typo'd
+// sweep must die loudly, not silently run single-threaded.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+namespace rmt::exec {
+
+struct ExecOptions {
+  /// Worker threads for the run (--jobs N, N >= 1). Default: sequential.
+  std::size_t jobs = 1;
+  /// Distributed slice (--shard i/k, 0 <= i < k): this process runs only
+  /// shard indices ≡ i (mod k). Default: the whole campaign.
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+  /// Campaign manifest to resume from / checkpoint to (--resume PATH).
+  std::optional<std::string> resume;
+};
+
+/// Scan argv for --jobs/--shard/--resume (both "--flag value" and
+/// "--flag=value" forms), removing consumed arguments like
+/// obs::consume_json_flag does. Throws std::invalid_argument on any
+/// malformed occurrence; unrelated arguments pass through untouched.
+ExecOptions consume_exec_flags(int& argc, char** argv);
+
+}  // namespace rmt::exec

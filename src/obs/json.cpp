@@ -1,7 +1,11 @@
 #include "obs/json.hpp"
 
+#include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
 
 #include "obs/metrics.hpp"
 #include "util/check.hpp"
@@ -150,6 +154,236 @@ Writer& Writer::raw_value(const std::string& document) {
 std::string Writer::take() {
   RMT_CHECK(stack_.empty(), "json::Writer: take() with open containers");
   return std::move(out_);
+}
+
+/// Recursive-descent parser over the grammar the Writer emits.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Value document() {
+    Value v = value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters after the document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::invalid_argument("json::parse: " + why + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' || s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_word(const char* w) {
+    const std::size_t len = std::string(w).size();
+    if (s_.compare(pos_, len, w) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  Value value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': {
+        Value v;
+        v.kind_ = Value::Kind::kString;
+        v.str_ = string();
+        return v;
+      }
+      case 't':
+      case 'f': {
+        Value v;
+        v.kind_ = Value::Kind::kBool;
+        if (consume_word("true")) v.bool_ = true;
+        else if (consume_word("false")) v.bool_ = false;
+        else fail("bad literal");
+        return v;
+      }
+      case 'n': {
+        if (!consume_word("null")) fail("bad literal");
+        return Value{};
+      }
+      default: return number();
+    }
+  }
+
+  Value object() {
+    expect('{');
+    Value v;
+    v.kind_ = Value::Kind::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      v.members_.emplace_back(std::move(key), value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  Value array() {
+    expect('[');
+    Value v;
+    v.kind_ = Value::Kind::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.arr_.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) fail("unterminated escape");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= unsigned(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= unsigned(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= unsigned(h - 'A' + 10);
+            else fail("bad \\u escape digit");
+          }
+          // The Writer only emits \u00XX for control characters; anything
+          // beyond one byte is outside the dialect we read back.
+          if (code > 0xff) fail("\\u escape beyond the writer's dialect");
+          out += char(code);
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  Value number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    const std::string token = s_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") fail("malformed number");
+    Value v;
+    v.kind_ = Value::Kind::kNumber;
+    // Exact path for non-negative integers (seeds, counts): all digits.
+    if (token.find_first_not_of("0123456789") == std::string::npos && token.size() <= 20) {
+      errno = 0;
+      char* endp = nullptr;
+      const unsigned long long u = std::strtoull(token.c_str(), &endp, 10);
+      if (errno == 0 && endp == token.c_str() + token.size()) {
+        v.uint_ = u;
+        v.exact_uint_ = true;
+        v.num_ = double(u);
+        return v;
+      }
+    }
+    std::size_t used = 0;
+    try {
+      v.num_ = std::stod(token, &used);
+    } catch (const std::exception&) {
+      fail("malformed number");
+    }
+    if (used != token.size()) fail("malformed number");
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+Value Value::parse(const std::string& text) { return Parser(text).document(); }
+
+bool Value::as_bool() const {
+  RMT_REQUIRE(kind_ == Kind::kBool, "json::Value: not a bool");
+  return bool_;
+}
+
+double Value::as_double() const {
+  RMT_REQUIRE(kind_ == Kind::kNumber, "json::Value: not a number");
+  return num_;
+}
+
+std::uint64_t Value::as_u64() const {
+  RMT_REQUIRE(kind_ == Kind::kNumber && exact_uint_,
+              "json::Value: not an exact unsigned integer");
+  return uint_;
+}
+
+const std::string& Value::as_string() const {
+  RMT_REQUIRE(kind_ == Kind::kString, "json::Value: not a string");
+  return str_;
+}
+
+const std::vector<Value>& Value::array() const {
+  RMT_REQUIRE(kind_ == Kind::kArray, "json::Value: not an array");
+  return arr_;
+}
+
+const Value* Value::find(const std::string& key) const {
+  RMT_REQUIRE(kind_ == Kind::kObject, "json::Value: find() on a non-object");
+  for (const auto& [k, v] : members_)
+    if (k == key) return &v;
+  return nullptr;
 }
 
 }  // namespace json

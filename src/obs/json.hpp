@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace rmt::obs {
@@ -69,6 +70,49 @@ class Writer {
 
 /// JSON string escaping per RFC 8259 (quotes, backslash, control chars).
 std::string escape(const std::string& s);
+
+/// Minimal document model for *reading back* the artifacts this module
+/// writes (campaign manifests, bench reports in tests). Numbers keep
+/// their exact unsigned-integer value when the token was a non-negative
+/// integer that fits std::uint64_t — seeds round-trip losslessly — and
+/// a double rendering otherwise. This is a reader for our own output,
+/// not a general-purpose JSON library: \uXXXX escapes outside the BMP
+/// basics and exotic number forms are rejected rather than interpreted.
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parse one complete JSON document (throws std::invalid_argument on
+  /// malformed input or trailing garbage).
+  static Value parse(const std::string& text);
+
+  Kind kind() const { return kind_; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  /// Typed accessors; each requires the matching kind.
+  bool as_bool() const;
+  double as_double() const;
+  /// Requires the token to have been an exact non-negative integer.
+  std::uint64_t as_u64() const;
+  const std::string& as_string() const;
+  const std::vector<Value>& array() const;
+
+  /// Object member lookup; null when absent. Requires kind() == kObject.
+  const Value* find(const std::string& key) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::uint64_t uint_ = 0;
+  bool exact_uint_ = false;
+  std::string str_;
+  std::vector<Value> arr_;
+  std::vector<std::pair<std::string, Value>> members_;
+
+  friend class Parser;
+};
 
 }  // namespace json
 

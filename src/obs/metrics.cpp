@@ -84,6 +84,18 @@ double Histogram::quantile(double q) const {
   return max();
 }
 
+void Histogram::merge(const Histogram& o) {
+  if (o.count() == 0) return;  // keep our min/max untouched by an empty peer
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const std::uint64_t c = o.buckets_[i].load(std::memory_order_relaxed);
+    if (c) buckets_[i].fetch_add(c, std::memory_order_relaxed);
+  }
+  count_.fetch_add(o.count(), std::memory_order_relaxed);
+  atomic_add(sum_, o.sum());
+  atomic_min(min_, o.min());
+  atomic_max(max_, o.max());
+}
+
 std::vector<std::pair<double, std::uint64_t>> Histogram::nonzero_buckets() const {
   std::vector<std::pair<double, std::uint64_t>> out;
   for (std::size_t i = 0; i < kBuckets; ++i) {
@@ -133,6 +145,20 @@ Summary& Registry::summary(const std::string& name, Labels labels) {
 void Registry::reset() {
   std::lock_guard<std::mutex> lock(m_);
   metrics_.clear();
+}
+
+void Registry::merge_from(const Registry& other) {
+  RMT_REQUIRE(&other != this, "Registry::merge_from: cannot merge a registry into itself");
+  for (const Entry& e : other.entries()) {
+    Labels labels = e.labels;
+    Slot& s = slot(e.name, std::move(labels), e.kind);
+    switch (e.kind) {
+      case Entry::Kind::kCounter: s.counter->merge(*e.counter); break;
+      case Entry::Kind::kGauge: s.gauge->merge(*e.gauge); break;
+      case Entry::Kind::kHistogram: s.histogram->merge(*e.histogram); break;
+      case Entry::Kind::kSummary: s.summary->merge(*e.summary); break;
+    }
+  }
 }
 
 std::vector<Registry::Entry> Registry::entries() const {

@@ -46,6 +46,8 @@ class Counter {
  public:
   void inc(std::uint64_t by = 1) { v_.fetch_add(by, std::memory_order_relaxed); }
   std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  /// Fold another counter in (totals add).
+  void merge(const Counter& o) { inc(o.value()); }
 
  private:
   std::atomic<std::uint64_t> v_{0};
@@ -55,6 +57,8 @@ class Gauge {
  public:
   void set(double v) { v_.store(v, std::memory_order_relaxed); }
   double value() const { return v_.load(std::memory_order_relaxed); }
+  /// Gauges are last-written levels; merging adopts the other's value.
+  void merge(const Gauge& o) { set(o.value()); }
 
  private:
   std::atomic<double> v_{0.0};
@@ -87,6 +91,11 @@ class Histogram {
   /// Non-empty buckets as (upper_bound, count) pairs, for export.
   std::vector<std::pair<double, std::uint64_t>> nonzero_buckets() const;
 
+  /// Fold another histogram in: bucket-wise counts add; sum/count add;
+  /// min/max widen. Quantiles of the merge equal those of the combined
+  /// observation stream (up to the shared bucket resolution).
+  void merge(const Histogram& o);
+
  private:
   static std::size_t bucket_of(double v);
   std::atomic<std::uint64_t> buckets_[kBuckets] = {};
@@ -109,6 +118,12 @@ class Summary {
     std::lock_guard<std::mutex> lock(m_);
     return stats_;
   }
+  /// Fold another summary in (parallel Welford combination).
+  void merge(const Summary& o) {
+    const OnlineStats theirs = o.snapshot();  // lock o, then self: no nesting
+    std::lock_guard<std::mutex> lock(m_);
+    stats_.merge(theirs);
+  }
 
  private:
   mutable std::mutex m_;
@@ -129,6 +144,15 @@ class Registry {
 
   /// Drop every metric (a fresh slate between bench sections).
   void reset();
+
+  /// Fold every metric of `other` into this registry (get-or-create by
+  /// (name, labels), then kind-wise merge: counters/histograms/summaries
+  /// add, gauges adopt the other's level). This is how per-worker sinks
+  /// combine into an aggregate without contending on one registry from
+  /// hot loops: workers feed private registries, the owner concatenates
+  /// them once at a shard/phase boundary. A name registered with a
+  /// different kind on the two sides is an error.
+  void merge_from(const Registry& other);
 
   /// One metric at snapshot time, for export and tests.
   struct Entry {

@@ -20,10 +20,12 @@
 namespace rmt::obs {
 
 // lint:phase-registry-begin
-inline constexpr std::array<std::string_view, 12> kPhaseNames = {
+inline constexpr std::array<std::string_view, 14> kPhaseNames = {
     "adversary.oplus",
     "adversary.restrict",
     "audit.validate",
+    "exec.campaign",
+    "exec.shard",
     "feasibility.two_cover",
     "minimal_knowledge.search",
     "rmt_cut.find",

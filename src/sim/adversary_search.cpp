@@ -1,7 +1,9 @@
 #include "sim/adversary_search.hpp"
 
 #include <algorithm>
+#include <limits>
 
+#include "exec/thread_pool.hpp"
 #include "knowledge/local_knowledge.hpp"
 #include "util/check.hpp"
 
@@ -70,20 +72,37 @@ std::vector<Message> PerNodeModeStrategy::act(const AdversaryView& view) {
   return out;
 }
 
+namespace {
+
+/// Decode a base-3 behavior code into a per-node mode assignment; the
+/// code <-> modes bijection is shared by the sequential and exhaustive
+/// searches so their witnesses are comparable.
+std::map<NodeId, NodeMode> modes_for_code(const std::vector<NodeId>& nodes, std::size_t code) {
+  std::map<NodeId, NodeMode> modes;
+  std::size_t rest = code;
+  for (NodeId v : nodes) {
+    modes[v] = static_cast<NodeMode>(rest % 3);
+    rest /= 3;
+  }
+  return modes;
+}
+
+std::size_t combos_for(const std::vector<NodeId>& nodes) {
+  RMT_REQUIRE(nodes.size() <= 8, "search_behaviors: corruption set too large to enumerate");
+  std::size_t combos = 1;
+  for (std::size_t i = 0; i < nodes.size(); ++i) combos *= 3;
+  return combos;
+}
+
+}  // namespace
+
 SearchResult search_behaviors(const Instance& inst, const protocols::Protocol& proto,
                               Value dealer_value, const NodeSet& corruption) {
   const std::vector<NodeId> nodes = corruption.to_vector();
-  RMT_REQUIRE(nodes.size() <= 8, "search_behaviors: corruption set too large to enumerate");
   SearchResult result;
-  std::size_t combos = 1;
-  for (std::size_t i = 0; i < nodes.size(); ++i) combos *= 3;
+  const std::size_t combos = combos_for(nodes);
   for (std::size_t code = 0; code < combos; ++code) {
-    std::map<NodeId, NodeMode> modes;
-    std::size_t rest = code;
-    for (NodeId v : nodes) {
-      modes[v] = static_cast<NodeMode>(rest % 3);
-      rest /= 3;
-    }
+    std::map<NodeId, NodeMode> modes = modes_for_code(nodes, code);
     PerNodeModeStrategy strategy(modes);
     const protocols::Outcome out =
         protocols::run_rmt(inst, proto, dealer_value, corruption, &strategy);
@@ -106,6 +125,76 @@ SearchResult search_all_corruptions(const Instance& inst, const protocols::Proto
     if (!total.safety_violation) total.safety_violation = std::move(r.safety_violation);
     if (!total.liveness_block) total.liveness_block = std::move(r.liveness_block);
     if (total.safety_violation) break;
+  }
+  return total;
+}
+
+namespace {
+
+/// Lowest-code witnesses of one exhaustive scan; the reduction identity
+/// is "no witness found" and combine keeps the smaller code per field —
+/// associative, commutative, and independent of chunk boundaries.
+struct ScanPartial {
+  std::size_t safety_code = std::numeric_limits<std::size_t>::max();
+  std::size_t liveness_code = std::numeric_limits<std::size_t>::max();
+};
+
+ScanPartial merge_partials(ScanPartial a, ScanPartial b) {
+  a.safety_code = std::min(a.safety_code, b.safety_code);
+  a.liveness_code = std::min(a.liveness_code, b.liveness_code);
+  return a;
+}
+
+}  // namespace
+
+SearchResult search_behaviors_exhaustive(const Instance& inst, const protocols::Protocol& proto,
+                                         Value dealer_value, const NodeSet& corruption,
+                                         exec::ThreadPool* pool) {
+  const std::vector<NodeId> nodes = corruption.to_vector();
+  const std::size_t combos = combos_for(nodes);
+
+  const auto scan = [&](std::size_t lo, std::size_t hi) {
+    ScanPartial p;
+    for (std::size_t code = lo; code < hi; ++code) {
+      PerNodeModeStrategy strategy(modes_for_code(nodes, code));
+      const protocols::Outcome out =
+          protocols::run_rmt(inst, proto, dealer_value, corruption, &strategy);
+      if (out.wrong && code < p.safety_code) p.safety_code = code;
+      if (!out.decision && code < p.liveness_code) p.liveness_code = code;
+    }
+    return p;
+  };
+
+  const ScanPartial found = exec::parallel_reduce<ScanPartial>(
+      pool, 0, combos, exec::suggest_grain(combos, pool), ScanPartial{}, scan, merge_partials);
+
+  SearchResult result;
+  result.behaviors_tried = combos;
+  // Re-run the winning codes once to recover their outcomes; cheaper than
+  // shipping Outcome objects through every partial of the reduction.
+  const auto rerun = [&](std::size_t code) {
+    std::map<NodeId, NodeMode> modes = modes_for_code(nodes, code);
+    PerNodeModeStrategy strategy(modes);
+    const protocols::Outcome out =
+        protocols::run_rmt(inst, proto, dealer_value, corruption, &strategy);
+    return BehaviorWitness{std::move(modes), out};
+  };
+  if (found.safety_code != std::numeric_limits<std::size_t>::max())
+    result.safety_violation = rerun(found.safety_code);
+  if (found.liveness_code != std::numeric_limits<std::size_t>::max())
+    result.liveness_block = rerun(found.liveness_code);
+  return result;
+}
+
+SearchResult search_all_corruptions_exhaustive(const Instance& inst,
+                                               const protocols::Protocol& proto,
+                                               Value dealer_value, exec::ThreadPool* pool) {
+  SearchResult total;
+  for (const NodeSet& t : inst.adversary().maximal_sets()) {
+    SearchResult r = search_behaviors_exhaustive(inst, proto, dealer_value, t, pool);
+    total.behaviors_tried += r.behaviors_tried;
+    if (!total.safety_violation) total.safety_violation = std::move(r.safety_violation);
+    if (!total.liveness_block) total.liveness_block = std::move(r.liveness_block);
   }
   return total;
 }

@@ -27,6 +27,10 @@
 #include "protocols/runner.hpp"
 #include "sim/network.hpp"
 
+namespace rmt::exec {
+class ThreadPool;
+}
+
 namespace rmt::sim {
 
 enum class NodeMode : std::uint8_t { kSilent, kTruth, kLie };
@@ -70,6 +74,22 @@ SearchResult search_behaviors(const Instance& inst, const protocols::Protocol& p
 /// the first block found across all sets.
 SearchResult search_all_corruptions(const Instance& inst, const protocols::Protocol& proto,
                                     Value dealer_value);
+
+/// Exhaustive-scan variant of search_behaviors for parallel enumeration:
+/// always runs all 3^|T| behaviors (no early stop) and reports the
+/// *lowest-code* safety and liveness witnesses, so the result — including
+/// behaviors_tried — is identical at any worker count. Pass pool=nullptr
+/// for a sequential scan with the same semantics.
+SearchResult search_behaviors_exhaustive(const Instance& inst, const protocols::Protocol& proto,
+                                         Value dealer_value, const NodeSet& corruption,
+                                         exec::ThreadPool* pool);
+
+/// Exhaustive-scan variant of search_all_corruptions: scans every maximal
+/// set in full and keeps the first witnesses in maximal-set order. Counts
+/// every behavior of every set, so behaviors_tried is the family size.
+SearchResult search_all_corruptions_exhaustive(const Instance& inst,
+                                               const protocols::Protocol& proto,
+                                               Value dealer_value, exec::ThreadPool* pool);
 
 std::string modes_to_string(const std::map<NodeId, NodeMode>& modes);
 

@@ -1,0 +1,99 @@
+// Tests for the shared exec flag parser (exec/options.hpp): every valid
+// spelling of --jobs/--shard/--resume, argv compaction, and the loud
+// failure on each malformed form — a typo'd sweep must die, not silently
+// run single-threaded.
+#include "exec/options.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace rmt::exec {
+namespace {
+
+/// Run the parser over a writable copy of `args` (argv[0] included);
+/// returns the options plus what was left in argv.
+struct Parsed {
+  ExecOptions opts;
+  std::vector<std::string> rest;
+};
+
+Parsed parse(std::vector<std::string> args) {
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (std::string& a : args) argv.push_back(a.data());
+  int argc = int(argv.size());
+  Parsed p;
+  p.opts = consume_exec_flags(argc, argv.data());
+  for (int i = 0; i < argc; ++i) p.rest.emplace_back(argv[std::size_t(i)]);
+  return p;
+}
+
+TEST(ExecOptions, DefaultsAreSequentialWholeRun) {
+  const Parsed p = parse({"prog"});
+  EXPECT_EQ(p.opts.jobs, 1u);
+  EXPECT_EQ(p.opts.shard_index, 0u);
+  EXPECT_EQ(p.opts.shard_count, 1u);
+  EXPECT_FALSE(p.opts.resume.has_value());
+}
+
+TEST(ExecOptions, ParsesBothFlagSpellings) {
+  const Parsed a = parse({"prog", "--jobs", "4", "--shard", "1/3", "--resume", "m.jsonl"});
+  EXPECT_EQ(a.opts.jobs, 4u);
+  EXPECT_EQ(a.opts.shard_index, 1u);
+  EXPECT_EQ(a.opts.shard_count, 3u);
+  EXPECT_EQ(a.opts.resume.value(), "m.jsonl");
+  const Parsed b = parse({"prog", "--jobs=8", "--shard=0/2", "--resume=x.jsonl"});
+  EXPECT_EQ(b.opts.jobs, 8u);
+  EXPECT_EQ(b.opts.shard_index, 0u);
+  EXPECT_EQ(b.opts.shard_count, 2u);
+  EXPECT_EQ(b.opts.resume.value(), "x.jsonl");
+}
+
+TEST(ExecOptions, UnrelatedArgumentsPassThroughCompacted) {
+  const Parsed p = parse({"prog", "--json", "out.json", "--jobs", "2", "positional"});
+  EXPECT_EQ(p.opts.jobs, 2u);
+  EXPECT_EQ(p.rest, (std::vector<std::string>{"prog", "--json", "out.json", "positional"}));
+}
+
+TEST(ExecOptions, JobsZeroOrNegativeOrJunkFails) {
+  EXPECT_THROW(parse({"prog", "--jobs", "0"}), std::invalid_argument);
+  EXPECT_THROW(parse({"prog", "--jobs", "-3"}), std::invalid_argument);
+  EXPECT_THROW(parse({"prog", "--jobs", "4x"}), std::invalid_argument);
+  EXPECT_THROW(parse({"prog", "--jobs", ""}), std::invalid_argument);
+  EXPECT_THROW(parse({"prog", "--jobs"}), std::invalid_argument);  // missing value
+  try {
+    parse({"prog", "--jobs", "0"});
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    // The message must name the flag and the problem.
+    EXPECT_NE(std::string(e.what()).find("--jobs"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("at least one worker"), std::string::npos);
+  }
+}
+
+TEST(ExecOptions, MalformedShardFails) {
+  EXPECT_THROW(parse({"prog", "--shard", "3"}), std::invalid_argument);      // no slash
+  EXPECT_THROW(parse({"prog", "--shard", "1/2/3"}), std::invalid_argument);  // two slashes
+  EXPECT_THROW(parse({"prog", "--shard", "2/2"}), std::invalid_argument);    // i == k
+  EXPECT_THROW(parse({"prog", "--shard", "3/2"}), std::invalid_argument);    // i > k
+  EXPECT_THROW(parse({"prog", "--shard", "0/0"}), std::invalid_argument);    // k == 0
+  EXPECT_THROW(parse({"prog", "--shard", "a/2"}), std::invalid_argument);
+  EXPECT_THROW(parse({"prog", "--shard", "-1/2"}), std::invalid_argument);
+  EXPECT_THROW(parse({"prog", "--shard"}), std::invalid_argument);
+}
+
+TEST(ExecOptions, EmptyResumePathFails) {
+  EXPECT_THROW(parse({"prog", "--resume", ""}), std::invalid_argument);
+  EXPECT_THROW(parse({"prog", "--resume="}), std::invalid_argument);
+}
+
+TEST(ExecOptions, LastOccurrenceWins) {
+  const Parsed p = parse({"prog", "--jobs", "2", "--jobs", "6"});
+  EXPECT_EQ(p.opts.jobs, 6u);
+}
+
+}  // namespace
+}  // namespace rmt::exec

@@ -143,6 +143,95 @@ TEST(ObsRegistry, ResetDropsEverything) {
   EXPECT_TRUE(r.entries().empty());
 }
 
+TEST(ObsMerge, CounterTotalsAdd) {
+  Counter a, b;
+  a.inc(5);
+  b.inc(37);
+  a.merge(b);
+  EXPECT_EQ(a.value(), 42u);
+  EXPECT_EQ(b.value(), 37u);  // the source is untouched
+}
+
+TEST(ObsMerge, GaugeAdoptsOtherLevel) {
+  Gauge a, b;
+  a.set(1.0);
+  b.set(-2.5);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.value(), -2.5);
+}
+
+TEST(ObsMerge, HistogramEqualsCombinedStream) {
+  // Split one observation stream across two sinks; the merge must report
+  // exactly what a single histogram fed the whole stream would.
+  Histogram whole, left, right;
+  for (int i = 1; i <= 200; ++i) {
+    whole.observe(double(i));
+    (i % 2 == 0 ? left : right).observe(double(i));
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_DOUBLE_EQ(left.sum(), whole.sum());
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+  EXPECT_DOUBLE_EQ(left.p50(), whole.p50());
+  EXPECT_DOUBLE_EQ(left.p99(), whole.p99());
+  EXPECT_EQ(left.nonzero_buckets(), whole.nonzero_buckets());
+}
+
+TEST(ObsMerge, EmptyHistogramLeavesTargetAlone) {
+  Histogram a, empty;
+  a.observe(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.min(), 3.0);  // an empty peer must not widen min to 0
+  EXPECT_DOUBLE_EQ(a.max(), 3.0);
+}
+
+TEST(ObsMerge, SummaryCombinesWelfordExactly) {
+  Summary whole, left, right;
+  for (int i = 0; i < 100; ++i) {
+    whole.observe(double(i));
+    (i < 30 ? left : right).observe(double(i));
+  }
+  left.merge(right);
+  EXPECT_EQ(left.snapshot().count(), whole.snapshot().count());
+  EXPECT_DOUBLE_EQ(left.snapshot().mean(), whole.snapshot().mean());
+  EXPECT_NEAR(left.snapshot().stddev(), whole.snapshot().stddev(), 1e-9);
+}
+
+TEST(ObsMerge, RegistryFoldsPerWorkerSinks) {
+  // The per-worker sink pattern: two private registries, one aggregate.
+  Registry agg, w1, w2;
+  w1.counter("exec.test.tasks").inc(3);
+  w2.counter("exec.test.tasks").inc(4);
+  w1.gauge("exec.test.depth").set(7.0);
+  w1.histogram("exec.test.lat").observe(10.0);
+  w2.histogram("exec.test.lat").observe(1000.0);
+  w2.summary("exec.test.s").observe(5.0);
+  agg.counter("exec.test.tasks").inc(10);  // pre-existing series folds too
+  agg.merge_from(w1);
+  agg.merge_from(w2);
+  EXPECT_EQ(agg.counter("exec.test.tasks").value(), 17u);
+  EXPECT_DOUBLE_EQ(agg.gauge("exec.test.depth").value(), 7.0);
+  EXPECT_EQ(agg.histogram("exec.test.lat").count(), 2u);
+  EXPECT_DOUBLE_EQ(agg.histogram("exec.test.lat").max(), 1000.0);
+  EXPECT_EQ(agg.summary("exec.test.s").snapshot().count(), 1u);
+  EXPECT_EQ(agg.entries().size(), 4u);
+}
+
+TEST(ObsMerge, RegistryKindMismatchIsAnError) {
+  Registry agg, w;
+  agg.counter("series");
+  w.gauge("series").set(1.0);
+  EXPECT_THROW(agg.merge_from(w), std::invalid_argument);
+}
+
+TEST(ObsMerge, RegistrySelfMergeIsAnError) {
+  Registry r;
+  r.counter("x").inc();
+  EXPECT_THROW(r.merge_from(r), std::invalid_argument);
+}
+
 TEST(ObsTimer, DisabledScopeRecordsNothing) {
   set_enabled(false);
   PhaseProfile profile;

@@ -1,11 +1,16 @@
 #!/usr/bin/env python3
 """Validate the JSON artifacts emitted by the rmt observability layer.
 
-Understands the four schemas the repository produces:
+Understands the five schemas the repository produces:
   * rmt.bench/1    — bench/ driver reports (obs::BenchReport);
   * rmt.analyze/1  — `rmt_cli analyze --json`;
   * rmt.run/1      — `rmt_cli run --json`;
-  * rmt.validate/1 — `rmt_cli validate --json` (rmt::audit diagnostics).
+  * rmt.validate/1 — `rmt_cli validate --json` (rmt::audit diagnostics);
+  * rmt.campaign/1 — JSONL campaign manifests (exec::Campaign --resume
+                     checkpoints). Files ending in .jsonl are validated
+                     line by line: at least one header, a consistent
+                     campaign identity, and well-formed shard lines
+                     (shard < of, begin <= end, single-line payload).
 
 Usage:
   check_bench_json.py [--require-phases] [--require-sim] FILE [FILE ...]
@@ -178,6 +183,81 @@ def check_validate(doc, problems, args):
     check_metrics(doc.get("metrics"), problems, args.require_phases, args.require_sim)
 
 
+def _is_uint(v):
+    return isinstance(v, int) and not isinstance(v, bool) and v >= 0
+
+
+def check_campaign_lines(lines, problems):
+    """Validate an rmt.campaign/1 JSONL manifest, given its decoded lines.
+
+    Concatenated subset manifests are legal (several identical headers);
+    what must never happen is two lines disagreeing on the campaign
+    identity, or a shard line whose geometry is self-contradictory.
+    """
+    headers = 0
+    identity = None  # (campaign, root_seed, total_units, shards)
+    for i, doc in lines:
+        where = f"line {i}"
+        if not isinstance(doc, dict):
+            problems.add(f"{where}: not an object")
+            continue
+        if doc.get("schema") != "rmt.campaign/1":
+            problems.add(f"{where}: schema is not rmt.campaign/1")
+            continue
+        if not isinstance(doc.get("campaign"), str) or not doc.get("campaign"):
+            problems.add(f"{where}: campaign: missing or empty")
+            continue
+        if "shard" not in doc:  # header line
+            headers += 1
+            for field in ("root_seed", "total_units", "shards"):
+                if not _is_uint(doc.get(field)):
+                    problems.add(f"{where} (header).{field}: missing or not a non-negative int")
+            ident = (doc.get("campaign"), doc.get("root_seed"),
+                     doc.get("total_units"), doc.get("shards"))
+            if identity is None:
+                identity = ident
+            elif ident != identity:
+                problems.add(f"{where} (header): identity {ident} != first header {identity}")
+            continue
+        for field in ("shard", "of", "begin", "end", "seed"):
+            if not _is_uint(doc.get(field)):
+                problems.add(f"{where}.{field}: missing or not a non-negative int")
+        if identity is not None and doc["campaign"] != identity[0]:
+            problems.add(f"{where}: campaign {doc['campaign']!r} != header {identity[0]!r}")
+        if _is_uint(doc.get("shard")) and _is_uint(doc.get("of")) and doc["shard"] >= doc["of"]:
+            problems.add(f"{where}: shard {doc['shard']} >= of {doc['of']}")
+        if _is_uint(doc.get("begin")) and _is_uint(doc.get("end")) and doc["begin"] > doc["end"]:
+            problems.add(f"{where}: begin {doc['begin']} > end {doc['end']}")
+        wall = doc.get("wall_us")
+        if not isinstance(wall, (int, float)) or isinstance(wall, bool) or wall < 0:
+            problems.add(f"{where}.wall_us: missing or not a non-negative number")
+        payload = doc.get("payload")
+        if not isinstance(payload, str):
+            problems.add(f"{where}.payload: missing or not a string")
+        elif "\n" in payload:
+            problems.add(f"{where}.payload: contains a newline")
+    if headers == 0:
+        problems.add("no rmt.campaign/1 header line found")
+
+
+def check_campaign_file(path, problems):
+    try:
+        with open(path, encoding="utf-8") as f:
+            raw = f.readlines()
+    except OSError as e:
+        problems.add(f"unreadable: {e}")
+        return
+    lines = []
+    for i, text in enumerate(raw, start=1):
+        if not text.strip():
+            continue
+        try:
+            lines.append((i, json.loads(text)))
+        except json.JSONDecodeError as e:
+            problems.add(f"line {i}: invalid JSON: {e}")
+    check_campaign_lines(lines, problems)
+
+
 CHECKERS = {
     "rmt.bench/1": check_bench,
     "rmt.analyze/1": check_analyze,
@@ -188,6 +268,9 @@ CHECKERS = {
 
 def check_file(path, args):
     problems = Problems(path)
+    if path.endswith(".jsonl"):
+        check_campaign_file(path, problems)
+        return problems.items
     try:
         with open(path, encoding="utf-8") as f:
             doc = json.load(f)
@@ -245,6 +328,37 @@ def _selftest_docs():
     return good, bad
 
 
+def _selftest_manifests():
+    """Campaign manifests are JSONL, so their fixtures are line lists:
+    (lineno, decoded doc), exactly what check_campaign_lines consumes."""
+    header = {"schema": "rmt.campaign/1", "campaign": "sweep",
+              "root_seed": 4242, "total_units": 10, "shards": 2}
+    shard0 = {"schema": "rmt.campaign/1", "campaign": "sweep", "shard": 0,
+              "of": 2, "begin": 0, "end": 5, "seed": 7, "wall_us": 12.5,
+              "payload": "[1,2,3]"}
+    shard1 = dict(shard0, shard=1, begin=5, end=10)
+    good = [
+        [(1, header), (2, shard0), (3, shard1)],
+        # Concatenated subset manifests: duplicate identical headers are fine.
+        [(1, header), (2, shard0), (3, header), (4, shard1)],
+        # Header only (resume file from a run killed before any checkpoint).
+        [(1, header)],
+    ]
+    bad = [
+        [],                                                     # empty file
+        [(1, shard0)],                                          # no header
+        [(1, header), (2, dict(shard0, shard=2))],              # shard >= of
+        [(1, header), (2, dict(shard0, begin=9, end=3))],       # begin > end
+        [(1, header), (2, dict(shard0, campaign="other"))],     # identity drift
+        [(1, header), (2, dict(header, root_seed=1))],          # header disagreement
+        [(1, header), (2, dict(shard0, payload=["not", "a", "string"]))],
+        [(1, header), (2, dict(shard0, payload="torn\nline"))],
+        [(1, header), (2, dict(shard0, wall_us="fast"))],
+        [(1, dict(header, schema="rmt.bench/1"))],              # wrong schema
+    ]
+    return good, bad
+
+
 def self_test():
     args = argparse.Namespace(require_phases=False, require_sim=False)
 
@@ -266,9 +380,24 @@ def self_test():
     for i, doc in enumerate(bad):
         if not problems_for(doc):
             failures.append(f"bad[{i}] ({doc['schema']}): unexpectedly accepted")
+
+    def manifest_problems(lines):
+        problems = Problems("<self-test>")
+        check_campaign_lines(lines, problems)
+        return problems.items
+
+    good_m, bad_m = _selftest_manifests()
+    for i, lines in enumerate(good_m):
+        items = manifest_problems(lines)
+        if items:
+            failures.append(f"good manifest[{i}]: unexpectedly rejected: {items}")
+    for i, lines in enumerate(bad_m):
+        if not manifest_problems(lines):
+            failures.append(f"bad manifest[{i}]: unexpectedly accepted")
     for f in failures:
         print(f"self-test: {f}", file=sys.stderr)
-    print(f"self-test: {len(good) + len(bad)} documents, {len(failures)} failures")
+    total = len(good) + len(bad) + len(good_m) + len(bad_m)
+    print(f"self-test: {total} documents, {len(failures)} failures")
     return 1 if failures else 0
 
 

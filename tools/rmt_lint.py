@@ -10,6 +10,10 @@ catch by hand (wired into ctest as lint_project / lint_selftest):
                     raw assert() (RMT_REQUIRE/RMT_CHECK throw and carry
                     messages), or iostream writes (the library reports via
                     return values and exceptions; printing is for tools/)
+  thread-spawn      raw std::thread / std::jthread / std::async only inside
+                    src/exec/ (everything else goes through rmt::exec's
+                    ThreadPool so determinism, stats, and TSan coverage are
+                    centralised); tests/ may spawn threads to race the pool
   entry-require     each registered public API entry point contains an
                     RMT_REQUIRE precondition (or an RMT_AUDIT_VALIDATE deep
                     hook) in its body
@@ -92,6 +96,20 @@ def check_banned_tokens(relpath, text):
         for pattern, why in BANNED_TOKENS:
             if pattern.search(line):
                 yield f"{relpath}:{i}: banned-token: {why}"
+
+
+THREAD_SPAWN_RE = re.compile(r"std::(?:thread|jthread|async)\b")
+
+
+def check_thread_spawn(relpath, text):
+    # tests/ may spawn raw threads (e.g. to race the pool from outside);
+    # everyone else must go through src/exec/.
+    if relpath.startswith("src/exec/") or relpath.startswith("tests/"):
+        return
+    for i, line in enumerate(strip_line_comments(text).splitlines(), 1):
+        if THREAD_SPAWN_RE.search(line):
+            yield (f"{relpath}:{i}: thread-spawn: raw std::thread/jthread/async "
+                   f"outside src/exec/ — use exec::ThreadPool")
 
 
 def function_body(text, name):
@@ -182,7 +200,8 @@ def check_phase_registry(repo, sources, findings):
 # --- driver ------------------------------------------------------------------
 
 LINT_DIRS = ["src", "bench", "tests", "tools", "examples"]
-PER_FILE_RULES = [check_pragma_once, check_header_namespace, check_banned_tokens]
+PER_FILE_RULES = [check_pragma_once, check_header_namespace, check_banned_tokens,
+                  check_thread_spawn]
 
 
 def gather_sources(repo):
@@ -225,6 +244,11 @@ SELFTEST_CASES = [
     (check_banned_tokens, "src/x.cpp", "static_assert(sizeof(int) == 4);\n", False),
     (check_banned_tokens, "src/x.cpp", "std::cout << x;\n", True),
     (check_banned_tokens, "tools/x.cpp", "std::cout << x;\n", False),
+    (check_thread_spawn, "src/sim/x.cpp", "std::thread t(f);\n", True),
+    (check_thread_spawn, "bench/x.cpp", "auto f = std::async(g);\n", True),
+    (check_thread_spawn, "src/exec/thread_pool.cpp", "std::thread t(f);\n", False),
+    (check_thread_spawn, "tests/test_x.cpp", "std::jthread t(f);\n", False),
+    (check_thread_spawn, "src/sim/x.cpp", "// std::thread (see exec)\n", False),
 ]
 
 
