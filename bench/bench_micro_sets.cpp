@@ -109,6 +109,78 @@ void BM_JointLazyMembership(benchmark::State& state) {
 }
 BENCHMARK(BM_JointLazyMembership)->Arg(2)->Arg(8)->Arg(32);
 
+// ---- decider-hot-path shapes (n = 26, the exact-decider cap) -------------
+//
+// The next three benchmarks probe the structures exactly as find_rmt_cut
+// does: the antichain is a 2-threshold (276 maximal sets) or a random
+// general structure over 26 nodes, and the probes are boundary-sized sets
+// (|C| ≈ 2..4). They exercise the support/popcount prefilters on
+// AdversaryStructure::contains and the lazy conjunction in
+// JointStructure::contains.
+
+std::vector<NodeSet> cut_shaped_probes(std::size_t count, std::size_t n, Rng& rng) {
+  std::vector<NodeSet> out;
+  for (std::size_t i = 0; i < count; ++i) {
+    NodeSet s;
+    const std::size_t k = 2 + i % 3;
+    while (s.size() < k) s.insert(NodeId(rng.index(n)));
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void BM_StructureContains26(benchmark::State& state) {
+  Rng rng(7);
+  const NodeSet players = NodeSet::full(26) - NodeSet{0, 13};
+  // range(0) == 0: 2-threshold antichain; 1: random 8×3 general antichain —
+  // the two adversaries bench_decider_hotpath runs the deciders under.
+  const AdversaryStructure z = state.range(0) == 0
+                                   ? threshold_structure(players, 2)
+                                   : random_structure(players, 8, 3, NodeSet{0, 13}, rng);
+  const auto probes = cut_shaped_probes(64, 26, rng);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(z.contains(probes[i++ % 64]));
+  }
+}
+BENCHMARK(BM_StructureContains26)->Arg(0)->Arg(1);
+
+void BM_JointContains26(benchmark::State& state) {
+  Rng rng(8);
+  const NodeSet players = NodeSet::full(26) - NodeSet{0, 13};
+  const AdversaryStructure z = state.range(0) == 0
+                                   ? threshold_structure(players, 2)
+                                   : random_structure(players, 8, 3, NodeSet{0, 13}, rng);
+  // Z_B for a |B| = 8 component under 3-node views — the same restricted
+  // per-node constraints the incremental decider pushes.
+  JointStructure joint;
+  for (std::size_t v = 13; v < 21; ++v) {
+    const NodeSet view{NodeId(v == 0 ? 25 : v - 1), NodeId(v), NodeId((v + 1) % 26)};
+    joint.add_constraint(RestrictedStructure(z, view));
+  }
+  const auto probes = cut_shaped_probes(64, 26, rng);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(joint.contains(probes[i++ % 64]));
+  }
+}
+BENCHMARK(BM_JointContains26)->Arg(0)->Arg(1);
+
+void BM_StructureAdd(benchmark::State& state) {
+  // Incremental antichain maintenance: stream range(0) random sets through
+  // AdversaryStructure::add. add() is a single ordered domination pass with
+  // popcount prefilters; this is the op protocol knowledge-exchange uses to
+  // fold reported sets into a running structure.
+  Rng rng(9);
+  const auto sets = random_sets(std::size_t(state.range(0)), 26, rng);
+  for (auto _ : state) {
+    AdversaryStructure z;
+    for (const NodeSet& s : sets) z.add(s);
+    benchmark::DoNotOptimize(z);
+  }
+}
+BENCHMARK(BM_StructureAdd)->Arg(16)->Arg(64)->Arg(256);
+
 void BM_ThresholdStructureBuild(benchmark::State& state) {
   const NodeSet universe = NodeSet::full(std::size_t(state.range(0)));
   for (auto _ : state) {

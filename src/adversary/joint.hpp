@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "adversary/oplus.hpp"
+#include "util/check.hpp"
 
 namespace rmt {
 
@@ -36,6 +37,20 @@ class JointStructure {
   /// Add the constraint "restricted to `ground`, the structure looks like
   /// z^ground". Typically: add_constraint(V(γ(v)), Z_v) for each v ∈ B.
   void add_constraint(const NodeSet& ground, const AdversaryStructure& z);
+
+  /// Add a constraint whose restriction was already computed — the decider
+  /// hot path prepares one RestrictedStructure per node up front and pushes
+  /// copies here, skipping the per-push restrict + prune entirely.
+  void add_constraint(const RestrictedStructure& c) { constraints_.push_back(c); }
+
+  /// Remove the most recently added constraint (LIFO — the incremental
+  /// connected-subset DFS pairs one pop per push). Requires non-empty.
+  void pop_constraint() {
+    RMT_REQUIRE(!constraints_.empty(), "pop_constraint on empty JointStructure");
+    constraints_.pop_back();
+  }
+
+  void reserve(std::size_t n) { constraints_.reserve(n); }
 
   /// Conjunction membership test (see header). With no constraints every
   /// set is a member (the join over an empty index set is the full

@@ -12,6 +12,7 @@ namespace rmt {
 AdversaryStructure AdversaryStructure::trivial() {
   AdversaryStructure z;
   z.maximal_.push_back(NodeSet{});
+  z.rebuild_cache();
   return z;
 }
 
@@ -23,14 +24,30 @@ AdversaryStructure AdversaryStructure::from_sets(const std::vector<NodeSet>& set
 }
 
 void AdversaryStructure::add(const NodeSet& s) {
-  if (contains(s)) return;
-  maximal_.push_back(s);
-  prune_and_sort();
+  // Single incremental domination pass: one sweep decides membership (s is
+  // dominated ⇒ no-op), evicts the sets s strictly dominates, and finds the
+  // sorted insertion point — no re-sort, no quadratic re-prune. The popcount
+  // cache filters both directions: only strictly larger sets can dominate s,
+  // only sets no larger can be dominated by it.
+  const std::size_t n = s.size();
+  for (std::size_t i = 0; i < maximal_.size(); ++i)
+    if (sizes_[i] >= n && s.is_subset_of(maximal_[i])) return;
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < maximal_.size(); ++i) {
+    if (sizes_[i] <= n && maximal_[i].is_subset_of(s)) continue;  // dominated by s
+    if (w != i) maximal_[w] = std::move(maximal_[i]);
+    ++w;
+  }
+  maximal_.resize(w);
+  maximal_.insert(std::lower_bound(maximal_.begin(), maximal_.end(), s), s);
+  rebuild_cache();
 }
 
 bool AdversaryStructure::contains(const NodeSet& x) const {
-  for (const NodeSet& m : maximal_)
-    if (x.is_subset_of(m)) return true;
+  if (!x.is_subset_of(support_)) return false;
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < maximal_.size(); ++i)
+    if (sizes_[i] >= n && x.is_subset_of(maximal_[i])) return true;
   return false;
 }
 
@@ -59,11 +76,6 @@ AdversaryStructure AdversaryStructure::united_with(const AdversaryStructure& o) 
   return out;
 }
 
-NodeSet AdversaryStructure::support() const {
-  NodeSet s;
-  for (const NodeSet& m : maximal_) s |= m;
-  return s;
-}
 
 bool AdversaryStructure::enumerate_members(
     const std::function<bool(const NodeSet&)>& visit) const {
@@ -99,6 +111,22 @@ void AdversaryStructure::debug_validate() const {
         audit::detail::fail("adversary", "antichain violated: " + maximal_[i].to_string() +
                                              " ⊆ " + maximal_[j].to_string());
   }
+  // The membership accelerators must mirror maximal_ exactly — a stale
+  // cache silently mis-answers contains().
+  if (sizes_.size() != maximal_.size())
+    audit::detail::fail("adversary", "popcount cache out of sync: " + std::to_string(sizes_.size()) +
+                                         " entries for " + std::to_string(maximal_.size()) +
+                                         " maximal sets");
+  NodeSet expect_support;
+  for (std::size_t i = 0; i < maximal_.size(); ++i) {
+    if (sizes_[i] != maximal_[i].size())
+      audit::detail::fail("adversary", "popcount cache wrong at index " + std::to_string(i) +
+                                           " for " + maximal_[i].to_string());
+    expect_support |= maximal_[i];
+  }
+  if (!(expect_support == support_))
+    audit::detail::fail("adversary", "support cache " + support_.to_string() +
+                                         " != union of maximal sets " + expect_support.to_string());
 }
 
 std::string AdversaryStructure::to_string() const {
@@ -114,17 +142,43 @@ void AdversaryStructure::prune_and_sort() {
   // Remove any set contained in another; canonicalize order.
   std::sort(maximal_.begin(), maximal_.end());
   maximal_.erase(std::unique(maximal_.begin(), maximal_.end()), maximal_.end());
+  // Domination pass, popcount-bucketed: duplicates are gone, so containment
+  // between distinct entries is strict and only a strictly *larger* set can
+  // dominate. Checking each set against the larger-size suffix of a
+  // size-descending index order skips every same-or-smaller candidate —
+  // on threshold-style antichains (all sets the same size) the quadratic
+  // subset sweep disappears entirely.
+  const std::size_t k = maximal_.size();
+  std::vector<std::uint32_t> size_of(k);
+  for (std::size_t i = 0; i < k; ++i) size_of[i] = static_cast<std::uint32_t>(maximal_[i].size());
+  std::vector<std::uint32_t> by_size_desc(k);
+  for (std::size_t i = 0; i < k; ++i) by_size_desc[i] = static_cast<std::uint32_t>(i);
+  std::stable_sort(by_size_desc.begin(), by_size_desc.end(),
+                   [&](std::uint32_t a, std::uint32_t b) { return size_of[a] > size_of[b]; });
   std::vector<NodeSet> keep;
-  keep.reserve(maximal_.size());
-  for (std::size_t i = 0; i < maximal_.size(); ++i) {
+  keep.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
     bool dominated = false;
-    // Strict containment only: duplicates were removed above, so
-    // is_subset_of between distinct entries means proper subset.
-    for (std::size_t j = 0; j < maximal_.size() && !dominated; ++j)
-      if (i != j && maximal_[i].is_subset_of(maximal_[j])) dominated = true;
+    for (std::uint32_t j : by_size_desc) {
+      if (size_of[j] <= size_of[i]) break;  // descending: no dominator past here
+      if (maximal_[i].is_subset_of(maximal_[j])) {
+        dominated = true;
+        break;
+      }
+    }
     if (!dominated) keep.push_back(maximal_[i]);
   }
   maximal_ = std::move(keep);
+  rebuild_cache();
+}
+
+void AdversaryStructure::rebuild_cache() {
+  support_.clear();
+  sizes_.resize(maximal_.size());
+  for (std::size_t i = 0; i < maximal_.size(); ++i) {
+    support_ |= maximal_[i];
+    sizes_[i] = static_cast<std::uint32_t>(maximal_[i].size());
+  }
 }
 
 }  // namespace rmt

@@ -59,8 +59,8 @@ class AdversaryStructure {
   /// Z' = {...} ∪ {C₂}).
   AdversaryStructure united_with(const AdversaryStructure& o) const;
 
-  /// All nodes mentioned by some admissible set.
-  NodeSet support() const;
+  /// All nodes mentioned by some admissible set. Cached: O(1).
+  const NodeSet& support() const { return support_; }
 
   /// Exact equality of the represented monotone families (antichain
   /// comparison; canonical sorting makes this a vector compare).
@@ -85,8 +85,15 @@ class AdversaryStructure {
   friend struct AuditTestAccess;  // tests corrupt internals to prove detection
 
   void prune_and_sort();
+  void rebuild_cache();
 
   std::vector<NodeSet> maximal_;  // canonical: antichain, sorted ascending
+  // Membership-test accelerators, derived from maximal_ (debug_validate
+  // checks consistency): the support union rejects any probe with a node
+  // outside ∪Z in one word-parallel subset test, and the popcount cache
+  // skips maximal sets too small to contain the probe.
+  NodeSet support_;
+  std::vector<std::uint32_t> sizes_;  // sizes_[i] == maximal_[i].size()
 };
 
 }  // namespace rmt

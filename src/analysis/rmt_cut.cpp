@@ -1,17 +1,146 @@
 #include "analysis/rmt_cut.hpp"
 
 #include <limits>
+#include <utility>
 
 #include "adversary/joint.hpp"
 #include "exec/thread_pool.hpp"
 #include "graph/cuts.hpp"
+#include "obs/metrics.hpp"
 #include "obs/timer.hpp"
 #include "util/audit.hpp"
 #include "util/check.hpp"
 
 namespace rmt::analysis {
 
+namespace {
+
+obs::Counter* joint_rebuild_counter() {
+  // Looked up per decider call, never cached across calls: Registry::reset()
+  // (bench sections) invalidates metric handles.
+  return obs::enabled() ? &obs::Registry::global().counter("rmt_cut.joint_rebuilds") : nullptr;
+}
+
+// One prebuilt constraint (Z^{V(γ(v))} over V(γ(v))) per node: the DFS
+// pushes copy these, so no restriction/prune ever runs inside the scan.
+// Restricting the global Z directly equals local_structure(v) by definition
+// and costs one restriction instead of two.
+std::vector<RestrictedStructure> prebuilt_constraints(const Instance& inst) {
+  std::vector<RestrictedStructure> constraint(inst.graph().capacity());
+  inst.graph().nodes().for_each([&](NodeId v) {
+    constraint[v] = RestrictedStructure(inst.adversary(), inst.gamma().view_nodes(v));
+  });
+  return constraint;
+}
+
+inline constexpr std::size_t kProbeMemoSlots = 8;
+
+// The per-(B, C) maximal-set scan shared by the sequential and pooled
+// deciders — one implementation, so their witnesses agree by construction.
+// Distinct probes C₂ ∩ V(γ(B)) repeat heavily across maximal sets (any two
+// M that miss the small cut identically yield the same C₂), so the few
+// distinct joint-membership answers are memoized per B. The memo only
+// short-circuits *identical* membership tests; the first qualifying M in
+// canonical antichain order still wins, keeping witnesses bit-identical.
+std::optional<RmtCutWitness> scan_maximal_sets(const NodeSet& b, const NodeSet& cut,
+                                               const NodeSet& gamma_b, const JointStructure& zb,
+                                               const std::vector<NodeSet>& zmax) {
+  NodeSet seen[kProbeMemoSlots];
+  bool ans[kProbeMemoSlots];
+  std::size_t nseen = 0;
+  for (const NodeSet& m : zmax) {
+    NodeSet c2 = cut;
+    c2 -= m;
+    NodeSet probe = c2;
+    probe &= gamma_b;
+    bool member = false;
+    bool cached = false;
+    for (std::size_t i = 0; i < nseen; ++i) {
+      if (seen[i] == probe) {
+        member = ans[i];
+        cached = true;
+        break;
+      }
+    }
+    if (!cached) {
+      member = zb.contains(probe);
+      if (nseen < kProbeMemoSlots) {
+        seen[nseen] = probe;
+        ans[nseen] = member;
+        ++nseen;
+      }
+    }
+    if (member) return RmtCutWitness{cut & m, std::move(c2), b};
+  }
+  return std::nullopt;
+}
+
+// Incremental decider state, driven by the push/pop enumeration: Z_B, the
+// joint view union V(γ(B)) and the neighbour union ∪_{v∈B} N(v) (whence
+// N(B) = ∪N(v) ∖ B) all follow the DFS by single-node deltas. Unions are
+// not invertible, so pop restores from a save stack instead of subtracting;
+// all stacks are preallocated and every set involved is inline at
+// kMaxExactNodes, so the scan never allocates.
+struct IncrementalScan {
+  const Graph& g;
+  const NodeId d;
+  const ViewFunction& gamma;
+  const std::vector<RestrictedStructure>& constraint;
+  const std::vector<NodeSet>& zmax;
+  JointStructure zb;
+  NodeSet gamma_b;
+  NodeSet nbrs;
+  std::vector<NodeSet> gamma_save;
+  std::vector<NodeSet> nbrs_save;
+  std::optional<RmtCutWitness> witness;
+
+  void push(NodeId v) {
+    zb.add_constraint(constraint[v]);
+    gamma_save.push_back(gamma_b);
+    gamma_b |= gamma.view_nodes(v);
+    nbrs_save.push_back(nbrs);
+    nbrs |= g.neighbors(v);
+  }
+
+  void pop(NodeId) {
+    zb.pop_constraint();
+    gamma_b = std::move(gamma_save.back());
+    gamma_save.pop_back();
+    nbrs = std::move(nbrs_save.back());
+    nbrs_save.pop_back();
+  }
+
+  bool visit(const NodeSet& b) {
+    NodeSet cut = nbrs;
+    cut -= b;
+    if (cut.contains(d)) return true;  // D may not sit inside the cut
+    witness = scan_maximal_sets(b, cut, gamma_b, zb, zmax);
+    return !witness.has_value();
+  }
+};
+
+}  // namespace
+
 std::optional<RmtCutWitness> find_rmt_cut(const Instance& inst) {
+  RMT_OBS_SCOPE("rmt_cut.find");
+  RMT_REQUIRE(inst.num_players() <= kMaxExactNodes,
+              "find_rmt_cut: instance too large for the exact decider");
+  RMT_AUDIT_VALIDATE(inst);
+  const Graph& g = inst.graph();
+  const std::vector<RestrictedStructure> constraint = prebuilt_constraints(inst);
+
+  IncrementalScan scan{g,  inst.dealer(), inst.gamma(), constraint, inst.adversary().maximal_sets(),
+                       {}, {},            {},           {},         {},
+                       {}};
+  scan.zb.reserve(g.capacity());
+  scan.gamma_save.reserve(g.capacity() + 1);
+  scan.nbrs_save.reserve(g.capacity() + 1);
+  enumerate_connected_subsets_incremental(g, inst.receiver(), NodeSet::single(inst.dealer()),
+                                          scan);
+  return std::move(scan.witness);
+}
+
+std::optional<RmtCutWitness> find_rmt_cut_reference(const Instance& inst) {
   RMT_OBS_SCOPE("rmt_cut.find");
   RMT_REQUIRE(inst.num_players() <= kMaxExactNodes,
               "find_rmt_cut: instance too large for the exact decider");
@@ -24,6 +153,7 @@ std::optional<RmtCutWitness> find_rmt_cut(const Instance& inst) {
   // once per enumerated component.
   std::vector<AdversaryStructure> local_z(g.capacity());
   g.nodes().for_each([&](NodeId v) { local_z[v] = inst.local_structure(v); });
+  obs::Counter* rebuilds = joint_rebuild_counter();
 
   std::optional<RmtCutWitness> witness;
   enumerate_connected_subsets(g, r, NodeSet::single(d), [&](const NodeSet& b) {
@@ -34,6 +164,7 @@ std::optional<RmtCutWitness> find_rmt_cut(const Instance& inst) {
     b.for_each([&](NodeId v) {
       zb.add_constraint(inst.gamma().view_nodes(v), local_z[v]);
     });
+    if (rebuilds) rebuilds->inc();
     const NodeSet gamma_b = inst.gamma().joint_view_nodes(b);
     for (const NodeSet& m : inst.adversary().maximal_sets()) {
       const NodeSet c2 = cut - m;
@@ -57,23 +188,26 @@ std::optional<RmtCutWitness> find_rmt_cut(const Instance& inst, exec::ThreadPool
   const NodeId d = inst.dealer();
   const NodeId r = inst.receiver();
 
-  std::vector<AdversaryStructure> local_z(g.capacity());
-  g.nodes().for_each([&](NodeId v) { local_z[v] = inst.local_structure(v); });
+  const std::vector<RestrictedStructure> constraint = prebuilt_constraints(inst);
+  const std::vector<NodeSet>& zmax = inst.adversary().maximal_sets();
+  obs::Counter* rebuilds = joint_rebuild_counter();  // atomic: safe from workers
 
-  // The per-B work from the sequential scan, as a pure function of B.
+  // The per-B work from the sequential scan, as a pure function of B. The
+  // batch items are independent, so Z_B is rebuilt per B here (counted) —
+  // but from the prebuilt constraints, so the rebuild is a constraint-list
+  // copy, not |B| restrictions.
   const auto eval_b = [&](const NodeSet& b) -> std::optional<RmtCutWitness> {
     const NodeSet cut = g.boundary(b);
     if (cut.contains(d)) return std::nullopt;
     JointStructure zb;
+    zb.reserve(g.capacity());
+    NodeSet gamma_b;
     b.for_each([&](NodeId v) {
-      zb.add_constraint(inst.gamma().view_nodes(v), local_z[v]);
+      zb.add_constraint(constraint[v]);
+      gamma_b |= inst.gamma().view_nodes(v);
     });
-    const NodeSet gamma_b = inst.gamma().joint_view_nodes(b);
-    for (const NodeSet& m : inst.adversary().maximal_sets()) {
-      const NodeSet c2 = cut - m;
-      if (zb.contains(c2 & gamma_b)) return RmtCutWitness{cut & m, c2, b};
-    }
-    return std::nullopt;
+    if (rebuilds) rebuilds->inc();
+    return scan_maximal_sets(b, cut, gamma_b, zb, zmax);
   };
 
   // The enumeration itself is a sequential DFS, so the pipeline is:

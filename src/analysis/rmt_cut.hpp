@@ -42,7 +42,19 @@ inline constexpr std::size_t kMaxExactNodes = 26;
 
 /// Find an RMT-cut, or nullopt if none exists (⇒ RMT-PKA succeeds, Thm 5).
 /// Requires num_players() <= kMaxExactNodes.
+///
+/// Incremental scan: Z_B, V(γ(B)) and N(B) follow the connected-subset DFS
+/// by single-node push/pop deltas instead of per-B rebuilds, and every set
+/// it touches is inline (NodeSet SBO) at kMaxExactNodes — the hot loop
+/// never allocates (obs counter `nodeset.heap_spills` stays 0) and never
+/// rebuilds a joint structure (`rmt_cut.joint_rebuilds` stays 0).
 std::optional<RmtCutWitness> find_rmt_cut(const Instance& inst);
+
+/// The straightforward decider: rebuilds Z_B, V(γ(B)) and N(B) from scratch
+/// for every enumerated B. Same witnesses as find_rmt_cut by construction —
+/// kept as the cross-check baseline (tests assert bit-identical answers;
+/// bench_decider_hotpath measures the gap as BENCH_decider.json).
+std::optional<RmtCutWitness> find_rmt_cut_reference(const Instance& inst);
 
 /// Parallel decider: batches the connected-subset enumeration and
 /// evaluates each batch across `pool`, keeping the lowest-index witness —

@@ -1,8 +1,11 @@
 #include "analysis/zpp_cut.hpp"
 
+#include <limits>
+#include <utility>
 #include <vector>
 
 #include "analysis/rmt_cut.hpp"
+#include "exec/thread_pool.hpp"
 #include "graph/cuts.hpp"
 #include "obs/timer.hpp"
 #include "util/audit.hpp"
@@ -10,7 +13,114 @@
 
 namespace rmt::analysis {
 
+namespace {
+
+inline constexpr std::size_t kC2MemoSlots = 8;
+
+// The per-(B, C) maximal-set scan shared by the sequential and pooled
+// deciders. Distinct C₂ = C ∖ M repeat across maximal sets whenever two M
+// miss the (small) cut identically; the few distinct plausibility answers
+// are memoized per B. The memo only short-circuits *identical* tests, so
+// the first qualifying M in canonical order still wins (witness identity).
+std::optional<ZppCutWitness> scan_maximal_sets(const NodeSet& b, const NodeSet& cut,
+                                               const std::vector<NodeId>& members,
+                                               const Graph& g,
+                                               const std::vector<AdversaryStructure>& local_z,
+                                               const std::vector<NodeSet>& zmax) {
+  NodeSet seen[kC2MemoSlots];
+  bool ans[kC2MemoSlots];
+  std::size_t nseen = 0;
+  for (const NodeSet& m : zmax) {
+    NodeSet c2 = cut;
+    c2 -= m;
+    bool plausible = false;
+    bool cached = false;
+    for (std::size_t i = 0; i < nseen; ++i) {
+      if (seen[i] == c2) {
+        plausible = ans[i];
+        cached = true;
+        break;
+      }
+    }
+    if (!cached) {
+      plausible = true;
+      for (NodeId u : members) {
+        if (!local_z[u].contains(g.neighbors(u) & c2)) {
+          plausible = false;
+          break;
+        }
+      }
+      if (nseen < kC2MemoSlots) {
+        seen[nseen] = c2;
+        ans[nseen] = plausible;
+        ++nseen;
+      }
+    }
+    if (plausible) return ZppCutWitness{cut & m, std::move(c2), b};
+  }
+  return std::nullopt;
+}
+
+// Incremental decider state (see rmt_cut.cpp for the pattern): the
+// neighbour union ∪_{v∈B} N(v) and the member list follow the DFS by
+// push/pop deltas; N(B) = ∪N(v) ∖ B per visit. The member list gives the
+// plausibility loop an early exit that NodeSet::for_each cannot.
+struct IncrementalScan {
+  const Graph& g;
+  const NodeId d;
+  const std::vector<AdversaryStructure>& local_z;
+  const std::vector<NodeSet>& zmax;
+  NodeSet nbrs;
+  std::vector<NodeId> members;
+  std::vector<NodeSet> nbrs_save;
+  std::optional<ZppCutWitness> witness;
+
+  void push(NodeId v) {
+    members.push_back(v);
+    nbrs_save.push_back(nbrs);
+    nbrs |= g.neighbors(v);
+  }
+
+  void pop(NodeId) {
+    members.pop_back();
+    nbrs = std::move(nbrs_save.back());
+    nbrs_save.pop_back();
+  }
+
+  bool visit(const NodeSet& b) {
+    NodeSet cut = nbrs;
+    cut -= b;
+    if (cut.contains(d)) return true;
+    witness = scan_maximal_sets(b, cut, members, g, local_z, zmax);
+    return !witness.has_value();
+  }
+};
+
+std::vector<AdversaryStructure> local_structures(const Instance& inst) {
+  std::vector<AdversaryStructure> local_z(inst.graph().capacity());
+  inst.graph().nodes().for_each([&](NodeId v) { local_z[v] = inst.local_structure(v); });
+  return local_z;
+}
+
+}  // namespace
+
 std::optional<ZppCutWitness> find_rmt_zpp_cut(const Instance& inst) {
+  RMT_OBS_SCOPE("zpp_cut.find");
+  RMT_REQUIRE(inst.num_players() <= kMaxExactNodes,
+              "find_rmt_zpp_cut: instance too large for the exact decider");
+  RMT_AUDIT_VALIDATE(inst);
+  const Graph& g = inst.graph();
+  const std::vector<AdversaryStructure> local_z = local_structures(inst);
+
+  IncrementalScan scan{g, inst.dealer(), local_z, inst.adversary().maximal_sets(), {}, {}, {}, {}};
+  scan.members.reserve(g.capacity() + 1);
+  scan.nbrs_save.reserve(g.capacity() + 1);
+  enumerate_connected_subsets_incremental(g, inst.receiver(), NodeSet::single(inst.dealer()),
+                                          scan);
+  return std::move(scan.witness);
+}
+
+std::optional<ZppCutWitness> find_rmt_zpp_cut_reference(const Instance& inst) {
   RMT_OBS_SCOPE("zpp_cut.find");
   RMT_REQUIRE(inst.num_players() <= kMaxExactNodes,
               "find_rmt_zpp_cut: instance too large for the exact decider");
@@ -18,9 +128,7 @@ std::optional<ZppCutWitness> find_rmt_zpp_cut(const Instance& inst) {
   const Graph& g = inst.graph();
   const NodeId d = inst.dealer();
   const NodeId r = inst.receiver();
-
-  std::vector<AdversaryStructure> local_z(g.capacity());
-  g.nodes().for_each([&](NodeId v) { local_z[v] = inst.local_structure(v); });
+  const std::vector<AdversaryStructure> local_z = local_structures(inst);
 
   std::optional<ZppCutWitness> witness;
   enumerate_connected_subsets(g, r, NodeSet::single(d), [&](const NodeSet& b) {
@@ -39,6 +147,65 @@ std::optional<ZppCutWitness> find_rmt_zpp_cut(const Instance& inst) {
     }
     return true;
   });
+  return witness;
+}
+
+std::optional<ZppCutWitness> find_rmt_zpp_cut(const Instance& inst, exec::ThreadPool* pool) {
+  if (pool == nullptr || pool->num_workers() <= 1) return find_rmt_zpp_cut(inst);
+  RMT_OBS_SCOPE("zpp_cut.find");
+  RMT_REQUIRE(inst.num_players() <= kMaxExactNodes,
+              "find_rmt_zpp_cut: instance too large for the exact decider");
+  RMT_AUDIT_VALIDATE(inst);
+  const Graph& g = inst.graph();
+  const NodeId d = inst.dealer();
+  const NodeId r = inst.receiver();
+  const std::vector<AdversaryStructure> local_z = local_structures(inst);
+  const std::vector<NodeSet>& zmax = inst.adversary().maximal_sets();
+
+  const auto eval_b = [&](const NodeSet& b) -> std::optional<ZppCutWitness> {
+    const NodeSet cut = g.boundary(b);
+    if (cut.contains(d)) return std::nullopt;
+    std::vector<NodeId> members = b.to_vector();
+    return scan_maximal_sets(b, cut, members, g, local_z, zmax);
+  };
+
+  // Same batched scan as the pooled find_rmt_cut: lowest-index witness ==
+  // the sequential witness at any worker count.
+  struct First {
+    std::size_t index = std::numeric_limits<std::size_t>::max();
+    std::optional<ZppCutWitness> w;
+  };
+  const std::size_t batch_size = 64 * pool->num_workers();
+  std::vector<NodeSet> batch;
+  batch.reserve(batch_size);
+  std::optional<ZppCutWitness> witness;
+
+  const auto flush = [&]() {
+    if (batch.empty() || witness) return;
+    First f = exec::parallel_reduce<First>(
+        pool, 0, batch.size(), exec::suggest_grain(batch.size(), pool), First{},
+        [&](std::size_t lo, std::size_t hi) {
+          First p;
+          for (std::size_t i = lo; i < hi; ++i) {
+            if (std::optional<ZppCutWitness> w = eval_b(batch[i])) {
+              p.index = i;
+              p.w = std::move(w);
+              break;
+            }
+          }
+          return p;
+        },
+        [](First a, First b2) { return a.index <= b2.index ? std::move(a) : std::move(b2); });
+    batch.clear();
+    if (f.w) witness = std::move(*f.w);
+  };
+
+  enumerate_connected_subsets(g, r, NodeSet::single(d), [&](const NodeSet& b) {
+    batch.push_back(b);
+    if (batch.size() >= batch_size) flush();
+    return !witness.has_value();
+  });
+  flush();
   return witness;
 }
 

@@ -24,6 +24,10 @@
 
 #include "instance/instance.hpp"
 
+namespace rmt::exec {
+class ThreadPool;
+}
+
 namespace rmt::analysis {
 
 struct ZppCutWitness {
@@ -33,7 +37,19 @@ struct ZppCutWitness {
 };
 
 /// Find an RMT Z-pp cut (Def. 7), or nullopt (⇒ Z-CPA succeeds, Thm 7).
+/// Incremental scan (see rmt_cut.hpp): N(B) and the member list follow the
+/// connected-subset DFS by push/pop deltas; allocation-free at
+/// kMaxExactNodes.
 std::optional<ZppCutWitness> find_rmt_zpp_cut(const Instance& inst);
+
+/// The straightforward per-B-rebuild decider, kept as the cross-check
+/// baseline for witness identity and the BENCH_decider.json comparison.
+std::optional<ZppCutWitness> find_rmt_zpp_cut_reference(const Instance& inst);
+
+/// Parallel decider: batched scan over `pool`, lowest-index witness — the
+/// returned witness is exactly the sequential one at any worker count.
+/// pool == nullptr (or a one-worker pool) falls back to the sequential scan.
+std::optional<ZppCutWitness> find_rmt_zpp_cut(const Instance& inst, exec::ThreadPool* pool);
 
 bool rmt_zpp_cut_exists(const Instance& inst);
 

@@ -10,43 +10,21 @@ namespace rmt {
 
 namespace {
 
-struct SubsetEnum {
-  const Graph& g;
-  const std::function<bool(const NodeSet&)>& visit;
-  bool aborted = false;
-
-  void run(NodeSet current, NodeSet excluded) {
-    if (aborted) return;
-    if (!visit(current)) {
-      aborted = true;
-      return;
-    }
-    NodeSet frontier = g.boundary(current);
-    frontier -= excluded;
-    // Each candidate extends `current`; candidates already tried at this
-    // level are excluded below, which is what makes the enumeration
-    // duplicate-free.
-    const std::vector<NodeId> cands = frontier.to_vector();
-    NodeSet banned = excluded;
-    for (NodeId x : cands) {
-      if (aborted) return;
-      NodeSet next = current;
-      next.insert(x);
-      run(std::move(next), banned);
-      banned.insert(x);
-    }
-  }
+// The std::function API is a thin adapter over the incremental template —
+// one enumerator, two surfaces, identical order by construction.
+struct FnVisitor {
+  const std::function<bool(const NodeSet&)>& visit_fn;
+  bool visit(const NodeSet& b) const { return visit_fn(b); }
+  void push(NodeId) const {}
+  void pop(NodeId) const {}
 };
 
 }  // namespace
 
 bool enumerate_connected_subsets(const Graph& g, NodeId seed, const NodeSet& forbidden,
                                  const std::function<bool(const NodeSet&)>& visit) {
-  RMT_REQUIRE(g.has_node(seed), "enumerate_connected_subsets: absent seed");
-  RMT_REQUIRE(!forbidden.contains(seed), "enumerate_connected_subsets: seed is forbidden");
-  SubsetEnum e{g, visit, false};
-  e.run(NodeSet::single(seed), forbidden);
-  return !e.aborted;
+  FnVisitor vis{visit};
+  return enumerate_connected_subsets_incremental(g, seed, forbidden, vis);
 }
 
 namespace {

@@ -2,27 +2,54 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "util/audit.hpp"
 
 namespace rmt {
 
+// See the matching pragma in node_set.hpp: GCC cannot correlate cap_ with
+// the active union member and reports spurious bounds errors at -O2.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Warray-bounds"
+#pragma GCC diagnostic ignored "-Wstringop-overflow"
+#endif
+
+void NodeSet::grow(std::size_t need) {
+  // Cold path: only sets wider than kInlineBits ids (or copies of such sets)
+  // ever land here. Capacity doubles so repeated inserts amortize, and never
+  // shrinks back — a spilled set stays spilled, but its *value* (the active
+  // words) is what ==/hash/<=> observe, so representation is unobservable.
+  const std::size_t newcap = std::max(need, static_cast<std::size_t>(cap_) * 2);
+  auto* nw = new std::uint64_t[newcap];
+  const std::uint64_t* ow = words();
+  for (std::uint32_t i = 0; i < nwords_; ++i) nw[i] = ow[i];
+  if (spilled()) delete[] heap_;
+  heap_ = nw;
+  cap_ = static_cast<std::uint32_t>(newcap);
+  if (obs::enabled()) obs::Registry::global().counter("nodeset.heap_spills").inc();
+}
+
 std::size_t NodeSet::size() const {
+  const std::uint64_t* ws = words();
   std::size_t n = 0;
-  for (std::uint64_t w : words_) n += static_cast<std::size_t>(__builtin_popcountll(w));
+  for (std::size_t i = 0; i < nwords_; ++i)
+    n += static_cast<std::size_t>(__builtin_popcountll(ws[i]));
   return n;
 }
 
 NodeId NodeSet::min() const {
   RMT_REQUIRE(!empty(), "min() of empty NodeSet");
-  for (std::size_t w = 0; w < words_.size(); ++w)
-    if (words_[w]) return static_cast<NodeId>(w * 64 + static_cast<std::size_t>(__builtin_ctzll(words_[w])));
+  const std::uint64_t* ws = words();
+  for (std::size_t w = 0; w < nwords_; ++w)
+    if (ws[w]) return static_cast<NodeId>(w * 64 + static_cast<std::size_t>(__builtin_ctzll(ws[w])));
   RMT_CHECK(false, "normalized NodeSet had only zero words");
 }
 
 NodeId NodeSet::max() const {
   RMT_REQUIRE(!empty(), "max() of empty NodeSet");
-  const std::size_t w = words_.size() - 1;
-  return static_cast<NodeId>(w * 64 + 63 - static_cast<std::size_t>(__builtin_clzll(words_[w])));
+  const std::size_t w = nwords_ - 1;
+  return static_cast<NodeId>(w * 64 + 63 - static_cast<std::size_t>(__builtin_clzll(words()[w])));
 }
 
 std::vector<NodeId> NodeSet::to_vector() const {
@@ -33,58 +60,74 @@ std::vector<NodeId> NodeSet::to_vector() const {
 }
 
 NodeSet& NodeSet::operator|=(const NodeSet& o) {
-  if (o.words_.size() > words_.size()) words_.resize(o.words_.size(), 0);
-  for (std::size_t i = 0; i < o.words_.size(); ++i) words_[i] |= o.words_[i];
+  if (o.nwords_ > nwords_) ensure_words(o.nwords_);
+  std::uint64_t* w = words();
+  const std::uint64_t* ow = o.words();
+  for (std::size_t i = 0; i < o.nwords_; ++i) w[i] |= ow[i];
   return *this;
 }
 
 NodeSet& NodeSet::operator&=(const NodeSet& o) {
-  if (words_.size() > o.words_.size()) words_.resize(o.words_.size());
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+  if (nwords_ > o.nwords_) nwords_ = o.nwords_;
+  std::uint64_t* w = words();
+  const std::uint64_t* ow = o.words();
+  for (std::size_t i = 0; i < nwords_; ++i) w[i] &= ow[i];
   normalize();
   return *this;
 }
 
 NodeSet& NodeSet::operator-=(const NodeSet& o) {
-  const std::size_t n = std::min(words_.size(), o.words_.size());
-  for (std::size_t i = 0; i < n; ++i) words_[i] &= ~o.words_[i];
+  const std::size_t n = std::min(nwords_, o.nwords_);
+  std::uint64_t* w = words();
+  const std::uint64_t* ow = o.words();
+  for (std::size_t i = 0; i < n; ++i) w[i] &= ~ow[i];
   normalize();
   return *this;
 }
 
 NodeSet& NodeSet::operator^=(const NodeSet& o) {
-  if (o.words_.size() > words_.size()) words_.resize(o.words_.size(), 0);
-  for (std::size_t i = 0; i < o.words_.size(); ++i) words_[i] ^= o.words_[i];
+  if (o.nwords_ > nwords_) ensure_words(o.nwords_);
+  std::uint64_t* w = words();
+  const std::uint64_t* ow = o.words();
+  for (std::size_t i = 0; i < o.nwords_; ++i) w[i] ^= ow[i];
   normalize();
   return *this;
 }
 
 bool NodeSet::is_subset_of(const NodeSet& o) const {
-  if (words_.size() > o.words_.size()) return false;  // canonical form: extra words are non-zero
-  for (std::size_t i = 0; i < words_.size(); ++i)
-    if (words_[i] & ~o.words_[i]) return false;
+  if (nwords_ > o.nwords_) return false;  // canonical form: extra words are non-zero
+  const std::uint64_t* w = words();
+  const std::uint64_t* ow = o.words();
+  for (std::size_t i = 0; i < nwords_; ++i)
+    if (w[i] & ~ow[i]) return false;
   return true;
 }
 
 bool NodeSet::intersects(const NodeSet& o) const {
-  const std::size_t n = std::min(words_.size(), o.words_.size());
+  const std::size_t n = std::min(nwords_, o.nwords_);
+  const std::uint64_t* w = words();
+  const std::uint64_t* ow = o.words();
   for (std::size_t i = 0; i < n; ++i)
-    if (words_[i] & o.words_[i]) return true;
+    if (w[i] & ow[i]) return true;
   return false;
 }
 
 std::size_t NodeSet::hash() const {
-  // FNV-1a over words; canonical form makes this well-defined per value.
+  // FNV-1a over active words; canonical form makes this well-defined per
+  // value, independent of inline vs. spilled representation.
+  const std::uint64_t* ws = words();
   std::size_t h = 1469598103934665603ull;
-  for (std::uint64_t w : words_) {
-    h ^= static_cast<std::size_t>(w);
+  for (std::size_t i = 0; i < nwords_; ++i) {
+    h ^= static_cast<std::size_t>(ws[i]);
     h *= 1099511628211ull;
   }
   return h;
 }
 
 void NodeSet::debug_validate() const {
-  if (!words_.empty() && words_.back() == 0)
+  if (nwords_ > cap_)
+    audit::detail::fail("node_set", "active word count exceeds storage capacity");
+  if (nwords_ != 0 && words()[nwords_ - 1] == 0)
     audit::detail::fail("node_set",
                         "trailing zero word breaks canonical form (==/hash/subset tests "
                         "assume normalized words) in " + to_string());
@@ -100,5 +143,9 @@ std::string NodeSet::to_string() const {
   });
   return out + "}";
 }
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 }  // namespace rmt

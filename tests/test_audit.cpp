@@ -34,7 +34,14 @@ namespace rmt {
 /// private representation state so tests can prove each validator detects
 /// the violation it documents.
 struct AuditTestAccess {
-  static void push_trailing_zero_word(NodeSet& s) { s.words_.push_back(0); }
+  static void push_trailing_zero_word(NodeSet& s) { s.ensure_words(s.nwords_ + 1); }
+  static void overrun_active_words(NodeSet& s) {
+    // Claim more active words than the storage holds. The validator must
+    // reject this from the counters alone, *before* dereferencing words().
+    s.nwords_ = s.cap_ + 1;
+  }
+  static void bump_popcount_cache(AdversaryStructure& z) { z.sizes_.front() += 1; }
+  static void inflate_support_cache(AdversaryStructure& z) { z.support_.insert(31); }
   static void add_one_directional_edge(Graph& g, NodeId u, NodeId v) { g.adj_[u].insert(v); }
   static void add_self_loop(Graph& g, NodeId v) { g.adj_[v].insert(v); }
   static void append_maximal_set(AdversaryStructure& z, NodeSet s) {
@@ -95,6 +102,32 @@ TEST(AuditValidate, NodeSetTrailingZeroWordDetected) {
   NodeSet s{0, 3};
   AuditTestAccess::push_trailing_zero_word(s);
   EXPECT_EQ(failing_component([&] { audit::validate(s); }), "node_set");
+}
+
+TEST(AuditValidate, NodeSetSpilledTrailingZeroWordDetected) {
+  NodeSet s{0, 200};  // beyond kInlineBits: heap representation
+  s.erase(200);       // canonical again, still spilled
+  EXPECT_NO_THROW(audit::validate(s));
+  AuditTestAccess::push_trailing_zero_word(s);
+  EXPECT_EQ(failing_component([&] { audit::validate(s); }), "node_set");
+}
+
+TEST(AuditValidate, NodeSetInlineCapacityOverrunDetected) {
+  NodeSet s{0, 3};  // inline representation
+  AuditTestAccess::overrun_active_words(s);
+  EXPECT_EQ(failing_component([&] { audit::validate(s); }), "node_set");
+}
+
+TEST(AuditValidate, AdversaryPopcountCacheDriftDetected) {
+  AdversaryStructure z = structure({NodeSet{1}, NodeSet{2, 3}});
+  AuditTestAccess::bump_popcount_cache(z);
+  EXPECT_EQ(failing_component([&] { audit::validate(z); }), "adversary");
+}
+
+TEST(AuditValidate, AdversarySupportCacheDriftDetected) {
+  AdversaryStructure z = structure({NodeSet{1}, NodeSet{2, 3}});
+  AuditTestAccess::inflate_support_cache(z);
+  EXPECT_EQ(failing_component([&] { audit::validate(z); }), "adversary");
 }
 
 TEST(AuditValidate, GraphAsymmetricAdjacencyDetected) {

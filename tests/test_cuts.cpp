@@ -87,6 +87,81 @@ TEST(ConnectedSubsets, Preconditions) {
   EXPECT_THROW(collect_connected(g, 1, NodeSet{1}), std::invalid_argument);
 }
 
+// ---- incremental (push/pop) enumeration ----------------------------------
+
+/// Records the full visitor event stream and rebuilds B from the deltas.
+struct RecordingVisitor {
+  NodeSet rebuilt;                    // maintained from push/pop only
+  std::vector<NodeId> stack;          // push order, for LIFO checking
+  std::vector<NodeSet> visited;       // every B, in visit order
+  bool lifo_ok = true;
+  bool deltas_match = true;
+  std::size_t stop_after = std::size_t(-1);
+
+  void push(NodeId v) {
+    rebuilt.insert(v);
+    stack.push_back(v);
+  }
+  void pop(NodeId v) {
+    if (stack.empty() || stack.back() != v) lifo_ok = false;
+    if (!stack.empty()) stack.pop_back();
+    rebuilt.erase(v);
+  }
+  bool visit(const NodeSet& b) {
+    if (rebuilt != b) deltas_match = false;
+    visited.push_back(b);
+    return visited.size() < stop_after;
+  }
+};
+
+TEST(IncrementalEnumeration, DeltasReconstructEveryVisitedSet) {
+  Rng rng(11);
+  const Graph g = generators::random_connected_gnp(9, 0.3, rng);
+  RecordingVisitor vis;
+  const bool completed = enumerate_connected_subsets_incremental(g, 3, NodeSet{}, vis);
+  EXPECT_TRUE(completed);
+  EXPECT_TRUE(vis.deltas_match);  // push/pop stream always equals the visited B
+  EXPECT_TRUE(vis.lifo_ok);
+  EXPECT_TRUE(vis.stack.empty());   // pushes and pops balance (incl. the seed)
+  EXPECT_TRUE(vis.rebuilt.empty());
+}
+
+TEST(IncrementalEnumeration, SameSetsSameOrderAsClassicApi) {
+  Rng rng(12);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = generators::random_connected_gnp(8, 0.35, rng);
+    const NodeSet forbidden = trial % 2 ? NodeSet{5} : NodeSet{};
+    std::vector<NodeSet> classic;
+    enumerate_connected_subsets(g, 0, forbidden, [&](const NodeSet& b) {
+      classic.push_back(b);
+      return true;
+    });
+    RecordingVisitor vis;
+    enumerate_connected_subsets_incremental(g, 0, forbidden, vis);
+    EXPECT_EQ(vis.visited, classic);  // identical sequence, not just same sets
+  }
+}
+
+TEST(IncrementalEnumeration, EarlyStopStillBalancesPushesAndPops) {
+  const Graph g = generators::complete_graph(5);
+  RecordingVisitor vis;
+  vis.stop_after = 3;
+  const bool completed = enumerate_connected_subsets_incremental(g, 0, NodeSet{}, vis);
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(vis.visited.size(), 3u);
+  EXPECT_TRUE(vis.stack.empty());  // pop(seed) fires even on abort
+  EXPECT_TRUE(vis.rebuilt.empty());
+}
+
+TEST(IncrementalEnumeration, Preconditions) {
+  const Graph g = generators::path_graph(3);
+  RecordingVisitor vis;
+  EXPECT_THROW(enumerate_connected_subsets_incremental(g, 9, NodeSet{}, vis),
+               std::invalid_argument);
+  EXPECT_THROW(enumerate_connected_subsets_incremental(g, 1, NodeSet{1}, vis),
+               std::invalid_argument);
+}
+
 TEST(MinVertexCut, KnownGraphs) {
   EXPECT_EQ(min_vertex_cut(generators::path_graph(5), 0, 4), 1u);
   EXPECT_EQ(min_vertex_cut(generators::cycle_graph(6), 0, 3), 2u);

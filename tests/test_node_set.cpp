@@ -5,7 +5,9 @@
 
 #include <set>
 #include <unordered_set>
+#include <utility>
 
+#include "obs/metrics.hpp"
 #include "tests/test_util.hpp"
 #include "util/rng.hpp"
 
@@ -128,6 +130,100 @@ TEST(NodeSet, HashingIntoUnorderedSet) {
   pool.insert(NodeSet{2, 1});
   pool.insert(NodeSet{3});
   EXPECT_EQ(pool.size(), 2u);
+}
+
+// ---- small-buffer optimization boundaries --------------------------------
+//
+// kInlineBits = 128: ids 0..127 live in the two inline words; id 128 is the
+// first to force a heap spill. Observed via the nodeset.heap_spills counter
+// (the only externally visible trace of the representation).
+
+TEST(NodeSetSbo, InlineUpToId127NeverAllocates) {
+  obs::set_enabled(true);
+  obs::Registry::global().reset();
+  {
+    NodeSet s;
+    s.insert(0);
+    s.insert(63);
+    s.insert(64);
+    s.insert(127);  // last inline id
+    EXPECT_EQ(s.size(), 4u);
+    NodeSet t = s;           // copy stays inline
+    t |= NodeSet{1, 126};    // algebra stays inline
+    t -= s;
+    EXPECT_EQ(t, (NodeSet{1, 126}));
+  }
+  EXPECT_EQ(obs::Registry::global().counter("nodeset.heap_spills").value(), 0u);
+  obs::Registry::global().reset();
+  obs::set_enabled(false);
+}
+
+TEST(NodeSetSbo, Id128IsTheFirstSpill) {
+  obs::set_enabled(true);
+  obs::Registry::global().reset();
+  obs::Counter& spills = obs::Registry::global().counter("nodeset.heap_spills");
+  NodeSet s;
+  s.insert(127);
+  EXPECT_EQ(spills.value(), 0u);
+  s.insert(128);  // third word: spills
+  EXPECT_GE(spills.value(), 1u);
+  const std::uint64_t after128 = spills.value();
+  s.insert(129);  // same word: no further growth
+  EXPECT_EQ(spills.value(), after128);
+  EXPECT_TRUE(s.contains(127));
+  EXPECT_TRUE(s.contains(128));
+  EXPECT_TRUE(s.contains(129));
+  EXPECT_EQ(s.size(), 3u);
+  obs::Registry::global().reset();
+  obs::set_enabled(false);
+}
+
+TEST(NodeSetSbo, SpilledThenErasedAgreesWithInlinePeer) {
+  // A set that spilled and shrank back keeps its heap capacity but must be
+  // observably identical to a set that never left the inline words.
+  NodeSet spilled{1, 77, 128, 200};
+  spilled.erase(128);
+  spilled.erase(200);
+  const NodeSet inline_peer{1, 77};
+  EXPECT_EQ(spilled, inline_peer);
+  EXPECT_EQ(spilled.hash(), inline_peer.hash());
+  EXPECT_EQ(spilled <=> inline_peer, std::strong_ordering::equal);
+  EXPECT_TRUE(spilled.is_subset_of(inline_peer));
+  EXPECT_TRUE(inline_peer.is_subset_of(spilled));
+  // And both orders against a third set agree.
+  const NodeSet bigger{1, 77, 90};
+  EXPECT_TRUE(spilled.is_subset_of(bigger));
+  EXPECT_EQ(spilled <=> bigger, inline_peer <=> bigger);
+  EXPECT_NO_THROW(spilled.debug_validate());
+}
+
+TEST(NodeSetSbo, CopyAndMoveOfSpilledSets) {
+  NodeSet big;
+  for (NodeId v = 0; v < 300; v += 3) big.insert(v);
+  const NodeSet copy = big;
+  EXPECT_EQ(copy, big);
+  EXPECT_EQ(copy.hash(), big.hash());
+
+  NodeSet moved = std::move(big);
+  EXPECT_EQ(moved, copy);
+  big = copy;  // NOLINT(bugprone-use-after-move) — assigning a new value is fine
+  EXPECT_EQ(big, moved);
+
+  // Self-move-safety is not required; moved-from reassignment must work.
+  NodeSet other{5};
+  other = std::move(moved);
+  EXPECT_EQ(other, copy);
+  EXPECT_NO_THROW(other.debug_validate());
+}
+
+TEST(NodeSetSbo, ClearKeepsValueSemantics) {
+  NodeSet s{1, 250};
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s, NodeSet{});
+  EXPECT_EQ(s.hash(), NodeSet{}.hash());
+  s.insert(250);  // reuses retained capacity
+  EXPECT_EQ(s, NodeSet::single(250));
 }
 
 // Property: NodeSet agrees with std::set<NodeId> under a random op sequence.

@@ -4,9 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+
 #include "analysis/feasibility.hpp"
+#include "exec/thread_pool.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/generators.hpp"
+#include "obs/metrics.hpp"
 #include "tests/test_util.hpp"
 
 namespace rmt::analysis {
@@ -140,6 +144,66 @@ TEST(RmtCut, WitnessIsActuallyACut) {
     });
     EXPECT_TRUE(in_joint);
   }
+}
+
+// ---- incremental hot path vs. reference ----------------------------------
+
+bool same_witness(const std::optional<RmtCutWitness>& a, const std::optional<RmtCutWitness>& b) {
+  if (a.has_value() != b.has_value()) return false;
+  return !a || (a->c1 == b->c1 && a->c2 == b->c2 && a->b == b->b);
+}
+
+TEST(RmtCut, IncrementalMatchesReferenceWitnessExactly) {
+  // The shipped decider maintains Z_B/V(γ(B))/N(B) by push/pop deltas; the
+  // reference rebuilds them per B. Same witness, bit for bit — not merely
+  // the same yes/no — across random instances and every knowledge level.
+  Rng rng(61);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t k = std::size_t(trial % 4);
+    const Instance inst = testing::random_instance(7, 0.3, 3, 2, k, rng);
+    EXPECT_TRUE(same_witness(find_rmt_cut(inst), find_rmt_cut_reference(inst)))
+        << inst.to_string();
+  }
+  for (std::size_t k : {0u, 1u, 2u}) {
+    const Instance inst = triple_path(k);
+    EXPECT_TRUE(same_witness(find_rmt_cut(inst), find_rmt_cut_reference(inst)));
+  }
+}
+
+TEST(RmtCut, HotPathNeverSpillsNorRebuildsAt26Nodes) {
+  // The headline claim of the incremental decider: a full n = 26 run
+  // touches the allocator zero times from NodeSet (all sets inline) and
+  // performs zero full joint-structure rebuilds. Asserted, not benchmarked.
+  const Graph g = generators::cycle_graph(26);
+  const Instance inst = Instance::ad_hoc(g, AdversaryStructure::trivial(), 0, 13);
+  obs::set_enabled(true);
+  obs::Registry::global().reset();
+  EXPECT_FALSE(find_rmt_cut(inst).has_value());  // no cut: full enumeration
+  EXPECT_EQ(obs::Registry::global().counter("nodeset.heap_spills").value(), 0u);
+  EXPECT_EQ(obs::Registry::global().counter("rmt_cut.joint_rebuilds").value(), 0u);
+  // The reference decider on the same instance *does* rebuild per B.
+  EXPECT_FALSE(find_rmt_cut_reference(inst).has_value());
+  EXPECT_GT(obs::Registry::global().counter("rmt_cut.joint_rebuilds").value(), 0u);
+  EXPECT_EQ(obs::Registry::global().counter("nodeset.heap_spills").value(), 0u);
+  obs::Registry::global().reset();
+  obs::set_enabled(false);
+}
+
+TEST(RmtCutDeciderPool, PooledWitnessIsSequentialWitness) {
+  // The pooled scan keeps the lowest-index candidate per batch, so its
+  // answer must be bit-identical to the sequential one — here against both
+  // the incremental and the reference decider.
+  exec::ThreadPool pool(4);
+  Rng rng(67);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Instance inst = testing::random_instance(7, 0.3, 3, 2, 1 + trial % 3, rng);
+    const auto seq = find_rmt_cut(inst);
+    EXPECT_TRUE(same_witness(seq, find_rmt_cut(inst, &pool))) << inst.to_string();
+    EXPECT_TRUE(same_witness(seq, find_rmt_cut_reference(inst))) << inst.to_string();
+  }
+  const Instance big =
+      Instance::ad_hoc(generators::cycle_graph(20), AdversaryStructure::trivial(), 0, 10);
+  EXPECT_TRUE(same_witness(find_rmt_cut(big), find_rmt_cut(big, &pool)));
 }
 
 TEST(RmtCut, RejectsOversizedInstance) {

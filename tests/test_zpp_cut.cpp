@@ -4,7 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+
 #include "analysis/rmt_cut.hpp"
+#include "exec/thread_pool.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/generators.hpp"
 #include "tests/test_util.hpp"
@@ -77,6 +80,39 @@ TEST(ZppCut, AdHocStrictlyWeakerThanFullKnowledge) {
   const NodeId r = NodeId(g.num_nodes() - 1);
   EXPECT_TRUE(rmt_zpp_cut_exists(Instance::ad_hoc(g, z, 0, r)));
   EXPECT_FALSE(rmt_cut_exists(Instance::full_knowledge(g, z, 0, r)));
+}
+
+// ---- incremental hot path vs. reference ----------------------------------
+
+bool same_witness(const std::optional<ZppCutWitness>& a, const std::optional<ZppCutWitness>& b) {
+  if (a.has_value() != b.has_value()) return false;
+  return !a || (a->c1 == b->c1 && a->c2 == b->c2 && a->b == b->b);
+}
+
+TEST(ZppCut, IncrementalMatchesReferenceWitnessExactly) {
+  Rng rng(71);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Instance inst = testing::random_instance(7, 0.3, 3, 2, 0, rng);
+    EXPECT_TRUE(same_witness(find_rmt_zpp_cut(inst), find_rmt_zpp_cut_reference(inst)))
+        << inst.to_string();
+  }
+  // And on a full-enumeration (cut-free) instance at the decider cap.
+  const Instance big =
+      Instance::ad_hoc(generators::cycle_graph(26), AdversaryStructure::trivial(), 0, 13);
+  EXPECT_TRUE(same_witness(find_rmt_zpp_cut(big), find_rmt_zpp_cut_reference(big)));
+}
+
+TEST(ZppCutDeciderPool, PooledWitnessIsSequentialWitness) {
+  exec::ThreadPool pool(4);
+  Rng rng(73);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Instance inst = testing::random_instance(7, 0.3, 3, 2, 0, rng);
+    EXPECT_TRUE(same_witness(find_rmt_zpp_cut(inst), find_rmt_zpp_cut(inst, &pool)))
+        << inst.to_string();
+  }
+  const Instance big =
+      Instance::ad_hoc(generators::cycle_graph(20), AdversaryStructure::trivial(), 0, 10);
+  EXPECT_TRUE(same_witness(find_rmt_zpp_cut(big), find_rmt_zpp_cut(big, &pool)));
 }
 
 TEST(ZppCutBroadcast, ExistsIffSomeReceiverFails) {

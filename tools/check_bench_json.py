@@ -114,6 +114,15 @@ def check_bench(doc, problems, args):
         for key, v in row.items():
             if not isinstance(v, SCALAR):
                 problems.add(f"rows[{i}][{key}]: non-scalar value")
+    # Answer-identity columns are a hard gate, not a data point: a bench
+    # that declares `identical` (e.g. bench_decider's seed-vs-optimized
+    # witness comparison) asserts its optimized paths reproduce the seed
+    # answers bit for bit. Any row that is not literally true fails.
+    if "identical" in columns:
+        for i, row in enumerate(rows):
+            if isinstance(row, dict) and row.get("identical") is not True:
+                problems.add(f"rows[{i}].identical: {row.get('identical')!r} "
+                             f"(optimized answer diverged from seed)")
     check_metrics(doc.get("metrics"), problems, args.require_phases, args.require_sim)
 
 
@@ -298,6 +307,11 @@ def _selftest_docs():
     good = [
         {"schema": "rmt.bench/1", "name": "b", "columns": ["n"],
          "rows": [{"n": 4}], "metrics": metrics},
+        {"schema": "rmt.bench/1", "name": "bench_decider",
+         "columns": ["decider", "identical"],
+         "rows": [{"decider": "rmt-seed", "identical": True},
+                  {"decider": "rmt-incr", "identical": True}],
+         "metrics": metrics},
         {"schema": "rmt.analyze/1", "instance": inst, "rmt_solvable": True,
          "rmt_cut_witness": None, "zcpa_solvable": True,
          "full_knowledge_solvable": True, "metrics": metrics},
@@ -312,6 +326,17 @@ def _selftest_docs():
     bad = [
         {"schema": "rmt.unknown/9"},
         {"schema": "rmt.bench/1", "name": "", "columns": [], "rows": [],
+         "metrics": metrics},
+        # Identity gate: a declared `identical` column with any non-true
+        # value (false, "yes", missing) is a divergence, not a style issue.
+        {"schema": "rmt.bench/1", "name": "bench_decider",
+         "columns": ["decider", "identical"],
+         "rows": [{"decider": "rmt-seed", "identical": True},
+                  {"decider": "rmt-incr", "identical": False}],
+         "metrics": metrics},
+        {"schema": "rmt.bench/1", "name": "bench_decider",
+         "columns": ["decider", "identical"],
+         "rows": [{"decider": "rmt-incr", "identical": "yes"}],
          "metrics": metrics},
         {"schema": "rmt.analyze/1", "instance": {"players": "eight"},
          "rmt_solvable": "yes", "metrics": metrics},
