@@ -1,0 +1,238 @@
+// bench_svc — the serving-stack acceptance bench: cold vs. warm decide
+// latency on the fig_f4 workloads, and a closed-loop throughput sweep over
+// concurrency × cache-hit ratio, through svc::Engine end to end.
+//
+// Latency section ("latency" rows, one per fig_f4 shape):
+//   cold_us — best-of-kReps decide_rmt with no_cache (full compute path);
+//   warm_us — best-of-kReps the same request answered by the result cache;
+//   speedup = cold/warm, RMT_CHECKed >= kMinWarmSpeedup (10x): the cache
+//   must not silently degenerate into recomputation.
+//
+// Throughput section ("throughput" rows): a closed-loop generator replays
+// kStreamLen requests in engine batches, with hit_pct percent of the
+// stream drawn from a pre-warmed hot set and the rest unique instances,
+// at 1 worker and at hardware concurrency. qps counts completed requests;
+// p50/p95/p99 come from an obs::Histogram fed each response's wall_us.
+//
+// The `identical` column is the determinism gate: every response in the
+// row — cached, coalesced, fresh, any worker count — must be byte-equal
+// to the sequential fresh-engine answer for its key. It is both reported
+// and RMT_CHECKed, and tools/check_bench_json.py refuses a BENCH_svc.json
+// whose identical column is not uniformly true. Timings themselves are
+// never asserted beyond the warm-speedup floor.
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "svc/engine.hpp"
+#include "svc/instance_key.hpp"
+
+namespace {
+
+using namespace rmt;
+
+inline constexpr int kReps = 5;
+inline constexpr double kMinWarmSpeedup = 10.0;
+inline constexpr std::size_t kStreamLen = 96;
+inline constexpr std::size_t kBatch = 16;
+inline constexpr std::size_t kHotSet = 4;
+
+svc::Request decide_request(const Instance& inst, bool no_cache = false) {
+  return svc::Request{svc::QueryKind::kDecideRmt, inst, svc::SimParams{}, std::nullopt, no_cache};
+}
+
+/// The sequential, fresh-engine answer for one instance — the identity
+/// baseline every other serving path must reproduce byte for byte.
+std::string expected_result(const Instance& inst) {
+  svc::Engine engine(nullptr);
+  std::vector<svc::Request> batch;
+  batch.push_back(decide_request(inst, /*no_cache=*/true));
+  const std::vector<svc::Response> responses = engine.run(batch);
+  RMT_CHECK(responses[0].status == svc::Response::Status::kOk,
+            "bench_svc: baseline decide failed");
+  return responses[0].result;
+}
+
+/// The fig_f4 instance families (see bench_decider_hotpath) at the decider
+/// cap, under a 2-threshold structure with 1-hop knowledge — the partial-
+/// knowledge regime this library serves, where a cold decide costs
+/// milliseconds of joint-structure work. (The trivial-structure f4 shapes
+/// decide in tens of microseconds; against the few-µs fixed cost of one
+/// served request a 10x warm floor there would measure the clock, not the
+/// cache — the throughput section still covers trivial shapes.)
+std::vector<std::pair<std::string, Instance>> fig_f4_workloads() {
+  std::vector<std::pair<std::string, Instance>> out;
+  for (std::size_t n : {20u, 26u}) {
+    const Graph g = generators::cycle_graph(n);
+    const NodeSet players = g.nodes() - NodeSet{0, NodeId(n / 2)};
+    out.emplace_back("cycle-" + std::to_string(n),
+                     Instance(g, threshold_structure(players, 2), ViewFunction::k_hop(g, 1), 0,
+                              NodeId(n / 2)));
+  }
+  for (std::size_t h : {6u, 8u}) {
+    const Graph g = generators::parallel_paths(3, h);
+    const NodeId r = NodeId(g.num_nodes() - 1);
+    const NodeSet players = g.nodes() - NodeSet{0, r};
+    out.emplace_back("3-paths-h" + std::to_string(h),
+                     Instance(g, threshold_structure(players, 2), ViewFunction::k_hop(g, 1), 0, r));
+  }
+  return out;
+}
+
+/// Unique-key instance family for the throughput miss stream: same cycle
+/// shape, dealer/receiver moved around the ring — the (dealer, offset)
+/// pairs only repeat with period lcm(8, 15) = 120 > kStreamLen, so every
+/// miss-stream request is a distinct canonical instance of equal cost.
+Instance unique_instance(std::size_t i) {
+  const std::size_t n = 16;
+  const Graph g = generators::cycle_graph(n);
+  const NodeId d = NodeId((i * 2) % n);
+  const NodeId r = NodeId((std::size_t(d) + 1 + (i % (n - 1))) % n);
+  return Instance::ad_hoc(g, AdversaryStructure::trivial(), d, r);
+}
+
+/// The throughput hot set lives on an 18-cycle, so its keys never collide
+/// with the 16-cycle miss stream and the measured hit rate is the stream's.
+Instance hot_instance(std::size_t i) {
+  const std::size_t n = 18;
+  const Graph g = generators::cycle_graph(n);
+  return Instance::ad_hoc(g, AdversaryStructure::trivial(), 0, NodeId(1 + (i % (n - 1))));
+}
+
+template <typename F>
+double best_us(F&& f) {
+  double best = 0;
+  for (int i = 0; i < kReps; ++i) {
+    const double us = rmt::bench::time_us(f);
+    if (i == 0 || us < best) best = us;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rmt;
+  using namespace rmt::bench;
+
+  Reporter rep(argc, argv, "bench_svc");
+  rep.columns({"section", "workload", "jobs", "hit_pct", "requests", "cold_us", "warm_us",
+               "speedup", "qps", "p50_us", "p95_us", "p99_us", "hit_rate", "identical"});
+
+  const std::size_t jobs = rep.exec().jobs > 1
+                               ? rep.exec().jobs
+                               : std::max<std::size_t>(2, exec::ThreadPool::hardware_concurrency());
+  exec::ThreadPool pool(jobs);
+
+  // ---- Latency: cold vs. warm decide on the fig_f4 shapes -------------
+  for (const auto& [name, inst] : fig_f4_workloads()) {
+    const std::string expected = expected_result(inst);
+    svc::Engine engine(&pool);
+
+    std::vector<svc::Request> cold_batch;
+    cold_batch.push_back(decide_request(inst, /*no_cache=*/true));
+    std::vector<svc::Response> last;
+    const double cold_us = best_us([&] { last = engine.run(cold_batch); });
+    bool identical = last[0].result == expected;
+
+    // One cacheable request populates the cache; then every rep must hit.
+    std::vector<svc::Request> warm_batch;
+    warm_batch.push_back(decide_request(inst));
+    last = engine.run(warm_batch);
+    identical = identical && last[0].result == expected;
+    const double warm_us = best_us([&] { last = engine.run(warm_batch); });
+    identical = identical && last[0].cached && last[0].result == expected;
+
+    // Coalescing identity: duplicates in one batch share one computation
+    // and still answer the same bytes, at full worker count.
+    std::vector<svc::Request> dup_batch;
+    for (int i = 0; i < 4; ++i) dup_batch.push_back(decide_request(inst, /*no_cache=*/true));
+    const std::vector<svc::Response> dups = engine.run(dup_batch);
+    for (const svc::Response& r : dups) identical = identical && r.result == expected;
+
+    const double speedup = warm_us > 0 ? cold_us / warm_us : 0.0;
+    rep.row({"latency", name, std::uint64_t(jobs), std::uint64_t(100), std::uint64_t(1), cold_us,
+             warm_us, speedup, 0.0, 0.0, 0.0, 0.0, 0.0, identical});
+    RMT_CHECK(identical, "bench_svc: " + name + " served bytes diverged from fresh sequential");
+    RMT_CHECK(speedup >= kMinWarmSpeedup,
+              "bench_svc: " + name + " warm decide only " + fmt::fixed(speedup, 2) +
+                  "x faster than cold (floor " + fmt::fixed(kMinWarmSpeedup, 1) + "x)");
+    engine.publish_stats();
+  }
+
+  // ---- Throughput: closed loop over concurrency × hit ratio -----------
+  for (const std::size_t run_jobs : {std::size_t(1), jobs}) {
+    for (const std::size_t hit_pct : {std::size_t(0), std::size_t(50), std::size_t(90)}) {
+      svc::Engine engine(run_jobs > 1 ? &pool : nullptr);
+
+      // Pre-warm the hot set and record its expected bytes.
+      std::vector<Instance> hot;
+      std::vector<std::string> hot_expected;
+      std::vector<svc::Request> warmup;
+      for (std::size_t i = 0; i < kHotSet; ++i) {
+        hot.push_back(hot_instance(i));
+        hot_expected.push_back(expected_result(hot.back()));
+        warmup.push_back(decide_request(hot.back()));
+      }
+      engine.run(warmup);
+
+      // Deterministic request stream: positions i with i mod 100 < hit_pct
+      // replay the hot set round-robin, the rest are fresh unique instances.
+      std::vector<svc::Request> stream;
+      std::vector<const std::string*> stream_expected;
+      std::size_t fresh = 0;
+      for (std::size_t i = 0; i < kStreamLen; ++i) {
+        const bool is_hot = hit_pct > 0 && (i % 100) < hit_pct;
+        if (is_hot) {
+          const std::size_t h = i % kHotSet;
+          stream.push_back(decide_request(hot[h]));
+          stream_expected.push_back(&hot_expected[h]);
+        } else {
+          stream.push_back(decide_request(unique_instance(fresh++)));
+          stream_expected.push_back(nullptr);
+        }
+      }
+
+      const svc::ResultCache::Stats before = engine.cache().stats();
+      obs::Histogram lat;
+      bool identical = true;
+      std::uint64_t completed = 0;
+      const double wall_us = time_us([&] {
+        for (std::size_t base = 0; base < stream.size(); base += kBatch) {
+          const std::size_t end = std::min(stream.size(), base + kBatch);
+          std::vector<svc::Request> batch(stream.begin() + std::ptrdiff_t(base),
+                                          stream.begin() + std::ptrdiff_t(end));
+          const std::vector<svc::Response> responses = engine.run(batch);
+          for (std::size_t i = 0; i < responses.size(); ++i) {
+            const svc::Response& r = responses[i];
+            identical = identical && r.status == svc::Response::Status::kOk;
+            if (const std::string* want = stream_expected[base + i])
+              identical = identical && r.result == *want;
+            lat.observe(r.wall_us);
+            ++completed;
+          }
+        }
+      });
+      const svc::ResultCache::Stats after = engine.cache().stats();
+      const std::uint64_t lookups = (after.hits - before.hits) + (after.misses - before.misses);
+      const double hit_rate =
+          lookups > 0 ? double(after.hits - before.hits) / double(lookups) : 0.0;
+      const double qps = wall_us > 0 ? double(completed) * 1e6 / wall_us : 0.0;
+
+      rep.row({"throughput", "cycle-16", std::uint64_t(run_jobs), std::uint64_t(hit_pct),
+               completed, 0.0, 0.0, 0.0, qps, lat.p50(), lat.p95(), lat.p99(), hit_rate,
+               identical});
+      RMT_CHECK(identical, "bench_svc: throughput stream (jobs=" + std::to_string(run_jobs) +
+                               ", hit=" + std::to_string(hit_pct) +
+                               "%) served bytes diverged from fresh sequential");
+      engine.publish_stats();
+    }
+  }
+
+  pool.publish_stats();
+  rep.finish("SVC — memoizing query service: cold/warm latency and throughput (identical bytes)");
+  return 0;
+}

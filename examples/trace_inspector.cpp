@@ -6,30 +6,43 @@
 // the receiver's decision was based on — the "explanation" of why it
 // trusted what it trusted.
 //
-//   $ ./trace_inspector
+//   $ ./trace_inspector [instance.rmt]
+//
+// With an instance file the attack corrupts the first non-empty maximal
+// set of the declared structure; without one it uses the built-in 5-cycle.
 #include <cstdio>
 
 #include "graph/generators.hpp"
+#include "io/serialize.hpp"
 #include "protocols/rmt_pka.hpp"
 #include "protocols/runner.hpp"
 #include "sim/strategies.hpp"
 #include "sim/trace.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rmt;
 
-  // Cycle of 5, D = 0, R = 2; node 1 is corruptible and corrupted.
-  const Graph g = generators::cycle_graph(5);
-  const auto z = AdversaryStructure::from_sets({NodeSet{1}, NodeSet{}});
-  const Instance inst = Instance::ad_hoc(g, z, 0, 2);
+  // Default: cycle of 5, D = 0, R = 2; node 1 is corruptible and corrupted.
+  const Instance inst = [&] {
+    if (argc > 1) return io::load_instance(argv[1]);
+    const Graph g = generators::cycle_graph(5);
+    const auto z = AdversaryStructure::from_sets({NodeSet{1}, NodeSet{}});
+    return Instance::ad_hoc(g, z, 0, 2);
+  }();
+  NodeSet corrupted;
+  for (const NodeSet& m : inst.adversary().maximal_sets())
+    if (!m.empty()) {
+      corrupted = m;
+      break;
+    }
 
   sim::TraceRecorder trace;
   sim::TwoFacedStrategy attack;
   const protocols::Outcome out =
-      protocols::run_rmt(inst, protocols::RmtPka{}, 42, NodeSet{1}, &attack, 0, &trace);
+      protocols::run_rmt(inst, protocols::RmtPka{}, 42, corrupted, &attack, 0, &trace);
 
-  std::printf("=== everything delivered to the receiver (node 2) ===\n%s\n",
-              trace.render_for(2).c_str());
+  std::printf("=== everything delivered to the receiver (node %u) ===\n%s\n",
+              unsigned(inst.receiver()), trace.render_for(inst.receiver()).c_str());
   if (out.decision)
     std::printf("receiver decided %llu (%s) in round %zu\n",
                 static_cast<unsigned long long>(*out.decision),

@@ -1,8 +1,12 @@
 #include "io/serialize.hpp"
 
+#include <algorithm>
+#include <fstream>
 #include <map>
 #include <optional>
+#include <set>
 #include <sstream>
+#include <utility>
 #include <vector>
 
 #include "util/check.hpp"
@@ -19,6 +23,7 @@ namespace {
 struct Builder {
   std::size_t n = 0;
   std::vector<Edge> edges;
+  std::vector<std::size_t> edge_lines;  ///< source line of each edge, for diagnostics
   std::optional<NodeId> dealer, receiver;
   std::vector<NodeSet> sets;
   enum class Knowledge { kUnset, kAdHoc, kFull, kKHop, kCustom } knowledge = Knowledge::kUnset;
@@ -63,6 +68,7 @@ Instance parse_instance(std::istream& in) {
     } else if (word == "edge") {
       const NodeId u = parse_node(ss, lineno), v = parse_node(ss, lineno);
       b.edges.push_back({u, v});
+      b.edge_lines.push_back(lineno);
     } else if (word == "dealer") {
       b.dealer = parse_node(ss, lineno);
     } else if (word == "receiver") {
@@ -111,8 +117,14 @@ Instance parse_instance(std::istream& in) {
   if (!b.dealer || !b.receiver) fail(lineno, "missing dealer/receiver");
 
   Graph g(b.n);
-  for (const Edge& e : b.edges) {
-    if (e.a >= b.n || e.b >= b.n) throw std::invalid_argument("edge endpoint out of range");
+  std::set<std::pair<NodeId, NodeId>> seen_edges;
+  for (std::size_t i = 0; i < b.edges.size(); ++i) {
+    const Edge& e = b.edges[i];
+    const std::size_t at = b.edge_lines[i];
+    if (e.a >= b.n || e.b >= b.n) fail(at, "edge endpoint out of range");
+    const auto normalized = std::minmax(e.a, e.b);
+    if (!seen_edges.insert({normalized.first, normalized.second}).second)
+      fail(at, "duplicate edge " + std::to_string(e.a) + " " + std::to_string(e.b));
     g.add_edge(e.a, e.b);
   }
   std::vector<NodeSet> sets = b.sets;
@@ -154,18 +166,44 @@ Instance parse_instance_string(const std::string& text) {
   return parse_instance(ss);
 }
 
+Instance load_instance(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::invalid_argument("cannot open " + path);
+  return parse_instance(in);
+}
+
 std::string serialize_instance(const Instance& inst) {
-  std::ostringstream out;
-  out << "rmt-instance v1\n";
-  out << "nodes " << inst.graph().capacity() << "\n";
-  for (const Edge& e : inst.graph().edges()) out << "edge " << e.a << " " << e.b << "\n";
-  out << "dealer " << inst.dealer() << "\n";
-  out << "receiver " << inst.receiver() << "\n";
+  // Built by plain string appends, not an ostringstream: this text is the
+  // content-address preimage (svc::instance_key hashes it on the serving
+  // hot path), and append + std::to_string produces byte-identical output
+  // at a fraction of the stream machinery's cost.
+  std::string out;
+  out.reserve(64 + 16 * inst.graph().num_edges());
+  const auto append_num = [&out](std::uint64_t v) { out += std::to_string(v); };
+  out += "rmt-instance v1\n";
+  out += "nodes ";
+  append_num(inst.graph().capacity());
+  out += "\n";
+  for (const Edge& e : inst.graph().edges()) {
+    out += "edge ";
+    append_num(e.a);
+    out += ' ';
+    append_num(e.b);
+    out += '\n';
+  }
+  out += "dealer ";
+  append_num(inst.dealer());
+  out += "\nreceiver ";
+  append_num(inst.receiver());
+  out += "\n";
   for (const NodeSet& m : inst.adversary().maximal_sets()) {
     if (m.empty()) continue;
-    out << "corruptible";
-    m.for_each([&](NodeId v) { out << " " << v; });
-    out << "\n";
+    out += "corruptible";
+    m.for_each([&](NodeId v) {
+      out += ' ';
+      append_num(v);
+    });
+    out += '\n';
   }
   // Emit custom views as extras over the ad hoc floor.
   const ViewFunction floor = ViewFunction::ad_hoc(inst.graph());
@@ -174,23 +212,36 @@ std::string serialize_instance(const Instance& inst) {
     if (!(inst.gamma().view(v) == floor.view(v))) is_adhoc = false;
   });
   if (is_adhoc) {
-    out << "knowledge adhoc\n";
+    out += "knowledge adhoc\n";
   } else {
-    out << "knowledge custom\n";
+    out += "knowledge custom\n";
     inst.graph().nodes().for_each([&](NodeId v) {
       const Graph& view = inst.gamma().view(v);
       const Graph& base = floor.view(v);
       NodeSet extra_nodes = view.nodes() - base.nodes();
       if (!extra_nodes.empty()) {
-        out << "view " << v << " :";
-        extra_nodes.for_each([&](NodeId u) { out << " " << u; });
-        out << "\n";
+        out += "view ";
+        append_num(v);
+        out += " :";
+        extra_nodes.for_each([&](NodeId u) {
+          out += ' ';
+          append_num(u);
+        });
+        out += '\n';
       }
       for (const Edge& e : view.edges())
-        if (!base.has_edge(e.a, e.b)) out << "view-edge " << v << " : " << e.a << " " << e.b << "\n";
+        if (!base.has_edge(e.a, e.b)) {
+          out += "view-edge ";
+          append_num(v);
+          out += " : ";
+          append_num(e.a);
+          out += ' ';
+          append_num(e.b);
+          out += '\n';
+        }
     });
   }
-  return out.str();
+  return out;
 }
 
 }  // namespace rmt::io

@@ -32,6 +32,11 @@ namespace rmt::io {
 Instance parse_instance(std::istream& in);
 Instance parse_instance_string(const std::string& text);
 
+/// Open `path` and parse it ("cannot open <path>" when unreadable). The
+/// one loader every consumer shares — rmt_cli, rmt_serve clients, the
+/// examples — so diagnostics stay uniform.
+Instance load_instance(const std::string& path);
+
 /// Write an instance in the same format (custom views are emitted as
 /// view / view-edge lines relative to the ad hoc floor).
 std::string serialize_instance(const Instance& inst);

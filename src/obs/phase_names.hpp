@@ -20,7 +20,7 @@
 namespace rmt::obs {
 
 // lint:phase-registry-begin
-inline constexpr std::array<std::string_view, 14> kPhaseNames = {
+inline constexpr std::array<std::string_view, 16> kPhaseNames = {
     "adversary.oplus",
     "adversary.restrict",
     "audit.validate",
@@ -34,6 +34,8 @@ inline constexpr std::array<std::string_view, 14> kPhaseNames = {
     "sim.adversary_act",
     "sim.honest_round",
     "sim.route",
+    "svc.batch",
+    "svc.compute",
     "zpp_cut.find",
 };
 // lint:phase-registry-end

@@ -1,0 +1,356 @@
+#include "svc/engine.hpp"
+
+#include <chrono>
+#include <exception>
+
+#include "analysis/feasibility.hpp"
+#include "analysis/rmt_cut.hpp"
+#include "analysis/zpp_cut.hpp"
+#include "exec/campaign.hpp"
+#include "exec/thread_pool.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+#include "protocols/rmt_pka.hpp"
+#include "protocols/runner.hpp"
+#include "sim/strategies.hpp"
+#include "util/check.hpp"
+
+namespace rmt::svc {
+
+namespace {
+
+/// Same vocabulary as bench_util's make_strategy; duplicated here because
+/// bench/ headers are not part of the library. Unknown names throw — a
+/// typo'd request must fail loudly, not silently run a different attack.
+std::unique_ptr<sim::AdversaryStrategy> make_strategy(const std::string& name,
+                                                      std::uint64_t seed) {
+  if (name == "silent") return std::make_unique<sim::SilentStrategy>();
+  if (name == "value-flip") return std::make_unique<sim::ValueFlipStrategy>();
+  if (name == "random-lies") return std::make_unique<sim::RandomLieStrategy>(Rng{seed}, 4);
+  if (name == "phantom-world") return std::make_unique<sim::FictitiousWorldStrategy>();
+  if (name == "two-faced") return std::make_unique<sim::TwoFacedStrategy>();
+  throw std::invalid_argument("unknown adversary strategy '" + name + "'");
+}
+
+void write_witness(obs::json::Writer& w, const NodeSet& c1, const NodeSet& c2,
+                   const NodeSet& b) {
+  w.begin_object();
+  w.field("c1", c1.to_string());
+  w.field("c2", c2.to_string());
+  w.field("b", b.to_string());
+  w.end_object();
+}
+
+}  // namespace
+
+const char* to_string(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kDecideRmt: return "decide_rmt";
+    case QueryKind::kDecideZpp: return "decide_zpp";
+    case QueryKind::kAnalyze: return "analyze";
+    case QueryKind::kSimulate: return "simulate";
+  }
+  return "unknown";
+}
+
+std::optional<QueryKind> parse_query_kind(const std::string& name) {
+  if (name == "decide_rmt") return QueryKind::kDecideRmt;
+  if (name == "decide_zpp") return QueryKind::kDecideZpp;
+  if (name == "analyze") return QueryKind::kAnalyze;
+  if (name == "simulate") return QueryKind::kSimulate;
+  return std::nullopt;
+}
+
+struct Engine::Inflight {
+  std::mutex m;
+  std::condition_variable cv;
+  bool done = false;
+  Response::Status status = Response::Status::kOk;
+  std::string result;
+  std::string error;
+};
+
+Engine::Engine(exec::ThreadPool* pool) : Engine(pool, Options{}) {}
+
+Engine::Engine(exec::ThreadPool* pool, Options opts)
+    : pool_(pool), opts_(opts), cache_(opts.cache) {}
+
+std::string Engine::composite_key(const Request& req, const InstanceKey& key) const {
+  std::string out = key.to_hex();
+  out += '|';
+  out += to_string(req.kind);
+  if (req.kind == QueryKind::kSimulate) {
+    const SimParams& p = req.params;
+    const std::uint64_t seed =
+        p.seed ? *p.seed : exec::derive_seed(opts_.root_seed, key.lo);
+    out += "|corrupt=" + p.corrupted.to_string();
+    out += ";max_rounds=" + std::to_string(p.max_rounds);
+    out += ";seed=" + std::to_string(seed);
+    out += ";strategy=" + p.strategy;
+    out += ";value=" + std::to_string(p.value);
+  }
+  return out;
+}
+
+std::string Engine::compute(const Request& req, const InstanceKey& key) const {
+  const Instance& inst = req.instance;
+  obs::json::Writer w;
+  w.begin_object();
+  w.field("kind", to_string(req.kind));
+  switch (req.kind) {
+    case QueryKind::kDecideRmt: {
+      const auto cut = analysis::find_rmt_cut(inst);
+      w.field("solvable", !cut.has_value());
+      w.key("witness");
+      if (cut) write_witness(w, cut->c1, cut->c2, cut->b);
+      else w.null();
+      break;
+    }
+    case QueryKind::kDecideZpp: {
+      const auto cut = analysis::find_rmt_zpp_cut(inst);
+      w.field("solvable", !cut.has_value());
+      w.key("witness");
+      if (cut) write_witness(w, cut->c1, cut->c2, cut->b);
+      else w.null();
+      break;
+    }
+    case QueryKind::kAnalyze: {
+      const auto rmt_cut = analysis::find_rmt_cut(inst);
+      const auto zpp = analysis::find_rmt_zpp_cut(inst);
+      const bool full = analysis::solvable_full_knowledge(inst.graph(), inst.adversary(),
+                                                          inst.dealer(), inst.receiver());
+      w.field("rmt_solvable", !rmt_cut.has_value());
+      w.key("rmt_cut_witness");
+      if (rmt_cut) write_witness(w, rmt_cut->c1, rmt_cut->c2, rmt_cut->b);
+      else w.null();
+      w.field("zcpa_solvable", !zpp.has_value());
+      w.field("full_knowledge_solvable", full);
+      break;
+    }
+    case QueryKind::kSimulate: {
+      const SimParams& p = req.params;
+      if (!inst.admissible_corruption(p.corrupted))
+        throw std::invalid_argument("corruption set " + p.corrupted.to_string() +
+                                    " is not admissible under Z");
+      const std::uint64_t seed =
+          p.seed ? *p.seed : exec::derive_seed(opts_.root_seed, key.lo);
+      const auto strategy = make_strategy(p.strategy, seed);
+      const protocols::Outcome out = protocols::run_rmt(
+          inst, protocols::RmtPka{}, p.value, p.corrupted, strategy.get(), p.max_rounds);
+      w.field("value", p.value);
+      w.field("corrupted", p.corrupted.to_string());
+      w.field("strategy", p.strategy);
+      w.field("seed", seed);
+      w.key("decision");
+      if (out.decision) w.value(std::uint64_t(*out.decision));
+      else w.null();
+      w.field("correct", out.correct);
+      w.field("wrong", out.wrong);
+      w.field("rounds", std::uint64_t(out.stats.rounds));
+      w.field("honest_messages", std::uint64_t(out.stats.honest_messages));
+      break;
+    }
+  }
+  w.end_object();
+  return w.take();
+}
+
+std::vector<Response> Engine::run(const std::vector<Request>& requests) {
+  RMT_OBS_SCOPE("svc.batch");
+  using clock = std::chrono::steady_clock;
+  const clock::time_point t0 = clock::now();
+  const auto elapsed_ms = [&t0] {
+    return std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+  };
+  const auto elapsed_us = [&t0] {
+    return std::chrono::duration<double, std::micro>(clock::now() - t0).count();
+  };
+
+  const std::size_t n = requests.size();
+  requests_.fetch_add(n, std::memory_order_relaxed);
+  std::vector<Response> out(n);
+
+  // A unit of computation: the first request of each composite key leads;
+  // in-batch duplicates follow; a key another batch is already computing
+  // is joined instead of claimed.
+  struct Job {
+    std::size_t leader = 0;
+    std::vector<std::size_t> followers;
+    std::shared_ptr<Inflight> slot;
+    InstanceKey ikey;        ///< computed once in the pre-pass
+    std::string ckey;        ///< composite cache key, ditto
+    bool owner = false;      ///< this batch computes the slot
+    bool store = false;      ///< any attached request allows caching
+    double start_ms = -1;    ///< compute start (owner jobs; -1 = never ran)
+    double claim_ms = 0;     ///< when the key was claimed/joined
+  };
+  std::vector<Job> jobs;
+  std::unordered_map<std::string, std::size_t> job_of_key;
+
+  // Pre-pass (caller thread): reject expired, serve cache hits, group the
+  // rest by composite key and claim/join the in-flight slot per group.
+  for (std::size_t i = 0; i < n; ++i) {
+    const Request& req = requests[i];
+    const InstanceKey key = instance_key(req.instance);
+    out[i].key = key.to_hex();
+    if (req.deadline_ms && elapsed_ms() >= double(*req.deadline_ms)) {
+      out[i].status = Response::Status::kDeadlineExceeded;
+      out[i].wall_us = elapsed_us();
+      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    const std::string ckey = composite_key(req, key);
+    if (!req.no_cache) {
+      if (std::optional<std::string> hit = cache_.get(ckey)) {
+        out[i].status = Response::Status::kOk;
+        out[i].result = std::move(*hit);
+        out[i].cached = true;
+        out[i].wall_us = elapsed_us();
+        continue;
+      }
+    }
+    if (const auto it = job_of_key.find(ckey); it != job_of_key.end()) {
+      jobs[it->second].followers.push_back(i);
+      jobs[it->second].store = jobs[it->second].store || !req.no_cache;
+      coalesced_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    Job job;
+    job.leader = i;
+    job.ikey = key;
+    job.ckey = ckey;
+    job.store = !req.no_cache;
+    job.claim_ms = elapsed_ms();
+    {
+      std::lock_guard<std::mutex> lock(inflight_m_);
+      if (const auto inflight_it = inflight_.find(ckey); inflight_it != inflight_.end()) {
+        job.slot = inflight_it->second;  // join the other batch's computation
+        inflight_joins_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        job.slot = std::make_shared<Inflight>();
+        job.owner = true;
+        inflight_.emplace(ckey, job.slot);
+      }
+    }
+    job_of_key.emplace(ckey, jobs.size());
+    jobs.push_back(std::move(job));
+  }
+
+  // Owned jobs run on the pool, one task each (requests are the batching
+  // unit; each computation is itself sequential and deterministic).
+  std::vector<std::size_t> owned;
+  for (std::size_t j = 0; j < jobs.size(); ++j)
+    if (jobs[j].owner) owned.push_back(j);
+  exec::parallel_for(pool_, 0, owned.size(), 1, [&](std::size_t k) {
+    Job& job = jobs[owned[k]];
+    const Request& req = requests[job.leader];
+    job.start_ms = elapsed_ms();
+    // Reject-before-start: compute only if some attached request is still
+    // inside its deadline; a running decider is never killed afterwards.
+    const auto live_at_start = [&](std::size_t idx) {
+      return !requests[idx].deadline_ms ||
+             job.start_ms < double(*requests[idx].deadline_ms);
+    };
+    bool any_live = live_at_start(job.leader);
+    for (std::size_t f : job.followers) any_live = any_live || live_at_start(f);
+    Inflight& slot = *job.slot;
+    std::string result, error;
+    Response::Status status = Response::Status::kOk;
+    if (any_live) {
+      RMT_OBS_SCOPE("svc.compute");
+      try {
+        result = compute(req, job.ikey);
+        computed_.fetch_add(1, std::memory_order_relaxed);
+      } catch (const std::exception& e) {
+        status = Response::Status::kError;
+        error = e.what();
+      }
+    } else {
+      status = Response::Status::kDeadlineExceeded;
+    }
+    {
+      std::lock_guard<std::mutex> lock(slot.m);
+      slot.status = status;
+      slot.result = result;
+      slot.error = error;
+      slot.done = true;
+    }
+    slot.cv.notify_all();
+    if (status == Response::Status::kOk && job.store) cache_.put(job.ckey, result);
+  });
+
+  // Fill phase: joined slots may still be computing in another batch —
+  // the caller thread waits for them here (never a pool worker, see the
+  // header contract).
+  for (Job& job : jobs) {
+    Inflight& slot = *job.slot;
+    {
+      std::unique_lock<std::mutex> lock(slot.m);
+      slot.cv.wait(lock, [&slot] { return slot.done; });
+    }
+    const double start_ms = job.owner ? job.start_ms : job.claim_ms;
+    const auto fill = [&](std::size_t idx, bool is_leader) {
+      const Request& req = requests[idx];
+      Response& resp = out[idx];
+      if (slot.status == Response::Status::kDeadlineExceeded ||
+          (req.deadline_ms && start_ms >= double(*req.deadline_ms))) {
+        resp.status = Response::Status::kDeadlineExceeded;
+        deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      } else if (slot.status == Response::Status::kError) {
+        resp.status = Response::Status::kError;
+        resp.error = slot.error;
+        errors_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        resp.status = Response::Status::kOk;
+        resp.result = slot.result;
+        resp.coalesced = !(job.owner && is_leader);
+      }
+      resp.wall_us = elapsed_us();
+    };
+    fill(job.leader, true);
+    for (std::size_t f : job.followers) fill(f, false);
+  }
+
+  // Release owned slots only after their results are filled everywhere;
+  // a future batch then starts fresh (and will hit the cache instead).
+  {
+    std::lock_guard<std::mutex> lock(inflight_m_);
+    for (const auto& [ckey, j] : job_of_key)
+      if (jobs[j].owner) inflight_.erase(ckey);
+  }
+
+  if (obs::enabled()) {
+    obs::Histogram& h = obs::Registry::global().histogram("svc.request_us");
+    for (const Response& resp : out) h.observe(resp.wall_us);
+  }
+  return out;
+}
+
+Engine::Stats Engine::stats() const {
+  Stats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.computed = computed_.load(std::memory_order_relaxed);
+  s.coalesced = coalesced_.load(std::memory_order_relaxed);
+  s.inflight_joins = inflight_joins_.load(std::memory_order_relaxed);
+  s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Engine::publish_stats() {
+  cache_.publish_stats();
+  if (!obs::enabled()) return;
+  const Stats now = stats();
+  std::lock_guard<std::mutex> lock(publish_m_);
+  obs::Registry& reg = obs::Registry::global();
+  reg.counter("svc.requests").inc(now.requests - published_.requests);
+  reg.counter("svc.computed").inc(now.computed - published_.computed);
+  reg.counter("svc.coalesced").inc(now.coalesced - published_.coalesced);
+  reg.counter("svc.inflight_joins").inc(now.inflight_joins - published_.inflight_joins);
+  reg.counter("svc.deadline_exceeded").inc(now.deadline_exceeded - published_.deadline_exceeded);
+  reg.counter("svc.errors").inc(now.errors - published_.errors);
+  published_ = now;
+}
+
+}  // namespace rmt::svc

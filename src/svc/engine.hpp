@@ -1,0 +1,165 @@
+// svc/engine.hpp — the memoizing query engine over the exact deciders.
+//
+// Turns the library's analysis and simulation entry points into *served*
+// queries, the shape of an inference-serving stack: requests carry an
+// instance, a query kind, parameters and an optional deadline; the engine
+// answers from the sharded result cache when it can, coalesces duplicate
+// keys into one computation when it cannot, and batches the remaining
+// unique work onto an exec::ThreadPool. Memoization is sound because every
+// query kind is a pure function of the canonical instance (the PODC'16
+// characterizations are exact; simulation is seeded deterministically).
+//
+// Determinism contract: the result payload of a response is a pure
+// function of (instance key, kind, canonical params) — never of worker
+// count, scheduling order, cache state, or which of cached / coalesced /
+// freshly-computed path produced it. bench_svc_throughput hard-checks the
+// byte identity (the `identical` column of BENCH_svc.json); seeds for the
+// simulate kind default to derive_seed(engine root seed, instance key), a
+// function of content, not arrival order.
+//
+// Deadlines are enforced at *scheduling* granularity: a request whose
+// deadline has passed before its computation (or cache lookup) starts is
+// rejected with Status::kDeadlineExceeded; a decider that already started
+// is never killed (the deciders are not interruptible, and an answer that
+// was paid for is cached for the next asker). deadline_ms counts from
+// run() entry; 0 is therefore already expired — a deterministic way to
+// exercise the rejection path.
+//
+// Coalescing: within one run() batch, duplicate keys share one
+// computation (svc.coalesced). Across concurrent run() calls, a key
+// already being computed by another batch is joined, not recomputed
+// (svc.inflight_joins) — the joining *caller thread* blocks until the
+// owning batch publishes. Consequently run() must not be called from the
+// engine's own pool workers (the join could wait on a task queued behind
+// itself); callers are external threads — tools, servers, tests.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "instance/instance.hpp"
+#include "svc/instance_key.hpp"
+#include "svc/result_cache.hpp"
+
+namespace rmt::exec {
+class ThreadPool;
+}
+
+namespace rmt::svc {
+
+enum class QueryKind {
+  kDecideRmt,   ///< find_rmt_cut: RMT solvability + witness
+  kDecideZpp,   ///< find_rmt_zpp_cut: Z-CPA solvability + witness
+  kAnalyze,     ///< all three characterizations (rmt / zpp / two-cover)
+  kSimulate,    ///< one seeded RMT-PKA run under an attack strategy
+};
+
+/// "decide_rmt" etc. — the names rmt.request/1 carries.
+const char* to_string(QueryKind kind);
+std::optional<QueryKind> parse_query_kind(const std::string& name);
+
+/// Parameters of the simulate kind (ignored by the decide/analyze kinds).
+struct SimParams {
+  std::uint64_t value = 42;          ///< the dealer's input
+  NodeSet corrupted;                 ///< must be admissible under Z
+  std::string strategy = "two-faced";  ///< sim strategy name (see make_strategy)
+  /// Seed for randomized strategies. Absent = derived from the engine
+  /// root seed and the instance key — deterministic in content.
+  std::optional<std::uint64_t> seed;
+  std::size_t max_rounds = 0;  ///< 0 = the protocol's default bound
+};
+
+struct Request {
+  QueryKind kind = QueryKind::kDecideRmt;
+  Instance instance;
+  SimParams params;  ///< simulate only
+  /// Deadline in milliseconds from run() entry; nullopt = none. 0 is
+  /// already expired (see header comment).
+  std::optional<std::uint64_t> deadline_ms;
+  bool no_cache = false;  ///< bypass lookup *and* store for this request
+};
+
+struct Response {
+  enum class Status { kOk, kDeadlineExceeded, kError };
+  Status status = Status::kOk;
+  std::string key;      ///< InstanceKey::to_hex() of the request's instance
+  std::string result;   ///< kOk: the result JSON object (deterministic bytes)
+  std::string error;    ///< kError: what went wrong
+  bool cached = false;     ///< served from the result cache
+  bool coalesced = false;  ///< shared another request's computation
+  double wall_us = 0;      ///< this request's wall time inside run()
+};
+
+class Engine {
+ public:
+  struct Options {
+    ResultCache::Options cache;
+    /// Root of the derived simulate seeds (see SimParams::seed).
+    std::uint64_t root_seed = 4242;
+  };
+
+  /// `pool` is borrowed (null = compute sequentially on the caller) and
+  /// must outlive the engine.
+  explicit Engine(exec::ThreadPool* pool);  ///< default Options
+  Engine(exec::ThreadPool* pool, Options opts);
+
+  /// Answer a batch. Responses are positionally aligned with `requests`.
+  /// Individual failures (inadmissible corruption, oversized instance,
+  /// unknown strategy) become Status::kError responses, never exceptions —
+  /// one bad request must not poison its batch.
+  std::vector<Response> run(const std::vector<Request>& requests);
+
+  ResultCache& cache() { return cache_; }
+
+  struct Stats {
+    std::uint64_t requests = 0;
+    std::uint64_t computed = 0;           ///< unique computations executed
+    std::uint64_t coalesced = 0;          ///< in-batch duplicates served
+    std::uint64_t inflight_joins = 0;     ///< cross-batch joins served
+    std::uint64_t deadline_exceeded = 0;
+    std::uint64_t errors = 0;
+  };
+  Stats stats() const;
+
+  /// Push counter deltas into the global obs registry (svc.requests,
+  /// svc.computed, svc.coalesced, svc.inflight_joins,
+  /// svc.deadline_exceeded, svc.errors) and forward to
+  /// cache().publish_stats(). No-op while observability is disabled.
+  void publish_stats();
+
+ private:
+  struct Inflight;
+
+  /// The cache/coalescing identity of a request:
+  /// "<key-hex>|<kind>|<canonical params>".
+  std::string composite_key(const Request& req, const InstanceKey& key) const;
+
+  /// Compute the deterministic result payload (throws on bad input).
+  std::string compute(const Request& req, const InstanceKey& key) const;
+
+  exec::ThreadPool* pool_;
+  Options opts_;
+  ResultCache cache_;
+
+  std::mutex inflight_m_;
+  std::unordered_map<std::string, std::shared_ptr<Inflight>> inflight_;
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> computed_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::uint64_t> inflight_joins_{0};
+  std::atomic<std::uint64_t> deadline_exceeded_{0};
+  std::atomic<std::uint64_t> errors_{0};
+
+  std::mutex publish_m_;  // serializes delta accounting only
+  Stats published_;
+};
+
+}  // namespace rmt::svc

@@ -1,0 +1,99 @@
+// svc/result_cache.hpp — the sharded, byte-budgeted LRU result store.
+//
+// Maps a composite text key — instance key hex + query kind + canonical
+// params (svc::Engine composes it) — to the serialized result payload.
+// Results are cached as the exact bytes the engine returns, so a hit is
+// byte-identical to the original computation by construction.
+//
+// Sharding: a power-of-two shard count, each shard an independent
+// (mutex, LRU list, index) triple; the shard of a key is picked from the
+// same frozen FNV-1a mix the instance key uses, so placement is stable
+// across runs. One global lock never serializes unrelated queries — the
+// contention unit is the shard, and the TSan suite (SvcCache*) races
+// get/put across shards to prove it.
+//
+// Eviction: the budget is bytes (keys + values), divided evenly across
+// shards. put() evicts least-recently-used entries of the target shard
+// until the new entry fits; an entry larger than a whole shard's budget
+// is not cached at all (admitting it would just evict the entire shard
+// and then be evicted by the next insert). Eviction never blocks readers
+// of other shards.
+//
+// Observability: hits/misses/evictions counters and the live byte total,
+// surfaced as svc.cache.{hits,misses,evictions,bytes} by publish_stats()
+// — explicit and coarse, like exec::ThreadPool::publish_stats, so the
+// registry mutex stays off the lookup path.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace rmt::svc {
+
+class ResultCache {
+ public:
+  struct Options {
+    /// Rounded up to the next power of two; >= 1.
+    std::size_t shards = 8;
+    /// Total byte budget (keys + values) across all shards.
+    std::size_t max_bytes = 64u << 20;
+  };
+
+  ResultCache();  ///< default Options (defined out of line for the nested
+                  ///< default member initializers)
+  explicit ResultCache(Options opts);
+
+  /// The stored payload, refreshing recency; nullopt on miss.
+  std::optional<std::string> get(const std::string& key);
+
+  /// Insert or overwrite, then evict LRU entries until the shard fits its
+  /// budget. A payload larger than one shard's budget is dropped.
+  void put(const std::string& key, std::string value);
+
+  std::size_t num_shards() const { return shards_.size(); }
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t bytes = 0;    ///< live key+value bytes
+    std::size_t entries = 0;  ///< live entry count
+  };
+  Stats stats() const;
+
+  /// Push counter deltas since the last publish into the global obs
+  /// registry (svc.cache.{hits,misses,evictions} counters, svc.cache.bytes
+  /// gauge). No-op while observability is disabled.
+  void publish_stats();
+
+ private:
+  struct Shard {
+    mutable std::mutex m;
+    /// Front = most recently used. Entries are (key, value).
+    std::list<std::pair<std::string, std::string>> lru;
+    std::unordered_map<std::string, decltype(lru)::iterator> index;
+    std::size_t bytes = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  Shard& shard_of(const std::string& key);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t shard_budget_ = 0;
+
+  std::mutex publish_m_;  // serializes delta accounting only
+  std::uint64_t published_hits_ = 0;
+  std::uint64_t published_misses_ = 0;
+  std::uint64_t published_evictions_ = 0;
+};
+
+}  // namespace rmt::svc

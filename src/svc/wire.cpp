@@ -1,0 +1,113 @@
+#include "svc/wire.hpp"
+
+#include <stdexcept>
+
+#include "io/serialize.hpp"
+#include "obs/json.hpp"
+
+namespace rmt::svc::wire {
+
+namespace {
+
+const obs::json::Value& require(const obs::json::Value& doc, const std::string& key) {
+  const obs::json::Value* v = doc.find(key);
+  if (!v) throw std::invalid_argument("rmt.request/1: missing field '" + key + "'");
+  return *v;
+}
+
+std::string require_string(const obs::json::Value& doc, const std::string& key) {
+  const obs::json::Value& v = require(doc, key);
+  if (v.kind() != obs::json::Value::Kind::kString)
+    throw std::invalid_argument("rmt.request/1: field '" + key + "' must be a string");
+  return v.as_string();
+}
+
+}  // namespace
+
+const char* to_string(Response::Status status) {
+  switch (status) {
+    case Response::Status::kOk: return "ok";
+    case Response::Status::kDeadlineExceeded: return "deadline_exceeded";
+    case Response::Status::kError: return "error";
+  }
+  return "unknown";
+}
+
+ParsedRequest parse_request(const std::string& line) {
+  const obs::json::Value doc = obs::json::Value::parse(line);
+  if (!doc.is_object()) throw std::invalid_argument("rmt.request/1: not a JSON object");
+  if (require_string(doc, "schema") != kRequestSchema)
+    throw std::invalid_argument("rmt.request/1: unexpected schema value");
+  const std::string id = require_string(doc, "id");
+  const std::string kind_name = require_string(doc, "kind");
+  const std::optional<QueryKind> kind = parse_query_kind(kind_name);
+  if (!kind)
+    throw std::invalid_argument("rmt.request/1: unknown kind '" + kind_name + "'");
+
+  Instance inst = io::parse_instance_string(require_string(doc, "instance"));
+
+  SimParams params;
+  if (const obs::json::Value* p = doc.find("params")) {
+    if (!p->is_object())
+      throw std::invalid_argument("rmt.request/1: 'params' must be an object");
+    if (const obs::json::Value* v = p->find("value")) params.value = v->as_u64();
+    if (const obs::json::Value* v = p->find("corrupted")) {
+      for (const obs::json::Value& node : v->array())
+        params.corrupted.insert(NodeId(node.as_u64()));
+    }
+    if (const obs::json::Value* v = p->find("strategy")) params.strategy = v->as_string();
+    if (const obs::json::Value* v = p->find("seed")) params.seed = v->as_u64();
+    if (const obs::json::Value* v = p->find("max_rounds"))
+      params.max_rounds = std::size_t(v->as_u64());
+  }
+
+  std::optional<std::uint64_t> deadline_ms;
+  if (const obs::json::Value* v = doc.find("deadline_ms")) deadline_ms = v->as_u64();
+  bool no_cache = false;
+  if (const obs::json::Value* v = doc.find("no_cache")) no_cache = v->as_bool();
+
+  return ParsedRequest{id, Request{*kind, std::move(inst), params, deadline_ms, no_cache}};
+}
+
+std::string extract_id(const std::string& line) {
+  try {
+    const obs::json::Value doc = obs::json::Value::parse(line);
+    if (!doc.is_object()) return "";
+    const obs::json::Value* v = doc.find("id");
+    if (v && v->kind() == obs::json::Value::Kind::kString) return v->as_string();
+  } catch (const std::invalid_argument&) {
+    // fall through: the line is not even JSON
+  }
+  return "";
+}
+
+std::string format_response(const std::string& id, const Response& resp) {
+  obs::json::Writer w;
+  w.begin_object();
+  w.field("schema", kResponseSchema);
+  w.field("id", id);
+  w.field("status", to_string(resp.status));
+  w.key("key");
+  if (resp.key.empty()) w.null();
+  else w.value(resp.key);
+  w.key("result");
+  if (resp.status == Response::Status::kOk) w.raw_value(resp.result);
+  else w.null();
+  w.key("error");
+  if (resp.status == Response::Status::kError) w.value(resp.error);
+  else w.null();
+  w.field("cached", resp.cached);
+  w.field("coalesced", resp.coalesced);
+  w.field("wall_us", resp.wall_us);
+  w.end_object();
+  return w.take();
+}
+
+std::string format_parse_error(const std::string& id, const std::string& message) {
+  Response resp;
+  resp.status = Response::Status::kError;
+  resp.error = message;
+  return format_response(id, resp);
+}
+
+}  // namespace rmt::svc::wire

@@ -1,0 +1,62 @@
+// svc/wire.hpp — the rmt.request/1 / rmt.response/1 line protocol.
+//
+// One JSON object per line (JSONL), the transport tools/rmt_serve speaks
+// on stdio and tools/check_bench_json.py validates. A request:
+//
+//   {"schema":"rmt.request/1","id":"q1","kind":"decide_rmt",
+//    "instance":"rmt-instance v1\nnodes 3\n...",
+//    "deadline_ms":50,"no_cache":false,
+//    "params":{"value":7,"corrupted":[1],"strategy":"two-faced",
+//              "seed":9,"max_rounds":0}}
+//
+// `instance` embeds the io/serialize.hpp text format verbatim — one
+// parser, one canonical form, and a request is self-contained (no server
+// side file paths). `params` applies to kind "simulate" only;
+// `deadline_ms`, `no_cache` and `params` are optional. The matching
+// response:
+//
+//   {"schema":"rmt.response/1","id":"q1","status":"ok",
+//    "key":"bc6adf4f00f0be64...","result":{...},"error":null,
+//    "cached":false,"coalesced":false,"wall_us":412.0}
+//
+// `result` is the engine's deterministic payload object when status is
+// "ok" and null otherwise; `error` is the converse. `id` is echoed
+// verbatim so a client may pipeline requests and match answers by id —
+// within one batch the server also preserves order.
+#pragma once
+
+#include <string>
+
+#include "svc/engine.hpp"
+
+namespace rmt::svc::wire {
+
+inline constexpr const char* kRequestSchema = "rmt.request/1";
+inline constexpr const char* kResponseSchema = "rmt.response/1";
+
+/// "ok" / "deadline_exceeded" / "error".
+const char* to_string(Response::Status status);
+
+struct ParsedRequest {
+  std::string id;
+  Request request;
+};
+
+/// Parse one rmt.request/1 line. Throws std::invalid_argument naming the
+/// offending field on malformed input — the server turns that into an
+/// "error" response carrying the same id when one could be extracted.
+ParsedRequest parse_request(const std::string& line);
+
+/// Best-effort id extraction from a line that failed parse_request, so
+/// the error response can still be matched by the client ("" if even the
+/// id is unreadable).
+std::string extract_id(const std::string& line);
+
+/// Format one rmt.response/1 line (no trailing newline).
+std::string format_response(const std::string& id, const Response& resp);
+
+/// Format an "error"-status response for a request that never reached the
+/// engine (parse failure, unknown kind).
+std::string format_parse_error(const std::string& id, const std::string& message);
+
+}  // namespace rmt::svc::wire

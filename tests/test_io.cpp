@@ -3,7 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "analysis/feasibility.hpp"
 #include "graph/generators.hpp"
@@ -86,6 +89,74 @@ TEST(IoParse, Errors) {
   EXPECT_THROW(parse_instance_string("rmt-instance v1\nnodes 3\nedge 0 1\nedge 1 2\n"
                                      "dealer 0\nreceiver 2\nknowledge warp\n"),
                std::invalid_argument);
+}
+
+/// Assert that `text` is rejected with exactly `message` — the parser's
+/// line-numbered diagnostics are API (tools print them verbatim), so the
+/// tests pin the full string, not just the exception type.
+void expect_parse_error(const std::string& text, const std::string& message) {
+  try {
+    parse_instance_string(text);
+    FAIL() << "expected std::invalid_argument: " << message;
+  } catch (const std::invalid_argument& e) {
+    EXPECT_EQ(std::string(e.what()), message);
+  }
+}
+
+TEST(IoParse, ErrorMessagesCarryLineNumbers) {
+  // Duplicate edge, reported at the *second* occurrence's line, in either
+  // orientation (edges are undirected).
+  expect_parse_error(
+      "rmt-instance v1\nnodes 3\nedge 0 1\nedge 1 0\nedge 1 2\ndealer 0\nreceiver 2\n",
+      "instance parse error at line 4: duplicate edge 1 0");
+  expect_parse_error(
+      "rmt-instance v1\nnodes 3\nedge 0 1\nedge 1 2\nedge 0 1\ndealer 0\nreceiver 2\n",
+      "instance parse error at line 5: duplicate edge 0 1");
+  // Endpoint out of range, reported at the offending edge's line even
+  // though validation runs after the whole file is read.
+  expect_parse_error("rmt-instance v1\nnodes 3\nedge 0 9\ndealer 0\nreceiver 2\n",
+                     "instance parse error at line 3: edge endpoint out of range");
+  // Truncated sections: an edge missing its second endpoint, and a file
+  // that ends before the mandatory directives.
+  expect_parse_error("rmt-instance v1\nnodes 3\nedge 0\ndealer 0\nreceiver 2\n",
+                     "instance parse error at line 3: expected a node id");
+  expect_parse_error("rmt-instance v1\nnodes 3\nedge 0 1\nedge 1 2\ndealer 0\n",
+                     "instance parse error at line 5: missing dealer/receiver");
+  expect_parse_error("rmt-instance v1\nedge 0 1\ndealer 0\nreceiver 1\n",
+                     "instance parse error at line 4: missing 'nodes'");
+}
+
+TEST(IoLoad, EveryShippedInstanceRoundTrips) {
+  // serialize ∘ parse must be a fixed point on every example we ship:
+  // parse(file) -> text -> parse(text) -> text' with text == text'. This
+  // is what makes the svc content key well defined (the canonical text of
+  // an instance does not depend on which equivalent source produced it).
+  const std::filesystem::path dir = RMT_INSTANCES_DIR;
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir))
+    if (entry.path().extension() == ".rmt") files.push_back(entry.path());
+  ASSERT_GE(files.size(), 4u) << "examples/instances/ lost its .rmt files?";
+  for (const auto& path : files) {
+    SCOPED_TRACE(path.filename().string());
+    const Instance inst = load_instance(path.string());
+    const std::string text = serialize_instance(inst);
+    const Instance back = parse_instance_string(text);
+    EXPECT_EQ(serialize_instance(back), text);
+    EXPECT_EQ(back.graph(), inst.graph());
+    EXPECT_EQ(back.adversary(), inst.adversary());
+    EXPECT_EQ(back.dealer(), inst.dealer());
+    EXPECT_EQ(back.receiver(), inst.receiver());
+    EXPECT_EQ(analysis::solvable(back), analysis::solvable(inst));
+  }
+}
+
+TEST(IoLoad, MissingFile) {
+  try {
+    load_instance("/nonexistent/does_not_exist.rmt");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_EQ(std::string(e.what()), "cannot open /nonexistent/does_not_exist.rmt");
+  }
 }
 
 TEST(IoRoundTrip, PreservesSemantics) {

@@ -1,0 +1,104 @@
+// Tests for the content-addressed instance key (svc/instance_key.hpp).
+//
+// The key definition is FROZEN (see the header's stability contract): it
+// appears in rmt.response/1 artifacts, so these tests pin exact values —
+// a change in the hash, the canonical text, or the hex formatting is a
+// schema break, and it must fail here first.
+#include "svc/instance_key.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "graph/generators.hpp"
+#include "io/serialize.hpp"
+#include "tests/test_util.hpp"
+
+namespace rmt::svc {
+namespace {
+
+// The worked example from the header: a 3-path with ad hoc knowledge.
+constexpr const char* kPath3Text =
+    "rmt-instance v1\nnodes 3\nedge 0 1\nedge 1 2\ndealer 0\nreceiver 2\n"
+    "knowledge adhoc\n";
+constexpr const char* kPath3Key = "bc6adf4f00f0be648b62687f484b0ff8";
+
+TEST(SvcKey, FrozenVector) {
+  // The hash of the canonical text is pinned forever (schema v1).
+  EXPECT_EQ(key_of_text(kPath3Text).to_hex(), kPath3Key);
+
+  // And a semantically equal Instance produces that exact canonical text.
+  const Graph g = generators::path_graph(3);
+  const Instance inst = Instance::ad_hoc(g, AdversaryStructure::trivial(), 0, 2);
+  EXPECT_EQ(canonical_instance_text(inst), kPath3Text);
+  EXPECT_EQ(instance_key(inst).to_hex(), kPath3Key);
+}
+
+TEST(SvcKey, FrozenFnv1a) {
+  // FNV-1a-64 reference vectors: the empty string hashes to the offset
+  // basis; "a" is the classic published test value.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+}
+
+TEST(SvcKey, HexFormatting) {
+  // 32 lowercase hex chars, hi then lo, zero padded.
+  EXPECT_EQ((InstanceKey{0, 0}.to_hex()), "00000000000000000000000000000000");
+  EXPECT_EQ((InstanceKey{1, 0xab}.to_hex()), "000000000000000100000000000000ab");
+  EXPECT_EQ((InstanceKey{0xdeadbeefcafef00dull, 0x0123456789abcdefull}.to_hex()),
+            "deadbeefcafef00d0123456789abcdef");
+}
+
+TEST(SvcKey, ConstructionOrderIrrelevant) {
+  // Same graph assembled in different edge orders, same structure given
+  // generator sets in a different order: the canonical text — and so the
+  // key — must agree.
+  Graph g1(4), g2(4);
+  g1.add_edge(0, 1);
+  g1.add_edge(1, 2);
+  g1.add_edge(2, 3);
+  g2.add_edge(2, 3);
+  g2.add_edge(0, 1);
+  g2.add_edge(1, 2);
+  const auto z1 = testing::structure({NodeSet{1}, NodeSet{2}});
+  const auto z2 = testing::structure({NodeSet{2}, NodeSet{1}});
+  const Instance a = Instance::ad_hoc(g1, z1, 0, 3);
+  const Instance b = Instance::ad_hoc(g2, z2, 0, 3);
+  EXPECT_EQ(canonical_instance_text(a), canonical_instance_text(b));
+  EXPECT_EQ(instance_key(a), instance_key(b));
+}
+
+TEST(SvcKey, EquivalentViewsCollide) {
+  // "knowledge k-hop 2" and the same views declared as explicit custom
+  // extras denote the same γ, so they must share a key. Build the k-hop
+  // instance, serialize it (which canonicalizes views to extras over the
+  // ad hoc floor), re-parse, and compare keys.
+  const Graph g = generators::parallel_paths(3, 2);
+  const auto z = testing::structure({NodeSet{1}, NodeSet{3}, NodeSet{5}});
+  const Instance khop(g, z, ViewFunction::k_hop(g, 2), 0, 7);
+  const Instance custom = io::parse_instance_string(io::serialize_instance(khop));
+  EXPECT_EQ(instance_key(khop), instance_key(custom));
+}
+
+TEST(SvcKey, DistinctInstancesDistinctKeys) {
+  const Graph g = generators::cycle_graph(6);
+  const Instance a = Instance::ad_hoc(g, AdversaryStructure::trivial(), 0, 3);
+  const Instance b = Instance::ad_hoc(g, AdversaryStructure::trivial(), 0, 2);
+  const Instance c(g, AdversaryStructure::trivial(), ViewFunction::full(g), 0, 3);
+  EXPECT_NE(instance_key(a), instance_key(b));  // receiver moved
+  EXPECT_NE(instance_key(a), instance_key(c));  // knowledge differs
+}
+
+TEST(SvcKey, CanonicalizeIsIdempotent) {
+  Rng rng(733);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Instance inst = testing::random_instance(7, 0.3, 2, 2, 1, rng);
+    const Instance once = canonicalize(inst);
+    const Instance twice = canonicalize(once);
+    EXPECT_EQ(instance_key(inst), instance_key(once));
+    EXPECT_EQ(canonical_instance_text(once), canonical_instance_text(twice));
+  }
+}
+
+}  // namespace
+}  // namespace rmt::svc

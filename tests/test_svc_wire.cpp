@@ -1,0 +1,142 @@
+// Tests for the rmt.request/1 / rmt.response/1 line protocol (svc/wire.hpp).
+#include "svc/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace rmt::svc::wire {
+namespace {
+
+constexpr const char* kInstanceText =
+    "rmt-instance v1\\nnodes 3\\nedge 0 1\\nedge 1 2\\ndealer 0\\nreceiver 2\\n"
+    "corruptible 1\\n";
+
+std::string request_line(const std::string& extra = "") {
+  return std::string(R"({"schema":"rmt.request/1","id":"q1","kind":"decide_rmt",)") +
+         "\"instance\":\"" + kInstanceText + "\"" + extra + "}";
+}
+
+TEST(SvcWire, ParsesMinimalRequest) {
+  const ParsedRequest parsed = parse_request(request_line());
+  EXPECT_EQ(parsed.id, "q1");
+  EXPECT_EQ(parsed.request.kind, QueryKind::kDecideRmt);
+  EXPECT_EQ(parsed.request.instance.num_players(), 3u);
+  EXPECT_EQ(parsed.request.instance.receiver(), 2u);
+  EXPECT_FALSE(parsed.request.deadline_ms.has_value());
+  EXPECT_FALSE(parsed.request.no_cache);
+  // params defaults survive when the field is absent
+  EXPECT_EQ(parsed.request.params.value, 42u);
+  EXPECT_EQ(parsed.request.params.strategy, "two-faced");
+}
+
+TEST(SvcWire, ParsesAllOptionalFields) {
+  const std::string line = request_line(
+      R"(,"deadline_ms":250,"no_cache":true,)"
+      R"("params":{"value":7,"corrupted":[1],"strategy":"silent","seed":9,"max_rounds":5})");
+  const ParsedRequest parsed = parse_request(line);
+  ASSERT_TRUE(parsed.request.deadline_ms.has_value());
+  EXPECT_EQ(*parsed.request.deadline_ms, 250u);
+  EXPECT_TRUE(parsed.request.no_cache);
+  EXPECT_EQ(parsed.request.params.value, 7u);
+  EXPECT_EQ(parsed.request.params.corrupted, NodeSet{1});
+  EXPECT_EQ(parsed.request.params.strategy, "silent");
+  ASSERT_TRUE(parsed.request.params.seed.has_value());
+  EXPECT_EQ(*parsed.request.params.seed, 9u);
+  EXPECT_EQ(parsed.request.params.max_rounds, 5u);
+}
+
+void expect_rejected(const std::string& line, const std::string& needle) {
+  try {
+    parse_request(line);
+    FAIL() << "expected std::invalid_argument mentioning: " << needle;
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "actual message: " << e.what();
+  }
+}
+
+TEST(SvcWire, RejectsMalformedRequests) {
+  expect_rejected("not json at all", "");
+  expect_rejected("[1,2,3]", "not a JSON object");
+  expect_rejected(R"({"id":"q1"})", "missing field 'schema'");
+  expect_rejected(R"({"schema":"rmt.bench/1","id":"q1"})", "unexpected schema value");
+  expect_rejected(R"({"schema":"rmt.request/1","kind":"decide_rmt"})",
+                  "missing field 'id'");
+  expect_rejected(R"({"schema":"rmt.request/1","id":"q1","kind":"warp"})",
+                  "unknown kind 'warp'");
+  expect_rejected(R"({"schema":"rmt.request/1","id":"q1","kind":"decide_rmt"})",
+                  "missing field 'instance'");
+  expect_rejected(request_line(R"(,"params":[1])"), "'params' must be an object");
+  // A syntactically fine request whose embedded instance is broken
+  // surfaces the io parser's line-numbered message.
+  expect_rejected(
+      R"({"schema":"rmt.request/1","id":"q1","kind":"decide_rmt","instance":"bogus"})",
+      "instance parse error at line 1");
+}
+
+TEST(SvcWire, ExtractIdIsBestEffort) {
+  EXPECT_EQ(extract_id(R"({"schema":"nope","id":"q7"})"), "q7");
+  EXPECT_EQ(extract_id(R"({"schema":"nope"})"), "");
+  EXPECT_EQ(extract_id(R"({"id":17})"), "");  // non-string id
+  EXPECT_EQ(extract_id("garbage {{{"), "");
+}
+
+TEST(SvcWire, FormatsOkResponse) {
+  Response resp;
+  resp.status = Response::Status::kOk;
+  resp.key = "00ff";
+  resp.result = R"({"kind":"decide_rmt","solvable":true})";
+  resp.cached = true;
+  resp.wall_us = 12.5;
+  const std::string line = format_response("q1", resp);
+  const obs::json::Value doc = obs::json::Value::parse(line);
+  EXPECT_EQ(doc.find("schema")->as_string(), "rmt.response/1");
+  EXPECT_EQ(doc.find("id")->as_string(), "q1");
+  EXPECT_EQ(doc.find("status")->as_string(), "ok");
+  EXPECT_EQ(doc.find("key")->as_string(), "00ff");
+  EXPECT_EQ(doc.find("result")->find("kind")->as_string(), "decide_rmt");
+  EXPECT_EQ(doc.find("error")->kind(), obs::json::Value::Kind::kNull);
+  EXPECT_TRUE(doc.find("cached")->as_bool());
+  EXPECT_FALSE(doc.find("coalesced")->as_bool());
+}
+
+TEST(SvcWire, FormatsErrorAndDeadlineResponses) {
+  Response err;
+  err.status = Response::Status::kError;
+  err.error = "strategy 'warp' unknown";
+  const obs::json::Value edoc = obs::json::Value::parse(format_response("q2", err));
+  EXPECT_EQ(edoc.find("status")->as_string(), "error");
+  EXPECT_EQ(edoc.find("key")->kind(), obs::json::Value::Kind::kNull);
+  EXPECT_EQ(edoc.find("result")->kind(), obs::json::Value::Kind::kNull);
+  EXPECT_EQ(edoc.find("error")->as_string(), "strategy 'warp' unknown");
+
+  Response late;
+  late.status = Response::Status::kDeadlineExceeded;
+  late.key = "ab";
+  const obs::json::Value ldoc = obs::json::Value::parse(format_response("q3", late));
+  EXPECT_EQ(ldoc.find("status")->as_string(), "deadline_exceeded");
+  EXPECT_EQ(ldoc.find("result")->kind(), obs::json::Value::Kind::kNull);
+  EXPECT_EQ(ldoc.find("error")->kind(), obs::json::Value::Kind::kNull);
+}
+
+TEST(SvcWire, ParseErrorResponseCarriesTheId) {
+  const obs::json::Value doc =
+      obs::json::Value::parse(format_parse_error("q9", "missing field 'kind'"));
+  EXPECT_EQ(doc.find("schema")->as_string(), "rmt.response/1");
+  EXPECT_EQ(doc.find("id")->as_string(), "q9");
+  EXPECT_EQ(doc.find("status")->as_string(), "error");
+  EXPECT_EQ(doc.find("error")->as_string(), "missing field 'kind'");
+}
+
+TEST(SvcWire, StatusNames) {
+  EXPECT_STREQ(to_string(Response::Status::kOk), "ok");
+  EXPECT_STREQ(to_string(Response::Status::kDeadlineExceeded), "deadline_exceeded");
+  EXPECT_STREQ(to_string(Response::Status::kError), "error");
+}
+
+}  // namespace
+}  // namespace rmt::svc::wire

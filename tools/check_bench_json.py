@@ -1,16 +1,24 @@
 #!/usr/bin/env python3
 """Validate the JSON artifacts emitted by the rmt observability layer.
 
-Understands the five schemas the repository produces:
+Understands the seven schemas the repository produces:
   * rmt.bench/1    — bench/ driver reports (obs::BenchReport);
   * rmt.analyze/1  — `rmt_cli analyze --json`;
   * rmt.run/1      — `rmt_cli run --json`;
   * rmt.validate/1 — `rmt_cli validate --json` (rmt::audit diagnostics);
+  * rmt.request/1  — one query to the svc serving stack (the lines
+                     tools/rmt_serve reads and `rmt_cli decide` implies);
+  * rmt.response/1 — the matching answer lines (rmt_serve stdout,
+                     `rmt_cli decide` output);
   * rmt.campaign/1 — JSONL campaign manifests (exec::Campaign --resume
                      checkpoints). Files ending in .jsonl are validated
                      line by line: at least one header, a consistent
                      campaign identity, and well-formed shard lines
                      (shard < of, begin <= end, single-line payload).
+
+JSONL files whose lines carry rmt.request/1 / rmt.response/1 schemas (a
+captured serving transcript) are validated line by line against those
+checkers instead of the campaign rules.
 
 Usage:
   check_bench_json.py [--require-phases] [--require-sim] FILE [FILE ...]
@@ -28,6 +36,7 @@ Wired into ctest so a malformed artifact fails the build's test suite.
 
 import argparse
 import json
+import re
 import sys
 
 SCALAR = (str, int, float, bool)
@@ -196,6 +205,97 @@ def _is_uint(v):
     return isinstance(v, int) and not isinstance(v, bool) and v >= 0
 
 
+# --- the svc wire protocol (rmt.request/1 / rmt.response/1) ------------------
+
+# The four engine query kinds plus the "stats" probe rmt_serve answers
+# without consulting the engine.
+REQUEST_KINDS = ["decide_rmt", "decide_zpp", "analyze", "simulate", "stats"]
+RESPONSE_STATUSES = ["ok", "deadline_exceeded", "error"]
+KEY_HEX_RE = re.compile(r"^[0-9a-f]{32}$")
+
+
+def check_request(doc, problems, args):
+    if not isinstance(doc.get("id"), str):
+        problems.add("id: missing or not a string")
+    kind = doc.get("kind")
+    if kind not in REQUEST_KINDS:
+        problems.add(f"kind: {kind!r} not one of {REQUEST_KINDS}")
+    if not isinstance(doc.get("instance"), str):
+        problems.add("instance: missing or not a string (the embedded "
+                     "rmt-instance v1 text)")
+    elif kind != "stats" and "rmt-instance v1" not in doc["instance"]:
+        problems.add("instance: does not contain an 'rmt-instance v1' header")
+    if "deadline_ms" in doc and not _is_uint(doc["deadline_ms"]):
+        problems.add("deadline_ms: not a non-negative integer")
+    if "no_cache" in doc and not isinstance(doc["no_cache"], bool):
+        problems.add("no_cache: not a boolean")
+    params = doc.get("params")
+    if params is not None:
+        if not isinstance(params, dict):
+            problems.add("params: not an object")
+        else:
+            for field in ("value", "seed", "max_rounds"):
+                if field in params and not _is_uint(params[field]):
+                    problems.add(f"params.{field}: not a non-negative integer")
+            if "strategy" in params and not isinstance(params["strategy"], str):
+                problems.add("params.strategy: not a string")
+            corrupted = params.get("corrupted")
+            if corrupted is not None and not (
+                    isinstance(corrupted, list) and all(_is_uint(v) for v in corrupted)):
+                problems.add("params.corrupted: not an array of node ids")
+
+
+def check_response(doc, problems, args):
+    if not isinstance(doc.get("id"), str):
+        problems.add("id: missing or not a string")
+    status = doc.get("status")
+    if status not in RESPONSE_STATUSES:
+        problems.add(f"status: {status!r} not one of {RESPONSE_STATUSES}")
+    key = doc.get("key", "absent")
+    if key == "absent":
+        problems.add("key: missing (null expected when unknown)")
+    elif key is not None and not (isinstance(key, str) and KEY_HEX_RE.match(key)):
+        problems.add(f"key: {key!r} is neither null nor 32 lowercase hex chars")
+    result = doc.get("result", "absent")
+    if status == "ok":
+        if not isinstance(result, dict):
+            problems.add("result: missing or not an object although status is ok")
+    elif result is not None:
+        problems.add(f"result: must be null when status is {status!r}")
+    error = doc.get("error", "absent")
+    if status == "error":
+        if not isinstance(error, str) or not error:
+            problems.add("error: missing or empty although status is error")
+    elif error is not None:
+        problems.add(f"error: must be null when status is {status!r}")
+    for field in ("cached", "coalesced"):
+        if not isinstance(doc.get(field), bool):
+            problems.add(f"{field}: missing or not a boolean")
+    wall = doc.get("wall_us")
+    if not isinstance(wall, (int, float)) or isinstance(wall, bool) or wall < 0:
+        problems.add("wall_us: missing or not a non-negative number")
+
+
+def check_wire_lines(lines, problems):
+    """Validate a serving transcript: every line a request or a response."""
+    if not lines:
+        problems.add("empty transcript")
+        return
+    args = argparse.Namespace(require_phases=False, require_sim=False)
+    for i, doc in lines:
+        where = f"line {i}"
+        if not isinstance(doc, dict):
+            problems.add(f"{where}: not an object")
+            continue
+        checker = WIRE_CHECKERS.get(doc.get("schema"))
+        if checker is None:
+            problems.add(f"{where}: schema {doc.get('schema')!r} is not a wire schema")
+            continue
+        sub = Problems(f"{problems.path}: {where}")
+        checker(doc, sub, args)
+        problems.items.extend(sub.items)
+
+
 def check_campaign_lines(lines, problems):
     """Validate an rmt.campaign/1 JSONL manifest, given its decoded lines.
 
@@ -249,13 +349,13 @@ def check_campaign_lines(lines, problems):
         problems.add("no rmt.campaign/1 header line found")
 
 
-def check_campaign_file(path, problems):
+def read_jsonl(path, problems):
     try:
         with open(path, encoding="utf-8") as f:
             raw = f.readlines()
     except OSError as e:
         problems.add(f"unreadable: {e}")
-        return
+        return []
     lines = []
     for i, text in enumerate(raw, start=1):
         if not text.strip():
@@ -264,7 +364,7 @@ def check_campaign_file(path, problems):
             lines.append((i, json.loads(text)))
         except json.JSONDecodeError as e:
             problems.add(f"line {i}: invalid JSON: {e}")
-    check_campaign_lines(lines, problems)
+    return lines
 
 
 CHECKERS = {
@@ -272,13 +372,24 @@ CHECKERS = {
     "rmt.analyze/1": check_analyze,
     "rmt.run/1": check_run,
     "rmt.validate/1": check_validate,
+    "rmt.request/1": check_request,
+    "rmt.response/1": check_response,
+}
+WIRE_CHECKERS = {
+    "rmt.request/1": check_request,
+    "rmt.response/1": check_response,
 }
 
 
 def check_file(path, args):
     problems = Problems(path)
     if path.endswith(".jsonl"):
-        check_campaign_file(path, problems)
+        lines = read_jsonl(path, problems)
+        schemas = {doc.get("schema") for _, doc in lines if isinstance(doc, dict)}
+        if schemas and schemas <= set(WIRE_CHECKERS):
+            check_wire_lines(lines, problems)
+        else:
+            check_campaign_lines(lines, problems)
         return problems.items
     try:
         with open(path, encoding="utf-8") as f:
@@ -322,6 +433,23 @@ def _selftest_docs():
         {"schema": "rmt.validate/1", "instance": inst, "valid": False,
          "diagnostics": [{"component": "graph", "message": "asymmetric adjacency"}],
          "metrics": metrics},
+        {"schema": "rmt.request/1", "id": "q1", "kind": "decide_rmt",
+         "instance": "rmt-instance v1\nnodes 3\n"},
+        {"schema": "rmt.request/1", "id": "q2", "kind": "simulate",
+         "instance": "rmt-instance v1\nnodes 3\n", "deadline_ms": 50,
+         "no_cache": True,
+         "params": {"value": 7, "corrupted": [1], "strategy": "silent",
+                    "seed": 9, "max_rounds": 0}},
+        {"schema": "rmt.request/1", "id": "st", "kind": "stats", "instance": ""},
+        {"schema": "rmt.response/1", "id": "q1", "status": "ok",
+         "key": "bc6adf4f00f0be648b62687f484b0ff8", "result": {"solvable": True},
+         "error": None, "cached": False, "coalesced": True, "wall_us": 12.5},
+        {"schema": "rmt.response/1", "id": "q2", "status": "deadline_exceeded",
+         "key": "bc6adf4f00f0be648b62687f484b0ff8", "result": None,
+         "error": None, "cached": False, "coalesced": False, "wall_us": 0},
+        {"schema": "rmt.response/1", "id": "", "status": "error", "key": None,
+         "result": None, "error": "missing field 'kind'", "cached": False,
+         "coalesced": False, "wall_us": 0.0},
     ]
     bad = [
         {"schema": "rmt.unknown/9"},
@@ -349,6 +477,35 @@ def _selftest_docs():
          "diagnostics": [], "metrics": metrics},
         {"schema": "rmt.validate/1", "instance": inst, "valid": False,
          "diagnostics": [{"component": "", "message": "x"}], "metrics": metrics},
+        {"schema": "rmt.request/1", "kind": "decide_rmt",
+         "instance": "rmt-instance v1\n"},                       # id missing
+        {"schema": "rmt.request/1", "id": "q", "kind": "warp",
+         "instance": "rmt-instance v1\n"},                       # unknown kind
+        {"schema": "rmt.request/1", "id": "q", "kind": "decide_rmt",
+         "instance": "not an instance"},                         # no v1 header
+        {"schema": "rmt.request/1", "id": "q", "kind": "decide_rmt",
+         "instance": "rmt-instance v1\n", "deadline_ms": -5},    # negative deadline
+        {"schema": "rmt.request/1", "id": "q", "kind": "simulate",
+         "instance": "rmt-instance v1\n",
+         "params": {"corrupted": "1,2"}},                        # corrupted not a list
+        {"schema": "rmt.response/1", "id": "q", "status": "late", "key": None,
+         "result": None, "error": None, "cached": False, "coalesced": False,
+         "wall_us": 0},                                          # unknown status
+        {"schema": "rmt.response/1", "id": "q", "status": "ok", "key": "XYZ",
+         "result": {}, "error": None, "cached": False, "coalesced": False,
+         "wall_us": 1},                                          # malformed key
+        {"schema": "rmt.response/1", "id": "q", "status": "ok", "key": None,
+         "result": None, "error": None, "cached": False, "coalesced": False,
+         "wall_us": 1},                                          # ok without result
+        {"schema": "rmt.response/1", "id": "q", "status": "error", "key": None,
+         "result": {"x": 1}, "error": "boom", "cached": False,
+         "coalesced": False, "wall_us": 1},                      # result on error
+        {"schema": "rmt.response/1", "id": "q", "status": "error", "key": None,
+         "result": None, "error": None, "cached": False, "coalesced": False,
+         "wall_us": 1},                                          # error without message
+        {"schema": "rmt.response/1", "id": "q", "status": "ok", "key": None,
+         "result": {}, "error": None, "cached": "no", "coalesced": False,
+         "wall_us": -2},                                         # bad cached/wall_us
     ]
     return good, bad
 
@@ -419,9 +576,35 @@ def self_test():
     for i, lines in enumerate(bad_m):
         if not manifest_problems(lines):
             failures.append(f"bad manifest[{i}]: unexpectedly accepted")
+
+    # Wire transcripts (request/response JSONL) go through check_wire_lines.
+    def transcript_problems(lines):
+        problems = Problems("<self-test>")
+        check_wire_lines(lines, problems)
+        return problems.items
+
+    req = {"schema": "rmt.request/1", "id": "q", "kind": "analyze",
+           "instance": "rmt-instance v1\nnodes 3\n"}
+    resp = {"schema": "rmt.response/1", "id": "q", "status": "ok",
+            "key": "bc6adf4f00f0be648b62687f484b0ff8", "result": {},
+            "error": None, "cached": False, "coalesced": False, "wall_us": 1}
+    good_t = [[(1, req), (2, resp)], [(1, resp)]]
+    bad_t = [
+        [],                                          # empty transcript
+        [(1, dict(resp, schema="rmt.bench/1"))],     # not a wire schema
+        [(1, req), (2, dict(resp, status="late"))],  # bad line reported with lineno
+    ]
+    for i, lines in enumerate(good_t):
+        items = transcript_problems(lines)
+        if items:
+            failures.append(f"good transcript[{i}]: unexpectedly rejected: {items}")
+    for i, lines in enumerate(bad_t):
+        if not transcript_problems(lines):
+            failures.append(f"bad transcript[{i}]: unexpectedly accepted")
+
     for f in failures:
         print(f"self-test: {f}", file=sys.stderr)
-    total = len(good) + len(bad) + len(good_m) + len(bad_m)
+    total = len(good) + len(bad) + len(good_m) + len(bad_m) + len(good_t) + len(bad_t)
     print(f"self-test: {total} documents, {len(failures)} failures")
     return 1 if failures else 0
 

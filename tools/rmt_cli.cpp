@@ -1,21 +1,14 @@
 // tools/rmt_cli — command-line front end over instance files.
 //
-//   rmt_cli analyze  <file>            feasibility report (all deciders)
-//   rmt_cli run      <file> <x> [T..]  run RMT-PKA with value x, corrupting
-//                                      the listed nodes under the two-faced
-//                                      attack
-//   rmt_cli region   <file>            per-receiver reliable region
-//   rmt_cli dot      <file>            Graphviz of the instance
-//   rmt_cli minimize <file>            greedy minimal sufficient views
-//   rmt_cli validate <file>            run the deep invariant validators
-//                                      (rmt::audit) against the instance;
-//                                      --validate is accepted as an alias
+// Subcommands: see kSubcommands below — the usage text is generated from
+// that one table, so help and dispatch cannot drift apart.
 //
 // Observability flags (analyze/run):
 //   --stats              print per-phase timing table after the command
 //   --json <path|->      write a machine-readable report (rmt.analyze/1
 //                        or rmt.run/1 schema, incl. the metrics snapshot)
 //   --jsonl-trace <path> (run only) write the delivery transcript as JSONL
+//   --no-cache           (decide only) bypass the svc result cache
 //
 // Instance file format: see src/io/serialize.hpp. Exit code 0 on success,
 // 1 on usage errors, 2 on malformed input, 3 when `validate` found an
@@ -39,6 +32,8 @@
 #include "protocols/rmt_pka.hpp"
 #include "protocols/runner.hpp"
 #include "sim/strategies.hpp"
+#include "svc/engine.hpp"
+#include "svc/wire.hpp"
 #include "util/audit.hpp"
 #include "util/fmt.hpp"
 
@@ -46,16 +41,44 @@ namespace {
 
 using namespace rmt;
 
+/// The one subcommand table: dispatch names main() matches and the usage
+/// text are both derived from it.
+struct Subcommand {
+  const char* name;
+  const char* args;
+  const char* help;
+};
+constexpr Subcommand kSubcommands[] = {
+    {"analyze", "<file>", "feasibility report (all deciders)"},
+    {"run", "<file> <x> [T..]", "run RMT-PKA with value x, corrupting T (two-faced attack)"},
+    {"decide", "<file> [rmt|zpp|analyze]", "answer via svc::Engine; rmt.response/1 on stdout"},
+    {"region", "<file>", "per-receiver reliable region"},
+    {"dot", "<file>", "Graphviz of the instance"},
+    {"minimize", "<file>", "greedy minimal sufficient views"},
+    {"validate", "<file>", "deep invariant validators (rmt::audit)"},
+};
+
 int usage() {
+  std::string names;
+  std::string lines;
+  for (const Subcommand& s : kSubcommands) {
+    names += names.empty() ? "" : "|";
+    names += s.name;
+    char row[160];
+    std::snprintf(row, sizeof row, "  rmt_cli %-8s %-22s %s\n", s.name, s.args, s.help);
+    lines += row;
+  }
   std::fprintf(stderr,
-               "usage: rmt_cli <analyze|run|region|dot|minimize|validate> <instance-file> [args]\n"
-               "       rmt_cli run <file> <dealer-value> [corrupted-node ...]\n"
-               "flags: --stats | --json <path|-> | --jsonl-trace <path> (run only)\n");
+               "usage: rmt_cli <%s> <instance-file> [args]\n%s"
+               "flags: --stats | --json <path|-> | --jsonl-trace <path> (run only)\n"
+               "       --no-cache (decide only)\n",
+               names.c_str(), lines.c_str());
   return 1;
 }
 
 struct ObsFlags {
   bool stats = false;
+  bool no_cache = false;
   std::optional<std::string> json_path;
   std::optional<std::string> jsonl_trace_path;
 };
@@ -68,6 +91,8 @@ ObsFlags consume_obs_flags(int& argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--stats") {
       flags.stats = true;
+    } else if (arg == "--no-cache") {
+      flags.no_cache = true;
     } else if (arg == "--json" || arg == "--jsonl-trace") {
       if (i + 1 >= argc) throw std::invalid_argument(arg + " requires a path argument");
       (arg == "--json" ? flags.json_path : flags.jsonl_trace_path) = argv[++i];
@@ -135,12 +160,6 @@ void write_phase_profile(obs::json::Writer& w, const obs::PhaseProfile& p) {
     w.end_object();
   }
   w.end_object();
-}
-
-Instance load(const char* path) {
-  std::ifstream in(path);
-  if (!in) throw std::invalid_argument(std::string("cannot open ") + path);
-  return io::parse_instance(in);
 }
 
 int cmd_analyze(const Instance& inst, const ObsFlags& flags) {
@@ -247,6 +266,20 @@ int cmd_run(const Instance& inst, int argc, char** argv, const ObsFlags& flags) 
   return 0;
 }
 
+int cmd_decide(const Instance& inst, int argc, char** argv, const ObsFlags& flags) {
+  std::string kind_name = argc >= 1 ? argv[0] : "rmt";
+  if (kind_name == "rmt") kind_name = "decide_rmt";
+  if (kind_name == "zpp") kind_name = "decide_zpp";
+  const std::optional<svc::QueryKind> kind = svc::parse_query_kind(kind_name);
+  if (!kind || *kind == svc::QueryKind::kSimulate) return usage();
+  svc::Engine engine(nullptr);  // one-shot: sequential, default cache
+  std::vector<svc::Request> batch;
+  batch.push_back(svc::Request{*kind, inst, {}, std::nullopt, flags.no_cache});
+  const std::vector<svc::Response> responses = engine.run(batch);
+  std::printf("%s\n", svc::wire::format_response("cli", responses[0]).c_str());
+  return responses[0].status == svc::Response::Status::kOk ? 0 : 2;
+}
+
 int cmd_region(const Instance& inst) {
   for (const auto& rep : analysis::receiver_reports(inst.graph(), inst.adversary(),
                                                     inst.gamma(), inst.dealer()))
@@ -326,12 +359,14 @@ int main(int argc, char** argv) {
     // Phase timing and the JSON reports both read the metrics registry, so
     // observability goes on whenever either surface was requested.
     if (flags.stats || flags.json_path) obs::set_enabled(true);
-    const Instance inst = load(argv[2]);
+    const Instance inst = io::load_instance(argv[2]);
     int rc = 1;
     if (!std::strcmp(argv[1], "analyze")) {
       rc = cmd_analyze(inst, flags);
     } else if (!std::strcmp(argv[1], "run")) {
       rc = cmd_run(inst, argc - 3, argv + 3, flags);
+    } else if (!std::strcmp(argv[1], "decide")) {
+      rc = cmd_decide(inst, argc - 3, argv + 3, flags);
     } else if (!std::strcmp(argv[1], "region")) {
       rc = cmd_region(inst);
     } else if (!std::strcmp(argv[1], "dot")) {

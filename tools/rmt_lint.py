@@ -20,6 +20,13 @@ catch by hand (wired into ctest as lint_project / lint_selftest):
   phase-registry    the RMT_OBS_SCOPE phase names used across src/ form a
                     closed vocabulary: exactly the names listed in
                     src/obs/phase_names.hpp (both directions checked)
+  svc-metric-registry
+                    every "svc.*" / "cache.*" metric-name string literal in
+                    C++ sources appears in src/svc/metric_names.hpp, and
+                    every registered name keeps an instrumentation site in
+                    src/ (both directions, mirroring phase-registry).
+                    Phase names ("svc.batch", "svc.compute") belong to the
+                    phase registry and are exempt here.
 
 Usage:
   rmt_lint.py [--repo DIR]   lint the repository (default: the linter's
@@ -197,6 +204,68 @@ def check_phase_registry(repo, sources, findings):
             f"has no RMT_OBS_SCOPE site left")
 
 
+SVC_METRIC_REGISTRY_FILE = "src/svc/metric_names.hpp"
+SVC_METRIC_LITERAL_RE = re.compile(r'"((?:svc|cache)\.[A-Za-z0-9_.]+)"')
+
+
+def parse_svc_metric_registry(text):
+    """Names listed between the lint:svc-metric-registry markers, or None."""
+    m = re.search(r"lint:svc-metric-registry-begin(.*?)lint:svc-metric-registry-end",
+                  text, re.S)
+    if not m:
+        return None
+    return set(re.findall(r'"([^"]+)"', m.group(1)))
+
+
+def svc_metric_findings(registry, phase_names, sources):
+    """The both-direction registry check as a pure function (self-tested).
+
+    `sources` excludes the registry file itself; `phase_names` are exempt
+    (the phase-registry rule owns them).
+    """
+    findings = []
+    used = {}  # name -> first "file:line"
+    used_in_src = set()
+    for relpath, text in sources:
+        for i, line in enumerate(strip_line_comments(text).splitlines(), 1):
+            for name in SVC_METRIC_LITERAL_RE.findall(line):
+                used.setdefault(name, f"{relpath}:{i}")
+                if relpath.startswith("src/"):
+                    used_in_src.add(name)
+    for name, where in sorted(used.items()):
+        if name in phase_names:
+            continue
+        if name not in registry:
+            findings.append(
+                f"{where}: svc-metric-registry: metric '{name}' is not in "
+                f"{SVC_METRIC_REGISTRY_FILE}")
+    for name in sorted(registry - used_in_src):
+        findings.append(
+            f"{SVC_METRIC_REGISTRY_FILE}:1: svc-metric-registry: registered metric "
+            f"'{name}' has no instrumentation site left in src/")
+    return findings
+
+
+def check_svc_metric_registry(repo, sources, findings):
+    registry_path = repo / SVC_METRIC_REGISTRY_FILE
+    if not registry_path.is_file():
+        findings.append(
+            f"{SVC_METRIC_REGISTRY_FILE}:1: svc-metric-registry: registry file is missing")
+        return
+    registry = parse_svc_metric_registry(registry_path.read_text(encoding="utf-8"))
+    if registry is None:
+        findings.append(f"{SVC_METRIC_REGISTRY_FILE}:1: svc-metric-registry: "
+                        f"lint:svc-metric-registry markers not found")
+        return
+    phase_path = repo / PHASE_REGISTRY_FILE
+    phase_names = set()
+    if phase_path.is_file():
+        phase_names = parse_phase_registry(phase_path.read_text(encoding="utf-8")) or set()
+    scanned = [(relpath, text) for relpath, text in sources
+               if relpath != SVC_METRIC_REGISTRY_FILE]
+    findings.extend(svc_metric_findings(registry, phase_names, scanned))
+
+
 # --- driver ------------------------------------------------------------------
 
 LINT_DIRS = ["src", "bench", "tests", "tools", "examples"]
@@ -225,6 +294,7 @@ def lint_repo(repo):
             findings.extend(rule(relpath, text))
     check_entry_requires(repo, findings)
     check_phase_registry(repo, sources, findings)
+    check_svc_metric_registry(repo, sources, findings)
     return findings
 
 
@@ -251,6 +321,33 @@ SELFTEST_CASES = [
     (check_thread_spawn, "src/sim/x.cpp", "// std::thread (see exec)\n", False),
 ]
 
+# (registry, phase_names, sources, expect_finding) for svc_metric_findings.
+SVC_METRIC_CASES = [
+    # A registered metric used in src/: clean in both directions.
+    ({"svc.requests"}, set(),
+     [("src/svc/engine.cpp", 'reg.counter("svc.requests");\n')], False),
+    # An unregistered metric literal anywhere is a finding.
+    ({"svc.requests"}, set(),
+     [("src/svc/engine.cpp", 'reg.counter("svc.requests");\n'),
+      ("src/svc/engine.cpp", 'reg.counter("svc.rogue");\n')], True),
+    ({"svc.requests"}, set(),
+     [("src/svc/engine.cpp", 'reg.counter("svc.requests");\n'),
+      ("tests/test_x.cpp", 'reg.counter("cache.rogue");\n')], True),
+    # A registered metric with no src/ site left is a finding — a use in
+    # tests/ alone does not keep it alive.
+    ({"svc.requests", "svc.stale"}, set(),
+     [("src/svc/engine.cpp", 'reg.counter("svc.requests");\n'),
+      ("tests/test_x.cpp", 'reg.counter("svc.stale");\n')], True),
+    # Phase names are the phase registry's business, not a metric finding.
+    ({"svc.requests"}, {"svc.batch"},
+     [("src/svc/engine.cpp", 'reg.counter("svc.requests");\n'),
+      ("src/svc/engine.cpp", 'RMT_OBS_SCOPE("svc.batch");\n')], False),
+    # Mentions inside // comments do not count as uses.
+    ({"svc.requests"}, set(),
+     [("src/svc/engine.cpp",
+       'reg.counter("svc.requests");  // not "svc.phantom"\n')], False),
+]
+
 
 def self_test():
     failures = []
@@ -268,9 +365,21 @@ def self_test():
         '// lint:phase-registry-begin\n"a.b",\n"c.d",\n// lint:phase-registry-end\n')
     if registry != {"a.b", "c.d"}:
         failures.append(f"parse_phase_registry: got {registry!r}")
+
+    svc_registry = parse_svc_metric_registry(
+        '// lint:svc-metric-registry-begin\n"svc.requests",\n"svc.cache.hits",\n'
+        '// lint:svc-metric-registry-end\n')
+    if svc_registry != {"svc.requests", "svc.cache.hits"}:
+        failures.append(f"parse_svc_metric_registry: got {svc_registry!r}")
+    for case, (reg, phases, sources, expect) in enumerate(SVC_METRIC_CASES):
+        got = bool(svc_metric_findings(reg, phases, sources))
+        if got != expect:
+            failures.append(f"svc-metric case {case}: expected "
+                            f"{'a finding' if expect else 'clean'}, got the opposite")
     for f in failures:
         print(f"self-test: {f}", file=sys.stderr)
-    print(f"self-test: {len(SELFTEST_CASES) + 3} checks, {len(failures)} failures")
+    total = len(SELFTEST_CASES) + len(SVC_METRIC_CASES) + 4
+    print(f"self-test: {total} checks, {len(failures)} failures")
     return 1 if failures else 0
 
 

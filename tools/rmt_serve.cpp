@@ -1,0 +1,187 @@
+// tools/rmt_serve — the stdio JSONL query server over svc::Engine.
+//
+// Reads rmt.request/1 lines from stdin, answers rmt.response/1 lines on
+// stdout (see src/svc/wire.hpp for both schemas). Requests accumulate
+// into a batch; a blank line, the batch limit, or EOF flushes the batch
+// through the engine and emits the responses in input order. Deadlines
+// (deadline_ms) count from the flush, i.e. from when the batch starts.
+//
+// Two lines the engine never sees:
+//   * malformed requests — answered immediately at flush time with an
+//     "error" response echoing the id when one could be salvaged;
+//   * {"schema":"rmt.request/1","id":"s","kind":"stats"} — flushes the
+//     pending batch, then reports the engine and cache counters as the
+//     result object ({"kind":"stats","engine":{...},"cache":{...}}).
+//     This is how the e2e test asserts coalescing and caching over pure
+//     stdio, no shared memory with the server.
+//
+//   rmt_serve [--jobs N] [--batch N] [--cache-mb N] [--seed N]
+//
+//   --jobs N      worker threads (default: hardware concurrency; 0 = run
+//                 requests sequentially on the reader thread)
+//   --batch N     max requests per engine batch (default 64)
+//   --cache-mb N  result cache budget in MiB (default 64)
+//   --seed N      root seed for derived simulate seeds (default 4242)
+//
+// Exit code 0 on EOF, 1 on usage errors.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+#include "obs/json.hpp"
+#include "svc/engine.hpp"
+#include "svc/wire.hpp"
+
+namespace {
+
+using namespace rmt;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: rmt_serve [--jobs N] [--batch N] [--cache-mb N] [--seed N]\n"
+               "reads rmt.request/1 JSONL on stdin, writes rmt.response/1 on stdout;\n"
+               "a blank line flushes the pending batch\n");
+  return 1;
+}
+
+/// One stdin line awaiting its response: either an index into the pending
+/// engine batch or an already-formatted response (parse errors, stats).
+struct Slot {
+  bool engine = false;
+  std::size_t index = 0;      ///< engine slots: position in the batch
+  std::string id;             ///< engine slots: echoed request id
+  std::string preformatted;   ///< non-engine slots: the response line
+};
+
+class Server {
+ public:
+  Server(exec::ThreadPool* pool, svc::Engine::Options opts, std::size_t batch_limit)
+      : engine_(pool, opts), batch_limit_(batch_limit) {}
+
+  void handle_line(const std::string& line) {
+    if (line.empty()) {
+      flush();
+      return;
+    }
+    if (is_stats_request(line)) {
+      flush();  // stats reports the state *after* everything queued so far
+      std::printf("%s\n", stats_response(svc::wire::extract_id(line)).c_str());
+      std::fflush(stdout);
+      return;
+    }
+    try {
+      svc::wire::ParsedRequest parsed = svc::wire::parse_request(line);
+      slots_.push_back(Slot{true, batch_.size(), parsed.id, ""});
+      batch_.push_back(std::move(parsed.request));
+    } catch (const std::exception& e) {
+      slots_.push_back(
+          Slot{false, 0, "", svc::wire::format_parse_error(svc::wire::extract_id(line), e.what())});
+    }
+    if (batch_.size() >= batch_limit_) flush();
+  }
+
+  void flush() {
+    if (slots_.empty()) return;
+    const std::vector<svc::Response> responses = engine_.run(batch_);
+    for (const Slot& slot : slots_) {
+      const std::string line = slot.engine
+                                   ? svc::wire::format_response(slot.id, responses[slot.index])
+                                   : slot.preformatted;
+      std::printf("%s\n", line.c_str());
+    }
+    std::fflush(stdout);
+    batch_.clear();
+    slots_.clear();
+  }
+
+ private:
+  static bool is_stats_request(const std::string& line) {
+    try {
+      const obs::json::Value doc = obs::json::Value::parse(line);
+      if (!doc.is_object()) return false;
+      const obs::json::Value* kind = doc.find("kind");
+      return kind && kind->kind() == obs::json::Value::Kind::kString &&
+             kind->as_string() == "stats";
+    } catch (const std::invalid_argument&) {
+      return false;
+    }
+  }
+
+  std::string stats_response(const std::string& id) {
+    const svc::Engine::Stats e = engine_.stats();
+    const svc::ResultCache::Stats c = engine_.cache().stats();
+    obs::json::Writer w;
+    w.begin_object();
+    w.field("schema", svc::wire::kResponseSchema);
+    w.field("id", id);
+    w.field("status", "ok");
+    w.key("key").null();
+    w.key("result").begin_object();
+    w.field("kind", "stats");
+    w.key("engine").begin_object();
+    w.field("requests", e.requests);
+    w.field("computed", e.computed);
+    w.field("coalesced", e.coalesced);
+    w.field("inflight_joins", e.inflight_joins);
+    w.field("deadline_exceeded", e.deadline_exceeded);
+    w.field("errors", e.errors);
+    w.end_object();
+    w.key("cache").begin_object();
+    w.field("hits", c.hits);
+    w.field("misses", c.misses);
+    w.field("evictions", c.evictions);
+    w.field("bytes", std::uint64_t(c.bytes));
+    w.field("entries", std::uint64_t(c.entries));
+    w.end_object();
+    w.end_object();
+    w.key("error").null();
+    w.field("cached", false);
+    w.field("coalesced", false);
+    w.field("wall_us", 0.0);
+    w.end_object();
+    return w.take();
+  }
+
+  svc::Engine engine_;
+  std::size_t batch_limit_;
+  std::vector<svc::Request> batch_;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t jobs = exec::ThreadPool::hardware_concurrency();
+  std::size_t batch_limit = 64;
+  std::size_t cache_mb = 64;
+  std::uint64_t seed = 4242;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (i + 1 >= argc) return usage();
+    const char* val = argv[++i];
+    if (arg == "--jobs") jobs = std::strtoull(val, nullptr, 10);
+    else if (arg == "--batch") batch_limit = std::strtoull(val, nullptr, 10);
+    else if (arg == "--cache-mb") cache_mb = std::strtoull(val, nullptr, 10);
+    else if (arg == "--seed") seed = std::strtoull(val, nullptr, 10);
+    else return usage();
+  }
+  if (batch_limit == 0) batch_limit = 1;
+
+  std::unique_ptr<exec::ThreadPool> pool;
+  if (jobs > 0) pool = std::make_unique<exec::ThreadPool>(jobs);
+
+  svc::Engine::Options opts;
+  opts.cache.max_bytes = cache_mb << 20;
+  opts.root_seed = seed;
+  Server server(pool.get(), opts, batch_limit);
+
+  std::string line;
+  while (std::getline(std::cin, line)) server.handle_line(line);
+  server.flush();
+  return 0;
+}

@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""End-to-end test of the JSONL serving stack (tools/rmt_serve).
+
+Pipes a scripted rmt.request/1 stream into an rmt_serve process and
+asserts the serving semantics from the outside:
+
+  * four duplicate decide requests in one batch share ONE computation
+    (exactly one response has coalesced=false; the engine's `computed`
+    counter confirms it) and answer byte-identical results;
+  * a repeated cacheable request comes back cached=true with the same
+    bytes;
+  * deadline_ms=0 is rejected with status "deadline_exceeded" without
+    wedging the server — the retry right after succeeds;
+  * a malformed line gets an "error" response (id "" when unreadable)
+    while the rest of the stream is answered normally;
+  * the final "stats" probe reports the exact engine/cache counters the
+    script implies;
+  * every response line validates against the rmt.response/1 schema via
+    tools/check_bench_json.py (when --checker is given).
+
+Usage: serve_e2e.py --server PATH [--checker PATH] [--jobs N]
+Exit code 0 on success; failures are printed and exit 1.
+
+Wired into ctest as `serve_e2e`.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+
+INSTANCE_A = ("rmt-instance v1\nnodes 3\nedge 0 1\nedge 1 2\n"
+              "dealer 0\nreceiver 2\ncorruptible 1\n")
+INSTANCE_B = ("rmt-instance v1\nnodes 6\nedge 0 1\nedge 1 2\nedge 2 5\n"
+              "edge 0 3\nedge 3 4\nedge 4 5\ndealer 0\nreceiver 5\n"
+              "corruptible 1\ncorruptible 3\nknowledge k-hop 2\n")
+
+
+def request(rid, instance, **extra):
+    doc = {"schema": "rmt.request/1", "id": rid, "kind": "decide_rmt",
+           "instance": instance}
+    doc.update(extra)
+    return json.dumps(doc)
+
+
+def build_input():
+    lines = []
+    # Batch 1: four duplicates, no_cache so the cache cannot pre-empt the
+    # coalescing path. A blank line flushes the batch.
+    for i in range(1, 5):
+        lines.append(request(f"dup{i}", INSTANCE_A, no_cache=True))
+    lines.append("")
+    # Cache population + hit on a distinct instance.
+    lines.append(request("warm", INSTANCE_B))
+    lines.append("")
+    lines.append(request("hit", INSTANCE_B))
+    lines.append("")
+    # Deadline 0 is deterministically already expired; the retry that
+    # follows proves the server did not wedge.
+    lines.append(request("late", INSTANCE_A, deadline_ms=0))
+    lines.append("")
+    lines.append(request("retry", INSTANCE_A))
+    lines.append("")
+    # A line that is not even JSON still yields a response.
+    lines.append("this is not a request")
+    lines.append("")
+    # Stats probe (flushes anything pending first).
+    lines.append(json.dumps({"schema": "rmt.request/1", "id": "st",
+                             "kind": "stats", "instance": ""}))
+    return "\n".join(lines) + "\n"
+
+
+def run_server(server, jobs, text):
+    proc = subprocess.run([server, "--jobs", str(jobs)], input=text,
+                          capture_output=True, text=True, timeout=90)
+    if proc.returncode != 0:
+        raise AssertionError(f"rmt_serve exited {proc.returncode}: {proc.stderr}")
+    return [json.loads(line) for line in proc.stdout.splitlines() if line.strip()]
+
+
+def check(responses, failures):
+    def expect(cond, msg):
+        if not cond:
+            failures.append(msg)
+
+    by_id = {}
+    for r in responses:
+        expect(r.get("schema") == "rmt.response/1",
+               f"bad schema in response: {r.get('schema')!r}")
+        by_id.setdefault(r.get("id"), []).append(r)
+
+    # Coalescing: one computation, four identical answers.
+    dups = [by_id.get(f"dup{i}", [None])[0] for i in range(1, 5)]
+    expect(all(d is not None for d in dups), "missing dup responses")
+    if all(dups):
+        expect(all(d["status"] == "ok" for d in dups), "dup status not ok")
+        results = {json.dumps(d["result"], sort_keys=True) for d in dups}
+        expect(len(results) == 1, f"dup results diverged: {len(results)} variants")
+        keys = {d["key"] for d in dups}
+        expect(len(keys) == 1, "dup keys diverged")
+        owners = [d for d in dups if not d["coalesced"]]
+        expect(len(owners) == 1,
+               f"expected exactly 1 non-coalesced dup, got {len(owners)}")
+
+    # Caching: the second ask for INSTANCE_B is a byte-identical hit.
+    warm, hit = by_id.get("warm", [None])[0], by_id.get("hit", [None])[0]
+    expect(warm and warm["status"] == "ok" and not warm["cached"],
+           "warm request not a fresh ok")
+    expect(hit and hit["status"] == "ok" and hit["cached"], "hit request not cached")
+    if warm and hit:
+        expect(hit["result"] == warm["result"], "cached bytes diverged")
+
+    # Deadline: rejected, result null, and the server kept serving.
+    late, retry = by_id.get("late", [None])[0], by_id.get("retry", [None])[0]
+    expect(late and late["status"] == "deadline_exceeded",
+           f"late status: {late and late['status']}")
+    expect(late and late["result"] is None, "late result not null")
+    expect(retry and retry["status"] == "ok", "retry after deadline failed")
+
+    # Malformed line: an error response with the empty id.
+    bad = by_id.get("", [None])[0]
+    expect(bad and bad["status"] == "error" and bad["error"],
+           "malformed line did not yield an error response")
+
+    # Stats: the exact counters the scripted stream implies.
+    st = by_id.get("st", [None])[0]
+    expect(st and st["status"] == "ok", "stats probe failed")
+    if st:
+        engine = st["result"]["engine"]
+        cache = st["result"]["cache"]
+        expect(engine["requests"] == 8, f"engine.requests={engine['requests']} != 8")
+        expect(engine["computed"] == 3, f"engine.computed={engine['computed']} != 3 "
+               "(dups must share one computation)")
+        expect(engine["coalesced"] == 3, f"engine.coalesced={engine['coalesced']} != 3")
+        expect(engine["deadline_exceeded"] == 1,
+               f"engine.deadline_exceeded={engine['deadline_exceeded']} != 1")
+        expect(engine["errors"] == 0, f"engine.errors={engine['errors']} != 0")
+        expect(cache["hits"] == 1, f"cache.hits={cache['hits']} != 1")
+        expect(cache["misses"] == 2, f"cache.misses={cache['misses']} != 2")
+        expect(cache["entries"] == 2, f"cache.entries={cache['entries']} != 2")
+
+
+def schema_check(checker, responses, failures):
+    with tempfile.NamedTemporaryFile("w", suffix=".jsonl", delete=False) as f:
+        for r in responses:
+            f.write(json.dumps(r) + "\n")
+        path = f.name
+    proc = subprocess.run([sys.executable, checker, path],
+                          capture_output=True, text=True)
+    if proc.returncode != 0:
+        failures.append(f"check_bench_json rejected the response stream:\n{proc.stderr}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--server", required=True, help="path to the rmt_serve binary")
+    parser.add_argument("--checker", help="path to check_bench_json.py")
+    parser.add_argument("--jobs", type=int, default=2)
+    args = parser.parse_args()
+
+    failures = []
+    responses = run_server(args.server, args.jobs, build_input())
+    check(responses, failures)
+    if args.checker:
+        schema_check(args.checker, responses, failures)
+
+    for f in failures:
+        print(f"serve_e2e: FAIL: {f}", file=sys.stderr)
+    print(f"serve_e2e: {len(responses)} responses, {len(failures)} failures")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
