@@ -19,6 +19,7 @@
 #include "instance/instance.hpp"
 #include "obs/bench_report.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "protocols/runner.hpp"
 #include "sim/strategies.hpp"
 #include "util/fmt.hpp"
@@ -47,14 +48,19 @@ inline void print_table(const std::string& title,
 /// typed values plus the observability snapshot (per-phase timings,
 /// "sim.*" counters). Construction enables observability so the snapshot
 /// is populated; the metrics registry is reset so the artifact covers
-/// only this driver's work.
+/// only this driver's work. `--trace-out <path>` additionally turns on
+/// span tracing (obs/trace.hpp) and dumps the flight recorder as
+/// rmt.trace/1 JSONL in finish() — the dump and the artifact share run
+/// anchors, so tools/trace_compare.py can align them.
 class Reporter {
  public:
   Reporter(int& argc, char** argv, std::string name)
       : report_(std::move(name)), json_path_(obs::consume_json_flag(argc, argv)),
+        trace_out_(obs::consume_string_flag(argc, argv, "--trace-out")),
         exec_(consume_exec_flags_or_exit(argc, argv)) {
     obs::Registry::global().reset();
     obs::set_enabled(true);
+    if (trace_out_) obs::trace::set_enabled(true);
   }
 
   /// The --jobs/--shard/--resume options this driver was invoked with.
@@ -90,7 +96,7 @@ class Reporter {
     report_.add_row(std::move(cells));
   }
 
-  /// Print the ASCII table; write the JSON artifact if requested.
+  /// Print the ASCII table; write the JSON/trace artifacts if requested.
   void finish(const std::string& title) {
     if (pool_) pool_->publish_stats();  // exec.* metrics join the snapshot
     print_table(title, table_);
@@ -98,6 +104,12 @@ class Reporter {
       report_.write(*json_path_);
       if (*json_path_ != "-")
         std::printf("\nwrote %s (%zu rows)\n", json_path_->c_str(), report_.num_rows());
+    }
+    if (trace_out_) {
+      if (obs::trace::Recorder::global().write_file(*trace_out_))
+        std::printf("\nwrote %s\n", trace_out_->c_str());
+      else
+        std::fprintf(stderr, "warning: cannot write trace to %s\n", trace_out_->c_str());
     }
   }
 
@@ -126,6 +138,7 @@ class Reporter {
   std::vector<std::vector<std::string>> table_;
   obs::BenchReport report_;
   std::optional<std::string> json_path_;
+  std::optional<std::string> trace_out_;
   exec::ExecOptions exec_;
   std::unique_ptr<exec::ThreadPool> pool_;
 };

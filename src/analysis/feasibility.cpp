@@ -5,6 +5,7 @@
 #include "exec/thread_pool.hpp"
 #include "graph/connectivity.hpp"
 #include "obs/timer.hpp"
+#include "obs/trace.hpp"
 #include "util/audit.hpp"
 #include "util/check.hpp"
 
@@ -17,6 +18,7 @@ bool solvable_by_zcpa(const Instance& inst) { return !rmt_zpp_cut_exists(inst); 
 std::optional<TwoCoverWitness> find_two_cover_cut(const Graph& g, const AdversaryStructure& z,
                                                   NodeId dealer, NodeId receiver) {
   RMT_OBS_SCOPE("feasibility.two_cover");
+  RMT_TRACE_SPAN("feasibility.two_cover");
   RMT_REQUIRE(g.has_node(dealer) && g.has_node(receiver) && dealer != receiver,
               "find_two_cover_cut: bad endpoints");
   RMT_AUDIT_VALIDATE(g);
@@ -41,6 +43,7 @@ std::optional<TwoCoverWitness> find_two_cover_cut(const Graph& g, const Adversar
   if (pool == nullptr || pool->num_workers() <= 1)
     return find_two_cover_cut(g, z, dealer, receiver);
   RMT_OBS_SCOPE("feasibility.two_cover");
+  RMT_TRACE_SPAN("feasibility.two_cover");
   RMT_REQUIRE(g.has_node(dealer) && g.has_node(receiver) && dealer != receiver,
               "find_two_cover_cut: bad endpoints");
   RMT_AUDIT_VALIDATE(g);

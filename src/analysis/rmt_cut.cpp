@@ -8,6 +8,7 @@
 #include "graph/cuts.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timer.hpp"
+#include "obs/trace.hpp"
 #include "util/audit.hpp"
 #include "util/check.hpp"
 
@@ -123,6 +124,7 @@ struct IncrementalScan {
 
 std::optional<RmtCutWitness> find_rmt_cut(const Instance& inst) {
   RMT_OBS_SCOPE("rmt_cut.find");
+  RMT_TRACE_SPAN("rmt_cut.find");
   RMT_REQUIRE(inst.num_players() <= kMaxExactNodes,
               "find_rmt_cut: instance too large for the exact decider");
   RMT_AUDIT_VALIDATE(inst);
@@ -142,6 +144,7 @@ std::optional<RmtCutWitness> find_rmt_cut(const Instance& inst) {
 
 std::optional<RmtCutWitness> find_rmt_cut_reference(const Instance& inst) {
   RMT_OBS_SCOPE("rmt_cut.find");
+  RMT_TRACE_SPAN("rmt_cut.find");
   RMT_REQUIRE(inst.num_players() <= kMaxExactNodes,
               "find_rmt_cut: instance too large for the exact decider");
   RMT_AUDIT_VALIDATE(inst);
@@ -181,6 +184,7 @@ std::optional<RmtCutWitness> find_rmt_cut_reference(const Instance& inst) {
 std::optional<RmtCutWitness> find_rmt_cut(const Instance& inst, exec::ThreadPool* pool) {
   if (pool == nullptr || pool->num_workers() <= 1) return find_rmt_cut(inst);
   RMT_OBS_SCOPE("rmt_cut.find");
+  RMT_TRACE_SPAN("rmt_cut.find");
   RMT_REQUIRE(inst.num_players() <= kMaxExactNodes,
               "find_rmt_cut: instance too large for the exact decider");
   RMT_AUDIT_VALIDATE(inst);

@@ -8,6 +8,7 @@
 #include "exec/thread_pool.hpp"
 #include "graph/cuts.hpp"
 #include "obs/timer.hpp"
+#include "obs/trace.hpp"
 #include "util/audit.hpp"
 #include "util/check.hpp"
 
@@ -106,6 +107,7 @@ std::vector<AdversaryStructure> local_structures(const Instance& inst) {
 
 std::optional<ZppCutWitness> find_rmt_zpp_cut(const Instance& inst) {
   RMT_OBS_SCOPE("zpp_cut.find");
+  RMT_TRACE_SPAN("zpp_cut.find");
   RMT_REQUIRE(inst.num_players() <= kMaxExactNodes,
               "find_rmt_zpp_cut: instance too large for the exact decider");
   RMT_AUDIT_VALIDATE(inst);
@@ -122,6 +124,7 @@ std::optional<ZppCutWitness> find_rmt_zpp_cut(const Instance& inst) {
 
 std::optional<ZppCutWitness> find_rmt_zpp_cut_reference(const Instance& inst) {
   RMT_OBS_SCOPE("zpp_cut.find");
+  RMT_TRACE_SPAN("zpp_cut.find");
   RMT_REQUIRE(inst.num_players() <= kMaxExactNodes,
               "find_rmt_zpp_cut: instance too large for the exact decider");
   RMT_AUDIT_VALIDATE(inst);
@@ -153,6 +156,7 @@ std::optional<ZppCutWitness> find_rmt_zpp_cut_reference(const Instance& inst) {
 std::optional<ZppCutWitness> find_rmt_zpp_cut(const Instance& inst, exec::ThreadPool* pool) {
   if (pool == nullptr || pool->num_workers() <= 1) return find_rmt_zpp_cut(inst);
   RMT_OBS_SCOPE("zpp_cut.find");
+  RMT_TRACE_SPAN("zpp_cut.find");
   RMT_REQUIRE(inst.num_players() <= kMaxExactNodes,
               "find_rmt_zpp_cut: instance too large for the exact decider");
   RMT_AUDIT_VALIDATE(inst);

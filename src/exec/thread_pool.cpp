@@ -4,6 +4,7 @@
 #include <exception>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace rmt::exec {
 
@@ -38,6 +39,19 @@ bool ThreadPool::on_worker_thread() const { return t_worker_pool == this; }
 
 void ThreadPool::submit(std::function<void()> task) {
   RMT_REQUIRE(task != nullptr, "ThreadPool::submit: null task");
+  // Request-scoped tracing crosses the pool boundary here: capture the
+  // submitting thread's context and re-enter it on the worker, so spans
+  // opened inside the task nest under the owning request rather than
+  // starting parentless traces. One relaxed load when tracing is off.
+  if (obs::trace::enabled()) {
+    if (const obs::trace::TraceContext ctx = obs::trace::current(); ctx.valid()) {
+      task = [ctx, inner = std::move(task)] {
+        obs::trace::ContextGuard guard(ctx);
+        obs::trace::Span span(RMT_TRACE_NAME("exec.task"));
+        inner();
+      };
+    }
+  }
   const std::size_t target =
       std::size_t(next_queue_.fetch_add(1, std::memory_order_relaxed)) % queues_.size();
   {

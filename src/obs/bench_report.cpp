@@ -6,9 +6,18 @@
 
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace rmt::obs {
+
+BenchReport::BenchReport(std::string name) : name_(std::move(name)) {
+  // The trace recorder's anchors, so a BENCH_*.json and an rmt.trace/1
+  // dump from the same process agree on the epoch byte-for-byte.
+  const trace::DumpHeader h = trace::Recorder::global().header();
+  run_start_unix_ms_ = h.run_start_unix_ms;
+  mono_anchor_ns_ = h.mono_anchor_ns;
+}
 
 void BenchReport::set_columns(std::vector<std::string> columns) {
   RMT_REQUIRE(rows_.empty(), "BenchReport: set_columns after rows were added");
@@ -42,6 +51,10 @@ std::string BenchReport::to_json() const {
   w.begin_object();
   w.field("schema", "rmt.bench/1");
   w.field("name", name_);
+  w.key("run").begin_object();
+  w.field("start_unix_ms", run_start_unix_ms_);
+  w.field("mono_anchor_ns", mono_anchor_ns_);
+  w.end_object();
   w.key("columns").begin_array();
   for (const auto& c : columns_) w.value(c);
   w.end_array();
@@ -72,26 +85,29 @@ void BenchReport::write(const std::string& path) const {
   if (!out) throw std::runtime_error("BenchReport: write failed for " + path);
 }
 
-std::optional<std::string> consume_json_flag(int& argc, char** argv) {
-  constexpr const char* kFlag = "--json";
-  constexpr const char* kPrefix = "--json=";
+std::optional<std::string> consume_string_flag(int& argc, char** argv, const char* flag) {
+  const std::string prefix = std::string(flag) + "=";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    std::optional<std::string> path;
+    std::optional<std::string> value;
     int consumed = 0;
-    if (arg == kFlag && i + 1 < argc) {
-      path = argv[i + 1];
+    if (arg == flag && i + 1 < argc) {
+      value = argv[i + 1];
       consumed = 2;
-    } else if (arg.rfind(kPrefix, 0) == 0) {
-      path = arg.substr(std::string(kPrefix).size());
+    } else if (arg.rfind(prefix, 0) == 0) {
+      value = arg.substr(prefix.size());
       consumed = 1;
     }
-    if (!path) continue;
+    if (!value) continue;
     for (int j = i; j + consumed < argc; ++j) argv[j] = argv[j + consumed];
     argc -= consumed;
-    return path;
+    return value;
   }
   return std::nullopt;
+}
+
+std::optional<std::string> consume_json_flag(int& argc, char** argv) {
+  return consume_string_flag(argc, argv, "--json");
 }
 
 }  // namespace rmt::obs

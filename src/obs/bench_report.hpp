@@ -5,6 +5,11 @@
 //   {
 //     "schema":  "rmt.bench/1",
 //     "name":    "<driver name>",
+//     "run":     {"start_unix_ms": <wall clock at construction>,
+//                 "mono_anchor_ns": <steady_clock raw value at the trace
+//                 epoch — the same pair an rmt.trace/1 header carries, so
+//                 tools/trace_compare.py can align a bench artifact with
+//                 the trace dump from the same process>},
 //     "columns": ["n", "time_us", ...],
 //     "rows":    [{"n": 6, "time_us": 12.5, ...}, ...],
 //     "metrics": <obs::snapshot_json of the global registry — includes
@@ -31,7 +36,9 @@ using BenchValue = std::variant<std::string, double, std::int64_t, std::uint64_t
 
 class BenchReport {
  public:
-  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+  /// Captures the run anchors (wall clock + the trace recorder's monotonic
+  /// epoch) once, at construction.
+  explicit BenchReport(std::string name);
 
   /// Column names; must be set before the first add_row.
   void set_columns(std::vector<std::string> columns);
@@ -50,13 +57,18 @@ class BenchReport {
 
  private:
   std::string name_;
+  std::uint64_t run_start_unix_ms_ = 0;
+  std::uint64_t mono_anchor_ns_ = 0;
   std::vector<std::string> columns_;
   std::vector<std::vector<BenchValue>> rows_;
 };
 
-/// Scan argv for "--json <path>" (or "--json=<path>"); returns the path
+/// Scan argv for "<flag> <value>" (or "<flag>=<value>"); returns the value
 /// and removes the flag from argv/argc so drivers can hand the rest to
 /// their own parsing (google-benchmark's included).
+std::optional<std::string> consume_string_flag(int& argc, char** argv, const char* flag);
+
+/// consume_string_flag for "--json <path>".
 std::optional<std::string> consume_json_flag(int& argc, char** argv);
 
 }  // namespace rmt::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/check.hpp"
 
@@ -84,13 +85,29 @@ double Histogram::quantile(double q) const {
   return max();
 }
 
+namespace {
+
+/// Saturating add for count-like atomics: repeated merges of long-lived
+/// sinks must clamp at 2^64-1, never wrap back to a small count (a
+/// wrapped count silently breaks every quantile that divides by it).
+void atomic_sat_add(std::atomic<std::uint64_t>& a, std::uint64_t delta) {
+  std::uint64_t cur = a.load(std::memory_order_relaxed);
+  std::uint64_t next;
+  do {
+    constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+    next = cur > kMax - delta ? kMax : cur + delta;
+  } while (!a.compare_exchange_weak(cur, next, std::memory_order_relaxed));
+}
+
+}  // namespace
+
 void Histogram::merge(const Histogram& o) {
   if (o.count() == 0) return;  // keep our min/max untouched by an empty peer
   for (std::size_t i = 0; i < kBuckets; ++i) {
     const std::uint64_t c = o.buckets_[i].load(std::memory_order_relaxed);
-    if (c) buckets_[i].fetch_add(c, std::memory_order_relaxed);
+    if (c) atomic_sat_add(buckets_[i], c);
   }
-  count_.fetch_add(o.count(), std::memory_order_relaxed);
+  atomic_sat_add(count_, o.count());
   atomic_add(sum_, o.sum());
   atomic_min(min_, o.min());
   atomic_max(max_, o.max());

@@ -93,7 +93,8 @@ class Histogram {
 
   /// Fold another histogram in: bucket-wise counts add; sum/count add;
   /// min/max widen. Quantiles of the merge equal those of the combined
-  /// observation stream (up to the shared bucket resolution).
+  /// observation stream (up to the shared bucket resolution). Counts
+  /// saturate at 2^64-1 instead of wrapping.
   void merge(const Histogram& o);
 
  private:

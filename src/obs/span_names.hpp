@@ -1,0 +1,47 @@
+// obs/span_names.hpp — the closed registry of trace span names.
+//
+// Span names are the phase vocabulary of the request-scoped tracer
+// (obs/trace.hpp). A name used by library code is either
+//  * a phase name from obs/phase_names.hpp — RMT_TRACE_SPAN sites mirror
+//    RMT_OBS_SCOPE sites one-for-one, so a span and its histogram share a
+//    label; or
+//  * a span-only name listed here — the structural spans the svc/exec
+//    layers emit that have no scoped-timer counterpart (request roots,
+//    coalescing joins, pool task re-entry).
+//
+// Like the phase registry, this one is enforced twice:
+//  * statically  — tools/rmt_lint.py scans every RMT_TRACE_SPAN /
+//    RMT_TRACE_NAME literal under src/ against the union of both
+//    registries, both directions (an unknown site name, or a span-registry
+//    entry with no remaining site, fails the lint_project test);
+//  * dynamically — with RMT_AUDIT on, the RMT_TRACE_SPAN constructor
+//    rejects names outside the phase registry (obs/trace.hpp).
+//
+// To add a span name: add the RMT_TRACE_NAME site and the entry here in
+// the same change; the linter markers below delimit what it parses.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "obs/phase_names.hpp"
+
+namespace rmt::obs {
+
+// lint:span-registry-begin
+inline constexpr std::array<std::string_view, 3> kSpanNames = {
+    "exec.task",
+    "svc.join",
+    "svc.request",
+};
+// lint:span-registry-end
+
+constexpr bool is_known_span(std::string_view name) {
+  // "test." is reserved for unit tests, mirroring is_known_phase.
+  if (is_known_phase(name)) return true;
+  for (std::string_view s : kSpanNames)
+    if (s == name) return true;
+  return false;
+}
+
+}  // namespace rmt::obs

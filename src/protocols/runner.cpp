@@ -1,6 +1,7 @@
 #include "protocols/runner.hpp"
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/audit.hpp"
 #include "util/check.hpp"
 
@@ -55,6 +56,7 @@ Outcome run_rmt(const Instance& inst, const Protocol& proto, Value dealer_value,
   {
     obs::ScopedCollector collect(out.phases);
     RMT_OBS_SCOPE("runner.run_rmt");
+    RMT_TRACE_SPAN("runner.run_rmt");
     sim::Network net(inst, build_nodes(inst, proto, dealer_value, corruption, inst.receiver()),
                      corruption, strategy, dealer_value);
     net.set_observer(observer);
@@ -82,6 +84,7 @@ BroadcastOutcome run_broadcast(const Instance& inst, const Protocol& proto, Valu
   {
     obs::ScopedCollector collect(out.phases);
     RMT_OBS_SCOPE("runner.run_broadcast");
+    RMT_TRACE_SPAN("runner.run_broadcast");
     const NodeId no_receiver = NodeId(inst.graph().capacity());
     sim::Network net(inst, build_nodes(inst, proto, dealer_value, corruption, no_receiver),
                      corruption, strategy, dealer_value);

@@ -11,6 +11,7 @@
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timer.hpp"
+#include "obs/trace.hpp"
 #include "protocols/rmt_pka.hpp"
 #include "protocols/runner.hpp"
 #include "sim/strategies.hpp"
@@ -31,6 +32,17 @@ std::unique_ptr<sim::AdversaryStrategy> make_strategy(const std::string& name,
   if (name == "phantom-world") return std::make_unique<sim::FictitiousWorldStrategy>();
   if (name == "two-faced") return std::make_unique<sim::TwoFacedStrategy>();
   throw std::invalid_argument("unknown adversary strategy '" + name + "'");
+}
+
+/// Span-attribute spelling of a response status. Deliberately duplicates
+/// wire::to_string: the engine must not depend on the wire layer above it.
+const char* status_name(Response::Status status) {
+  switch (status) {
+    case Response::Status::kOk: return "ok";
+    case Response::Status::kDeadlineExceeded: return "deadline_exceeded";
+    case Response::Status::kError: return "error";
+  }
+  return "unknown";
 }
 
 void write_witness(obs::json::Writer& w, const NodeSet& c1, const NodeSet& c2,
@@ -69,6 +81,9 @@ struct Engine::Inflight {
   Response::Status status = Response::Status::kOk;
   std::string result;
   std::string error;
+  /// The owner's "svc.compute" span id (0 when tracing was off or the
+  /// computation never started); joiners' "svc.join" spans reference it.
+  std::uint64_t compute_span = 0;
 };
 
 Engine::Engine(exec::ThreadPool* pool) : Engine(pool, Options{}) {}
@@ -158,6 +173,7 @@ std::string Engine::compute(const Request& req, const InstanceKey& key) const {
 
 std::vector<Response> Engine::run(const std::vector<Request>& requests) {
   RMT_OBS_SCOPE("svc.batch");
+  RMT_TRACE_SPAN("svc.batch");
   using clock = std::chrono::steady_clock;
   const clock::time_point t0 = clock::now();
   const auto elapsed_ms = [&t0] {
@@ -170,6 +186,34 @@ std::vector<Response> Engine::run(const std::vector<Request>& requests) {
   const std::size_t n = requests.size();
   requests_.fetch_add(n, std::memory_order_relaxed);
   std::vector<Response> out(n);
+
+  // Request-scoped tracing: each request gets a fresh root context in the
+  // pre-pass; the root "svc.request" span is emitted when its response is
+  // final (timestamps are captured eagerly, records lazily).
+  const bool tracing = obs::trace::enabled();
+  struct ReqTrace {
+    obs::trace::TraceContext ctx;
+    std::uint64_t start_ns = 0;
+  };
+  std::vector<ReqTrace> rtr(tracing ? n : 0);
+  bool any_deadline = false;
+  // cache_tag: "hit" / "miss" / "bypass" (no_cache) / "none" (rejected
+  // before lookup); join_tag: "batch" / "inflight" / null (owned leader).
+  const auto emit_root = [&](std::size_t i, const char* cache_tag, const char* join_tag) {
+    obs::trace::SpanRecord rec;
+    rec.trace_id = rtr[i].ctx.trace_id;
+    rec.span_id = rtr[i].ctx.span_id;
+    rec.set_name(RMT_TRACE_NAME("svc.request"));
+    rec.start_ns = rtr[i].start_ns;
+    rec.end_ns = obs::trace::now_ns();
+    rec.add_attr("kind", to_string(requests[i].kind));
+    rec.add_attr("status", status_name(out[i].status));
+    rec.add_attr("cache", cache_tag);
+    if (join_tag != nullptr) rec.add_attr("join", join_tag);
+    rec.add_attr("coalesced", out[i].coalesced);
+    rec.add_attr("bytes", std::uint64_t(out[i].result.size()));
+    obs::trace::emit(rec);
+  };
 
   // A unit of computation: the first request of each composite key leads;
   // in-batch duplicates follow; a key another batch is already computing
@@ -184,6 +228,7 @@ std::vector<Response> Engine::run(const std::vector<Request>& requests) {
     bool store = false;      ///< any attached request allows caching
     double start_ms = -1;    ///< compute start (owner jobs; -1 = never ran)
     double claim_ms = 0;     ///< when the key was claimed/joined
+    obs::trace::TraceContext ctx;  ///< leader's root context (tracing only)
   };
   std::vector<Job> jobs;
   std::unordered_map<std::string, std::size_t> job_of_key;
@@ -194,10 +239,19 @@ std::vector<Response> Engine::run(const std::vector<Request>& requests) {
     const Request& req = requests[i];
     const InstanceKey key = instance_key(req.instance);
     out[i].key = key.to_hex();
+    if (tracing) {
+      rtr[i].ctx = obs::trace::new_root_context();
+      rtr[i].start_ns = obs::trace::now_ns();
+      out[i].trace_id = rtr[i].ctx.trace_id;
+    }
     if (req.deadline_ms && elapsed_ms() >= double(*req.deadline_ms)) {
       out[i].status = Response::Status::kDeadlineExceeded;
       out[i].wall_us = elapsed_us();
       deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      if (tracing) {
+        any_deadline = true;
+        emit_root(i, "none", nullptr);
+      }
       continue;
     }
     const std::string ckey = composite_key(req, key);
@@ -207,6 +261,7 @@ std::vector<Response> Engine::run(const std::vector<Request>& requests) {
         out[i].result = std::move(*hit);
         out[i].cached = true;
         out[i].wall_us = elapsed_us();
+        if (tracing) emit_root(i, "hit", nullptr);
         continue;
       }
     }
@@ -222,6 +277,7 @@ std::vector<Response> Engine::run(const std::vector<Request>& requests) {
     job.ckey = ckey;
     job.store = !req.no_cache;
     job.claim_ms = elapsed_ms();
+    if (tracing) job.ctx = rtr[i].ctx;
     {
       std::lock_guard<std::mutex> lock(inflight_m_);
       if (const auto inflight_it = inflight_.find(ckey); inflight_it != inflight_.end()) {
@@ -245,6 +301,10 @@ std::vector<Response> Engine::run(const std::vector<Request>& requests) {
   exec::parallel_for(pool_, 0, owned.size(), 1, [&](std::size_t k) {
     Job& job = jobs[owned[k]];
     const Request& req = requests[job.leader];
+    // Compute under the leader's root context so the "svc.compute" span —
+    // and every decider phase span inside it — nests under the owning
+    // request even when this task landed on a pool worker.
+    obs::trace::ContextGuard trace_guard(job.ctx);
     job.start_ms = elapsed_ms();
     // Reject-before-start: compute only if some attached request is still
     // inside its deadline; a running decider is never killed afterwards.
@@ -257,8 +317,11 @@ std::vector<Response> Engine::run(const std::vector<Request>& requests) {
     Inflight& slot = *job.slot;
     std::string result, error;
     Response::Status status = Response::Status::kOk;
+    std::uint64_t compute_span = 0;
     if (any_live) {
       RMT_OBS_SCOPE("svc.compute");
+      RMT_TRACE_SPAN("svc.compute");
+      compute_span = obs::trace::current().span_id;
       try {
         result = compute(req, job.ikey);
         computed_.fetch_add(1, std::memory_order_relaxed);
@@ -274,6 +337,7 @@ std::vector<Response> Engine::run(const std::vector<Request>& requests) {
       slot.status = status;
       slot.result = result;
       slot.error = error;
+      slot.compute_span = compute_span;
       slot.done = true;
     }
     slot.cv.notify_all();
@@ -297,6 +361,7 @@ std::vector<Response> Engine::run(const std::vector<Request>& requests) {
           (req.deadline_ms && start_ms >= double(*req.deadline_ms))) {
         resp.status = Response::Status::kDeadlineExceeded;
         deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+        any_deadline = true;
       } else if (slot.status == Response::Status::kError) {
         resp.status = Response::Status::kError;
         resp.error = slot.error;
@@ -310,6 +375,33 @@ std::vector<Response> Engine::run(const std::vector<Request>& requests) {
     };
     fill(job.leader, true);
     for (std::size_t f : job.followers) fill(f, false);
+
+    if (tracing) {
+      // Coalescing is explicit in the trace: every request that shared
+      // the computation gets a "svc.join" span (child of its own root)
+      // referencing the leader's compute span — in-batch followers and
+      // cross-batch inflight joiners alike. Joins close before roots so
+      // intervals nest.
+      const std::uint64_t leader_target =
+          slot.compute_span != 0 ? slot.compute_span : rtr[job.leader].ctx.span_id;
+      const auto emit_join = [&](std::size_t idx) {
+        obs::trace::SpanRecord rec;
+        rec.trace_id = rtr[idx].ctx.trace_id;
+        rec.span_id = obs::trace::next_id();
+        rec.parent_span_id = rtr[idx].ctx.span_id;
+        rec.set_name(RMT_TRACE_NAME("svc.join"));
+        rec.join_span_id = leader_target;
+        rec.start_ns = rtr[idx].start_ns;
+        rec.end_ns = obs::trace::now_ns();
+        obs::trace::emit(rec);
+      };
+      if (!job.owner) emit_join(job.leader);
+      for (std::size_t f : job.followers) emit_join(f);
+      emit_root(job.leader, requests[job.leader].no_cache ? "bypass" : "miss",
+                job.owner ? nullptr : "inflight");
+      for (std::size_t f : job.followers)
+        emit_root(f, requests[f].no_cache ? "bypass" : "miss", "batch");
+    }
   }
 
   // Release owned slots only after their results are filled everywhere;
@@ -324,6 +416,11 @@ std::vector<Response> Engine::run(const std::vector<Request>& requests) {
     obs::Histogram& h = obs::Registry::global().histogram("svc.request_us");
     for (const Response& resp : out) h.observe(resp.wall_us);
   }
+  // Flight-recorder dump on deadline_exceeded: when a dump path is
+  // configured (rmt_serve --trace-out), the spans leading up to a missed
+  // deadline are preserved for post-mortem before the ring overwrites
+  // them. No-op otherwise.
+  if (tracing && any_deadline) obs::trace::Recorder::global().dump_now("deadline_exceeded");
   return out;
 }
 

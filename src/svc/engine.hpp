@@ -95,6 +95,9 @@ struct Response {
   bool cached = false;     ///< served from the result cache
   bool coalesced = false;  ///< shared another request's computation
   double wall_us = 0;      ///< this request's wall time inside run()
+  /// Root trace id of this request's span subtree (obs/trace.hpp); 0 when
+  /// tracing was disabled. The wire layer renders it as a 16-hex string.
+  std::uint64_t trace_id = 0;
 };
 
 class Engine {

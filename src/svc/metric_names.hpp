@@ -18,8 +18,9 @@
 namespace rmt::svc {
 
 // lint:svc-metric-registry-begin
-inline constexpr std::array<std::string_view, 11> kSvcMetricNames = {
+inline constexpr std::array<std::string_view, 12> kSvcMetricNames = {
     "svc.cache.bytes",
+    "svc.cache.entries",
     "svc.cache.evictions",
     "svc.cache.hits",
     "svc.cache.misses",

@@ -94,6 +94,7 @@ void ResultCache::publish_stats() {
   reg.counter("svc.cache.misses").inc(now.misses - published_misses_);
   reg.counter("svc.cache.evictions").inc(now.evictions - published_evictions_);
   reg.gauge("svc.cache.bytes").set(double(now.bytes));
+  reg.gauge("svc.cache.entries").set(double(now.entries));
   published_hits_ = now.hits;
   published_misses_ = now.misses;
   published_evictions_ = now.evictions;

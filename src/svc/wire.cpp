@@ -4,6 +4,7 @@
 
 #include "io/serialize.hpp"
 #include "obs/json.hpp"
+#include "obs/trace.hpp"
 
 namespace rmt::svc::wire {
 
@@ -34,6 +35,10 @@ const char* to_string(Response::Status status) {
 }
 
 ParsedRequest parse_request(const std::string& line) {
+  if (line.size() > kMaxRequestBytes)
+    throw std::invalid_argument("rmt.request/1: line exceeds " +
+                                std::to_string(kMaxRequestBytes) + " bytes (got " +
+                                std::to_string(line.size()) + ")");
   const obs::json::Value doc = obs::json::Value::parse(line);
   if (!doc.is_object()) throw std::invalid_argument("rmt.request/1: not a JSON object");
   if (require_string(doc, "schema") != kRequestSchema)
@@ -99,6 +104,9 @@ std::string format_response(const std::string& id, const Response& resp) {
   w.field("cached", resp.cached);
   w.field("coalesced", resp.coalesced);
   w.field("wall_us", resp.wall_us);
+  w.key("trace_id");
+  if (resp.trace_id != 0) w.value(obs::trace::id_hex(resp.trace_id));
+  else w.null();
   w.end_object();
   return w.take();
 }

@@ -17,14 +17,17 @@
 //
 //   {"schema":"rmt.response/1","id":"q1","status":"ok",
 //    "key":"bc6adf4f00f0be64...","result":{...},"error":null,
-//    "cached":false,"coalesced":false,"wall_us":412.0}
+//    "cached":false,"coalesced":false,"wall_us":412.0,
+//    "trace_id":"7f3a9c51d2e80b64"}
 //
 // `result` is the engine's deterministic payload object when status is
 // "ok" and null otherwise; `error` is the converse. `id` is echoed
 // verbatim so a client may pipeline requests and match answers by id —
-// within one batch the server also preserves order.
+// within one batch the server also preserves order. `trace_id` names the
+// request's span subtree in rmt.trace/1 dumps (null when tracing is off).
 #pragma once
 
+#include <cstddef>
 #include <string>
 
 #include "svc/engine.hpp"
@@ -33,6 +36,12 @@ namespace rmt::svc::wire {
 
 inline constexpr const char* kRequestSchema = "rmt.request/1";
 inline constexpr const char* kResponseSchema = "rmt.response/1";
+
+/// Upper bound on one request line. A line over the limit is rejected
+/// before JSON parsing — the parser is recursive and the server reads
+/// untrusted stdin, so "one absurd line" must cost O(limit), not O(line).
+/// 4 MiB comfortably fits every realistic embedded instance text.
+inline constexpr std::size_t kMaxRequestBytes = 4u << 20;
 
 /// "ok" / "deadline_exceeded" / "error".
 const char* to_string(Response::Status status);

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "graph/generators.hpp"
@@ -185,6 +187,70 @@ TEST(ObsMerge, EmptyHistogramLeavesTargetAlone) {
   EXPECT_EQ(a.count(), 1u);
   EXPECT_DOUBLE_EQ(a.min(), 3.0);  // an empty peer must not widen min to 0
   EXPECT_DOUBLE_EQ(a.max(), 3.0);
+}
+
+TEST(ObsMerge, EmptyIntoEmptyHistogramStaysEmpty) {
+  Histogram a, b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), 0.0);  // the empty-report convention holds
+  EXPECT_DOUBLE_EQ(a.max(), 0.0);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.p99(), 0.0);
+  EXPECT_TRUE(a.nonzero_buckets().empty());
+}
+
+TEST(ObsMerge, MergeIntoEmptyHistogramAdoptsTheStream) {
+  Histogram a, b;
+  b.observe(3.0);
+  b.observe(40.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.min(), 3.0);  // not widened down to the empty 0
+  EXPECT_DOUBLE_EQ(a.max(), 40.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 43.0);
+}
+
+TEST(ObsMerge, HistogramCountsSaturateInsteadOfWrapping) {
+  // Fibonacci-style cross-merging doubles the counts (roughly) each round,
+  // so 200 rounds sail far past 2^64: a wrapping fetch_add would land on
+  // an arbitrary small count, saturation must pin every count-like field
+  // at 2^64-1 while sum/min/max stay sane.
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  Histogram a, b;
+  a.observe(2.0);
+  b.observe(2.0);
+  for (int i = 0; i < 200; ++i) {
+    a.merge(b);
+    b.merge(a);
+  }
+  EXPECT_EQ(a.count(), kMax);
+  EXPECT_EQ(b.count(), kMax);
+  ASSERT_EQ(a.nonzero_buckets().size(), 1u);
+  EXPECT_EQ(a.nonzero_buckets()[0].second, kMax);  // buckets saturate too
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 2.0);
+  EXPECT_DOUBLE_EQ(a.p99(), 2.0);  // quantiles survive the clamped count
+}
+
+TEST(ObsMerge, SummaryEmptyIntoEmptyStaysEmpty) {
+  Summary a, b;
+  a.merge(b);
+  EXPECT_EQ(a.snapshot().count(), 0u);
+  EXPECT_TRUE(a.snapshot().empty());  // mean() on it stays a precondition error
+
+  // One-sided merges adopt / keep the non-empty stream exactly.
+  Summary filled;
+  filled.observe(5.0);
+  filled.observe(7.0);
+  a.merge(filled);
+  EXPECT_EQ(a.snapshot().count(), 2u);
+  EXPECT_DOUBLE_EQ(a.snapshot().mean(), 6.0);
+  Summary empty;
+  a.merge(empty);
+  EXPECT_EQ(a.snapshot().count(), 2u);
+  EXPECT_DOUBLE_EQ(a.snapshot().mean(), 6.0);
 }
 
 TEST(ObsMerge, SummaryCombinesWelfordExactly) {

@@ -78,6 +78,45 @@ TEST(SvcWire, RejectsMalformedRequests) {
       "instance parse error at line 1");
 }
 
+TEST(SvcWire, RejectsNonStringRequiredFields) {
+  // Every required field must be a *string*, and the message must name
+  // the offending field — a client debugging a 400-equivalent needs to
+  // know which one to fix.
+  expect_rejected(R"({"schema":7,"id":"q1","kind":"decide_rmt","instance":""})",
+                  "field 'schema' must be a string");
+  expect_rejected(R"({"schema":"rmt.request/1","id":17,"kind":"decide_rmt"})",
+                  "field 'id' must be a string");
+  expect_rejected(R"({"schema":"rmt.request/1","id":"q1","kind":["decide_rmt"]})",
+                  "field 'kind' must be a string");
+  expect_rejected(
+      R"({"schema":"rmt.request/1","id":"q1","kind":"decide_rmt","instance":null})",
+      "field 'instance' must be a string");
+}
+
+TEST(SvcWire, RejectsOversizedLinesBeforeParsing) {
+  // A line over kMaxRequestBytes is refused up front (the message carries
+  // both the limit and the actual size), and the guard sits *before* the
+  // JSON parser: the padding below is deliberately not valid JSON.
+  std::string line = request_line();
+  line.append(kMaxRequestBytes + 1 - line.size(), '{');
+  try {
+    parse_request(line);
+    FAIL() << "expected std::invalid_argument for an oversized line";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line exceeds " + std::to_string(kMaxRequestBytes)),
+              std::string::npos)
+        << "actual message: " << msg;
+    EXPECT_NE(msg.find("got " + std::to_string(line.size())), std::string::npos)
+        << "actual message: " << msg;
+  }
+  // At exactly the limit the size guard passes (the parse then proceeds
+  // normally; trailing spaces keep the JSON valid).
+  std::string ok = request_line();
+  ok.insert(ok.size() - 1, std::string(kMaxRequestBytes - ok.size(), ' '));
+  EXPECT_EQ(parse_request(ok).id, "q1");
+}
+
 TEST(SvcWire, ExtractIdIsBestEffort) {
   EXPECT_EQ(extract_id(R"({"schema":"nope","id":"q7"})"), "q7");
   EXPECT_EQ(extract_id(R"({"schema":"nope"})"), "");
@@ -102,6 +141,17 @@ TEST(SvcWire, FormatsOkResponse) {
   EXPECT_EQ(doc.find("error")->kind(), obs::json::Value::Kind::kNull);
   EXPECT_TRUE(doc.find("cached")->as_bool());
   EXPECT_FALSE(doc.find("coalesced")->as_bool());
+  // No trace id recorded: the field is still present, as null.
+  EXPECT_EQ(doc.find("trace_id")->kind(), obs::json::Value::Kind::kNull);
+}
+
+TEST(SvcWire, ResponseCarriesTraceIdAs16Hex) {
+  Response resp;
+  resp.status = Response::Status::kOk;
+  resp.result = "{}";
+  resp.trace_id = 0x7f3a9c51d2e80b64ull;
+  const obs::json::Value doc = obs::json::Value::parse(format_response("q1", resp));
+  EXPECT_EQ(doc.find("trace_id")->as_string(), "7f3a9c51d2e80b64");
 }
 
 TEST(SvcWire, FormatsErrorAndDeadlineResponses) {

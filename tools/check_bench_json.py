@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validate the JSON artifacts emitted by the rmt observability layer.
 
-Understands the seven schemas the repository produces:
+Understands the eight schemas the repository produces:
   * rmt.bench/1    — bench/ driver reports (obs::BenchReport);
   * rmt.analyze/1  — `rmt_cli analyze --json`;
   * rmt.run/1      — `rmt_cli run --json`;
@@ -10,6 +10,18 @@ Understands the seven schemas the repository produces:
                      tools/rmt_serve reads and `rmt_cli decide` implies);
   * rmt.response/1 — the matching answer lines (rmt_serve stdout,
                      `rmt_cli decide` output);
+  * rmt.trace/1    — flight-recorder span dumps (obs/trace.hpp; rmt_serve
+                     --trace-out, rmt_cli --trace-out, bench --trace-out).
+                     JSONL: one header line, then one line per span. Parent
+                     pointers must form a well-founded forest — every
+                     parent resolves within the dump to a span of the same
+                     trace, no cycles, and a child's [start_ns, end_ns]
+                     interval nests inside its parent's. Join references
+                     must resolve too (they may cross traces: a coalesced
+                     request's join span points at the leader's compute
+                     span). Resolution is enforced only when the header
+                     says dropped == 0 — ring overwrite legitimately evicts
+                     parents in long runs;
   * rmt.campaign/1 — JSONL campaign manifests (exec::Campaign --resume
                      checkpoints). Files ending in .jsonl are validated
                      line by line: at least one header, a consistent
@@ -18,7 +30,8 @@ Understands the seven schemas the repository produces:
 
 JSONL files whose lines carry rmt.request/1 / rmt.response/1 schemas (a
 captured serving transcript) are validated line by line against those
-checkers instead of the campaign rules.
+checkers, and files whose lines carry rmt.trace/1 against the trace rules,
+instead of the campaign rules.
 
 Usage:
   check_bench_json.py [--require-phases] [--require-sim] FILE [FILE ...]
@@ -105,6 +118,13 @@ def check_bench(doc, problems, args):
     name = doc.get("name")
     if not isinstance(name, str) or not name:
         problems.add("name: missing or empty")
+    run = doc.get("run")
+    if not isinstance(run, dict):
+        problems.add("run: missing or not an object (the run anchors)")
+    else:
+        for field in ("start_unix_ms", "mono_anchor_ns"):
+            if not _is_uint(run.get(field)):
+                problems.add(f"run.{field}: missing or not a non-negative integer")
     columns = doc.get("columns")
     if not (isinstance(columns, list) and columns
             and all(isinstance(c, str) for c in columns)):
@@ -132,6 +152,14 @@ def check_bench(doc, problems, args):
             if isinstance(row, dict) and row.get("identical") is not True:
                 problems.add(f"rows[{i}].identical: {row.get('identical')!r} "
                              f"(optimized answer diverged from seed)")
+    # Budget columns are the same kind of gate: bench_trace_overhead's
+    # `within_budget` asserts the measured tracing overhead stayed under
+    # its hard per-row budget. Any row that is not literally true fails.
+    if "within_budget" in columns:
+        for i, row in enumerate(rows):
+            if isinstance(row, dict) and row.get("within_budget") is not True:
+                problems.add(f"rows[{i}].within_budget: {row.get('within_budget')!r} "
+                             f"(measured overhead exceeded the hard budget)")
     check_metrics(doc.get("metrics"), problems, args.require_phases, args.require_sim)
 
 
@@ -207,9 +235,9 @@ def _is_uint(v):
 
 # --- the svc wire protocol (rmt.request/1 / rmt.response/1) ------------------
 
-# The four engine query kinds plus the "stats" probe rmt_serve answers
-# without consulting the engine.
-REQUEST_KINDS = ["decide_rmt", "decide_zpp", "analyze", "simulate", "stats"]
+# The four engine query kinds plus the "stats" / "trace" probes rmt_serve
+# answers without consulting the engine.
+REQUEST_KINDS = ["decide_rmt", "decide_zpp", "analyze", "simulate", "stats", "trace"]
 RESPONSE_STATUSES = ["ok", "deadline_exceeded", "error"]
 KEY_HEX_RE = re.compile(r"^[0-9a-f]{32}$")
 
@@ -223,7 +251,7 @@ def check_request(doc, problems, args):
     if not isinstance(doc.get("instance"), str):
         problems.add("instance: missing or not a string (the embedded "
                      "rmt-instance v1 text)")
-    elif kind != "stats" and "rmt-instance v1" not in doc["instance"]:
+    elif kind not in ("stats", "trace") and "rmt-instance v1" not in doc["instance"]:
         problems.add("instance: does not contain an 'rmt-instance v1' header")
     if "deadline_ms" in doc and not _is_uint(doc["deadline_ms"]):
         problems.add("deadline_ms: not a non-negative integer")
@@ -274,6 +302,151 @@ def check_response(doc, problems, args):
     wall = doc.get("wall_us")
     if not isinstance(wall, (int, float)) or isinstance(wall, bool) or wall < 0:
         problems.add("wall_us: missing or not a non-negative number")
+    trace_id = doc.get("trace_id", "absent")
+    if trace_id == "absent":
+        problems.add("trace_id: missing (null expected when tracing is off)")
+    elif trace_id is not None and not (isinstance(trace_id, str)
+                                       and SPAN_HEX_RE.match(trace_id)):
+        problems.add(f"trace_id: {trace_id!r} is neither null nor 16 lowercase hex chars")
+
+
+# --- the flight-recorder dump (rmt.trace/1 JSONL) ----------------------------
+
+SPAN_HEX_RE = re.compile(r"^[0-9a-f]{16}$")
+TRACE_HEADER_FIELDS = ["run_start_unix_ms", "mono_anchor_ns", "capacity",
+                       "recorded", "dropped"]
+SPAN_KINDS = ["span", "join"]
+
+
+def _check_trace_span(doc, where, problems):
+    """Per-line span checks; returns the decoded span or None."""
+    ok = True
+    for field in ("trace", "span"):
+        v = doc.get(field)
+        if not (isinstance(v, str) and SPAN_HEX_RE.match(v)):
+            problems.add(f"{where}.{field}: {v!r} is not 16 lowercase hex chars")
+            ok = False
+    for field in ("parent", "join"):
+        v = doc.get(field, "absent")
+        if v == "absent":
+            problems.add(f"{where}.{field}: missing (null expected for none)")
+            ok = False
+        elif v is not None and not (isinstance(v, str) and SPAN_HEX_RE.match(v)):
+            problems.add(f"{where}.{field}: {v!r} is neither null nor 16 hex chars")
+            ok = False
+    if not isinstance(doc.get("name"), str) or not doc.get("name"):
+        problems.add(f"{where}.name: missing or empty")
+        ok = False
+    kind = doc.get("kind")
+    if kind not in SPAN_KINDS:
+        problems.add(f"{where}.kind: {kind!r} not one of {SPAN_KINDS}")
+        ok = False
+    elif (kind == "join") != (doc.get("join") is not None):
+        problems.add(f"{where}: kind {kind!r} inconsistent with join "
+                     f"{doc.get('join')!r} (joins and only joins carry a target)")
+    for field in ("start_ns", "end_ns"):
+        if not _is_uint(doc.get(field)):
+            problems.add(f"{where}.{field}: missing or not a non-negative integer")
+            ok = False
+    if ok and doc["end_ns"] < doc["start_ns"]:
+        problems.add(f"{where}: end_ns {doc['end_ns']} < start_ns {doc['start_ns']}")
+    if "attrs" in doc and not isinstance(doc["attrs"], str):
+        problems.add(f"{where}.attrs: not a string")
+    return doc if ok else None
+
+
+def check_trace_lines(lines, problems):
+    """Validate an rmt.trace/1 dump, given its decoded lines.
+
+    Structure first (every line), then the parent-pointer forest: parents
+    resolve in-trace with nested intervals and no cycles, joins resolve
+    (possibly cross-trace). Resolution is only enforced when the header
+    reports dropped == 0 — an overwritten ring legitimately loses parents.
+    """
+    header = None
+    spans = []
+    for i, doc in lines:
+        where = f"line {i}"
+        if not isinstance(doc, dict):
+            problems.add(f"{where}: not an object")
+            continue
+        if doc.get("schema") != "rmt.trace/1":
+            problems.add(f"{where}: schema is not rmt.trace/1")
+            continue
+        if "span" not in doc:  # header line
+            if header is not None:
+                problems.add(f"{where}: second header line")
+                continue
+            if spans:
+                problems.add(f"{where}: header after span lines")
+            header = doc
+            for field in TRACE_HEADER_FIELDS:
+                if not _is_uint(doc.get(field)):
+                    problems.add(f"{where} (header).{field}: missing or not a "
+                                 f"non-negative integer")
+            if _is_uint(doc.get("recorded")) and _is_uint(doc.get("dropped")) \
+                    and doc["dropped"] > doc["recorded"]:
+                problems.add(f"{where} (header): dropped {doc['dropped']} > "
+                             f"recorded {doc['recorded']}")
+            continue
+        span = _check_trace_span(doc, where, problems)
+        if span is not None:
+            spans.append((i, span))
+    if header is None:
+        problems.add("no rmt.trace/1 header line found")
+        return
+    if _is_uint(header.get("capacity")) and len(spans) > header["capacity"]:
+        problems.add(f"{len(spans)} span lines exceed the header capacity "
+                     f"{header['capacity']}")
+    if _is_uint(header.get("recorded")) and _is_uint(header.get("dropped")) \
+            and header["dropped"] == 0 \
+            and len(lines) - 1 == len(spans) and len(spans) != header["recorded"]:
+        problems.add(f"header says recorded={header['recorded']} dropped=0 "
+                     f"but the dump carries {len(spans)} span lines")
+    by_id = {}
+    for i, span in spans:
+        if span["span"] in by_id:
+            problems.add(f"line {i}: duplicate span id {span['span']}")
+        else:
+            by_id[span["span"]] = (i, span)
+    complete = _is_uint(header.get("dropped")) and header["dropped"] == 0
+    for i, span in spans:
+        parent = span.get("parent")
+        if parent is not None and parent not in by_id and complete:
+            problems.add(f"line {i}: parent {parent} does not resolve "
+                         f"(and the header says dropped == 0)")
+        join = span.get("join")
+        if join is not None and join not in by_id and complete:
+            problems.add(f"line {i}: join {join} does not resolve "
+                         f"(and the header says dropped == 0)")
+    for i, span in spans:
+        parent = span.get("parent")
+        target = by_id.get(parent) if parent is not None else None
+        if target is None:
+            continue
+        pi, p = target
+        if p["trace"] != span["trace"]:
+            problems.add(f"line {i}: parent {parent} (line {pi}) belongs to "
+                         f"trace {p['trace']}, child to {span['trace']}")
+        if not (p["start_ns"] <= span["start_ns"] and span["end_ns"] <= p["end_ns"]):
+            problems.add(
+                f"line {i}: interval [{span['start_ns']}, {span['end_ns']}] not "
+                f"inside parent's [{p['start_ns']}, {p['end_ns']}] (line {pi})")
+    # Cycle detection over the parent forest (resolved edges only).
+    state = {}  # span id -> 1 (on stack) | 2 (done)
+    for sid in by_id:
+        path = []
+        cur = sid
+        while cur is not None and cur in by_id and state.get(cur) != 2:
+            if state.get(cur) == 1:
+                problems.add(f"parent cycle through span {cur} "
+                             f"(line {by_id[cur][0]})")
+                break
+            state[cur] = 1
+            path.append(cur)
+            cur = by_id[cur][1].get("parent")
+        for s in path:
+            state[s] = 2
 
 
 def check_wire_lines(lines, problems):
@@ -388,6 +561,8 @@ def check_file(path, args):
         schemas = {doc.get("schema") for _, doc in lines if isinstance(doc, dict)}
         if schemas and schemas <= set(WIRE_CHECKERS):
             check_wire_lines(lines, problems)
+        elif schemas == {"rmt.trace/1"}:
+            check_trace_lines(lines, problems)
         else:
             check_campaign_lines(lines, problems)
         return problems.items
@@ -415,13 +590,18 @@ def _selftest_docs():
     hist = {f: 1 for f in HISTOGRAM_FIELDS}
     inst = {"players": 8, "channels": 9, "dealer": 0, "receiver": 7, "maximal_sets": 3}
     stats = {f: 0 for f in NETWORK_STAT_FIELDS}
+    run = {"start_unix_ms": 1754600000000, "mono_anchor_ns": 123456789}
     good = [
-        {"schema": "rmt.bench/1", "name": "b", "columns": ["n"],
+        {"schema": "rmt.bench/1", "name": "b", "run": run, "columns": ["n"],
          "rows": [{"n": 4}], "metrics": metrics},
-        {"schema": "rmt.bench/1", "name": "bench_decider",
+        {"schema": "rmt.bench/1", "name": "bench_decider", "run": run,
          "columns": ["decider", "identical"],
          "rows": [{"decider": "rmt-seed", "identical": True},
                   {"decider": "rmt-incr", "identical": True}],
+         "metrics": metrics},
+        {"schema": "rmt.bench/1", "name": "bench_trace", "run": run,
+         "columns": ["row", "per_span_ns", "within_budget"],
+         "rows": [{"row": "span-idle", "per_span_ns": 3.5, "within_budget": True}],
          "metrics": metrics},
         {"schema": "rmt.analyze/1", "instance": inst, "rmt_solvable": True,
          "rmt_cut_witness": None, "zcpa_solvable": True,
@@ -443,28 +623,41 @@ def _selftest_docs():
         {"schema": "rmt.request/1", "id": "st", "kind": "stats", "instance": ""},
         {"schema": "rmt.response/1", "id": "q1", "status": "ok",
          "key": "bc6adf4f00f0be648b62687f484b0ff8", "result": {"solvable": True},
-         "error": None, "cached": False, "coalesced": True, "wall_us": 12.5},
+         "error": None, "cached": False, "coalesced": True, "wall_us": 12.5,
+         "trace_id": "7f3a9c51d2e80b64"},
         {"schema": "rmt.response/1", "id": "q2", "status": "deadline_exceeded",
          "key": "bc6adf4f00f0be648b62687f484b0ff8", "result": None,
-         "error": None, "cached": False, "coalesced": False, "wall_us": 0},
+         "error": None, "cached": False, "coalesced": False, "wall_us": 0,
+         "trace_id": None},
         {"schema": "rmt.response/1", "id": "", "status": "error", "key": None,
          "result": None, "error": "missing field 'kind'", "cached": False,
-         "coalesced": False, "wall_us": 0.0},
+         "coalesced": False, "wall_us": 0.0, "trace_id": None},
     ]
     bad = [
         {"schema": "rmt.unknown/9"},
-        {"schema": "rmt.bench/1", "name": "", "columns": [], "rows": [],
+        {"schema": "rmt.bench/1", "name": "", "run": run, "columns": [], "rows": [],
          "metrics": metrics},
+        # The run anchors are required: without them an artifact cannot be
+        # aligned with the trace dump from the same process.
+        {"schema": "rmt.bench/1", "name": "b", "columns": ["n"],
+         "rows": [{"n": 4}], "metrics": metrics},
+        {"schema": "rmt.bench/1", "name": "b", "run": {"start_unix_ms": -5},
+         "columns": ["n"], "rows": [{"n": 4}], "metrics": metrics},
         # Identity gate: a declared `identical` column with any non-true
         # value (false, "yes", missing) is a divergence, not a style issue.
-        {"schema": "rmt.bench/1", "name": "bench_decider",
+        {"schema": "rmt.bench/1", "name": "bench_decider", "run": run,
          "columns": ["decider", "identical"],
          "rows": [{"decider": "rmt-seed", "identical": True},
                   {"decider": "rmt-incr", "identical": False}],
          "metrics": metrics},
-        {"schema": "rmt.bench/1", "name": "bench_decider",
+        {"schema": "rmt.bench/1", "name": "bench_decider", "run": run,
          "columns": ["decider", "identical"],
          "rows": [{"decider": "rmt-incr", "identical": "yes"}],
+         "metrics": metrics},
+        # Budget gate: within_budget is hard-checked the same way.
+        {"schema": "rmt.bench/1", "name": "bench_trace", "run": run,
+         "columns": ["row", "within_budget"],
+         "rows": [{"row": "span-idle", "within_budget": False}],
          "metrics": metrics},
         {"schema": "rmt.analyze/1", "instance": {"players": "eight"},
          "rmt_solvable": "yes", "metrics": metrics},
@@ -506,6 +699,12 @@ def _selftest_docs():
         {"schema": "rmt.response/1", "id": "q", "status": "ok", "key": None,
          "result": {}, "error": None, "cached": "no", "coalesced": False,
          "wall_us": -2},                                         # bad cached/wall_us
+        {"schema": "rmt.response/1", "id": "q", "status": "ok", "key": None,
+         "result": {}, "error": None, "cached": False, "coalesced": False,
+         "wall_us": 1},                                          # trace_id missing
+        {"schema": "rmt.response/1", "id": "q", "status": "ok", "key": None,
+         "result": {}, "error": None, "cached": False, "coalesced": False,
+         "wall_us": 1, "trace_id": "XYZ"},                       # malformed trace_id
     ]
     return good, bad
 
@@ -537,6 +736,60 @@ def _selftest_manifests():
         [(1, header), (2, dict(shard0, payload="torn\nline"))],
         [(1, header), (2, dict(shard0, wall_us="fast"))],
         [(1, dict(header, schema="rmt.bench/1"))],              # wrong schema
+    ]
+    return good, bad
+
+
+def _selftest_traces():
+    """Trace dumps are JSONL, so fixtures are (lineno, doc) line lists."""
+    def hx(n):
+        return f"{n:016x}"
+
+    def span(trace, sid, parent=None, name="svc.request", kind="span",
+             join=None, start=0, end=100):
+        return {"schema": "rmt.trace/1", "trace": hx(trace), "span": hx(sid),
+                "parent": None if parent is None else hx(parent), "name": name,
+                "kind": kind, "join": None if join is None else hx(join),
+                "start_ns": start, "end_ns": end, "attrs": ""}
+
+    header = {"schema": "rmt.trace/1", "run_start_unix_ms": 1754600000000,
+              "mono_anchor_ns": 123, "capacity": 4096, "recorded": 4, "dropped": 0}
+    root = span(1, 2)
+    child = span(1, 3, parent=2, name="svc.compute", start=10, end=90)
+    # A coalesced request: its own root, plus a join referencing the other
+    # trace's compute span — legal cross-trace.
+    root2 = span(4, 5, start=5, end=95)
+    join2 = span(4, 6, parent=5, name="svc.join", kind="join", join=3,
+                 start=5, end=80)
+    good = [
+        [(1, header), (2, root), (3, child), (4, root2), (5, join2)],
+        # Empty ring: a header alone is a valid dump.
+        [(1, dict(header, recorded=0))],
+        # dropped > 0 relaxes resolution: an evicted parent is tolerated.
+        [(1, dict(header, dropped=2)), (2, span(1, 9, parent=8))],
+    ]
+    bad = [
+        [],                                                  # no header
+        [(1, root)],                                         # span, no header
+        [(1, header), (2, header)],                          # second header
+        [(1, root), (2, header)],                            # header after spans
+        [(1, dict(header, dropped=9))],                      # dropped > recorded
+        [(1, header), (2, root), (3, root)],                 # duplicate span id
+        [(1, header), (2, span(1, 9, parent=8))],            # unresolved parent
+        [(1, header), (2, root),
+         (3, span(4, 6, parent=None, kind="join", join=77))],  # unresolved join
+        [(1, header), (2, span(1, 2, parent=3)),
+         (3, span(1, 3, parent=2))],                         # parent cycle
+        [(1, header), (2, root),
+         (3, span(1, 3, parent=2, start=10, end=150))],      # child exceeds parent
+        [(1, header), (2, root),
+         (3, span(7, 3, parent=2, start=10, end=90))],       # cross-trace parent
+        [(1, header), (2, span(1, 3, kind="join"))],         # join without target
+        [(1, header), (2, span(1, 3, join=2)), (3, root)],   # target without join kind
+        [(1, header), (2, span(1, 3, start=50, end=20))],    # end < start
+        [(1, header), (2, dict(root, span="XYZ"))],          # malformed span id
+        [(1, header), (2, dict(root, name=""))],             # empty name
+        [(1, header), (2, dict(root, kind="event"))],        # unknown kind
     ]
     return good, bad
 
@@ -587,7 +840,8 @@ def self_test():
            "instance": "rmt-instance v1\nnodes 3\n"}
     resp = {"schema": "rmt.response/1", "id": "q", "status": "ok",
             "key": "bc6adf4f00f0be648b62687f484b0ff8", "result": {},
-            "error": None, "cached": False, "coalesced": False, "wall_us": 1}
+            "error": None, "cached": False, "coalesced": False, "wall_us": 1,
+            "trace_id": None}
     good_t = [[(1, req), (2, resp)], [(1, resp)]]
     bad_t = [
         [],                                          # empty transcript
@@ -602,9 +856,25 @@ def self_test():
         if not transcript_problems(lines):
             failures.append(f"bad transcript[{i}]: unexpectedly accepted")
 
+    # Flight-recorder dumps go through check_trace_lines.
+    def trace_problems(lines):
+        problems = Problems("<self-test>")
+        check_trace_lines(lines, problems)
+        return problems.items
+
+    good_tr, bad_tr = _selftest_traces()
+    for i, lines in enumerate(good_tr):
+        items = trace_problems(lines)
+        if items:
+            failures.append(f"good trace[{i}]: unexpectedly rejected: {items}")
+    for i, lines in enumerate(bad_tr):
+        if not trace_problems(lines):
+            failures.append(f"bad trace[{i}]: unexpectedly accepted")
+
     for f in failures:
         print(f"self-test: {f}", file=sys.stderr)
-    total = len(good) + len(bad) + len(good_m) + len(bad_m) + len(good_t) + len(bad_t)
+    total = (len(good) + len(bad) + len(good_m) + len(bad_m) + len(good_t) + len(bad_t)
+             + len(good_tr) + len(bad_tr))
     print(f"self-test: {total} documents, {len(failures)} failures")
     return 1 if failures else 0
 

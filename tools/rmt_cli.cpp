@@ -8,6 +8,8 @@
 //   --json <path|->      write a machine-readable report (rmt.analyze/1
 //                        or rmt.run/1 schema, incl. the metrics snapshot)
 //   --jsonl-trace <path> (run only) write the delivery transcript as JSONL
+//   --trace-out <path>   enable span tracing (obs/trace.hpp) and dump the
+//                        flight recorder as rmt.trace/1 JSONL on exit
 //   --no-cache           (decide only) bypass the svc result cache
 //
 // Instance file format: see src/io/serialize.hpp. Exit code 0 on success,
@@ -29,6 +31,7 @@
 #include "obs/jsonl_trace.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timer.hpp"
+#include "obs/trace.hpp"
 #include "protocols/rmt_pka.hpp"
 #include "protocols/runner.hpp"
 #include "sim/strategies.hpp"
@@ -71,7 +74,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: rmt_cli <%s> <instance-file> [args]\n%s"
                "flags: --stats | --json <path|-> | --jsonl-trace <path> (run only)\n"
-               "       --no-cache (decide only)\n",
+               "       --trace-out <path> | --no-cache (decide only)\n",
                names.c_str(), lines.c_str());
   return 1;
 }
@@ -81,6 +84,7 @@ struct ObsFlags {
   bool no_cache = false;
   std::optional<std::string> json_path;
   std::optional<std::string> jsonl_trace_path;
+  std::optional<std::string> trace_out_path;
 };
 
 /// Strip the observability flags out of argv (any position).
@@ -93,9 +97,11 @@ ObsFlags consume_obs_flags(int& argc, char** argv) {
       flags.stats = true;
     } else if (arg == "--no-cache") {
       flags.no_cache = true;
-    } else if (arg == "--json" || arg == "--jsonl-trace") {
+    } else if (arg == "--json" || arg == "--jsonl-trace" || arg == "--trace-out") {
       if (i + 1 >= argc) throw std::invalid_argument(arg + " requires a path argument");
-      (arg == "--json" ? flags.json_path : flags.jsonl_trace_path) = argv[++i];
+      (arg == "--json" ? flags.json_path
+                       : arg == "--jsonl-trace" ? flags.jsonl_trace_path
+                                                : flags.trace_out_path) = argv[++i];
     } else {
       argv[w++] = argv[i];
     }
@@ -359,6 +365,7 @@ int main(int argc, char** argv) {
     // Phase timing and the JSON reports both read the metrics registry, so
     // observability goes on whenever either surface was requested.
     if (flags.stats || flags.json_path) obs::set_enabled(true);
+    if (flags.trace_out_path) obs::trace::set_enabled(true);
     const Instance inst = io::load_instance(argv[2]);
     int rc = 1;
     if (!std::strcmp(argv[1], "analyze")) {
@@ -379,6 +386,9 @@ int main(int argc, char** argv) {
       return usage();
     }
     if (flags.stats) print_phase_stats(human_out(flags));
+    if (flags.trace_out_path &&
+        !obs::trace::Recorder::global().write_file(*flags.trace_out_path))
+      std::fprintf(stderr, "warning: cannot write trace to %s\n", flags.trace_out_path->c_str());
     return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -26,7 +26,15 @@ catch by hand (wired into ctest as lint_project / lint_selftest):
                     every registered name keeps an instrumentation site in
                     src/ (both directions, mirroring phase-registry).
                     Phase names ("svc.batch", "svc.compute") belong to the
-                    phase registry and are exempt here.
+                    phase registry and span names ("svc.request", "svc.join")
+                    to the span registry; both are exempt here.
+  span-registry     the trace span names used across src/ form a closed
+                    vocabulary: every RMT_TRACE_SPAN name must come from
+                    src/obs/phase_names.hpp (the macro is RMT_OBS_SCOPE's
+                    sibling), every RMT_TRACE_NAME literal must appear in
+                    src/obs/span_names.hpp or the phase registry, and every
+                    span-registry entry keeps an RMT_TRACE_NAME site in src/
+                    (both directions, mirroring phase-registry)
 
 Usage:
   rmt_lint.py [--repo DIR]   lint the repository (default: the linter's
@@ -204,6 +212,81 @@ def check_phase_registry(repo, sources, findings):
             f"has no RMT_OBS_SCOPE site left")
 
 
+SPAN_REGISTRY_FILE = "src/obs/span_names.hpp"
+TRACE_SPAN_RE = re.compile(r'RMT_TRACE_SPAN\(\s*"([^"]+)"\s*\)')
+TRACE_NAME_RE = re.compile(r'RMT_TRACE_NAME\(\s*"([^"]+)"\s*\)')
+
+
+def parse_span_registry(text):
+    """Names listed between the lint:span-registry markers, or None."""
+    m = re.search(r"lint:span-registry-begin(.*?)lint:span-registry-end", text, re.S)
+    if not m:
+        return None
+    return set(re.findall(r'"([^"]+)"', m.group(1)))
+
+
+def span_findings(span_registry, phase_names, sources):
+    """The both-direction span-name check as a pure function (self-tested).
+
+    RMT_TRACE_SPAN is RMT_OBS_SCOPE's sibling, so its names must come from
+    the phase registry (the runtime audit enforces the same). RMT_TRACE_NAME
+    marks a free-standing span-name literal; it may use a phase name or a
+    span-registry name. Every span-registry entry must keep an
+    RMT_TRACE_NAME site in src/. `sources` excludes the registry file.
+    """
+    findings = []
+    span_used = {}   # RMT_TRACE_SPAN name -> first "file:line"
+    name_used = {}   # RMT_TRACE_NAME name -> first "file:line"
+    name_in_src = set()
+    for relpath, text in sources:
+        if not relpath.startswith("src/"):
+            continue
+        for i, line in enumerate(strip_line_comments(text).splitlines(), 1):
+            for name in TRACE_SPAN_RE.findall(line):
+                span_used.setdefault(name, f"{relpath}:{i}")
+            for name in TRACE_NAME_RE.findall(line):
+                name_used.setdefault(name, f"{relpath}:{i}")
+                name_in_src.add(name)
+    for name, where in sorted(span_used.items()):
+        if name.startswith("test."):
+            findings.append(
+                f"{where}: span-registry: prefix 'test.' is reserved for unit tests, "
+                f"not library code ('{name}')")
+        elif name not in phase_names:
+            findings.append(
+                f"{where}: span-registry: RMT_TRACE_SPAN name '{name}' is not in "
+                f"{PHASE_REGISTRY_FILE}")
+    for name, where in sorted(name_used.items()):
+        if name not in span_registry and name not in phase_names:
+            findings.append(
+                f"{where}: span-registry: span name '{name}' is in neither "
+                f"{SPAN_REGISTRY_FILE} nor {PHASE_REGISTRY_FILE}")
+    for name in sorted(span_registry - name_in_src):
+        findings.append(
+            f"{SPAN_REGISTRY_FILE}:1: span-registry: registered span name "
+            f"'{name}' has no RMT_TRACE_NAME site left in src/")
+    return findings
+
+
+def check_span_registry(repo, sources, findings):
+    registry_path = repo / SPAN_REGISTRY_FILE
+    if not registry_path.is_file():
+        findings.append(f"{SPAN_REGISTRY_FILE}:1: span-registry: registry file is missing")
+        return
+    registry = parse_span_registry(registry_path.read_text(encoding="utf-8"))
+    if registry is None:
+        findings.append(f"{SPAN_REGISTRY_FILE}:1: span-registry: "
+                        f"lint:span-registry markers not found")
+        return
+    phase_path = repo / PHASE_REGISTRY_FILE
+    phase_names = set()
+    if phase_path.is_file():
+        phase_names = parse_phase_registry(phase_path.read_text(encoding="utf-8")) or set()
+    scanned = [(relpath, text) for relpath, text in sources
+               if relpath != SPAN_REGISTRY_FILE]
+    findings.extend(span_findings(registry, phase_names, scanned))
+
+
 SVC_METRIC_REGISTRY_FILE = "src/svc/metric_names.hpp"
 SVC_METRIC_LITERAL_RE = re.compile(r'"((?:svc|cache)\.[A-Za-z0-9_.]+)"')
 
@@ -220,8 +303,8 @@ def parse_svc_metric_registry(text):
 def svc_metric_findings(registry, phase_names, sources):
     """The both-direction registry check as a pure function (self-tested).
 
-    `sources` excludes the registry file itself; `phase_names` are exempt
-    (the phase-registry rule owns them).
+    `sources` excludes the registry file itself; `phase_names` (phase and
+    span names alike) are exempt — the phase/span registry rules own them.
     """
     findings = []
     used = {}  # name -> first "file:line"
@@ -261,8 +344,11 @@ def check_svc_metric_registry(repo, sources, findings):
     phase_names = set()
     if phase_path.is_file():
         phase_names = parse_phase_registry(phase_path.read_text(encoding="utf-8")) or set()
+    span_path = repo / SPAN_REGISTRY_FILE
+    if span_path.is_file():
+        phase_names |= parse_span_registry(span_path.read_text(encoding="utf-8")) or set()
     scanned = [(relpath, text) for relpath, text in sources
-               if relpath != SVC_METRIC_REGISTRY_FILE]
+               if relpath not in (SVC_METRIC_REGISTRY_FILE, SPAN_REGISTRY_FILE)]
     findings.extend(svc_metric_findings(registry, phase_names, scanned))
 
 
@@ -294,6 +380,7 @@ def lint_repo(repo):
             findings.extend(rule(relpath, text))
     check_entry_requires(repo, findings)
     check_phase_registry(repo, sources, findings)
+    check_span_registry(repo, sources, findings)
     check_svc_metric_registry(repo, sources, findings)
     return findings
 
@@ -319,6 +406,38 @@ SELFTEST_CASES = [
     (check_thread_spawn, "src/exec/thread_pool.cpp", "std::thread t(f);\n", False),
     (check_thread_spawn, "tests/test_x.cpp", "std::jthread t(f);\n", False),
     (check_thread_spawn, "src/sim/x.cpp", "// std::thread (see exec)\n", False),
+]
+
+# (span_registry, phase_names, sources, expect_finding) for span_findings.
+SPAN_CASES = [
+    # A phase-registry RMT_TRACE_SPAN plus a registered RMT_TRACE_NAME,
+    # each with a live src/ site: clean in both directions.
+    ({"exec.task"}, {"rmt_cut.find"},
+     [("src/analysis/rmt_cut.cpp", 'RMT_TRACE_SPAN("rmt_cut.find");\n'),
+      ("src/exec/thread_pool.cpp", 'Span s(RMT_TRACE_NAME("exec.task"));\n')], False),
+    # An RMT_TRACE_SPAN name outside the phase registry is a finding even
+    # if it sits in the span registry — the macro is phase-backed.
+    ({"exec.task", "svc.rogue"}, {"rmt_cut.find"},
+     [("src/svc/engine.cpp", 'RMT_TRACE_SPAN("svc.rogue");\n'),
+      ("src/exec/thread_pool.cpp", 'Span s(RMT_TRACE_NAME("exec.task"));\n'),
+      ("src/svc/engine.cpp", 'rec.set_name(RMT_TRACE_NAME("svc.rogue"));\n')], True),
+    # An RMT_TRACE_NAME literal in neither registry is a finding.
+    ({"exec.task"}, set(),
+     [("src/exec/thread_pool.cpp", 'Span s(RMT_TRACE_NAME("exec.task"));\n'),
+      ("src/svc/engine.cpp", 'rec.set_name(RMT_TRACE_NAME("svc.rogue"));\n')], True),
+    # A registered span name with no src/ RMT_TRACE_NAME site left is a
+    # finding — a use in tests/ alone does not keep it alive.
+    ({"exec.task", "svc.join"}, set(),
+     [("src/exec/thread_pool.cpp", 'Span s(RMT_TRACE_NAME("exec.task"));\n'),
+      ("tests/test_x.cpp", 'rec.set_name(RMT_TRACE_NAME("svc.join"));\n')], True),
+    # "test." is reserved for unit tests, not library RMT_TRACE_SPAN sites.
+    ({"exec.task"}, {"test.phase"},
+     [("src/exec/thread_pool.cpp", 'Span s(RMT_TRACE_NAME("exec.task"));\n'),
+      ("src/svc/engine.cpp", 'RMT_TRACE_SPAN("test.phase");\n')], True),
+    # Mentions inside // comments do not count as uses.
+    ({"exec.task"}, set(),
+     [("src/exec/thread_pool.cpp",
+       'Span s(RMT_TRACE_NAME("exec.task"));  // not RMT_TRACE_NAME("x.y")\n')], False),
 ]
 
 # (registry, phase_names, sources, expect_finding) for svc_metric_findings.
@@ -366,6 +485,17 @@ def self_test():
     if registry != {"a.b", "c.d"}:
         failures.append(f"parse_phase_registry: got {registry!r}")
 
+    span_registry = parse_span_registry(
+        '// lint:span-registry-begin\n"exec.task",\n"svc.join",\n'
+        '// lint:span-registry-end\n')
+    if span_registry != {"exec.task", "svc.join"}:
+        failures.append(f"parse_span_registry: got {span_registry!r}")
+    for case, (reg, phases, sources, expect) in enumerate(SPAN_CASES):
+        got = bool(span_findings(reg, phases, sources))
+        if got != expect:
+            failures.append(f"span case {case}: expected "
+                            f"{'a finding' if expect else 'clean'}, got the opposite")
+
     svc_registry = parse_svc_metric_registry(
         '// lint:svc-metric-registry-begin\n"svc.requests",\n"svc.cache.hits",\n'
         '// lint:svc-metric-registry-end\n')
@@ -378,7 +508,7 @@ def self_test():
                             f"{'a finding' if expect else 'clean'}, got the opposite")
     for f in failures:
         print(f"self-test: {f}", file=sys.stderr)
-    total = len(SELFTEST_CASES) + len(SVC_METRIC_CASES) + 4
+    total = len(SELFTEST_CASES) + len(SPAN_CASES) + len(SVC_METRIC_CASES) + 5
     print(f"self-test: {total} checks, {len(failures)} failures")
     return 1 if failures else 0
 

@@ -6,22 +6,34 @@
 // through the engine and emits the responses in input order. Deadlines
 // (deadline_ms) count from the flush, i.e. from when the batch starts.
 //
-// Two lines the engine never sees:
+// Probe lines the engine never sees:
 //   * malformed requests — answered immediately at flush time with an
 //     "error" response echoing the id when one could be salvaged;
 //   * {"schema":"rmt.request/1","id":"s","kind":"stats"} — flushes the
 //     pending batch, then reports the engine and cache counters as the
 //     result object ({"kind":"stats","engine":{...},"cache":{...}}).
 //     This is how the e2e test asserts coalescing and caching over pure
-//     stdio, no shared memory with the server.
+//     stdio, no shared memory with the server;
+//   * {"schema":"rmt.request/1","id":"t","kind":"trace"} — flushes, then
+//     reports the flight recorder as the result object
+//     ({"kind":"trace","header":{...},"spans":[...]}) where header and
+//     every span are verbatim rmt.trace/1 objects — write them one per
+//     line and the file validates as an rmt.trace/1 dump.
+//
+// Tracing (obs/trace.hpp) is always on in the server: every response
+// carries its trace_id and the flight recorder retains the last spans.
 //
 //   rmt_serve [--jobs N] [--batch N] [--cache-mb N] [--seed N]
+//             [--trace-out FILE]
 //
 //   --jobs N      worker threads (default: hardware concurrency; 0 = run
 //                 requests sequentially on the reader thread)
 //   --batch N     max requests per engine batch (default 64)
 //   --cache-mb N  result cache budget in MiB (default 64)
 //   --seed N      root seed for derived simulate seeds (default 4242)
+//   --trace-out F dump the flight recorder to F (rmt.trace/1 JSONL) at
+//                 EOF, on deadline_exceeded, and on crash (the crash
+//                 handler is installed only with this flag)
 //
 // Exit code 0 on EOF, 1 on usage errors.
 #include <cstdio>
@@ -34,6 +46,7 @@
 
 #include "exec/thread_pool.hpp"
 #include "obs/json.hpp"
+#include "obs/trace.hpp"
 #include "svc/engine.hpp"
 #include "svc/wire.hpp"
 
@@ -44,6 +57,7 @@ using namespace rmt;
 int usage() {
   std::fprintf(stderr,
                "usage: rmt_serve [--jobs N] [--batch N] [--cache-mb N] [--seed N]\n"
+               "                 [--trace-out FILE]\n"
                "reads rmt.request/1 JSONL on stdin, writes rmt.response/1 on stdout;\n"
                "a blank line flushes the pending batch\n");
   return 1;
@@ -68,9 +82,11 @@ class Server {
       flush();
       return;
     }
-    if (is_stats_request(line)) {
-      flush();  // stats reports the state *after* everything queued so far
-      std::printf("%s\n", stats_response(svc::wire::extract_id(line)).c_str());
+    const std::string probe = probe_kind(line);
+    if (!probe.empty()) {
+      flush();  // probes report the state *after* everything queued so far
+      const std::string id = svc::wire::extract_id(line);
+      std::printf("%s\n", (probe == "stats" ? stats_response(id) : trace_response(id)).c_str());
       std::fflush(stdout);
       return;
     }
@@ -100,15 +116,17 @@ class Server {
   }
 
  private:
-  static bool is_stats_request(const std::string& line) {
+  /// "stats" / "trace" for a probe line, "" for everything else.
+  static std::string probe_kind(const std::string& line) {
     try {
       const obs::json::Value doc = obs::json::Value::parse(line);
-      if (!doc.is_object()) return false;
+      if (!doc.is_object()) return "";
       const obs::json::Value* kind = doc.find("kind");
-      return kind && kind->kind() == obs::json::Value::Kind::kString &&
-             kind->as_string() == "stats";
+      if (!kind || kind->kind() != obs::json::Value::Kind::kString) return "";
+      const std::string name = kind->as_string();
+      return (name == "stats" || name == "trace") ? name : "";
     } catch (const std::invalid_argument&) {
-      return false;
+      return "";
     }
   }
 
@@ -143,6 +161,34 @@ class Server {
     w.field("cached", false);
     w.field("coalesced", false);
     w.field("wall_us", 0.0);
+    w.key("trace_id").null();
+    w.end_object();
+    return w.take();
+  }
+
+  std::string trace_response(const std::string& id) {
+    const obs::trace::Recorder& rec = obs::trace::Recorder::global();
+    // snapshot() first: it drains the per-thread buffers, so the header's
+    // recorded count then agrees with the spans array.
+    const std::vector<obs::trace::SpanRecord> spans = rec.snapshot();
+    obs::json::Writer w;
+    w.begin_object();
+    w.field("schema", svc::wire::kResponseSchema);
+    w.field("id", id);
+    w.field("status", "ok");
+    w.key("key").null();
+    w.key("result").begin_object();
+    w.field("kind", "trace");
+    w.key("header").raw_value(obs::trace::header_json(rec.header()));
+    w.key("spans").begin_array();
+    for (const obs::trace::SpanRecord& s : spans) w.raw_value(obs::trace::span_json(s));
+    w.end_array();
+    w.end_object();
+    w.key("error").null();
+    w.field("cached", false);
+    w.field("coalesced", false);
+    w.field("wall_us", 0.0);
+    w.key("trace_id").null();
     w.end_object();
     return w.take();
   }
@@ -160,6 +206,7 @@ int main(int argc, char** argv) {
   std::size_t batch_limit = 64;
   std::size_t cache_mb = 64;
   std::uint64_t seed = 4242;
+  std::string trace_out;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (i + 1 >= argc) return usage();
@@ -168,9 +215,16 @@ int main(int argc, char** argv) {
     else if (arg == "--batch") batch_limit = std::strtoull(val, nullptr, 10);
     else if (arg == "--cache-mb") cache_mb = std::strtoull(val, nullptr, 10);
     else if (arg == "--seed") seed = std::strtoull(val, nullptr, 10);
+    else if (arg == "--trace-out") trace_out = val;
     else return usage();
   }
   if (batch_limit == 0) batch_limit = 1;
+
+  obs::trace::set_enabled(true);
+  if (!trace_out.empty()) {
+    obs::trace::Recorder::global().set_dump_path(trace_out);
+    obs::trace::install_crash_handler();
+  }
 
   std::unique_ptr<exec::ThreadPool> pool;
   if (jobs > 0) pool = std::make_unique<exec::ThreadPool>(jobs);
@@ -183,5 +237,6 @@ int main(int argc, char** argv) {
   std::string line;
   while (std::getline(std::cin, line)) server.handle_line(line);
   server.flush();
+  obs::trace::Recorder::global().dump_now("exit");
   return 0;
 }

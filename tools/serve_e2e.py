@@ -14,8 +14,17 @@ asserts the serving semantics from the outside:
   * a malformed line gets an "error" response (id "" when unreadable)
     while the rest of the stream is answered normally;
   * the final "stats" probe reports the exact engine/cache counters the
-    script implies;
-  * every response line validates against the rmt.response/1 schema via
+    script implies — including the exact cache byte total derived from the
+    response keys/results;
+  * every decide response carries a distinct 16-hex trace_id; probe and
+    unreadable-line responses carry null;
+  * the final "trace" probe returns the flight recorder, and the span
+    forest proves the coalescing causality: one svc.request root per
+    engine request, exactly ONE svc.compute subtree for the four
+    duplicates, and three svc.join spans referencing the leader's compute
+    span — with each response's trace_id resolving to its root span;
+  * every response line validates against the rmt.response/1 schema, and
+    the trace probe's dump against the rmt.trace/1 forest rules, via
     tools/check_bench_json.py (when --checker is given).
 
 Usage: serve_e2e.py --server PATH [--checker PATH] [--jobs N]
@@ -26,6 +35,7 @@ Wired into ctest as `serve_e2e`.
 
 import argparse
 import json
+import re
 import subprocess
 import sys
 import tempfile
@@ -65,9 +75,13 @@ def build_input():
     # A line that is not even JSON still yields a response.
     lines.append("this is not a request")
     lines.append("")
-    # Stats probe (flushes anything pending first).
+    # Probes (each flushes anything pending first; neither reaches the
+    # engine, so the request counters above stay exact).
     lines.append(json.dumps({"schema": "rmt.request/1", "id": "st",
                              "kind": "stats", "instance": ""}))
+    lines.append("")
+    lines.append(json.dumps({"schema": "rmt.request/1", "id": "tr",
+                             "kind": "trace", "instance": ""}))
     return "\n".join(lines) + "\n"
 
 
@@ -139,17 +153,122 @@ def check(responses, failures):
         expect(cache["hits"] == 1, f"cache.hits={cache['hits']} != 1")
         expect(cache["misses"] == 2, f"cache.misses={cache['misses']} != 2")
         expect(cache["entries"] == 2, f"cache.entries={cache['entries']} != 2")
+        # Exact byte accounting: the two entries are warm's and retry's.
+        # Each costs its composite cache key ("<instance-key>:<kind>") plus
+        # the compact serialized result — svc::ResultCache charges
+        # key.size() + value.size(), and the server stores results as the
+        # same compact JSON it answers with.
+        if warm and retry:
+            expected_bytes = sum(
+                len(r["key"]) + 1 + len("decide_rmt") +
+                len(json.dumps(r["result"], separators=(",", ":")))
+                for r in (warm, retry))
+            expect(cache["bytes"] == expected_bytes,
+                   f"cache.bytes={cache['bytes']} != {expected_bytes} "
+                   "(composite keys + stored result bytes)")
+
+    # Trace ids: every request that reached the engine got its own trace;
+    # probe and unreadable-line responses carry null.
+    tids = {}
+    for rid in [f"dup{i}" for i in range(1, 5)] + ["warm", "hit", "late", "retry"]:
+        r = by_id.get(rid, [None])[0]
+        tid = r.get("trace_id") if r else None
+        expect(isinstance(tid, str) and re.fullmatch(r"[0-9a-f]{16}", tid),
+               f"{rid}: trace_id {tid!r} is not 16 hex digits")
+        if isinstance(tid, str):
+            tids[rid] = tid
+    expect(len(set(tids.values())) == len(tids), "decide trace_ids not distinct")
+    for rid in ("", "st", "tr"):
+        r = by_id.get(rid, [None])[0]
+        expect(r is not None and r.get("trace_id") is None,
+               f"{rid or 'malformed'}: trace_id should be null")
 
 
-def schema_check(checker, responses, failures):
+def check_trace(responses, failures):
+    """Assert the coalescing causality from the trace probe's span forest;
+    returns the dump as rmt.trace/1 lines for the schema check."""
+    def expect(cond, msg):
+        if not cond:
+            failures.append(msg)
+
+    by_id = {r.get("id"): r for r in responses}
+    tr = by_id.get("tr")
+    expect(tr and tr.get("status") == "ok" and tr["result"]["kind"] == "trace",
+           "trace probe failed")
+    if not (tr and tr.get("status") == "ok"):
+        return None
+    header, spans = tr["result"]["header"], tr["result"]["spans"]
+    expect(header["dropped"] == 0, "flight recorder dropped spans mid-test")
+
+    tid = lambda rid: by_id[rid].get("trace_id")
+    engine_ids = [f"dup{i}" for i in range(1, 5)] + ["warm", "hit", "late", "retry"]
+
+    # One svc.request root per engine request, each on its response's trace.
+    roots = {s["trace"]: s for s in spans if s["name"] == "svc.request"}
+    expect(len([s for s in spans if s["name"] == "svc.request"]) == 8,
+           "expected 8 svc.request root spans")
+    expect(all(s["parent"] is None for s in roots.values()),
+           "svc.request spans must be trace roots")
+    expect(set(roots) == {tid(r) for r in engine_ids},
+           "svc.request traces do not match the response trace_ids")
+
+    # The four duplicates share ONE compute subtree: the leader's trace
+    # carries the only svc.compute among them, hanging off the leader's
+    # root; the three followers each record an svc.join referencing it.
+    computes = [s for s in spans if s["name"] == "svc.compute"]
+    expect(len(computes) == 3, f"expected 3 svc.compute spans (dup leader, "
+           f"warm, retry), got {len(computes)}")
+    dup_traces = {tid(f"dup{i}") for i in range(1, 5)}
+    dup_computes = [s for s in computes if s["trace"] in dup_traces]
+    expect(len(dup_computes) == 1,
+           f"expected exactly 1 svc.compute among the dups, got {len(dup_computes)}")
+    leader = next(r for r in (by_id[f"dup{i}"] for i in range(1, 5))
+                  if not r["coalesced"])
+    joins = [s for s in spans if s["name"] == "svc.join"]
+    expect(len(joins) == 3, f"expected 3 svc.join spans, got {len(joins)}")
+    if dup_computes:
+        compute = dup_computes[0]
+        expect(compute["trace"] == leader["trace_id"],
+               "the dup compute span is not on the leader's trace")
+        expect(compute["parent"] == roots[leader["trace_id"]]["span"],
+               "the dup compute span does not hang off the leader's root")
+        expect({j["trace"] for j in joins} == dup_traces - {leader["trace_id"]},
+               "svc.join spans are not one per follower dup")
+        for j in joins:
+            expect(j["kind"] == "join" and j["join"] == compute["span"],
+                   f"join span {j['span']} does not reference the leader's "
+                   "compute span")
+            expect(j["parent"] == roots[j["trace"]]["span"],
+                   f"join span {j['span']} does not hang off its own root")
+
+    # Root attrs carry the serving verdicts the responses claimed.
+    attr_expect = [(leader["id"], "cache=bypass", "coalesced=false"),
+                   ("hit", "cache=hit", "status=ok"),
+                   ("late", "status=deadline_exceeded", "bytes=0"),
+                   ("retry", "cache=miss", "coalesced=false")]
+    for rid, *needles in attr_expect:
+        attrs = roots.get(tid(rid), {}).get("attrs", "")
+        for needle in needles:
+            expect(needle in attrs, f"{rid}: root attrs {attrs!r} lack {needle!r}")
+    follower = next(r for r in (by_id[f"dup{i}"] for i in range(1, 5))
+                    if r["coalesced"])
+    attrs = roots.get(follower["trace_id"], {}).get("attrs", "")
+    for needle in ("join=batch", "coalesced=true"):
+        expect(needle in attrs,
+               f"{follower['id']}: root attrs {attrs!r} lack {needle!r}")
+
+    return [json.dumps(header)] + [json.dumps(s) for s in spans]
+
+
+def schema_check(checker, lines, what, failures):
     with tempfile.NamedTemporaryFile("w", suffix=".jsonl", delete=False) as f:
-        for r in responses:
-            f.write(json.dumps(r) + "\n")
+        for line in lines:
+            f.write(line + "\n")
         path = f.name
     proc = subprocess.run([sys.executable, checker, path],
                           capture_output=True, text=True)
     if proc.returncode != 0:
-        failures.append(f"check_bench_json rejected the response stream:\n{proc.stderr}")
+        failures.append(f"check_bench_json rejected the {what}:\n{proc.stderr}")
 
 
 def main():
@@ -162,8 +281,12 @@ def main():
     failures = []
     responses = run_server(args.server, args.jobs, build_input())
     check(responses, failures)
+    trace_lines = check_trace(responses, failures)
     if args.checker:
-        schema_check(args.checker, responses, failures)
+        schema_check(args.checker, [json.dumps(r) for r in responses],
+                     "response stream", failures)
+        if trace_lines:
+            schema_check(args.checker, trace_lines, "trace probe dump", failures)
 
     for f in failures:
         print(f"serve_e2e: FAIL: {f}", file=sys.stderr)

@@ -1,0 +1,276 @@
+#!/usr/bin/env python3
+"""Compare two rmt.trace/1 flight-recorder dumps phase by phase.
+
+Both inputs are JSONL dumps as written by `--trace-out` (rmt_cli, rmt_serve,
+the bench drivers) or the rmt_serve "trace" probe: one header line carrying
+the run anchors (run_start_unix_ms, mono_anchor_ns), then one line per span.
+Span timestamps are monotonic nanoseconds since the recorder's epoch, and
+rmt.bench/1 artifacts from the same process carry the same two anchors in
+their "run" object — so a BENCH_*.json and a trace dump (or two dumps from
+different runs) can be placed on one wall-clock timeline: the report prints
+each run's start time and the offset between them.
+
+The comparison itself groups spans by name and diffs the per-name mean
+durations:
+
+  name          count          mean_us        total_us       ratio
+  ------------  -------------  -------------  -------------  -----
+  rmt_cut.find  3 -> 3         23.40 -> 22.1  70.2 -> 66.4   0.94
+
+`ratio` is candidate mean over baseline mean. Names present in only one
+dump are listed separately (informational — a new span site is not a
+regression). With --budget R the tool becomes a gate: exit 1 if any name
+present in both dumps with a baseline mean of at least --min-ns has
+ratio > R. The --min-ns floor (default 1000 ns) keeps sub-microsecond
+spans, whose means are dominated by clock granularity, out of the gate.
+
+Usage:
+  trace_compare.py BASELINE.jsonl CANDIDATE.jsonl [--budget R] [--min-ns N]
+  trace_compare.py --self-test
+"""
+
+import argparse
+import datetime
+import json
+import sys
+
+
+def parse_trace(lines, where):
+    """Split a dump into (header, spans). Raises ValueError on malformed
+    input — this tool assumes dumps that check_bench_json.py accepts."""
+    header = None
+    spans = []
+    for i, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError as e:
+            raise ValueError(f"{where}:{i}: not JSON: {e}") from None
+        if not isinstance(doc, dict) or doc.get("schema") != "rmt.trace/1":
+            raise ValueError(f"{where}:{i}: not an rmt.trace/1 line")
+        if "span" not in doc:
+            if header is not None:
+                raise ValueError(f"{where}:{i}: duplicate header line")
+            header = doc
+        else:
+            spans.append(doc)
+    if header is None:
+        raise ValueError(f"{where}: no rmt.trace/1 header line")
+    return header, spans
+
+
+def aggregate(spans):
+    """Per-name {count, total_ns} over span durations."""
+    stats = {}
+    for s in spans:
+        name = s.get("name", "")
+        dur = int(s.get("end_ns", 0)) - int(s.get("start_ns", 0))
+        entry = stats.setdefault(name, {"count": 0, "total_ns": 0})
+        entry["count"] += 1
+        entry["total_ns"] += max(dur, 0)
+    return stats
+
+
+def compare(base, cand):
+    """Rows for names in both dumps (sorted by baseline total, descending),
+    plus the names unique to each side."""
+    rows = []
+    for name in sorted(base.keys() & cand.keys(),
+                       key=lambda n: -base[n]["total_ns"]):
+        b, c = base[name], cand[name]
+        b_mean = b["total_ns"] / b["count"]
+        c_mean = c["total_ns"] / c["count"]
+        rows.append({
+            "name": name,
+            "base_count": b["count"], "cand_count": c["count"],
+            "base_mean_ns": b_mean, "cand_mean_ns": c_mean,
+            "base_total_ns": b["total_ns"], "cand_total_ns": c["total_ns"],
+            "ratio": c_mean / b_mean if b_mean > 0 else None,
+        })
+    only_base = sorted(base.keys() - cand.keys())
+    only_cand = sorted(cand.keys() - base.keys())
+    return rows, only_base, only_cand
+
+
+def over_budget(rows, budget, min_ns):
+    """The rows the --budget gate rejects."""
+    return [r for r in rows
+            if r["base_mean_ns"] >= min_ns
+            and r["ratio"] is not None and r["ratio"] > budget]
+
+
+def start_text(header):
+    ms = header.get("run_start_unix_ms", 0)
+    t = datetime.datetime.fromtimestamp(ms / 1000.0, tz=datetime.timezone.utc)
+    return t.strftime("%Y-%m-%dT%H:%M:%S.") + f"{ms % 1000:03d}Z"
+
+
+def print_report(base_header, cand_header, rows, only_base, only_cand, out):
+    delta_ms = (cand_header.get("run_start_unix_ms", 0)
+                - base_header.get("run_start_unix_ms", 0))
+    print(f"baseline run started  {start_text(base_header)}", file=out)
+    print(f"candidate run started {start_text(cand_header)} "
+          f"({delta_ms / 1000.0:+.3f}s)", file=out)
+    print(file=out)
+    widths = [max([len("name")] + [len(r["name"]) for r in rows]), 14, 20, 5]
+    header = ["name".ljust(widths[0]), "count".ljust(widths[1]),
+              "mean_us".ljust(widths[2]), "ratio"]
+    print("  ".join(header), file=out)
+    print("  ".join("-" * w for w in widths), file=out)
+    for r in rows:
+        count = f"{r['base_count']} -> {r['cand_count']}"
+        mean = f"{r['base_mean_ns'] / 1e3:.2f} -> {r['cand_mean_ns'] / 1e3:.2f}"
+        ratio = "n/a" if r["ratio"] is None else f"{r['ratio']:.2f}"
+        print(f"{r['name'].ljust(widths[0])}  {count.ljust(widths[1])}  "
+              f"{mean.ljust(widths[2])}  {ratio}", file=out)
+    for label, names in (("baseline", only_base), ("candidate", only_cand)):
+        if names:
+            print(f"only in {label}: {', '.join(names)}", file=out)
+
+
+def run_compare(base_lines, cand_lines, base_where, cand_where,
+                budget, min_ns, out):
+    """The whole tool minus I/O; returns the process exit code."""
+    base_header, base_spans = parse_trace(base_lines, base_where)
+    cand_header, cand_spans = parse_trace(cand_lines, cand_where)
+    rows, only_base, only_cand = compare(aggregate(base_spans),
+                                         aggregate(cand_spans))
+    print_report(base_header, cand_header, rows, only_base, only_cand, out)
+    if budget is None:
+        return 0
+    bad = over_budget(rows, budget, min_ns)
+    if bad:
+        for r in bad:
+            print(f"BUDGET EXCEEDED: {r['name']} ratio {r['ratio']:.2f} "
+                  f"> {budget:.2f} "
+                  f"({r['base_mean_ns'] / 1e3:.2f}us -> "
+                  f"{r['cand_mean_ns'] / 1e3:.2f}us)", file=out)
+        return 1
+    gated = [r for r in rows
+             if r["base_mean_ns"] >= min_ns and r["ratio"] is not None]
+    if gated:
+        worst = max(gated, key=lambda r: r["ratio"])
+        print(f"budget {budget:.2f}x: OK (worst ratio {worst['ratio']:.2f} "
+              f"on {worst['name']})", file=out)
+    else:
+        print(f"budget {budget:.2f}x: OK (no shared span name reaches the "
+              f"{min_ns}ns floor)", file=out)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Self-test
+# ---------------------------------------------------------------------------
+
+def _dump(start_ms, spans):
+    """A synthetic rmt.trace/1 dump; spans = [(name, start_ns, end_ns)]."""
+    lines = [json.dumps({"schema": "rmt.trace/1", "run_start_unix_ms": start_ms,
+                         "mono_anchor_ns": 7, "capacity": 4096,
+                         "recorded": len(spans), "dropped": 0})]
+    for i, (name, start_ns, end_ns) in enumerate(spans):
+        lines.append(json.dumps({
+            "schema": "rmt.trace/1", "trace": f"{1:016x}",
+            "span": f"{i + 2:016x}", "parent": None, "name": name,
+            "kind": "span", "join": None,
+            "start_ns": start_ns, "end_ns": end_ns, "attrs": ""}))
+    return lines
+
+
+def self_test():
+    import io
+
+    checks = failures = 0
+
+    def check(ok, label):
+        nonlocal checks, failures
+        checks += 1
+        if not ok:
+            failures += 1
+            print(f"SELF-TEST FAIL: {label}", file=sys.stderr)
+
+    base = _dump(1000, [("rmt_cut.find", 0, 10000), ("rmt_cut.find", 0, 20000),
+                        ("svc.request", 0, 50000), ("tiny", 0, 100)])
+    same = _dump(4200, [("rmt_cut.find", 0, 15000), ("svc.request", 0, 50000),
+                        ("tiny", 0, 90), ("exec.task", 0, 7000)])
+    slow = _dump(9000, [("rmt_cut.find", 0, 90000), ("svc.request", 0, 50000),
+                        ("tiny", 0, 900)])
+
+    # Identical means -> every ratio 1.0, budget passes.
+    code = run_compare(base, base, "a", "b", 1.5, 1000, io.StringIO())
+    check(code == 0, "identical dumps pass the budget")
+
+    # Equal means despite different counts (15000 vs mean 15000) -> pass;
+    # exec.task exists only in the candidate and must not trip the gate.
+    out = io.StringIO()
+    code = run_compare(base, same, "a", "b", 1.5, 1000, out)
+    check(code == 0, "new span name does not trip the budget")
+    check("only in candidate: exec.task" in out.getvalue(),
+          "one-sided names are reported")
+    check("+3.200s" in out.getvalue(), "run-start offset is reported")
+
+    # rmt_cut.find regresses 6x -> gate fires; `tiny` regresses 9x but sits
+    # under the --min-ns floor and must not be the reason.
+    out = io.StringIO()
+    code = run_compare(base, slow, "a", "b", 1.5, 1000, out)
+    check(code == 1, "6x regression trips the budget")
+    check("BUDGET EXCEEDED: rmt_cut.find" in out.getvalue(),
+          "the regressed name is reported")
+    check("tiny" not in [l.split()[2] if l.startswith("BUDGET") else ""
+                         for l in out.getvalue().splitlines()],
+          "sub-floor spans stay out of the gate")
+
+    # No budget -> report only, exit 0 even on regression.
+    code = run_compare(base, slow, "a", "b", None, 1000, io.StringIO())
+    check(code == 0, "no --budget means report-only")
+
+    # Malformed inputs fail loudly.
+    for label, lines in (("missing header", base[1:]),
+                         ("duplicate header", [base[0]] + base),
+                         ("not JSON", ["{nope"]),
+                         ("wrong schema", ['{"schema":"rmt.bench/1"}'])):
+        try:
+            run_compare(lines, base, "a", "b", None, 1000, io.StringIO())
+            check(False, f"{label} raises")
+        except ValueError:
+            check(True, f"{label} raises")
+
+    print(f"self-test: {checks} checks, {failures} failures")
+    return 1 if failures else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--budget", type=float, default=None, metavar="R",
+                        help="fail if any shared span name's mean-duration "
+                             "ratio (candidate/baseline) exceeds R")
+    parser.add_argument("--min-ns", type=int, default=1000, metavar="N",
+                        help="ignore names whose baseline mean is under N ns "
+                             "when gating (default: 1000)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="validate the comparator against embedded dumps")
+    parser.add_argument("files", nargs="*", metavar="FILE",
+                        help="BASELINE.jsonl CANDIDATE.jsonl")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if len(args.files) != 2:
+        parser.error("exactly two FILEs are required (or use --self-test)")
+
+    try:
+        with open(args.files[0], encoding="utf-8") as f:
+            base_lines = f.readlines()
+        with open(args.files[1], encoding="utf-8") as f:
+            cand_lines = f.readlines()
+        return run_compare(base_lines, cand_lines, args.files[0],
+                           args.files[1], args.budget, args.min_ns, sys.stdout)
+    except (OSError, ValueError) as e:
+        print(f"fatal: {e}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())
