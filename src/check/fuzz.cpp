@@ -1,0 +1,429 @@
+#include "check/fuzz.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "adversary/threshold.hpp"
+#include "exec/campaign.hpp"
+#include "exec/thread_pool.hpp"
+#include "graph/generators.hpp"
+#include "io/serialize.hpp"
+#include "svc/engine.hpp"
+#include "util/audit.hpp"
+#include "util/check.hpp"
+
+namespace rmt::propcheck {
+
+namespace {
+
+// Independent derivation domains off the root seed, so adding mutants
+// never shifts the differential stream (and vice versa). Frozen: repro
+// seeds recorded in artifacts and regression comments depend on them.
+constexpr std::uint64_t kMutantDomain = 0x4d55544e;  // "MUTN"
+constexpr std::uint64_t kDiffDomain = 0x44494646;    // "DIFF"
+
+std::uint64_t unit_seed(std::uint64_t root, std::uint64_t domain, std::uint64_t index) {
+  return exec::derive_seed(exec::derive_seed(root, domain), index);
+}
+
+// --- mutation ---------------------------------------------------------------
+
+const char* const kVocabulary[] = {
+    "rmt-instance", "v1",       "nodes",  "edge",     "dealer", "receiver",
+    "corruptible",  "knowledge", "adhoc",  "full",     "k-hop",  "custom",
+    "view",         "view-edge", ":",      "#",        "v2",     "-1",
+};
+
+const char* const kBoundaryNumbers[] = {
+    "0", "1", "2", "26", "27", "63", "64", "65", "4294967295",
+    "18446744073709551615", "-1", "999999999999999999999",
+};
+
+bool is_number_token(const std::string& tok) {
+  if (tok.empty()) return false;
+  std::size_t i = tok[0] == '-' ? 1 : 0;
+  if (i == tok.size()) return false;
+  for (; i < tok.size(); ++i)
+    if (tok[i] < '0' || tok[i] > '9') return false;
+  return true;
+}
+
+std::string mutate_bytes(const std::string& text, Rng& rng) {
+  std::string out = text;
+  switch (rng.index(4)) {
+    case 0: {  // flip one bit
+      if (out.empty()) return out + char(rng.index(256));
+      out[rng.index(out.size())] ^= char(1u << rng.index(8));
+      return out;
+    }
+    case 1: {  // insert a byte (printable-biased, occasionally hostile)
+      const char pool[] = " 0123456789abcdexyz:#\n\t\r\0-";
+      const char c = pool[rng.index(sizeof(pool))];
+      out.insert(out.begin() + long(rng.index(out.size() + 1)), c);
+      return out;
+    }
+    case 2: {  // erase a byte
+      if (out.empty()) return out;
+      out.erase(out.begin() + long(rng.index(out.size())));
+      return out;
+    }
+    default: {  // duplicate a short span
+      if (out.empty()) return out;
+      const std::size_t at = rng.index(out.size());
+      const std::size_t len = std::min(out.size() - at, 1 + rng.index(16));
+      out.insert(at, out.substr(at, len));
+      return out;
+    }
+  }
+}
+
+std::string mutate_tokens(const std::string& text, Rng& rng) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  if (lines.empty()) lines.emplace_back();
+  switch (rng.index(5)) {
+    case 0:  // duplicate a line
+      lines.insert(lines.begin() + long(rng.index(lines.size())),
+                   lines[rng.index(lines.size())]);
+      break;
+    case 1:  // delete a line
+      lines.erase(lines.begin() + long(rng.index(lines.size())));
+      break;
+    case 2: {  // swap two lines (e.g. directives before the header)
+      std::swap(lines[rng.index(lines.size())], lines[rng.index(lines.size())]);
+      break;
+    }
+    case 3: {  // replace one whitespace token with a boundary number
+      std::string& line = lines[rng.index(lines.size())];
+      std::istringstream ls(line);
+      std::vector<std::string> toks;
+      for (std::string t; ls >> t;) toks.push_back(t);
+      if (!toks.empty()) {
+        std::string& tok = toks[rng.index(toks.size())];
+        // Prefer re-targeting numbers; otherwise clobber whatever is there.
+        tok = is_number_token(tok) || rng.chance(0.5)
+                  ? kBoundaryNumbers[rng.index(std::size(kBoundaryNumbers))]
+                  : kVocabulary[rng.index(std::size(kVocabulary))];
+        std::string rebuilt;
+        for (const std::string& t : toks) {
+          if (!rebuilt.empty()) rebuilt += ' ';
+          rebuilt += t;
+        }
+        line = rebuilt;
+      }
+      break;
+    }
+    default: {  // splice a fresh directive from the vocabulary
+      std::string line = kVocabulary[rng.index(std::size(kVocabulary))];
+      const std::size_t extra = rng.index(4);
+      for (std::size_t i = 0; i < extra; ++i) {
+        line += ' ';
+        line += rng.chance(0.7) ? kBoundaryNumbers[rng.index(std::size(kBoundaryNumbers))]
+                                : kVocabulary[rng.index(std::size(kVocabulary))];
+      }
+      lines.insert(lines.begin() + long(rng.index(lines.size() + 1)), line);
+      break;
+    }
+  }
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+// --- differential helpers ---------------------------------------------------
+
+std::string set_str(const NodeSet& s) {
+  std::string out = "{";
+  s.for_each([&](NodeId v) {
+    if (out.size() > 1) out += ",";
+    out += std::to_string(v);
+  });
+  return out + "}";
+}
+
+template <typename Witness>
+std::string witness_str(const std::optional<Witness>& w) {
+  if (!w) return "none";
+  return "c1=" + set_str(w->c1) + " c2=" + set_str(w->c2) + " b=" + set_str(w->b);
+}
+
+template <typename Witness>
+bool witness_equal(const std::optional<Witness>& a, const std::optional<Witness>& b) {
+  if (a.has_value() != b.has_value()) return false;
+  if (!a) return true;
+  return a->c1 == b->c1 && a->c2 == b->c2 && a->b == b->b;
+}
+
+/// Seeded random instance for topping up the differential stream (the
+/// shape of tests/test_util.hpp's random_instance, re-derived here so the
+/// library target does not include test headers).
+Instance random_small_instance(std::size_t max_nodes, Rng& rng) {
+  const std::size_t n = 4 + rng.index(std::max<std::size_t>(1, max_nodes - 3));
+  Graph g = generators::random_connected_gnp(n, 0.2 + 0.5 * rng.real(), rng);
+  const NodeId d = 0, r = NodeId(n - 1);
+  AdversaryStructure z = random_structure(g.nodes(), 1 + rng.index(4), 1 + rng.index(2),
+                                          NodeSet{d, r}, rng);
+  switch (rng.index(3)) {
+    case 0: return Instance::ad_hoc(std::move(g), std::move(z), d, r);
+    case 1: return Instance::full_knowledge(std::move(g), std::move(z), d, r);
+    default: {
+      ViewFunction gamma = ViewFunction::k_hop(g, 1 + rng.index(2));
+      return Instance(std::move(g), std::move(z), std::move(gamma), d, r);
+    }
+  }
+}
+
+/// Audit an accepted instance with the collecting validator; one finding
+/// per violated component.
+void audit_instance(const Instance& inst, const std::string& input, std::uint64_t seed,
+                    std::size_t index, FuzzReport& report) {
+  report.audit_checks += 1;
+  for (const audit::Diagnostic& d : audit::check_instance(inst))
+    report.findings.push_back(FuzzFinding{
+        "audit-violation", "audit[" + d.component + "]: " + d.message, input, seed, index});
+}
+
+}  // namespace
+
+std::vector<std::string> builtin_corpus() {
+  // Frozen: every directive of the v1 format appears at least once, so
+  // token-wise mutation can reach every parser branch from the corpus.
+  return {
+      // the paper's triple-path shape, ad hoc
+      "rmt-instance v1\n"
+      "nodes 8\n"
+      "edge 0 1\nedge 1 7\nedge 0 2\nedge 2 7\nedge 0 3\nedge 3 7\n"
+      "dealer 0\nreceiver 7\n"
+      "corruptible 1\ncorruptible 2\ncorruptible 3\n"
+      "knowledge adhoc\n",
+      // ring with a 2-set adversary, 1-hop knowledge
+      "rmt-instance v1\n"
+      "nodes 6\n"
+      "edge 0 1\nedge 1 2\nedge 2 3\nedge 3 4\nedge 4 5\nedge 5 0\n"
+      "dealer 0\nreceiver 3\n"
+      "corruptible 1 2\ncorruptible 4\n"
+      "knowledge k-hop 1\n",
+      // full knowledge, comments and blank lines
+      "# full-knowledge diamond\n"
+      "rmt-instance v1\n"
+      "nodes 4\n"
+      "edge 0 1\nedge 0 2\nedge 1 3\nedge 2 3\n\n"
+      "dealer 0   # the dealer\n"
+      "receiver 3\n"
+      "corruptible 1\n"
+      "knowledge full\n",
+      // custom views with extra nodes and edges
+      "rmt-instance v1\n"
+      "nodes 5\n"
+      "edge 0 1\nedge 1 2\nedge 2 3\nedge 3 4\nedge 0 4\n"
+      "dealer 0\nreceiver 2\n"
+      "corruptible 1\ncorruptible 3\n"
+      "knowledge custom\n"
+      "view 1 : 3 4\n"
+      "view-edge 1 : 2 3\n",
+  };
+}
+
+std::vector<std::string> load_corpus_dir(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec))
+    throw std::invalid_argument("fuzz corpus: not a directory: " + dir);
+  std::vector<fs::path> paths;
+  for (const auto& entry : fs::directory_iterator(dir))
+    if (entry.is_regular_file()) paths.push_back(entry.path());
+  std::sort(paths.begin(), paths.end());
+  std::vector<std::string> out;
+  for (const fs::path& p : paths) {
+    std::ifstream in(p, std::ios::binary);
+    if (!in) throw std::invalid_argument("fuzz corpus: cannot open " + p.string());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    out.push_back(std::move(buf).str());
+  }
+  return out;
+}
+
+std::string mutate(const std::string& text, Rng& rng) {
+  return rng.chance(0.5) ? mutate_bytes(text, rng) : mutate_tokens(text, rng);
+}
+
+FuzzReport run_fuzz(const FuzzOptions& opts) {
+  RMT_REQUIRE(opts.max_exact_nodes <= analysis::kMaxExactNodes,
+              "run_fuzz: max_exact_nodes above the exact-decider guard");
+  FuzzReport report;
+
+  std::vector<std::string> corpus = builtin_corpus();
+  corpus.insert(corpus.end(), opts.corpus.begin(), opts.corpus.end());
+  RMT_REQUIRE(!corpus.empty(), "run_fuzz: empty corpus");
+
+  const auto rmt_decider = opts.rmt_decider
+                               ? opts.rmt_decider
+                               : [](const Instance& i) { return analysis::find_rmt_cut(i); };
+  const auto zpp_decider =
+      opts.zpp_decider ? opts.zpp_decider
+                       : [](const Instance& i) { return analysis::find_rmt_zpp_cut(i); };
+
+  // --- loop 1: parser robustness over mutated corpus entries ---------------
+  // Accepted small mutants feed the differential loop below, so fuzzing the
+  // parser also diversifies the decider workload beyond the generators.
+  std::vector<std::pair<Instance, std::string>> parsed_pool;
+  for (std::size_t i = 0; i < opts.parser_mutants; ++i) {
+    const std::uint64_t seed = unit_seed(opts.seed, kMutantDomain, i);
+    Rng rng(seed);
+    std::string text = corpus[rng.index(corpus.size())];
+    const std::size_t steps = 1 + rng.index(4);
+    for (std::size_t s = 0; s < steps; ++s) text = mutate(text, rng);
+
+    report.parser_mutants += 1;
+    std::optional<Instance> inst;
+    try {
+      inst = io::parse_instance_string(text);
+    } catch (const std::invalid_argument&) {
+      report.rejected += 1;  // the contract: clean, typed rejection
+      continue;
+    } catch (const std::exception& e) {
+      report.findings.push_back(FuzzFinding{
+          "parser-crash", std::string("parser threw non-invalid_argument: ") + e.what(),
+          text, seed, i});
+      continue;
+    }
+    report.parsed_ok += 1;
+
+    // Accept-then-diverge: the accepted mutant must reach the round-trip
+    // fixed point (serialize ∘ parse ∘ serialize is the identity on the
+    // first serialization) and survive the deep audit.
+    try {
+      const std::string s1 = io::serialize_instance(*inst);
+      const Instance again = io::parse_instance_string(s1);
+      const std::string s2 = io::serialize_instance(again);
+      report.roundtrip_checks += 1;
+      if (s1 != s2) {
+        report.findings.push_back(FuzzFinding{
+            "roundtrip-diverged", "serialize∘parse is not a fixed point", text, seed, i});
+        continue;
+      }
+      audit_instance(*inst, text, seed, i, report);
+      if (inst->num_players() <= opts.max_exact_nodes &&
+          parsed_pool.size() < opts.diff_checks)
+        parsed_pool.emplace_back(std::move(*inst), s1);
+    } catch (const std::exception& e) {
+      report.findings.push_back(FuzzFinding{
+          "roundtrip-diverged",
+          std::string("accepted mutant failed to round-trip: ") + e.what(), text, seed, i});
+    }
+  }
+
+  // --- loop 2: differential deciders + svc byte identity -------------------
+  std::optional<exec::ThreadPool> pool;
+  if (opts.svc_workers > 0) pool.emplace(opts.svc_workers);
+  svc::Engine engine(pool ? &*pool : nullptr);
+
+  for (std::size_t i = 0; i < opts.diff_checks; ++i) {
+    const std::uint64_t seed = unit_seed(opts.seed, kDiffDomain, i);
+    std::optional<Instance> inst;
+    std::string text;
+    if (i < parsed_pool.size()) {
+      inst = parsed_pool[i].first;
+      text = parsed_pool[i].second;
+    } else {
+      Rng rng(seed);
+      try {
+        inst = random_small_instance(opts.max_exact_nodes, rng);
+        text = io::serialize_instance(*inst);
+      } catch (const std::exception& e) {
+        report.findings.push_back(FuzzFinding{
+            "generator-invalid", std::string("instance generator threw: ") + e.what(),
+            text, seed, i});
+        continue;
+      }
+      audit_instance(*inst, text, seed, i, report);
+    }
+    report.diff_checks += 1;
+
+    // Optimized vs reference deciders: existence and witness, bit-identical.
+    try {
+      const auto ref_rmt = analysis::find_rmt_cut_reference(*inst);
+      const auto opt_rmt = rmt_decider(*inst);
+      if (!witness_equal(ref_rmt, opt_rmt))
+        report.findings.push_back(FuzzFinding{
+            "decider-diverged",
+            "rmt: reference=" + witness_str(ref_rmt) + " optimized=" + witness_str(opt_rmt),
+            text, seed, i});
+      const auto ref_zpp = analysis::find_rmt_zpp_cut_reference(*inst);
+      const auto opt_zpp = zpp_decider(*inst);
+      if (!witness_equal(ref_zpp, opt_zpp))
+        report.findings.push_back(FuzzFinding{
+            "decider-diverged",
+            "zpp: reference=" + witness_str(ref_zpp) + " optimized=" + witness_str(opt_zpp),
+            text, seed, i});
+    } catch (const std::exception& e) {
+      report.findings.push_back(FuzzFinding{
+          "decider-diverged", std::string("decider threw: ") + e.what(), text, seed, i});
+      continue;
+    }
+
+    // svc::Engine byte identity for one instance_key across the no-cache,
+    // freshly-computed, cached and coalesced paths.
+    svc::Request fresh{svc::QueryKind::kDecideRmt, *inst, svc::SimParams{}, std::nullopt,
+                       /*no_cache=*/true};
+    svc::Request normal{svc::QueryKind::kDecideRmt, *inst, svc::SimParams{}, std::nullopt,
+                        /*no_cache=*/false};
+    const auto r_fresh = engine.run({fresh});
+    const auto r_first = engine.run({normal});
+    const auto r_pair = engine.run({normal, normal});  // in-batch coalescing
+    std::vector<const svc::Response*> all{&r_fresh[0], &r_first[0], &r_pair[0], &r_pair[1]};
+    bool svc_ok = true;
+    for (const svc::Response* r : all)
+      if (r->status != svc::Response::Status::kOk) svc_ok = false;
+    if (svc_ok)
+      for (const svc::Response* r : all)
+        if (r->result != r_fresh[0].result || r->key != r_fresh[0].key) svc_ok = false;
+    if (svc_ok && !(r_pair[0].cached && r_pair[1].cached)) svc_ok = false;
+    if (!svc_ok)
+      report.findings.push_back(FuzzFinding{
+          "svc-diverged",
+          "no-cache/fresh/cached/coalesced answers for one instance_key differ "
+          "(fresh status=" + std::to_string(int(r_fresh[0].status)) + ")",
+          text, seed, i});
+  }
+
+  return report;
+}
+
+std::size_t write_artifacts(const std::string& dir, const std::vector<FuzzFinding>& findings) {
+  if (findings.empty()) return 0;
+  namespace fs = std::filesystem;
+  fs::create_directories(dir);
+  std::size_t written = 0;
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const FuzzFinding& f = findings[i];
+    std::string num = std::to_string(i);
+    while (num.size() < 3) num.insert(num.begin(), '0');
+    const std::string stem = dir + "/finding-" + num + "-" + f.kind;
+    std::ofstream rmt(stem + ".rmt", std::ios::binary);
+    rmt << f.input;
+    std::ofstream txt(stem + ".txt", std::ios::binary);
+    txt << "kind: " << f.kind << "\nindex: " << f.index << "\nseed: " << f.seed
+        << "\ndetail: " << f.detail << "\n";
+    if (rmt && txt) written += 2;
+  }
+  return written;
+}
+
+std::string FuzzReport::summary() const {
+  return "fuzz: " + std::to_string(parser_mutants) + " parser mutants (" +
+         std::to_string(parsed_ok) + " parsed, " + std::to_string(rejected) +
+         " rejected), " + std::to_string(roundtrip_checks) + " round-trips, " +
+         std::to_string(audit_checks) + " audits, " + std::to_string(diff_checks) +
+         " differential checks, " + std::to_string(findings.size()) + " findings";
+}
+
+}  // namespace rmt::propcheck

@@ -1,0 +1,109 @@
+// check/fuzz.hpp — the seed-driven structured fuzzer behind rmt_fuzz and
+// the fuzz_smoke ctest gate.
+//
+// Two loops, both deterministic in FuzzOptions::seed:
+//
+//   * Parser robustness: serialized instances from the corpus are mutated
+//     byte-wise and token-wise, then fed through io::parse_instance_string.
+//     The parser's contract under hostile bytes is: throw
+//     std::invalid_argument (a clean, line-numbered rejection) or accept —
+//     never crash, never throw anything else, and never accept-then-
+//     diverge (an accepted mutant must serialize to a round-trip fixed
+//     point and pass the deep audit validators).
+//
+//   * Differential deciders: parsed mutants (topped up with seeded random
+//     instances so the check count is deterministic) are pushed through
+//     the optimized deciders vs the find_*_reference oracles — existence
+//     AND witness must be bit-identical — and through a memoizing
+//     svc::Engine, where the cached, coalesced and no-cache answers for
+//     one instance_key must be byte-identical.
+//
+// The deciders under test are injectable (FuzzOptions::rmt_decider /
+// zpp_decider) so the harness can prove it *catches* a deliberately broken
+// decider — that self-test is wired as the fuzz_selftest ctest and
+// `rmt_fuzz --self-test`.
+//
+// Every divergence becomes a FuzzFinding carrying the offending serialized
+// instance: rmt_fuzz writes them to the artifact directory, and minimized
+// ones get checked into tests/fuzz_corpus/regressions/ as permanent
+// parser-hardening cases.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/rmt_cut.hpp"
+#include "analysis/zpp_cut.hpp"
+#include "instance/instance.hpp"
+#include "util/rng.hpp"
+
+namespace rmt::propcheck {
+
+struct FuzzOptions {
+  std::uint64_t seed = 0x5eedc0de;   ///< root of every derived stream (frozen)
+  std::size_t parser_mutants = 10000;  ///< mutants fed through the parser
+  std::size_t diff_checks = 500;       ///< differential decider/svc checks
+  /// Instances above this size skip the exact deciders (they are
+  /// exponential); parser checks still run. Must be <= analysis::kMaxExactNodes.
+  std::size_t max_exact_nodes = 8;
+  std::size_t svc_workers = 2;  ///< engine pool width (0 = sequential)
+  /// Extra corpus entries (serialized instances) on top of builtin_corpus().
+  std::vector<std::string> corpus;
+  /// Deciders under differential test; null = the optimized find_rmt_cut /
+  /// find_rmt_zpp_cut. Tests inject broken ones to prove detection.
+  std::function<std::optional<analysis::RmtCutWitness>(const Instance&)> rmt_decider;
+  std::function<std::optional<analysis::ZppCutWitness>(const Instance&)> zpp_decider;
+};
+
+/// One divergence/contract violation, with everything needed to reproduce.
+struct FuzzFinding {
+  std::string kind;    ///< parser-crash | roundtrip-diverged | audit-violation
+                       ///< | decider-diverged | svc-diverged | generator-invalid
+  std::string detail;  ///< human explanation (exception text, mismatch shape)
+  std::string input;   ///< the serialized instance / mutant bytes involved
+  std::uint64_t seed = 0;   ///< the derived seed of the failing unit
+  std::size_t index = 0;    ///< unit index within its loop
+};
+
+struct FuzzReport {
+  std::size_t parser_mutants = 0;    ///< mutants fed to the parser
+  std::size_t parsed_ok = 0;         ///< accepted by the parser
+  std::size_t rejected = 0;          ///< clean std::invalid_argument rejections
+  std::size_t roundtrip_checks = 0;  ///< serialize∘parse fixed-point checks run
+  std::size_t audit_checks = 0;      ///< deep-validator passes over accepted mutants
+  std::size_t diff_checks = 0;       ///< differential decider/svc checks run
+  std::vector<FuzzFinding> findings;
+
+  bool ok() const { return findings.empty(); }
+  /// One-line outcome, e.g.
+  /// "fuzz: 10000 parser mutants (812 parsed, 9188 rejected), 500
+  ///  differential checks, 0 findings".
+  std::string summary() const;
+};
+
+/// Run both loops. Deterministic: the report (including findings and their
+/// order) is a pure function of `opts`.
+FuzzReport run_fuzz(const FuzzOptions& opts);
+
+/// The frozen built-in seed corpus: small serialized instances covering
+/// every directive of the format (edges, corruptible sets, adhoc / full /
+/// k-hop / custom knowledge, view and view-edge extras).
+std::vector<std::string> builtin_corpus();
+
+/// Read every regular file in `dir` (sorted by name) as a corpus entry.
+/// Throws std::invalid_argument when the directory cannot be read.
+std::vector<std::string> load_corpus_dir(const std::string& dir);
+
+/// Apply one seeded mutation step (byte-wise or token-wise, chosen by the
+/// rng) to `text`. Exposed for tests; run_fuzz stacks 1–4 of these.
+std::string mutate(const std::string& text, Rng& rng);
+
+/// Write each finding as two files under `dir` (created if needed):
+/// finding-NNN-<kind>.rmt (the input) and finding-NNN-<kind>.txt (the
+/// detail + repro seed). Returns the file count written.
+std::size_t write_artifacts(const std::string& dir, const std::vector<FuzzFinding>& findings);
+
+}  // namespace rmt::propcheck

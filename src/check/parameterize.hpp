@@ -1,0 +1,284 @@
+// check/parameterize.hpp — the PARAMETERIZE-style product-set harness.
+//
+// One declaration runs a property over the cross product of several axes
+// (graph family × adversary-structure family × view floor × D,R placement ×
+// worker count — or any other axes a test wants). Each axis is declared
+// once with RMT_PARAMETERIZE/RMT_OPTION; a Runner then sweeps the full
+// product in lexicographic coordinate order:
+//
+//   RMT_PARAMETERIZE(small_graphs, Graph, g,
+//       RMT_OPTION(g, generators::path_graph(5));
+//       RMT_OPTION(g, generators::cycle_graph(6));
+//   )
+//
+//   propcheck::Runner runner({/*root_seed=*/7});
+//   Graph g; std::size_t k;
+//   const propcheck::Result r = runner.check(
+//       [&](std::uint64_t cell_seed) { /* property; throw to fail */ },
+//       RMT_PC_AXIS(small_graphs, g), RMT_PC_AXIS(view_floors, k));
+//
+// Determinism contract (frozen, like rmt.campaign/1 seeds):
+//   * cells are visited in lexicographic coordinate order — coordinate
+//     (0,0,...,0) first, last axis fastest;
+//   * every cell's seed is the exec::derive_seed splitmix64 chain folded
+//     over its coordinates from the runner's root seed. The seed is a pure
+//     function of (root_seed, coordinates): independent of wall clock,
+//     sweep count, other axes' contents, and of which cells fail.
+//
+// Failing-cell minimization: the sweep is exhaustive, so the harness
+// *knows* every failing coordinate; the shrunk repro is the
+// lexicographically-least failing coordinate (the global minimum — no
+// search heuristics involved). The runner then re-executes exactly that
+// one cell in targeted mode to prove the repro is deterministic, and
+// Result::summary() prints it as a coordinate/label/seed triple.
+//
+// Properties signal failure by throwing (RMT_CHECK/RMT_REQUIRE, gtest
+// ASSERT wrappers, plain std::runtime_error) or by returning false; any
+// other return completes the cell.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "exec/campaign.hpp"
+#include "util/check.hpp"
+
+namespace rmt::propcheck {
+
+/// One failing cell: where (coordinates + human labels), how to reproduce
+/// (the derived seed) and what went wrong.
+struct CellFailure {
+  std::vector<std::size_t> coord;  ///< option index per axis, outermost first
+  std::string labels;              ///< "var = expr / var = expr / ..."
+  std::uint64_t seed = 0;          ///< the cell's derived seed
+  std::string message;             ///< exception text ("" = returned false)
+};
+
+/// Outcome of one product sweep.
+struct Result {
+  std::size_t cells = 0;                 ///< cells executed by the sweep
+  std::vector<std::size_t> shape;        ///< option count per axis
+  std::vector<CellFailure> failures;     ///< every failing cell, sweep order
+  /// The lexicographically-least failing coordinate (== failures.front(),
+  /// since the sweep is lexicographic), re-executed in targeted mode.
+  std::optional<CellFailure> minimal;
+  /// The targeted re-run of `minimal` failed again with the same seed —
+  /// the repro is deterministic.
+  bool minimal_reproduced = false;
+
+  bool ok() const { return failures.empty(); }
+  std::string summary() const;
+};
+
+class Runner {
+ public:
+  struct Options {
+    std::uint64_t root_seed = 0x9c0ffee0;  ///< frozen default for the suite
+    bool shrink = true;  ///< minimize + reproduce on failure
+  };
+
+  Runner() = default;
+  explicit Runner(Options opts) : opts_(opts) {}
+
+  /// Sweep the product of `axes` and run `property` in every cell.
+  /// Each axis is a callable (Runner&, next) that assigns its bound
+  /// variable per option and descends — what RMT_PC_AXIS builds from an
+  /// RMT_PARAMETERIZE declaration.
+  template <typename Property, typename... Axes>
+  Result check(Property&& property, Axes&&... axes) {
+    Result result;
+    mode_ = Mode::kSweep;
+    begin_pass();
+    descend(
+        [&] {
+          result.cells += 1;
+          run_property_cell(property, result.failures);
+        },
+        axes...);
+    result.shape = shape_;
+    if (!result.failures.empty() && opts_.shrink) {
+      // Lexicographic sweep order makes the first recorded failure the
+      // lexicographically-least failing coordinate; re-run exactly that
+      // cell to prove the repro stands alone.
+      result.minimal = result.failures.front();
+      std::vector<CellFailure> rerun;
+      run_cell(result.minimal->coord,
+               [&] { run_property_cell(property, rerun); }, axes...);
+      result.minimal_reproduced =
+          rerun.size() == 1 && rerun.front().coord == result.minimal->coord &&
+          rerun.front().seed == result.minimal->seed;
+    }
+    return result;
+  }
+
+  /// Execute exactly one cell of the product (targeted mode): only the
+  /// matching option is descended at every axis. `leaf` runs zero or one
+  /// time. Exposed for tests and for custom repro drivers.
+  template <typename Leaf, typename... Axes>
+  void run_cell(const std::vector<std::size_t>& coord, Leaf&& leaf, Axes&&... axes) {
+    mode_ = Mode::kTargeted;
+    target_ = coord;
+    begin_pass();
+    descend(leaf, axes...);
+    mode_ = Mode::kSweep;
+    target_.clear();
+  }
+
+  /// The current cell's derived seed: exec::derive_seed folded over the
+  /// coordinate path from root_seed. Valid inside an option/leaf scope.
+  std::uint64_t cell_seed() const {
+    std::uint64_t s = opts_.root_seed;
+    for (const std::size_t idx : path_) s = exec::derive_seed(s, idx);
+    return s;
+  }
+
+  /// Current coordinates (option index per entered axis, outermost first).
+  const std::vector<std::size_t>& coord() const { return path_; }
+
+  /// "var = expr / var = expr" labels of the current coordinate path.
+  std::string cell_labels() const {
+    std::string out;
+    for (const std::string& l : labels_) {
+      if (!out.empty()) out += " / ";
+      out += l;
+    }
+    return out;
+  }
+
+  // -- macro protocol (RMT_OPTION calls these; not for direct use) --------
+
+  /// Enter option `label` at the current depth. Returns true when the
+  /// subtree below it should run (always in a sweep; only on coordinate
+  /// match in a targeted run). Every enter is paired with leave_option().
+  bool enter_option(const char* label) {
+    const std::size_t depth = path_.size();
+    if (counts_.size() <= depth) counts_.push_back(0);
+    const std::size_t idx = counts_[depth]++;
+    if (shape_.size() <= depth) shape_.push_back(0);
+    if (counts_[depth] > shape_[depth]) shape_[depth] = counts_[depth];
+    path_.push_back(idx);
+    labels_.emplace_back(label);
+    if (mode_ == Mode::kTargeted)
+      return depth < target_.size() && target_[depth] == idx;
+    return true;
+  }
+
+  void leave_option() {
+    RMT_CHECK(!path_.empty(), "propcheck: leave_option without enter_option");
+    // Children counters must restart for the next sibling subtree.
+    counts_.resize(path_.size());
+    path_.pop_back();
+    labels_.pop_back();
+  }
+
+ private:
+  enum class Mode { kSweep, kTargeted };
+
+  void begin_pass() {
+    path_.clear();
+    labels_.clear();
+    counts_.clear();
+    shape_.clear();
+  }
+
+  // Fold the axis pack into nested descents; the innermost call is `leaf`.
+  template <typename Leaf>
+  void descend(Leaf&& leaf) {
+    leaf();
+  }
+  template <typename Leaf, typename Axis0, typename... Rest>
+  void descend(Leaf&& leaf, Axis0&& axis0, Rest&&... rest) {
+    axis0(*this, [&] { descend(leaf, rest...); });
+  }
+
+  // Run `property` in the current cell, recording a CellFailure on throw
+  // or (for bool-returning properties) on false.
+  template <typename Property>
+  void run_property_cell(Property& property, std::vector<CellFailure>& failures) {
+    const std::uint64_t seed = cell_seed();
+    std::string message;
+    bool failed = false;
+    try {
+      if constexpr (std::is_convertible_v<decltype(property(seed)), bool>) {
+        if (!property(seed)) failed = true;
+      } else {
+        property(seed);
+      }
+    } catch (const std::exception& e) {
+      failed = true;
+      message = e.what();
+    } catch (...) {
+      failed = true;
+      message = "(non-std exception)";
+    }
+    if (failed) failures.push_back(CellFailure{path_, cell_labels(), seed, message});
+  }
+
+  Options opts_;
+  Mode mode_ = Mode::kSweep;
+  std::vector<std::size_t> target_;  // targeted-mode coordinates
+
+  std::vector<std::size_t> path_;    // current coordinates
+  std::vector<std::string> labels_;  // current option labels
+  std::vector<std::size_t> counts_;  // options seen per depth, current parent
+  std::vector<std::size_t> shape_;   // max options seen per depth this pass
+};
+
+inline std::string Result::summary() const {
+  std::string out = "propcheck: " + std::to_string(cells) + " cells (";
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i) out += "x";
+    out += std::to_string(shape[i]);
+  }
+  out += "), " + std::to_string(failures.size()) + " failing";
+  if (minimal) {
+    out += "; minimal failing cell [";
+    for (std::size_t i = 0; i < minimal->coord.size(); ++i) {
+      if (i) out += ",";
+      out += std::to_string(minimal->coord[i]);
+    }
+    out += "] " + minimal->labels + " seed=" + std::to_string(minimal->seed) +
+           (minimal_reproduced ? " (reproduced)" : " (NOT reproduced)");
+    if (!minimal->message.empty()) out += ": " + minimal->message;
+  }
+  return out;
+}
+
+}  // namespace rmt::propcheck
+
+// -- declaration macros -------------------------------------------------------
+
+/// Declare a reusable axis: a function `name` that, per RMT_OPTION, assigns
+/// `var` and descends into the rest of the product. Mirrors exotracker's
+/// PARAMETERIZE(name, T, var, OPTION...) shape, minus the subcase re-entry
+/// (the Runner enumerates the product in one pass).
+#define RMT_PARAMETERIZE(name, T, var, ...)                                   \
+  template <typename RmtPcNext>                                               \
+  void name(::rmt::propcheck::Runner& rmt_pc_runner, T& var,                  \
+            RmtPcNext&& rmt_pc_next) {                                        \
+    __VA_ARGS__                                                               \
+  }
+
+/// One option of an axis: assign and descend. The value expression is the
+/// option's label in failure reports.
+#define RMT_OPTION(var, ...)                                                  \
+  do {                                                                        \
+    if (rmt_pc_runner.enter_option(#var " = " #__VA_ARGS__)) {                \
+      var = (__VA_ARGS__);                                                    \
+      rmt_pc_next();                                                          \
+    }                                                                         \
+    rmt_pc_runner.leave_option();                                             \
+  } while (0)
+
+/// Bind an RMT_PARAMETERIZE axis to its variable for Runner::check — the
+/// PICK-composition step: check(prop, RMT_PC_AXIS(a, x), RMT_PC_AXIS(b, y))
+/// sweeps the a×b product assigning x and y per cell.
+#define RMT_PC_AXIS(name, var)                                                \
+  [&](::rmt::propcheck::Runner& rmt_pc_axis_runner, auto&& rmt_pc_axis_next) { \
+    name(rmt_pc_axis_runner, var, rmt_pc_axis_next);                          \
+  }

@@ -20,22 +20,40 @@ namespace {
                               msg);
 }
 
+/// A node-id mention whose range check must wait until `nodes` is known
+/// (directives may come in any order); `line` keeps the diagnostic exact.
+struct IdRef {
+  NodeId id = 0;
+  std::size_t line = 0;
+  const char* context = "";  ///< "dealer", "corruptible set", ...
+};
+
 struct Builder {
   std::size_t n = 0;
+  std::size_t nodes_line = 0;  ///< 0 = not seen yet (also duplicate guard)
   std::vector<Edge> edges;
   std::vector<std::size_t> edge_lines;  ///< source line of each edge, for diagnostics
   std::optional<NodeId> dealer, receiver;
+  std::size_t dealer_line = 0, receiver_line = 0, knowledge_line = 0;
   std::vector<NodeSet> sets;
   enum class Knowledge { kUnset, kAdHoc, kFull, kKHop, kCustom } knowledge = Knowledge::kUnset;
   std::size_t k = 0;
+  std::size_t khop_line = 0;
   // custom-view extras: per node, extra known nodes / edges above the star
   std::map<NodeId, NodeSet> extra_nodes;
   std::map<NodeId, std::vector<Edge>> extra_edges;
+  std::vector<IdRef> id_refs;  ///< deferred range checks (see IdRef)
 };
 
+/// Read one node id with the absolute cap applied immediately — ids are
+/// inserted into NodeSets during parsing, so an uncapped id would allocate
+/// before any end-of-parse validation runs.
 NodeId parse_node(std::istringstream& ss, std::size_t line) {
   long long v = -1;
   if (!(ss >> v) || v < 0) fail(line, "expected a node id");
+  if (std::size_t(v) >= kMaxParseNodes)
+    fail(line, "node id " + std::to_string(v) + " out of range (ids must be < " +
+                   std::to_string(kMaxParseNodes) + ")");
   return NodeId(v);
 }
 
@@ -62,26 +80,53 @@ Instance parse_instance(std::istream& in) {
       continue;
     }
     if (word == "nodes") {
+      if (b.nodes_line != 0)
+        fail(lineno, "duplicate 'nodes' directive (first at line " +
+                         std::to_string(b.nodes_line) + ")");
       long long n = -1;
       if (!(ss >> n) || n <= 0) fail(lineno, "expected a positive node count");
+      if (std::size_t(n) > kMaxParseNodes)
+        fail(lineno, "node count " + std::to_string(n) + " out of range (max " +
+                         std::to_string(kMaxParseNodes) + ")");
       b.n = std::size_t(n);
+      b.nodes_line = lineno;
     } else if (word == "edge") {
       const NodeId u = parse_node(ss, lineno), v = parse_node(ss, lineno);
       b.edges.push_back({u, v});
       b.edge_lines.push_back(lineno);
     } else if (word == "dealer") {
+      if (b.dealer_line != 0)
+        fail(lineno, "duplicate 'dealer' directive (first at line " +
+                         std::to_string(b.dealer_line) + ")");
       b.dealer = parse_node(ss, lineno);
+      b.dealer_line = lineno;
+      b.id_refs.push_back({*b.dealer, lineno, "dealer"});
     } else if (word == "receiver") {
+      if (b.receiver_line != 0)
+        fail(lineno, "duplicate 'receiver' directive (first at line " +
+                         std::to_string(b.receiver_line) + ")");
       b.receiver = parse_node(ss, lineno);
+      b.receiver_line = lineno;
+      b.id_refs.push_back({*b.receiver, lineno, "receiver"});
     } else if (word == "corruptible") {
       NodeSet s;
       long long v;
       while (ss >> v) {
         if (v < 0) fail(lineno, "negative node id");
+        if (std::size_t(v) >= kMaxParseNodes)
+          fail(lineno, "node id " + std::to_string(v) + " out of range (ids must be < " +
+                           std::to_string(kMaxParseNodes) + ")");
+        if (s.contains(NodeId(v)))
+          fail(lineno, "duplicate node id " + std::to_string(v) + " in corruptible set");
         s.insert(NodeId(v));
+        b.id_refs.push_back({NodeId(v), lineno, "corruptible set"});
       }
       b.sets.push_back(std::move(s));
     } else if (word == "knowledge") {
+      if (b.knowledge_line != 0)
+        fail(lineno, "duplicate 'knowledge' directive (first at line " +
+                         std::to_string(b.knowledge_line) + ")");
+      b.knowledge_line = lineno;
       std::string kind;
       if (!(ss >> kind)) fail(lineno, "expected a knowledge kind");
       if (kind == "adhoc") b.knowledge = Builder::Knowledge::kAdHoc;
@@ -92,21 +137,33 @@ Instance parse_instance(std::istream& in) {
         long long k = -1;
         if (!(ss >> k) || k < 0) fail(lineno, "k-hop needs a radius");
         b.k = std::size_t(k);
+        b.khop_line = lineno;
       } else
         fail(lineno, "unknown knowledge kind '" + kind + "'");
     } else if (word == "view" || word == "view-edge") {
       const NodeId owner = parse_node(ss, lineno);
+      b.id_refs.push_back({owner, lineno, "view owner"});
       std::string colon;
       if (!(ss >> colon) || colon != ":") fail(lineno, "expected ':' after view owner");
       if (word == "view") {
         long long v;
         while (ss >> v) {
           if (v < 0) fail(lineno, "negative node id");
-          b.extra_nodes[owner].insert(NodeId(v));
+          if (std::size_t(v) >= kMaxParseNodes)
+            fail(lineno, "node id " + std::to_string(v) + " out of range (ids must be < " +
+                             std::to_string(kMaxParseNodes) + ")");
+          NodeSet& extras = b.extra_nodes[owner];
+          if (extras.contains(NodeId(v)))
+            fail(lineno, "duplicate node id " + std::to_string(v) + " in view of node " +
+                             std::to_string(owner));
+          extras.insert(NodeId(v));
+          b.id_refs.push_back({NodeId(v), lineno, "view"});
         }
       } else {
         const NodeId u = parse_node(ss, lineno), v = parse_node(ss, lineno);
         b.extra_edges[owner].push_back({u, v});
+        b.id_refs.push_back({u, lineno, "view-edge"});
+        b.id_refs.push_back({v, lineno, "view-edge"});
       }
     } else {
       fail(lineno, "unknown directive '" + word + "'");
@@ -115,6 +172,16 @@ Instance parse_instance(std::istream& in) {
   if (!header) fail(lineno, "empty input");
   if (b.n == 0) fail(lineno, "missing 'nodes'");
   if (!b.dealer || !b.receiver) fail(lineno, "missing dealer/receiver");
+  // Deferred range checks: directives may precede `nodes`, so node-id and
+  // radius bounds are validated here, each against its recorded line.
+  for (const IdRef& ref : b.id_refs)
+    if (ref.id >= b.n)
+      fail(ref.line, std::string(ref.context) + " node id " + std::to_string(ref.id) +
+                         " out of range (nodes " + std::to_string(b.n) + ")");
+  if (b.knowledge == Builder::Knowledge::kKHop && b.k > b.n)
+    fail(b.khop_line, "k-hop radius " + std::to_string(b.k) +
+                          " out of range for " + std::to_string(b.n) +
+                          " nodes (a radius above n adds nothing)");
 
   Graph g(b.n);
   std::set<std::pair<NodeId, NodeId>> seen_edges;

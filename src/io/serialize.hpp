@@ -19,14 +19,28 @@
 // on malformed input; serialize_instance(parse_instance(s)) round-trips.
 // The format assumes contiguous node ids 0..n-1 (what every generator in
 // this library produces).
+//
+// Hostile-input hardening (the parser is a fuzz target — see
+// check/fuzz.hpp): every node id, the node count, and the k-hop radius are
+// range-checked with line-numbered errors; duplicate node ids inside a
+// corruptible set or a view extra list, and duplicate nodes / dealer /
+// receiver / knowledge directives, are rejected instead of silently
+// folded. The absolute node-count cap below bounds every allocation the
+// parser can be talked into before validation completes.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 
 #include "instance/instance.hpp"
 
 namespace rmt::io {
+
+/// Hard cap on `nodes` accepted by the parser. Far above anything the
+/// exact deciders handle (analysis::kMaxExactNodes = 26) but small enough
+/// that no accepted input can allocate unbounded adjacency/view storage.
+inline constexpr std::size_t kMaxParseNodes = 512;
 
 /// Parse the text format above.
 Instance parse_instance(std::istream& in);

@@ -186,5 +186,105 @@ TEST(IoRoundTrip, CustomViewsSurvive) {
   EXPECT_EQ(analysis::solvable(back), analysis::solvable(inst));
 }
 
+// --- Hardened error paths (added after structured fuzzing found silent
+// --- acceptance; each case below mirrors a file in tests/fuzz_corpus/).
+
+TEST(IoParse, DuplicateDirectivesRejected) {
+  expect_parse_error(
+      "rmt-instance v1\nnodes 3\nedge 0 1\nedge 1 2\ndealer 0\ndealer 1\nreceiver 2\n",
+      "instance parse error at line 6: duplicate 'dealer' directive (first at line 5)");
+  expect_parse_error(
+      "rmt-instance v1\nnodes 3\nedge 0 1\nedge 1 2\ndealer 0\nreceiver 2\nreceiver 1\n",
+      "instance parse error at line 7: duplicate 'receiver' directive (first at line 6)");
+  expect_parse_error(
+      "rmt-instance v1\nnodes 3\nnodes 4\nedge 0 1\nedge 1 2\ndealer 0\nreceiver 2\n",
+      "instance parse error at line 3: duplicate 'nodes' directive (first at line 2)");
+  expect_parse_error(
+      "rmt-instance v1\nnodes 3\nedge 0 1\nedge 1 2\ndealer 0\nreceiver 2\n"
+      "knowledge full\nknowledge adhoc\n",
+      "instance parse error at line 8: duplicate 'knowledge' directive (first at line 7)");
+}
+
+TEST(IoParse, DuplicateNodeIdsRejected) {
+  // Within one corruptible set a repeated id used to be folded silently by
+  // the set insert; now it is an error at the corruptible line.
+  expect_parse_error(
+      "rmt-instance v1\nnodes 3\nedge 0 1\nedge 1 2\ndealer 0\nreceiver 2\n"
+      "corruptible 1 1\n",
+      "instance parse error at line 7: duplicate node id 1 in corruptible set");
+  // Across multiple view lines of the same owner, too (line-duplication
+  // mutants hit this constantly).
+  expect_parse_error(
+      "rmt-instance v1\nnodes 3\nedge 0 1\nedge 1 2\ndealer 0\nreceiver 2\n"
+      "knowledge custom\nview 1 : 2\nview 1 : 2\n",
+      "instance parse error at line 9: duplicate node id 2 in view of node 1");
+}
+
+TEST(IoParse, DeferredRangeChecksCarryLines) {
+  // Directives may precede `nodes`, so range validation is deferred — but
+  // the error must still point at the offending directive's line.
+  expect_parse_error(
+      "rmt-instance v1\ndealer 5\nnodes 3\nedge 0 1\nedge 1 2\nreceiver 2\n",
+      "instance parse error at line 2: dealer node id 5 out of range (nodes 3)");
+  expect_parse_error(
+      "rmt-instance v1\nnodes 3\nedge 0 1\nedge 1 2\ndealer 0\nreceiver 2\n"
+      "corruptible 7\n",
+      "instance parse error at line 7: corruptible set node id 7 out of range (nodes 3)");
+  expect_parse_error(
+      "rmt-instance v1\nnodes 3\nedge 0 1\nedge 1 2\ndealer 0\nreceiver 2\n"
+      "knowledge k-hop 7\n",
+      "instance parse error at line 7: k-hop radius 7 out of range for 3 nodes "
+      "(a radius above n adds nothing)");
+}
+
+TEST(IoParse, ParseCapsRejectAllocationBombs) {
+  // A boundary-number mutant of the node count must be rejected *before*
+  // the parser builds any O(n^2) view storage.
+  expect_parse_error("rmt-instance v1\nnodes 513\nedge 0 1\ndealer 0\nreceiver 1\n",
+                     "instance parse error at line 2: node count 513 out of range (max 512)");
+  expect_parse_error(
+      "rmt-instance v1\nnodes 4294967295\nedge 0 1\ndealer 0\nreceiver 1\n",
+      "instance parse error at line 2: node count 4294967295 out of range (max 512)");
+  // Individual ids are capped immediately on read, even in directives whose
+  // full range check is deferred until `nodes` is known.
+  expect_parse_error(
+      "rmt-instance v1\nnodes 3\nedge 0 1\nedge 1 2\ndealer 0\nreceiver 2\n"
+      "corruptible 600\n",
+      "instance parse error at line 7: node id 600 out of range (ids must be < 512)");
+}
+
+// Every minimized crash artifact promoted into tests/fuzz_corpus/regressions/
+// must stay *rejected* (cleanly, with std::invalid_argument — never a crash
+// or silent acceptance).
+TEST(IoParse, RegressionCorpusStaysRejected) {
+  const std::filesystem::path dir =
+      std::filesystem::path(RMT_FUZZ_CORPUS_DIR) / "regressions";
+  std::size_t files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".rmt") continue;
+    ++files;
+    SCOPED_TRACE(entry.path().filename().string());
+    EXPECT_THROW(load_instance(entry.path().string()), std::invalid_argument);
+  }
+  EXPECT_GE(files, 6u) << "tests/fuzz_corpus/regressions/ lost its repro files?";
+}
+
+// And every hand-written fuzz seed must stay *accepted* and canonical —
+// the fuzzer mutates these, so a seed that no longer parses silently guts
+// its coverage.
+TEST(IoLoad, FuzzSeedCorpusRoundTrips) {
+  const std::filesystem::path dir = std::filesystem::path(RMT_FUZZ_CORPUS_DIR) / "seeds";
+  std::size_t files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".rmt") continue;
+    ++files;
+    SCOPED_TRACE(entry.path().filename().string());
+    const Instance inst = load_instance(entry.path().string());
+    const std::string text = serialize_instance(inst);
+    EXPECT_EQ(serialize_instance(parse_instance_string(text)), text);
+  }
+  EXPECT_GE(files, 3u) << "tests/fuzz_corpus/seeds/ lost its seed files?";
+}
+
 }  // namespace
 }  // namespace rmt::io

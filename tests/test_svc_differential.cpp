@@ -1,0 +1,133 @@
+// tests/test_svc_differential.cpp — engine byte-identity invariants.
+//
+// The svc determinism contract, checked differentially: for one instance
+// key, the no-cache, freshly-computed, cached, and coalesced paths must
+// return byte-identical result payloads — for every query kind, and
+// regardless of worker count. The suite name carries the "Svc" prefix so
+// the TSan CI job's filter picks it up (the N-worker engine races its
+// pool workers against the caller thread).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+#include "io/serialize.hpp"
+#include "svc/engine.hpp"
+#include "tests/test_util.hpp"
+#include "util/rng.hpp"
+
+namespace rmt::svc {
+namespace {
+
+const QueryKind kAllKinds[] = {QueryKind::kDecideRmt, QueryKind::kDecideZpp,
+                               QueryKind::kAnalyze, QueryKind::kSimulate};
+
+Instance triple_path_instance() {
+  return io::parse_instance_string(
+      "rmt-instance v1\n"
+      "nodes 8\n"
+      "edge 0 1\nedge 1 7\nedge 0 2\nedge 2 7\nedge 0 3\nedge 3 7\n"
+      "dealer 0\nreceiver 7\n"
+      "corruptible 1\ncorruptible 2\ncorruptible 3\n"
+      "knowledge adhoc\n");
+}
+
+Request make_request(QueryKind kind, const Instance& inst, bool no_cache,
+                     const NodeSet& corrupted = NodeSet{}) {
+  SimParams params;  // simulate only; ignored by the other kinds
+  params.value = 42;
+  params.corrupted = corrupted;  // must be admissible (∅ always is)
+  params.strategy = "two-faced";
+  return Request{kind, inst, params, /*deadline_ms=*/std::nullopt, no_cache};
+}
+
+/// Exercise every response path for one (engine, kind, instance) triple and
+/// assert byte identity; returns the canonical payload.
+std::string check_all_paths(Engine& engine, QueryKind kind, const Instance& inst,
+                            const NodeSet& corrupted = NodeSet{}) {
+  const Request fresh = make_request(kind, inst, /*no_cache=*/true, corrupted);
+  const Request normal = make_request(kind, inst, /*no_cache=*/false, corrupted);
+
+  const auto r_fresh = engine.run({fresh});       // no-cache (lookup + store bypassed)
+  const auto r_pair = engine.run({normal, normal});  // compute + in-batch coalesce
+  const auto r_cached = engine.run({normal});     // cache hit
+
+  std::vector<const Response*> all{&r_fresh[0], &r_pair[0], &r_pair[1], &r_cached[0]};
+  for (const Response* r : all) {
+    EXPECT_EQ(r->status, Response::Status::kOk) << to_string(kind) << ": " << r->error;
+    EXPECT_EQ(r->key, r_fresh[0].key) << to_string(kind);
+    EXPECT_EQ(r->result, r_fresh[0].result)
+        << to_string(kind) << ": response paths disagree on payload bytes";
+  }
+  EXPECT_FALSE(r_fresh[0].cached);
+  EXPECT_TRUE(r_pair[0].coalesced || r_pair[1].coalesced)
+      << to_string(kind) << ": in-batch duplicate was not coalesced";
+  EXPECT_TRUE(r_cached[0].cached) << to_string(kind) << ": second run() missed the cache";
+  return r_fresh[0].result;
+}
+
+TEST(SvcDifferential, CachedVsFreshByteIdenticalAllKindsAllWorkerCounts) {
+  const Instance fixed = triple_path_instance();
+  Rng rng(2026);
+  const Instance random = testing::random_instance(7, 0.35, 2, 2, SIZE_MAX, rng);
+
+  // kind -> payloads seen across worker counts; all must collapse to one.
+  std::map<std::pair<int, int>, std::string> payloads;
+  const std::size_t worker_counts[] = {0, 4};  // 0 = sequential (no pool)
+  for (const std::size_t workers : worker_counts) {
+    std::optional<exec::ThreadPool> pool;
+    if (workers > 0) pool.emplace(workers);
+    Engine engine(pool ? &*pool : nullptr);
+    int kind_idx = 0;
+    for (const QueryKind kind : kAllKinds) {
+      // The fixed instance simulates under an actual corruption ({1} is
+      // admissible: "corruptible 1"); the random one stays honest-only.
+      const std::string p0 = check_all_paths(engine, kind, fixed, NodeSet{1});
+      const std::string p1 = check_all_paths(engine, kind, random);
+      if (workers == 0) {
+        payloads[std::make_pair(kind_idx, 0)] = p0;
+        payloads[std::make_pair(kind_idx, 1)] = p1;
+      } else {
+        // Worker count must not leak into payload bytes.
+        EXPECT_EQ(p0, payloads.at(std::make_pair(kind_idx, 0))) << to_string(kind);
+        EXPECT_EQ(p1, payloads.at(std::make_pair(kind_idx, 1))) << to_string(kind);
+      }
+      ++kind_idx;
+    }
+    const Engine::Stats stats = engine.stats();
+    EXPECT_GT(stats.coalesced, 0u);
+    EXPECT_EQ(stats.errors, 0u);
+    EXPECT_EQ(stats.deadline_exceeded, 0u);
+  }
+}
+
+TEST(SvcDifferential, TwoEnginesAgreeOnEveryKind) {
+  // A cold engine and a warm engine (same content) must serve identical
+  // bytes — the cache is an optimization, never an answer source of its
+  // own. Run the warm engine's requests twice so its answers come from the
+  // cache path while the cold engine computes fresh.
+  const Instance inst = triple_path_instance();
+  exec::ThreadPool pool(2);
+  Engine warm(&pool);
+  Engine cold(nullptr);
+  for (const QueryKind kind : kAllKinds) {
+    const Request normal = make_request(kind, inst, /*no_cache=*/false);
+    (void)warm.run({normal});                     // populate
+    const auto from_cache = warm.run({normal});   // cached
+    const auto computed = cold.run({normal});     // fresh compute, no pool
+    ASSERT_EQ(from_cache[0].status, Response::Status::kOk);
+    ASSERT_EQ(computed[0].status, Response::Status::kOk);
+    EXPECT_TRUE(from_cache[0].cached);
+    EXPECT_FALSE(computed[0].cached);
+    EXPECT_EQ(from_cache[0].key, computed[0].key);
+    EXPECT_EQ(from_cache[0].result, computed[0].result)
+        << to_string(kind) << ": cached bytes diverge from a fresh engine";
+  }
+}
+
+}  // namespace
+}  // namespace rmt::svc

@@ -1,0 +1,142 @@
+// tools/rmt_fuzz.cpp — the structured-fuzzer CLI over check/fuzz.hpp.
+//
+//   rmt_fuzz [--seed S] [--mutants N] [--diff-checks N] [--max-nodes N]
+//            [--jobs N] [--corpus DIR]... [--artifacts DIR]
+//            [--trace-out FILE] [--self-test]
+//
+// Runs the parser-robustness and differential-decider loops (see
+// check/fuzz.hpp for the contracts) and prints the one-line report
+// summary. Exit status: 0 when clean, 2 on findings (after writing each
+// finding's input + detail under --artifacts and dumping the flight
+// recorder to --trace-out), 1 on usage errors.
+//
+// --self-test proves the harness *detects* divergence: it runs a short
+// differential pass with a deliberately-broken RMT decider (inverts the
+// reference's answer) and expects decider-diverged findings, then a clean
+// pass with the real deciders and expects none. Wired as the fuzz_selftest
+// ctest — the fuzz gate is only trustworthy while this stays green.
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/rmt_cut.hpp"
+#include "check/fuzz.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using rmt::propcheck::FuzzOptions;
+using rmt::propcheck::FuzzReport;
+
+[[noreturn]] void usage(const std::string& why) {
+  std::cerr << "rmt_fuzz: " << why << "\n"
+            << "usage: rmt_fuzz [--seed S] [--mutants N] [--diff-checks N]\n"
+            << "                [--max-nodes N] [--jobs N] [--corpus DIR]...\n"
+            << "                [--artifacts DIR] [--trace-out FILE] [--self-test]\n";
+  std::exit(1);
+}
+
+std::uint64_t parse_u64(const std::string& flag, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const unsigned long long v = std::stoull(value, &used);
+    if (used != value.size()) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    usage(flag + " needs a non-negative integer, got '" + value + "'");
+  }
+}
+
+void print_findings(const FuzzReport& report) {
+  for (std::size_t i = 0; i < report.findings.size(); ++i) {
+    const auto& f = report.findings[i];
+    std::cerr << "finding " << i << ": " << f.kind << " (unit " << f.index << ", seed "
+              << f.seed << "): " << f.detail << "\n";
+  }
+}
+
+int self_test(FuzzOptions opts) {
+  // Small but real: the broken decider must see enough instances to
+  // diverge on at least one (any instance with a cut answer flips).
+  opts.parser_mutants = 200;
+  opts.diff_checks = 40;
+  FuzzOptions broken = opts;
+  broken.rmt_decider = [](const rmt::Instance& inst) {
+    // Deliberately wrong: report the opposite existence answer.
+    const auto ref = rmt::analysis::find_rmt_cut_reference(inst);
+    if (ref) return std::optional<rmt::analysis::RmtCutWitness>{};
+    return std::optional<rmt::analysis::RmtCutWitness>{rmt::analysis::RmtCutWitness{}};
+  };
+  const FuzzReport caught = rmt::propcheck::run_fuzz(broken);
+  bool saw_decider_finding = false;
+  for (const auto& f : caught.findings) saw_decider_finding |= f.kind == "decider-diverged";
+  if (!saw_decider_finding) {
+    std::cerr << "self-test: broken decider was NOT caught (" << caught.summary() << ")\n";
+    return 1;
+  }
+  const FuzzReport clean = rmt::propcheck::run_fuzz(opts);
+  if (!clean.ok()) {
+    std::cerr << "self-test: real deciders produced findings:\n";
+    print_findings(clean);
+    return 1;
+  }
+  std::cout << "self-test: broken decider caught (" << caught.findings.size()
+            << " findings), real deciders clean\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FuzzOptions opts;
+  std::string artifacts;
+  std::string trace_out;
+  bool run_self_test = false;
+
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    const auto value = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) usage(a + " needs a value");
+      return args[++i];
+    };
+    if (a == "--seed") opts.seed = parse_u64(a, value());
+    else if (a == "--mutants") opts.parser_mutants = parse_u64(a, value());
+    else if (a == "--diff-checks") opts.diff_checks = parse_u64(a, value());
+    else if (a == "--max-nodes") opts.max_exact_nodes = parse_u64(a, value());
+    else if (a == "--jobs") opts.svc_workers = parse_u64(a, value());
+    else if (a == "--corpus") {
+      try {
+        for (std::string& entry : rmt::propcheck::load_corpus_dir(value()))
+          opts.corpus.push_back(std::move(entry));
+      } catch (const std::exception& e) {
+        usage(e.what());
+      }
+    } else if (a == "--artifacts") artifacts = value();
+    else if (a == "--trace-out") trace_out = value();
+    else if (a == "--self-test") run_self_test = true;
+    else usage("unknown flag '" + a + "'");
+  }
+
+  if (!trace_out.empty()) {
+    rmt::obs::trace::Recorder::global().set_dump_path(trace_out);
+    rmt::obs::trace::install_crash_handler();
+  }
+
+  if (run_self_test) return self_test(opts);
+
+  const FuzzReport report = rmt::propcheck::run_fuzz(opts);
+  std::cout << report.summary() << "\n";
+  if (report.ok()) return 0;
+
+  print_findings(report);
+  if (!artifacts.empty()) {
+    const std::size_t files = rmt::propcheck::write_artifacts(artifacts, report.findings);
+    std::cerr << "wrote " << files << " artifact file(s) under " << artifacts << "\n";
+  }
+  if (!trace_out.empty()) rmt::obs::trace::Recorder::global().dump_now("fuzz-finding");
+  return 2;
+}

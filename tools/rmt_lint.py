@@ -14,6 +14,13 @@ catch by hand (wired into ctest as lint_project / lint_selftest):
                     src/exec/ (everything else goes through rmt::exec's
                     ThreadPool so determinism, stats, and TSan coverage are
                     centralised); tests/ may spawn threads to race the pool
+  rng-discipline    raw standard RNG engines (std::mt19937 & friends,
+                    std::random_device, srand) only inside src/util/rng.hpp;
+                    every other random stream goes through rmt::Rng so seeds
+                    stay splitmix64-derived and every campaign cell,
+                    propcheck coordinate and fuzz finding is reproducible.
+                    Applies to ALL linted dirs — tests and tools included
+                    (an unreproducible test failure is as bad as one in src/)
   entry-require     each registered public API entry point contains an
                     RMT_REQUIRE precondition (or an RMT_AUDIT_VALIDATE deep
                     hook) in its body
@@ -125,6 +132,24 @@ def check_thread_spawn(relpath, text):
         if THREAD_SPAWN_RE.search(line):
             yield (f"{relpath}:{i}: thread-spawn: raw std::thread/jthread/async "
                    f"outside src/exec/ — use exec::ThreadPool")
+
+
+RNG_DISCIPLINE_RE = re.compile(
+    r"std::(?:mt19937(?:_64)?|minstd_rand0?|random_device|default_random_engine"
+    r"|knuth_b|ranlux\w+)\b|\bsrand\s*\(")
+RNG_ALLOWED_FILES = {"src/util/rng.hpp"}
+
+
+def check_rng_discipline(relpath, text):
+    # Unlike banned-token this rule covers *every* linted dir: a test or
+    # tool seeding its own std::mt19937 (or worse, std::random_device)
+    # produces failures that no recorded seed can replay.
+    if relpath in RNG_ALLOWED_FILES:
+        return
+    for i, line in enumerate(strip_line_comments(text).splitlines(), 1):
+        if RNG_DISCIPLINE_RE.search(line):
+            yield (f"{relpath}:{i}: rng-discipline: raw standard RNG engine/seeding "
+                   f"outside src/util/rng.hpp — use rmt::Rng (splitmix64-derived seeds)")
 
 
 def function_body(text, name):
@@ -356,7 +381,7 @@ def check_svc_metric_registry(repo, sources, findings):
 
 LINT_DIRS = ["src", "bench", "tests", "tools", "examples"]
 PER_FILE_RULES = [check_pragma_once, check_header_namespace, check_banned_tokens,
-                  check_thread_spawn]
+                  check_thread_spawn, check_rng_discipline]
 
 
 def gather_sources(repo):
@@ -406,6 +431,14 @@ SELFTEST_CASES = [
     (check_thread_spawn, "src/exec/thread_pool.cpp", "std::thread t(f);\n", False),
     (check_thread_spawn, "tests/test_x.cpp", "std::jthread t(f);\n", False),
     (check_thread_spawn, "src/sim/x.cpp", "// std::thread (see exec)\n", False),
+    (check_rng_discipline, "src/sim/x.cpp", "std::mt19937 gen(seed);\n", True),
+    (check_rng_discipline, "tests/test_x.cpp", "std::mt19937_64 gen(7);\n", True),
+    (check_rng_discipline, "tools/x.cpp", "std::random_device rd;\n", True),
+    (check_rng_discipline, "bench/x.cpp", "srand(42);\n", True),
+    (check_rng_discipline, "src/x.cpp", "std::default_random_engine e;\n", True),
+    (check_rng_discipline, "src/util/rng.hpp", "std::mt19937_64 engine_;\n", False),
+    (check_rng_discipline, "tests/test_x.cpp", "Rng rng(7);\n", False),
+    (check_rng_discipline, "src/x.cpp", "// std::mt19937 would break repro\n", False),
 ]
 
 # (span_registry, phase_names, sources, expect_finding) for span_findings.
