@@ -1,0 +1,115 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace rmt::net {
+
+namespace {
+
+[[noreturn]] void fail(const char* what) {
+  throw std::runtime_error(std::string("net::Client: ") + what + ": " +
+                           std::strerror(errno));
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      recv_buffer_(other.recv_buffer_),
+      rbuf_(std::move(other.rbuf_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    recv_buffer_ = other.recv_buffer_;
+    rbuf_ = std::move(other.rbuf_);
+  }
+  return *this;
+}
+
+void Client::connect(std::uint16_t port) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) fail("socket");
+  if (recv_buffer_ > 0)
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &recv_buffer_, sizeof recv_buffer_);
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr) != 1) fail("inet_pton");
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    fail("connect");
+  }
+}
+
+void Client::send_line(const std::string& line) {
+  std::string framed = line;
+  framed.push_back('\n');
+  send_raw(framed.data(), framed.size());
+}
+
+void Client::send_raw(const void* data, std::size_t len) {
+  const char* p = static_cast<const char*>(data);
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::send(fd_, p + off, len - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += std::size_t(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    fail("send");
+  }
+}
+
+bool Client::recv_line(std::string& line) {
+  for (;;) {
+    const std::size_t nl = rbuf_.find('\n');
+    if (nl != std::string::npos) {
+      line.assign(rbuf_, 0, nl);
+      rbuf_.erase(0, nl + 1);
+      return true;
+    }
+    char buf[16 << 10];
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n > 0) {
+      rbuf_.append(buf, std::size_t(n));
+      continue;
+    }
+    if (n == 0) return false;  // EOF; a partial trailing line is dropped
+    if (errno == EINTR) continue;
+    fail("recv");
+  }
+}
+
+void Client::shutdown_write() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  rbuf_.clear();
+}
+
+}  // namespace rmt::net

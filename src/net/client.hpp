@@ -1,0 +1,65 @@
+// net/client.hpp — a minimal blocking JSONL client for net::Server.
+//
+// The counterpart the tests and benches drive connections with: connect
+// to 127.0.0.1:<port>, send whole lines, read whole lines back. It is
+// deliberately synchronous (the *server* is the event loop under test)
+// and deliberately byte-oriented — send_raw() exists precisely so the
+// adversarial tests can split writes mid-line, dribble bytes, or inject
+// garbage that a line-level API would never produce.
+//
+// Not a production client: no reconnect, no timeouts beyond the socket
+// defaults, one thread per Client. Move-only (owns the fd).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace rmt::net {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Shrink SO_RCVBUF for the *next* connect() — together with the
+  /// server's so_sndbuf option this bounds the kernel's in-flight window,
+  /// making slow-client backpressure observable with little traffic.
+  /// Must be called before connect(); 0 = kernel default.
+  void set_recv_buffer(int bytes) { recv_buffer_ = bytes; }
+
+  /// Connect to 127.0.0.1:port. Throws std::runtime_error on failure.
+  void connect(std::uint16_t port);
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Send `line` plus a trailing '\n', looping until every byte is
+  /// written. Throws std::runtime_error when the peer is gone.
+  void send_line(const std::string& line);
+
+  /// Send exactly `data` — no newline appended, no framing. The fault-
+  /// injection primitive: callers split/duplicate/dribble at will.
+  void send_raw(const void* data, std::size_t len);
+
+  /// Read one '\n'-terminated line (newline stripped) into `line`.
+  /// Returns false on clean EOF with no buffered partial line; throws on
+  /// socket errors.
+  bool recv_line(std::string& line);
+
+  /// Half-close: shutdown(SHUT_WR) so the server sees EOF while this end
+  /// can still read the remaining responses.
+  void shutdown_write();
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  int recv_buffer_ = 0;
+  std::string rbuf_;  ///< bytes received but not yet returned as lines
+};
+
+}  // namespace rmt::net

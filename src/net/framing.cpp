@@ -1,0 +1,67 @@
+#include "net/framing.hpp"
+
+#include "util/check.hpp"
+
+namespace rmt::net {
+
+LineFramer::LineFramer(std::size_t max_line_bytes) : max_line_bytes_(max_line_bytes) {
+  RMT_REQUIRE(max_line_bytes > 0, "LineFramer: max_line_bytes must be positive");
+}
+
+void LineFramer::complete_line() {
+  Frame f;
+  if (discarding_) {
+    f.kind = Kind::kOversized;
+    f.line_bytes = buf_.size() + dropped_;
+  } else if (saw_nul_) {
+    f.kind = Kind::kEmbeddedNul;
+    f.line_bytes = buf_.size();
+  } else {
+    // Tolerate CRLF clients: one trailing '\r' belongs to the terminator,
+    // not the payload (a bare '\r' anywhere else is payload and will fail
+    // JSON parsing on its own merits).
+    if (!buf_.empty() && buf_.back() == '\r') buf_.pop_back();
+    f.kind = Kind::kLine;
+    f.line_bytes = buf_.size();
+    f.line = std::move(buf_);
+  }
+  ready_.push_back(std::move(f));
+  buf_.clear();
+  discarding_ = false;
+  saw_nul_ = false;
+  dropped_ = 0;
+}
+
+void LineFramer::feed(const char* data, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const char c = data[i];
+    if (c == '\n') {
+      complete_line();
+      continue;
+    }
+    if (discarding_) {
+      ++dropped_;
+      continue;
+    }
+    if (c == '\0') saw_nul_ = true;
+    buf_.push_back(c);
+    if (buf_.size() > max_line_bytes_) {
+      // Past the cap: remember how much we had, then stop storing. The
+      // buffered prefix is dropped too — an oversized line is rejected
+      // whole, never half-parsed.
+      dropped_ = buf_.size();
+      buf_.clear();
+      buf_.shrink_to_fit();
+      discarding_ = true;
+    }
+  }
+}
+
+bool LineFramer::next(Frame& out) {
+  if (ready_.empty()) return false;
+  out = std::move(ready_.front());
+  ready_.pop_front();
+  return true;
+}
+
+}  // namespace rmt::net

@@ -29,8 +29,11 @@
 namespace rmt::obs {
 
 // lint:span-registry-begin
-inline constexpr std::array<std::string_view, 3> kSpanNames = {
+inline constexpr std::array<std::string_view, 6> kSpanNames = {
     "exec.task",
+    "net.conn",
+    "net.read",
+    "net.write",
     "svc.join",
     "svc.request",
 };

@@ -243,6 +243,7 @@ std::vector<Response> Engine::run(const std::vector<Request>& requests) {
       rtr[i].ctx = obs::trace::new_root_context();
       rtr[i].start_ns = obs::trace::now_ns();
       out[i].trace_id = rtr[i].ctx.trace_id;
+      out[i].root_span = rtr[i].ctx.span_id;
     }
     if (req.deadline_ms && elapsed_ms() >= double(*req.deadline_ms)) {
       out[i].status = Response::Status::kDeadlineExceeded;

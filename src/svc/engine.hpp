@@ -98,6 +98,10 @@ struct Response {
   /// Root trace id of this request's span subtree (obs/trace.hpp); 0 when
   /// tracing was disabled. The wire layer renders it as a 16-hex string.
   std::uint64_t trace_id = 0;
+  /// Span id of the request's "svc.request" root span (0 when tracing was
+  /// disabled). Never on the wire — the net layer joins its "net.write"
+  /// spans to it so a response's transport leg links into the trace.
+  std::uint64_t root_span = 0;
 };
 
 class Engine {

@@ -118,4 +118,85 @@ std::string format_parse_error(const std::string& id, const std::string& message
   return format_response(id, resp);
 }
 
+std::string probe_kind(const std::string& line) {
+  if (line.size() > kMaxRequestBytes) return "";
+  try {
+    const obs::json::Value doc = obs::json::Value::parse(line);
+    if (!doc.is_object()) return "";
+    const obs::json::Value* kind = doc.find("kind");
+    if (!kind || kind->kind() != obs::json::Value::Kind::kString) return "";
+    const std::string name = kind->as_string();
+    return (name == "stats" || name == "trace") ? name : "";
+  } catch (const std::invalid_argument&) {
+    return "";
+  }
+}
+
+namespace {
+
+/// The shared probe-response envelope: an "ok" response whose result is
+/// `body` (a serialized JSON object) and whose volatile fields are inert.
+std::string probe_envelope(const std::string& id, const std::string& body) {
+  obs::json::Writer w;
+  w.begin_object();
+  w.field("schema", kResponseSchema);
+  w.field("id", id);
+  w.field("status", "ok");
+  w.key("key").null();
+  w.key("result").raw_value(body);
+  w.key("error").null();
+  w.field("cached", false);
+  w.field("coalesced", false);
+  w.field("wall_us", 0.0);
+  w.key("trace_id").null();
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace
+
+std::string format_stats_response(const std::string& id, Engine& engine,
+                                  const std::string& extra_key,
+                                  const std::string& extra_json) {
+  const Engine::Stats e = engine.stats();
+  const ResultCache::Stats c = engine.cache().stats();
+  obs::json::Writer w;
+  w.begin_object();
+  w.field("kind", "stats");
+  w.key("engine").begin_object();
+  w.field("requests", e.requests);
+  w.field("computed", e.computed);
+  w.field("coalesced", e.coalesced);
+  w.field("inflight_joins", e.inflight_joins);
+  w.field("deadline_exceeded", e.deadline_exceeded);
+  w.field("errors", e.errors);
+  w.end_object();
+  w.key("cache").begin_object();
+  w.field("hits", c.hits);
+  w.field("misses", c.misses);
+  w.field("evictions", c.evictions);
+  w.field("bytes", std::uint64_t(c.bytes));
+  w.field("entries", std::uint64_t(c.entries));
+  w.end_object();
+  if (!extra_key.empty()) w.key(extra_key).raw_value(extra_json);
+  w.end_object();
+  return probe_envelope(id, w.take());
+}
+
+std::string format_trace_response(const std::string& id) {
+  const obs::trace::Recorder& rec = obs::trace::Recorder::global();
+  // snapshot() first: it drains the per-thread buffers, so the header's
+  // recorded count then agrees with the spans array.
+  const std::vector<obs::trace::SpanRecord> spans = rec.snapshot();
+  obs::json::Writer w;
+  w.begin_object();
+  w.field("kind", "trace");
+  w.key("header").raw_value(obs::trace::header_json(rec.header()));
+  w.key("spans").begin_array();
+  for (const obs::trace::SpanRecord& s : spans) w.raw_value(obs::trace::span_json(s));
+  w.end_array();
+  w.end_object();
+  return probe_envelope(id, w.take());
+}
+
 }  // namespace rmt::svc::wire

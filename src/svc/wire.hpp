@@ -68,4 +68,21 @@ std::string format_response(const std::string& id, const Response& resp);
 /// engine (parse failure, unknown kind).
 std::string format_parse_error(const std::string& id, const std::string& message);
 
+/// "stats" / "trace" for a probe line the engine must never see, "" for
+/// everything else (including lines that are not valid JSON).
+std::string probe_kind(const std::string& line);
+
+/// Format the "stats" probe response: the engine and cache counters as the
+/// result object ({"kind":"stats","engine":{...},"cache":{...}}). A server
+/// may splice one extra section (the TCP front end passes its "net"
+/// counters as an already-serialized JSON object); both empty = none.
+std::string format_stats_response(const std::string& id, Engine& engine,
+                                  const std::string& extra_key = "",
+                                  const std::string& extra_json = "");
+
+/// Format the "trace" probe response: the flight recorder's header and
+/// spans embedded verbatim as rmt.trace/1 objects — written one per line
+/// they validate as an rmt.trace/1 dump.
+std::string format_trace_response(const std::string& id);
+
 }  // namespace rmt::svc::wire

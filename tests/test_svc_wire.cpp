@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "net/framing.hpp"
 #include "obs/json.hpp"
 
 namespace rmt::svc::wire {
@@ -186,6 +187,103 @@ TEST(SvcWire, StatusNames) {
   EXPECT_STREQ(to_string(Response::Status::kOk), "ok");
   EXPECT_STREQ(to_string(Response::Status::kDeadlineExceeded), "deadline_exceeded");
   EXPECT_STREQ(to_string(Response::Status::kError), "error");
+}
+
+TEST(SvcWire, ProbeKindRecognizesProbesOnly) {
+  EXPECT_EQ(probe_kind(R"({"schema":"rmt.request/1","id":"s","kind":"stats"})"), "stats");
+  EXPECT_EQ(probe_kind(R"({"schema":"rmt.request/1","id":"t","kind":"trace"})"), "trace");
+  EXPECT_EQ(probe_kind(request_line()), "");  // a real request is not a probe
+  EXPECT_EQ(probe_kind(R"({"kind":17})"), "");
+  EXPECT_EQ(probe_kind("not json"), "");
+  // The size guard runs before the JSON parser, like parse_request's.
+  std::string big = R"({"kind":"stats")";
+  big.append(kMaxRequestBytes, ' ');
+  big += "}";
+  EXPECT_EQ(probe_kind(big), "");
+}
+
+TEST(SvcWire, StatsResponseCarriesCountersAndOptionalExtra) {
+  Engine engine(nullptr);
+  const obs::json::Value doc =
+      obs::json::Value::parse(format_stats_response("s1", engine));
+  EXPECT_EQ(doc.find("id")->as_string(), "s1");
+  EXPECT_EQ(doc.find("status")->as_string(), "ok");
+  const obs::json::Value* result = doc.find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(result->find("kind")->as_string(), "stats");
+  EXPECT_EQ(result->find("engine")->find("requests")->as_u64(), 0u);
+  EXPECT_EQ(result->find("cache")->find("entries")->as_u64(), 0u);
+  EXPECT_EQ(result->find("net"), nullptr) << "no extra section unless asked";
+
+  // The TCP server splices its transport counters as an extra section.
+  const obs::json::Value with_net = obs::json::Value::parse(
+      format_stats_response("s2", engine, "net", R"({"accepts":3})"));
+  ASSERT_NE(with_net.find("result")->find("net"), nullptr);
+  EXPECT_EQ(with_net.find("result")->find("net")->find("accepts")->as_u64(), 3u);
+}
+
+TEST(SvcWire, TraceResponseEmbedsTheRecorder) {
+  const obs::json::Value doc = obs::json::Value::parse(format_trace_response("t1"));
+  EXPECT_EQ(doc.find("id")->as_string(), "t1");
+  const obs::json::Value* result = doc.find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(result->find("kind")->as_string(), "trace");
+  ASSERT_NE(result->find("header"), nullptr);
+  ASSERT_NE(result->find("spans"), nullptr);
+}
+
+// -- framing x wire integration: the TCP server's ingest path ---------------
+
+TEST(SvcWire, FramedRequestsSurvivePartialReads) {
+  // Drive the net-layer framer with 7-byte chunks of a request stream and
+  // parse every completed line: reassembly is transparent to the wire
+  // layer, whatever the split points.
+  net::LineFramer framer(kMaxRequestBytes);
+  const std::string stream = request_line() + "\n" + request_line() + "\n";
+  std::size_t parsed = 0;
+  for (std::size_t off = 0; off < stream.size(); off += 7) {
+    framer.feed(stream.data() + off, std::min<std::size_t>(7, stream.size() - off));
+    net::LineFramer::Frame frame;
+    while (framer.next(frame)) {
+      ASSERT_EQ(frame.kind, net::LineFramer::Kind::kLine);
+      EXPECT_EQ(parse_request(frame.line).id, "q1");
+      ++parsed;
+    }
+  }
+  EXPECT_EQ(parsed, 2u);
+  EXPECT_FALSE(framer.mid_line());
+}
+
+TEST(SvcWire, FramerRejectsOversizedWithoutConsumingTheStream) {
+  // An oversized line never reaches parse_request (the framer already
+  // rejected it in O(cap) memory), and the next line still parses — the
+  // reject-don't-consume contract the server's error path relies on.
+  net::LineFramer framer(256);
+  std::string stream(1024, 'x');
+  stream += "\n" + request_line() + "\n";
+  for (std::size_t off = 0; off < stream.size(); off += 13)
+    framer.feed(stream.data() + off, std::min<std::size_t>(13, stream.size() - off));
+  net::LineFramer::Frame frame;
+  ASSERT_TRUE(framer.next(frame));
+  EXPECT_EQ(frame.kind, net::LineFramer::Kind::kOversized);
+  EXPECT_EQ(frame.line_bytes, 1024u);
+  ASSERT_TRUE(framer.next(frame));
+  ASSERT_EQ(frame.kind, net::LineFramer::Kind::kLine);
+  EXPECT_EQ(parse_request(frame.line).id, "q1");
+  EXPECT_FALSE(framer.next(frame));
+}
+
+TEST(SvcWire, FramerRejectsEmbeddedNulBeforeTheParser) {
+  // A NUL would silently truncate in downstream C string handling; the
+  // framer refuses the line so parse_request never sees one.
+  net::LineFramer framer(kMaxRequestBytes);
+  std::string evil = request_line();
+  evil[evil.size() / 2] = '\0';
+  evil += "\n";
+  framer.feed(evil.data(), evil.size());
+  net::LineFramer::Frame frame;
+  ASSERT_TRUE(framer.next(frame));
+  EXPECT_EQ(frame.kind, net::LineFramer::Kind::kEmbeddedNul);
 }
 
 }  // namespace

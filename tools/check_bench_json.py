@@ -49,6 +49,7 @@ Wired into ctest so a malformed artifact fails the build's test suite.
 
 import argparse
 import json
+import math
 import re
 import sys
 
@@ -160,6 +161,22 @@ def check_bench(doc, problems, args):
             if isinstance(row, dict) and row.get("within_budget") is not True:
                 problems.add(f"rows[{i}].within_budget: {row.get('within_budget')!r} "
                              f"(measured overhead exceeded the hard budget)")
+    # Throughput columns (`qps`, `qps_tcp`, `qps_direct`, ...) must be
+    # usable numbers: a NaN, infinity, negative, or non-numeric cell means
+    # the driver's timing loop broke (zero wall time, overflow) and the
+    # artifact cannot be compared across runs. Timings are never *asserted*
+    # beyond that — this is a sanity rule, not a perf gate.
+    for col in columns:
+        if col != "qps" and not col.startswith("qps_"):
+            continue
+        for i, row in enumerate(rows):
+            if not isinstance(row, dict):
+                continue
+            v = row.get(col)
+            if isinstance(v, bool) or not isinstance(v, (int, float)) \
+                    or not math.isfinite(v) or v < 0:
+                problems.add(f"rows[{i}].{col}: {v!r} "
+                             f"(throughput must be a non-negative finite number)")
     check_metrics(doc.get("metrics"), problems, args.require_phases, args.require_sim)
 
 
@@ -603,6 +620,13 @@ def _selftest_docs():
          "columns": ["row", "per_span_ns", "within_budget"],
          "rows": [{"row": "span-idle", "per_span_ns": 3.5, "within_budget": True}],
          "metrics": metrics},
+        {"schema": "rmt.bench/1", "name": "bench_net", "run": run,
+         "columns": ["clients", "qps_tcp", "qps_direct", "identical"],
+         "rows": [{"clients": 1, "qps_tcp": 20587.2, "qps_direct": 114766.9,
+                   "identical": True},
+                  {"clients": 8, "qps_tcp": 0, "qps_direct": 111645.3,
+                   "identical": True}],
+         "metrics": metrics},
         {"schema": "rmt.analyze/1", "instance": inst, "rmt_solvable": True,
          "rmt_cut_witness": None, "zcpa_solvable": True,
          "full_knowledge_solvable": True, "metrics": metrics},
@@ -658,6 +682,20 @@ def _selftest_docs():
         {"schema": "rmt.bench/1", "name": "bench_trace", "run": run,
          "columns": ["row", "within_budget"],
          "rows": [{"row": "span-idle", "within_budget": False}],
+         "metrics": metrics},
+        # Throughput sanity: qps / qps_* cells must be non-negative finite
+        # numbers — a negative, NaN, or textual rate is a broken timing loop.
+        {"schema": "rmt.bench/1", "name": "bench_net", "run": run,
+         "columns": ["clients", "qps_tcp", "identical"],
+         "rows": [{"clients": 1, "qps_tcp": -3.0, "identical": True}],
+         "metrics": metrics},
+        {"schema": "rmt.bench/1", "name": "bench_net", "run": run,
+         "columns": ["clients", "qps_tcp", "identical"],
+         "rows": [{"clients": 1, "qps_tcp": float("nan"), "identical": True}],
+         "metrics": metrics},
+        {"schema": "rmt.bench/1", "name": "bench_net", "run": run,
+         "columns": ["clients", "qps_tcp", "identical"],
+         "rows": [{"clients": 1, "qps_tcp": "fast", "identical": True}],
          "metrics": metrics},
         {"schema": "rmt.analyze/1", "instance": {"players": "eight"},
          "rmt_solvable": "yes", "metrics": metrics},

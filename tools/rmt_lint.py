@@ -42,6 +42,21 @@ catch by hand (wired into ctest as lint_project / lint_selftest):
                     src/obs/span_names.hpp or the phase registry, and every
                     span-registry entry keeps an RMT_TRACE_NAME site in src/
                     (both directions, mirroring phase-registry)
+  socket-discipline raw BSD socket / poll / epoll calls (socket, accept,
+                    bind, listen, connect, recv, send, setsockopt, ...)
+                    only inside src/net/ — every other layer, tests and
+                    benches included, talks through net::Server /
+                    net::Client so framing, backpressure, and the net.*
+                    counters cannot be bypassed (member calls like
+                    client.connect(...) are fine; it is the free functions
+                    that are fenced)
+  net-metric-registry
+                    every "net.*" metric-name string literal in C++
+                    sources appears in src/net/metric_names.hpp, and every
+                    registered name keeps an instrumentation site in src/
+                    (both directions, mirroring svc-metric-registry). Span
+                    names ("net.conn", "net.read", "net.write") belong to
+                    the span registry and are exempt here.
 
 Usage:
   rmt_lint.py [--repo DIR]   lint the repository (default: the linter's
@@ -150,6 +165,29 @@ def check_rng_discipline(relpath, text):
         if RNG_DISCIPLINE_RE.search(line):
             yield (f"{relpath}:{i}: rng-discipline: raw standard RNG engine/seeding "
                    f"outside src/util/rng.hpp — use rmt::Rng (splitmix64-derived seeds)")
+
+
+# Free-function calls into the BSD socket / poll layer. The lookbehind
+# rejects member access (client.recv(...)), pointers (sock->send(...)),
+# qualified names (std::bind(...)) and longer identifiers (resend(...)),
+# so only the raw C API trips the rule.
+SOCKET_DISCIPLINE_RE = re.compile(
+    r"(?<![\w.:>])(?:socket|accept4?|bind|listen|connect|recv|recvfrom|recvmsg"
+    r"|send|sendto|sendmsg|poll|ppoll|epoll_[a-z0-9_]+|select|setsockopt"
+    r"|getsockopt|getsockname|inet_pton|inet_ntop)\s*\(")
+
+
+def check_socket_discipline(relpath, text):
+    # src/net/ owns every socket: the transport's framing, admission,
+    # backpressure, and net.* accounting must be impossible to bypass by
+    # opening a raw fd elsewhere (tests and benches drive the server
+    # through net::Client for the same reason).
+    if relpath.startswith("src/net/"):
+        return
+    for i, line in enumerate(strip_line_comments(text).splitlines(), 1):
+        if SOCKET_DISCIPLINE_RE.search(line):
+            yield (f"{relpath}:{i}: socket-discipline: raw socket/poll call "
+                   f"outside src/net/ — use net::Server / net::Client")
 
 
 def function_body(text, name):
@@ -377,11 +415,77 @@ def check_svc_metric_registry(repo, sources, findings):
     findings.extend(svc_metric_findings(registry, phase_names, scanned))
 
 
+NET_METRIC_REGISTRY_FILE = "src/net/metric_names.hpp"
+NET_METRIC_LITERAL_RE = re.compile(r'"(net\.[A-Za-z0-9_.]+)"')
+
+
+def parse_net_metric_registry(text):
+    """Names listed between the lint:net-metric-registry markers, or None."""
+    m = re.search(r"lint:net-metric-registry-begin(.*?)lint:net-metric-registry-end",
+                  text, re.S)
+    if not m:
+        return None
+    return set(re.findall(r'"([^"]+)"', m.group(1)))
+
+
+def net_metric_findings(registry, span_names, sources):
+    """The both-direction net-metric check as a pure function (self-tested).
+
+    `sources` excludes the registry file itself; `span_names` (the span and
+    phase vocabularies) are exempt — "net.conn" / "net.read" / "net.write"
+    are trace spans owned by the span-registry rule, not metrics.
+    """
+    findings = []
+    used = {}  # name -> first "file:line"
+    used_in_src = set()
+    for relpath, text in sources:
+        for i, line in enumerate(strip_line_comments(text).splitlines(), 1):
+            for name in NET_METRIC_LITERAL_RE.findall(line):
+                used.setdefault(name, f"{relpath}:{i}")
+                if relpath.startswith("src/"):
+                    used_in_src.add(name)
+    for name, where in sorted(used.items()):
+        if name in span_names:
+            continue
+        if name not in registry:
+            findings.append(
+                f"{where}: net-metric-registry: metric '{name}' is not in "
+                f"{NET_METRIC_REGISTRY_FILE}")
+    for name in sorted(registry - used_in_src):
+        findings.append(
+            f"{NET_METRIC_REGISTRY_FILE}:1: net-metric-registry: registered metric "
+            f"'{name}' has no instrumentation site left in src/")
+    return findings
+
+
+def check_net_metric_registry(repo, sources, findings):
+    registry_path = repo / NET_METRIC_REGISTRY_FILE
+    if not registry_path.is_file():
+        findings.append(
+            f"{NET_METRIC_REGISTRY_FILE}:1: net-metric-registry: registry file is missing")
+        return
+    registry = parse_net_metric_registry(registry_path.read_text(encoding="utf-8"))
+    if registry is None:
+        findings.append(f"{NET_METRIC_REGISTRY_FILE}:1: net-metric-registry: "
+                        f"lint:net-metric-registry markers not found")
+        return
+    span_names = set()
+    phase_path = repo / PHASE_REGISTRY_FILE
+    if phase_path.is_file():
+        span_names |= parse_phase_registry(phase_path.read_text(encoding="utf-8")) or set()
+    span_path = repo / SPAN_REGISTRY_FILE
+    if span_path.is_file():
+        span_names |= parse_span_registry(span_path.read_text(encoding="utf-8")) or set()
+    scanned = [(relpath, text) for relpath, text in sources
+               if relpath not in (NET_METRIC_REGISTRY_FILE, SPAN_REGISTRY_FILE)]
+    findings.extend(net_metric_findings(registry, span_names, scanned))
+
+
 # --- driver ------------------------------------------------------------------
 
 LINT_DIRS = ["src", "bench", "tests", "tools", "examples"]
 PER_FILE_RULES = [check_pragma_once, check_header_namespace, check_banned_tokens,
-                  check_thread_spawn, check_rng_discipline]
+                  check_thread_spawn, check_rng_discipline, check_socket_discipline]
 
 
 def gather_sources(repo):
@@ -407,6 +511,7 @@ def lint_repo(repo):
     check_phase_registry(repo, sources, findings)
     check_span_registry(repo, sources, findings)
     check_svc_metric_registry(repo, sources, findings)
+    check_net_metric_registry(repo, sources, findings)
     return findings
 
 
@@ -439,6 +544,19 @@ SELFTEST_CASES = [
     (check_rng_discipline, "src/util/rng.hpp", "std::mt19937_64 engine_;\n", False),
     (check_rng_discipline, "tests/test_x.cpp", "Rng rng(7);\n", False),
     (check_rng_discipline, "src/x.cpp", "// std::mt19937 would break repro\n", False),
+    (check_socket_discipline, "src/svc/x.cpp", "int fd = socket(AF_INET, 0, 0);\n", True),
+    (check_socket_discipline, "tests/test_x.cpp", "recv(fd, buf, n, 0);\n", True),
+    (check_socket_discipline, "bench/x.cpp", "poll(fds, n, -1);\n", True),
+    (check_socket_discipline, "tools/x.cpp", "epoll_wait(ep, evs, 64, -1);\n", True),
+    (check_socket_discipline, "src/net/server.cpp", "int fd = socket(AF_INET, 0, 0);\n",
+     False),
+    # Member calls, qualified names, and longer identifiers are not the
+    # raw C API: net::Client wraps them legitimately.
+    (check_socket_discipline, "tests/test_x.cpp", "client.connect(port);\n", False),
+    (check_socket_discipline, "bench/x.cpp", "client.send_line(line);\n", False),
+    (check_socket_discipline, "src/x.cpp", "auto f = std::bind(g, 1);\n", False),
+    (check_socket_discipline, "src/x.cpp", "resend(frame);\n", False),
+    (check_socket_discipline, "src/x.cpp", "// raw send( is banned here\n", False),
 ]
 
 # (span_registry, phase_names, sources, expect_finding) for span_findings.
@@ -500,6 +618,33 @@ SVC_METRIC_CASES = [
        'reg.counter("svc.requests");  // not "svc.phantom"\n')], False),
 ]
 
+# (registry, span_names, sources, expect_finding) for net_metric_findings.
+NET_METRIC_CASES = [
+    # A registered metric used in src/: clean in both directions.
+    ({"net.accepts"}, set(),
+     [("src/net/server.cpp", 'reg.counter("net.accepts");\n')], False),
+    # An unregistered metric literal anywhere is a finding.
+    ({"net.accepts"}, set(),
+     [("src/net/server.cpp", 'reg.counter("net.accepts");\n'),
+      ("src/net/server.cpp", 'reg.counter("net.rogue");\n')], True),
+    ({"net.accepts"}, set(),
+     [("src/net/server.cpp", 'reg.counter("net.accepts");\n'),
+      ("tests/test_x.cpp", 'EXPECT_TRUE(has("net.rogue"));\n')], True),
+    # A registered metric with no src/ site left is a finding — a use in
+    # tests/ alone does not keep it alive.
+    ({"net.accepts", "net.stale"}, set(),
+     [("src/net/server.cpp", 'reg.counter("net.accepts");\n'),
+      ("tests/test_x.cpp", 'reg.counter("net.stale");\n')], True),
+    # Span names are the span registry's business, not a metric finding.
+    ({"net.accepts"}, {"net.conn", "net.read", "net.write"},
+     [("src/net/server.cpp", 'reg.counter("net.accepts");\n'),
+      ("src/net/server.cpp", 'rec.set_name(RMT_TRACE_NAME("net.write"));\n')], False),
+    # Mentions inside // comments do not count as uses.
+    ({"net.accepts"}, set(),
+     [("src/net/server.cpp",
+       'reg.counter("net.accepts");  // not "net.phantom"\n')], False),
+]
+
 
 def self_test():
     failures = []
@@ -539,9 +684,21 @@ def self_test():
         if got != expect:
             failures.append(f"svc-metric case {case}: expected "
                             f"{'a finding' if expect else 'clean'}, got the opposite")
+
+    net_registry = parse_net_metric_registry(
+        '// lint:net-metric-registry-begin\n"net.accepts",\n"net.shed",\n'
+        '// lint:net-metric-registry-end\n')
+    if net_registry != {"net.accepts", "net.shed"}:
+        failures.append(f"parse_net_metric_registry: got {net_registry!r}")
+    for case, (reg, spans, sources, expect) in enumerate(NET_METRIC_CASES):
+        got = bool(net_metric_findings(reg, spans, sources))
+        if got != expect:
+            failures.append(f"net-metric case {case}: expected "
+                            f"{'a finding' if expect else 'clean'}, got the opposite")
     for f in failures:
         print(f"self-test: {f}", file=sys.stderr)
-    total = len(SELFTEST_CASES) + len(SPAN_CASES) + len(SVC_METRIC_CASES) + 5
+    total = len(SELFTEST_CASES) + len(SPAN_CASES) + len(SVC_METRIC_CASES) \
+        + len(NET_METRIC_CASES) + 6
     print(f"self-test: {total} checks, {len(failures)} failures")
     return 1 if failures else 0
 

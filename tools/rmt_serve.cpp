@@ -1,41 +1,68 @@
-// tools/rmt_serve — the stdio JSONL query server over svc::Engine.
+// tools/rmt_serve — the JSONL query server over svc::Engine.
 //
-// Reads rmt.request/1 lines from stdin, answers rmt.response/1 lines on
-// stdout (see src/svc/wire.hpp for both schemas). Requests accumulate
-// into a batch; a blank line, the batch limit, or EOF flushes the batch
-// through the engine and emits the responses in input order. Deadlines
-// (deadline_ms) count from the flush, i.e. from when the batch starts.
+// Two transports, one protocol (src/svc/wire.hpp):
 //
-// Probe lines the engine never sees:
-//   * malformed requests — answered immediately at flush time with an
-//     "error" response echoing the id when one could be salvaged;
+//   rmt_serve --stdio   (default)  read rmt.request/1 lines from stdin,
+//                                  answer rmt.response/1 lines on stdout;
+//   rmt_serve --port N             accept many concurrent TCP clients on
+//                                  127.0.0.1:N (0 = ephemeral) through the
+//                                  src/net event loop — same line protocol
+//                                  per connection, all connections multi-
+//                                  plexed onto ONE engine so duplicate
+//                                  keys coalesce across sockets.
+//
+// In both modes requests accumulate into a batch; a blank line (from any
+// connection, in TCP mode), the batch limit, or — stdio only — EOF
+// flushes the batch through the engine and emits the responses in input
+// order. Deadlines (deadline_ms) count from the flush. Probe lines the
+// engine never sees:
+//   * malformed requests — answered with an "error" response echoing the
+//     id when one could be salvaged;
 //   * {"schema":"rmt.request/1","id":"s","kind":"stats"} — flushes the
 //     pending batch, then reports the engine and cache counters as the
-//     result object ({"kind":"stats","engine":{...},"cache":{...}}).
-//     This is how the e2e test asserts coalescing and caching over pure
-//     stdio, no shared memory with the server;
+//     result object; the TCP server appends its transport counters as a
+//     "net" section ({"kind":"stats","engine":{...},"cache":{...},
+//     "net":{...}});
 //   * {"schema":"rmt.request/1","id":"t","kind":"trace"} — flushes, then
 //     reports the flight recorder as the result object
 //     ({"kind":"trace","header":{...},"spans":[...]}) where header and
-//     every span are verbatim rmt.trace/1 objects — write them one per
-//     line and the file validates as an rmt.trace/1 dump.
+//     every span are verbatim rmt.trace/1 objects.
 //
 // Tracing (obs/trace.hpp) is always on in the server: every response
 // carries its trace_id and the flight recorder retains the last spans.
+// The TCP server announces its bound port on stderr
+// ("rmt_serve: listening on 127.0.0.1:<port>") so a harness that asked
+// for an ephemeral port can find it, and drains gracefully on SIGTERM /
+// SIGINT: stop accepting and reading, answer everything in flight, flush
+// every write queue, then exit 0.
 //
-//   rmt_serve [--jobs N] [--batch N] [--cache-mb N] [--seed N]
-//             [--trace-out FILE]
+//   rmt_serve [--stdio | --port N] [--jobs N] [--batch N] [--cache-mb N]
+//             [--seed N] [--trace-out FILE]
+//             [--batch-wait-ms N] [--max-conns N] [--max-line-bytes N]
+//             [--max-inflight N] [--max-inflight-conn N]
+//             [--write-budget N] [--write-hard-cap N] [--so-sndbuf N]
 //
-//   --jobs N      worker threads (default: hardware concurrency; 0 = run
-//                 requests sequentially on the reader thread)
-//   --batch N     max requests per engine batch (default 64)
-//   --cache-mb N  result cache budget in MiB (default 64)
-//   --seed N      root seed for derived simulate seeds (default 4242)
-//   --trace-out F dump the flight recorder to F (rmt.trace/1 JSONL) at
-//                 EOF, on deadline_exceeded, and on crash (the crash
-//                 handler is installed only with this flag)
+//   --jobs N        worker threads (default: hardware concurrency; 0 =
+//                   compute sequentially)
+//   --batch N       max requests per engine batch (default 64)
+//   --cache-mb N    result cache budget in MiB (default 64)
+//   --seed N        root seed for derived simulate seeds (default 4242)
+//   --trace-out F   dump the flight recorder to F (rmt.trace/1 JSONL) at
+//                   exit, on deadline_exceeded, and on crash (the crash
+//                   handler is installed only with this flag)
+// TCP mode only (see src/net/server.hpp for semantics):
+//   --batch-wait-ms N     max age of a pending batch (default 5)
+//   --max-conns N         concurrent connection cap (default 1024)
+//   --max-line-bytes N    per-line size cap (default 4 MiB)
+//   --max-inflight N      global admission budget (default 4096)
+//   --max-inflight-conn N per-connection admission budget (default 256)
+//   --write-budget N      write-queue pause threshold, bytes (default 4 MiB)
+//   --write-hard-cap N    slow-client disconnect threshold, bytes
+//                         (default 4x budget)
+//   --so-sndbuf N         SO_SNDBUF for accepted sockets (default kernel)
 //
-// Exit code 0 on EOF, 1 on usage errors.
+// Exit code 0 on EOF / graceful drain, 1 on usage or bind errors.
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -45,7 +72,7 @@
 #include <vector>
 
 #include "exec/thread_pool.hpp"
-#include "obs/json.hpp"
+#include "net/server.hpp"
 #include "obs/trace.hpp"
 #include "svc/engine.hpp"
 #include "svc/wire.hpp"
@@ -56,15 +83,19 @@ using namespace rmt;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: rmt_serve [--jobs N] [--batch N] [--cache-mb N] [--seed N]\n"
-               "                 [--trace-out FILE]\n"
-               "reads rmt.request/1 JSONL on stdin, writes rmt.response/1 on stdout;\n"
-               "a blank line flushes the pending batch\n");
+               "usage: rmt_serve [--stdio | --port N] [--jobs N] [--batch N]\n"
+               "                 [--cache-mb N] [--seed N] [--trace-out FILE]\n"
+               "                 [--batch-wait-ms N] [--max-conns N] [--max-line-bytes N]\n"
+               "                 [--max-inflight N] [--max-inflight-conn N]\n"
+               "                 [--write-budget N] [--write-hard-cap N] [--so-sndbuf N]\n"
+               "reads rmt.request/1 JSONL on stdin (--stdio) or serves it to many\n"
+               "concurrent TCP clients on 127.0.0.1 (--port); a blank line flushes\n"
+               "the pending batch\n");
   return 1;
 }
 
 /// One stdin line awaiting its response: either an index into the pending
-/// engine batch or an already-formatted response (parse errors, stats).
+/// engine batch or an already-formatted response (parse errors).
 struct Slot {
   bool engine = false;
   std::size_t index = 0;      ///< engine slots: position in the batch
@@ -72,9 +103,10 @@ struct Slot {
   std::string preformatted;   ///< non-engine slots: the response line
 };
 
-class Server {
+/// The stdio transport: one reader, one stream, flush-at-EOF semantics.
+class StdioServer {
  public:
-  Server(exec::ThreadPool* pool, svc::Engine::Options opts, std::size_t batch_limit)
+  StdioServer(exec::ThreadPool* pool, svc::Engine::Options opts, std::size_t batch_limit)
       : engine_(pool, opts), batch_limit_(batch_limit) {}
 
   void handle_line(const std::string& line) {
@@ -82,11 +114,13 @@ class Server {
       flush();
       return;
     }
-    const std::string probe = probe_kind(line);
+    const std::string probe = svc::wire::probe_kind(line);
     if (!probe.empty()) {
       flush();  // probes report the state *after* everything queued so far
       const std::string id = svc::wire::extract_id(line);
-      std::printf("%s\n", (probe == "stats" ? stats_response(id) : trace_response(id)).c_str());
+      const std::string out = probe == "stats" ? svc::wire::format_stats_response(id, engine_)
+                                               : svc::wire::format_trace_response(id);
+      std::printf("%s\n", out.c_str());
       std::fflush(stdout);
       return;
     }
@@ -116,106 +150,53 @@ class Server {
   }
 
  private:
-  /// "stats" / "trace" for a probe line, "" for everything else.
-  static std::string probe_kind(const std::string& line) {
-    try {
-      const obs::json::Value doc = obs::json::Value::parse(line);
-      if (!doc.is_object()) return "";
-      const obs::json::Value* kind = doc.find("kind");
-      if (!kind || kind->kind() != obs::json::Value::Kind::kString) return "";
-      const std::string name = kind->as_string();
-      return (name == "stats" || name == "trace") ? name : "";
-    } catch (const std::invalid_argument&) {
-      return "";
-    }
-  }
-
-  std::string stats_response(const std::string& id) {
-    const svc::Engine::Stats e = engine_.stats();
-    const svc::ResultCache::Stats c = engine_.cache().stats();
-    obs::json::Writer w;
-    w.begin_object();
-    w.field("schema", svc::wire::kResponseSchema);
-    w.field("id", id);
-    w.field("status", "ok");
-    w.key("key").null();
-    w.key("result").begin_object();
-    w.field("kind", "stats");
-    w.key("engine").begin_object();
-    w.field("requests", e.requests);
-    w.field("computed", e.computed);
-    w.field("coalesced", e.coalesced);
-    w.field("inflight_joins", e.inflight_joins);
-    w.field("deadline_exceeded", e.deadline_exceeded);
-    w.field("errors", e.errors);
-    w.end_object();
-    w.key("cache").begin_object();
-    w.field("hits", c.hits);
-    w.field("misses", c.misses);
-    w.field("evictions", c.evictions);
-    w.field("bytes", std::uint64_t(c.bytes));
-    w.field("entries", std::uint64_t(c.entries));
-    w.end_object();
-    w.end_object();
-    w.key("error").null();
-    w.field("cached", false);
-    w.field("coalesced", false);
-    w.field("wall_us", 0.0);
-    w.key("trace_id").null();
-    w.end_object();
-    return w.take();
-  }
-
-  std::string trace_response(const std::string& id) {
-    const obs::trace::Recorder& rec = obs::trace::Recorder::global();
-    // snapshot() first: it drains the per-thread buffers, so the header's
-    // recorded count then agrees with the spans array.
-    const std::vector<obs::trace::SpanRecord> spans = rec.snapshot();
-    obs::json::Writer w;
-    w.begin_object();
-    w.field("schema", svc::wire::kResponseSchema);
-    w.field("id", id);
-    w.field("status", "ok");
-    w.key("key").null();
-    w.key("result").begin_object();
-    w.field("kind", "trace");
-    w.key("header").raw_value(obs::trace::header_json(rec.header()));
-    w.key("spans").begin_array();
-    for (const obs::trace::SpanRecord& s : spans) w.raw_value(obs::trace::span_json(s));
-    w.end_array();
-    w.end_object();
-    w.key("error").null();
-    w.field("cached", false);
-    w.field("coalesced", false);
-    w.field("wall_us", 0.0);
-    w.key("trace_id").null();
-    w.end_object();
-    return w.take();
-  }
-
   svc::Engine engine_;
   std::size_t batch_limit_;
   std::vector<svc::Request> batch_;
   std::vector<Slot> slots_;
 };
 
+net::Server* g_server = nullptr;
+
+extern "C" void handle_drain_signal(int) {
+  if (g_server) g_server->stop();  // async-signal-safe by contract
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool stdio = true;
   std::size_t jobs = exec::ThreadPool::hardware_concurrency();
   std::size_t batch_limit = 64;
   std::size_t cache_mb = 64;
   std::uint64_t seed = 4242;
   std::string trace_out;
+  net::Server::Options net_opts;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    if (arg == "--stdio") {
+      stdio = true;
+      continue;
+    }
     if (i + 1 >= argc) return usage();
     const char* val = argv[++i];
-    if (arg == "--jobs") jobs = std::strtoull(val, nullptr, 10);
-    else if (arg == "--batch") batch_limit = std::strtoull(val, nullptr, 10);
-    else if (arg == "--cache-mb") cache_mb = std::strtoull(val, nullptr, 10);
-    else if (arg == "--seed") seed = std::strtoull(val, nullptr, 10);
+    const std::uint64_t n = std::strtoull(val, nullptr, 10);
+    if (arg == "--jobs") jobs = std::size_t(n);
+    else if (arg == "--batch") batch_limit = std::size_t(n);
+    else if (arg == "--cache-mb") cache_mb = std::size_t(n);
+    else if (arg == "--seed") seed = n;
     else if (arg == "--trace-out") trace_out = val;
+    else if (arg == "--port") {
+      stdio = false;
+      net_opts.port = std::uint16_t(n);
+    } else if (arg == "--batch-wait-ms") net_opts.batch_wait_ms = n;
+    else if (arg == "--max-conns") net_opts.max_conns = std::size_t(n);
+    else if (arg == "--max-line-bytes") net_opts.max_line_bytes = std::size_t(n);
+    else if (arg == "--max-inflight") net_opts.max_inflight_total = std::size_t(n);
+    else if (arg == "--max-inflight-conn") net_opts.max_inflight_per_conn = std::size_t(n);
+    else if (arg == "--write-budget") net_opts.write_budget_bytes = std::size_t(n);
+    else if (arg == "--write-hard-cap") net_opts.write_hard_cap_bytes = std::size_t(n);
+    else if (arg == "--so-sndbuf") net_opts.so_sndbuf = int(n);
     else return usage();
   }
   if (batch_limit == 0) batch_limit = 1;
@@ -232,11 +213,37 @@ int main(int argc, char** argv) {
   svc::Engine::Options opts;
   opts.cache.max_bytes = cache_mb << 20;
   opts.root_seed = seed;
-  Server server(pool.get(), opts, batch_limit);
 
-  std::string line;
-  while (std::getline(std::cin, line)) server.handle_line(line);
-  server.flush();
+  if (stdio) {
+    StdioServer server(pool.get(), opts, batch_limit);
+    std::string line;
+    while (std::getline(std::cin, line)) server.handle_line(line);
+    server.flush();
+    obs::trace::Recorder::global().dump_now("exit");
+    return 0;
+  }
+
+  net_opts.batch_limit = batch_limit;
+  net_opts.engine = opts;
+  std::unique_ptr<net::Server> server;
+  try {
+    server = std::make_unique<net::Server>(pool.get(), net_opts);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "rmt_serve: %s\n", e.what());
+    return 1;
+  }
+  g_server = server.get();
+  std::signal(SIGTERM, handle_drain_signal);
+  std::signal(SIGINT, handle_drain_signal);
+  std::signal(SIGPIPE, SIG_IGN);  // dead sockets surface as EPIPE on send
+
+  // The harness contract: one parseable stderr line naming the bound port
+  // (ephemeral when --port 0), flushed before the loop starts.
+  std::fprintf(stderr, "rmt_serve: listening on 127.0.0.1:%u\n", unsigned(server->bound_port()));
+  std::fflush(stderr);
+
+  server->serve();
   obs::trace::Recorder::global().dump_now("exit");
+  g_server = nullptr;
   return 0;
 }

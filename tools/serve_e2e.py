@@ -27,18 +27,46 @@ asserts the serving semantics from the outside:
     the trace probe's dump against the rmt.trace/1 forest rules, via
     tools/check_bench_json.py (when --checker is given).
 
+TCP mode (`rmt_serve --port 0`) is exercised by a socket harness on top of
+the same assertions:
+
+  * tcp_parity_faults — 64 concurrent clients with injected transport
+    faults (split writes mid-line, dribbled bytes, duplicated lines,
+    half-open disconnects) each receive answers whose deterministic
+    segment (status/key/result/error) is byte-identical to the stdio-mode
+    answer for the same request, in request order, with zero sheds and
+    zero leaked connections in the final net.* stats;
+  * tcp_coalesce — the same key sent from two different sockets lands in
+    ONE engine batch (a blank line from either connection flushes) and
+    shares one computation: engine.computed==1, engine.coalesced==1, and
+    the trace probe shows one svc.compute with an svc.join referencing it
+    plus net.write spans joined to each response's svc.request root;
+  * tcp_shed — admission control: past --max-inflight-conn the server
+    answers "overloaded" errors immediately (net.shed counts them) and
+    keeps both the order and the connection intact;
+  * tcp_slow_client — a client that never reads is disconnected once its
+    write queue passes --write-hard-cap, while a healthy client on the
+    same server keeps getting answers;
+  * tcp_drain — SIGTERM flushes in-flight work, closes cleanly, exit 0.
+
 Usage: serve_e2e.py --server PATH [--checker PATH] [--jobs N]
+                    [--mode {all,stdio,tcp}]
 Exit code 0 on success; failures are printed and exit 1.
 
-Wired into ctest as `serve_e2e`.
+Wired into ctest as `serve_e2e` (and the release CI job runs --mode tcp
+explicitly).
 """
 
 import argparse
 import json
 import re
+import signal
+import socket
 import subprocess
 import sys
 import tempfile
+import threading
+import time
 
 INSTANCE_A = ("rmt-instance v1\nnodes 3\nedge 0 1\nedge 1 2\n"
               "dealer 0\nreceiver 2\ncorruptible 1\n")
@@ -271,22 +299,453 @@ def schema_check(checker, lines, what, failures):
         failures.append(f"check_bench_json rejected the {what}:\n{proc.stderr}")
 
 
+# --------------------------------------------------------------------------
+# TCP harness
+# --------------------------------------------------------------------------
+
+PORT_RE = re.compile(r"rmt_serve: listening on 127\.0\.0\.1:(\d+)")
+
+
+def path_instance(n):
+    """A structurally distinct n-node path instance (distinct cache key)."""
+    lines = ["rmt-instance v1", f"nodes {n}"]
+    lines += [f"edge {i} {i + 1}" for i in range(n - 1)]
+    lines += ["dealer 0", f"receiver {n - 1}", "corruptible 1"]
+    return "\n".join(lines) + "\n"
+
+
+VARIANTS = [path_instance(n) for n in range(3, 9)]
+
+
+def det_segment(raw_line):
+    """The deterministic slice of a response line: status/key/result/error.
+
+    Everything before it (schema, id) and after it (cached, coalesced,
+    wall_us, trace_id) legitimately varies between stdio and TCP runs;
+    this segment must be byte-identical for the same request.
+    """
+    start = raw_line.index('"status":')
+    end = raw_line.index(',"cached":')
+    return raw_line[start:end]
+
+
+class TcpServer:
+    """Context manager around `rmt_serve --port 0 <flags>`."""
+
+    def __init__(self, server, jobs, flags=()):
+        self.cmd = [server, "--port", "0", "--jobs", str(jobs), *flags]
+        self.proc = None
+        self.port = None
+
+    def __enter__(self):
+        self.proc = subprocess.Popen(self.cmd, stdout=subprocess.DEVNULL,
+                                     stderr=subprocess.PIPE, text=True)
+        line = self.proc.stderr.readline()
+        m = PORT_RE.search(line)
+        if not m:
+            self.proc.kill()
+            self.proc.wait()
+            raise AssertionError(f"rmt_serve did not announce a port: {line!r}")
+        self.port = int(m.group(1))
+        return self
+
+    def terminate(self, timeout=30):
+        """SIGTERM the server and return its exit code (graceful drain)."""
+        self.proc.send_signal(signal.SIGTERM)
+        return self.proc.wait(timeout=timeout)
+
+    def __exit__(self, *exc):
+        if self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGTERM)
+            try:
+                self.proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait()
+        self.proc.stderr.close()
+
+
+class TcpClient:
+    """Minimal blocking JSONL client with raw-byte access for fault injection."""
+
+    def __init__(self, port, rcvbuf=0, timeout=60):
+        self.sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        if rcvbuf:
+            self.sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, rcvbuf)
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.sock.settimeout(timeout)
+        self.sock.connect(("127.0.0.1", port))
+        self.buf = b""
+
+    def send_raw(self, data):
+        self.sock.sendall(data)
+
+    def send_line(self, line):
+        self.sock.sendall(line.encode() + b"\n")
+
+    def recv_line(self):
+        """One decoded line, or None on clean EOF."""
+        while b"\n" not in self.buf:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                return None
+            self.buf += chunk
+        line, self.buf = self.buf.split(b"\n", 1)
+        return line.decode()
+
+    def request(self, rid, instance, **extra):
+        self.send_line(request(rid, instance, **extra))
+
+    def probe(self, kind, rid):
+        self.send_line(json.dumps({"schema": "rmt.request/1", "id": rid,
+                                   "kind": kind, "instance": ""}))
+        line = self.recv_line()
+        if line is None:
+            raise AssertionError(f"EOF while waiting for the {kind} probe")
+        return json.loads(line)
+
+    def shutdown_write(self):
+        self.sock.shutdown(socket.SHUT_WR)
+
+    def close(self):
+        self.sock.close()
+
+
+def stdio_reference_segments(server, jobs):
+    """Map variant index -> deterministic response segment from a stdio run."""
+    lines = []
+    for k in range(len(VARIANTS)):
+        lines.append(request(f"v{k}", VARIANTS[k]))
+        lines.append("")
+    text = "\n".join(lines) + "\n"
+    proc = subprocess.run([server, "--jobs", str(jobs)], input=text,
+                          capture_output=True, text=True, timeout=90)
+    if proc.returncode != 0:
+        raise AssertionError(f"stdio reference run exited {proc.returncode}: "
+                             f"{proc.stderr}")
+    segments = {}
+    for raw in proc.stdout.splitlines():
+        if not raw.strip():
+            continue
+        rid = json.loads(raw)["id"]
+        segments[int(rid[1:])] = det_segment(raw)
+    if set(segments) != set(range(len(VARIANTS))):
+        raise AssertionError("stdio reference run missed variants")
+    return segments
+
+
+def tcp_parity_faults(server, jobs, checker, failures):
+    """64 concurrent faulted clients; byte-identity with stdio answers."""
+    def expect(cond, msg):
+        if not cond:
+            failures.append(f"tcp_parity_faults: {msg}")
+
+    ref = stdio_reference_segments(server, jobs)
+    n_clients, per_client = 64, 3
+    raw_responses = []
+    raw_lock = threading.Lock()
+    errors = []
+
+    def run_client(c, port):
+        try:
+            client = TcpClient(port)
+            variants = [(c + j) % len(VARIANTS) for j in range(per_client)]
+            reqs = [request(f"c{c}_{j}", VARIANTS[v])
+                    for j, v in enumerate(variants)]
+            fault = c % 4
+            expected = list(zip([f"c{c}_{j}" for j in range(per_client)],
+                                variants))
+            if fault == 0:
+                # Split writes: one send ending mid-way through the second
+                # request line, the rest (plus the flush) in a second send.
+                payload = ("\n".join(reqs) + "\n\n").encode()
+                cut = len(reqs[0]) + 1 + len(reqs[1]) // 2
+                client.send_raw(payload[:cut])
+                time.sleep(0.01)
+                client.send_raw(payload[cut:])
+            elif fault == 1:
+                # Dribbled bytes: the whole payload in 7-byte chunks.
+                payload = ("\n".join(reqs) + "\n\n").encode()
+                for off in range(0, len(payload), 7):
+                    client.send_raw(payload[off:off + 7])
+            elif fault == 2:
+                # Duplicated line: the first request is sent twice; the
+                # server must answer it twice, in order.
+                payload = "\n".join([reqs[0]] + reqs) + "\n\n"
+                client.send_raw(payload.encode())
+                expected = [expected[0]] + expected
+            else:
+                # Half-open: send everything, then shut down the write side
+                # before reading a single response.
+                client.send_raw(("\n".join(reqs) + "\n\n").encode())
+                client.shutdown_write()
+
+            for rid, variant in expected:
+                raw = client.recv_line()
+                if raw is None:
+                    errors.append(f"client {c}: EOF before response {rid}")
+                    return
+                doc = json.loads(raw)
+                if doc["id"] != rid:
+                    errors.append(f"client {c}: got id {doc['id']!r}, "
+                                  f"expected {rid!r} (order broken)")
+                    return
+                if det_segment(raw) != ref[variant]:
+                    errors.append(f"client {c}: response {rid} diverged from "
+                                  "the stdio answer for the same instance")
+                    return
+                with raw_lock:
+                    raw_responses.append(raw)
+            if fault == 3 and client.recv_line() is not None:
+                errors.append(f"client {c}: no EOF after half-open close")
+            client.close()
+        except Exception as e:  # noqa: BLE001 - collected per-thread
+            errors.append(f"client {c}: {type(e).__name__}: {e}")
+
+    with TcpServer(server, jobs, ["--batch-wait-ms", "2"]) as srv:
+        threads = [threading.Thread(target=run_client, args=(c, srv.port))
+                   for c in range(n_clients)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for e in errors:
+            failures.append(f"tcp_parity_faults: {e}")
+
+        # The control connection is the 65th accept; wait for the 64 client
+        # conns to be reaped so active==1 proves nothing wedged or leaked.
+        control = TcpClient(srv.port)
+        deadline = time.monotonic() + 10
+        net = None
+        while time.monotonic() < deadline:
+            net = control.probe("stats", "st")["result"]["net"]
+            if net["active"] == 1:
+                break
+            time.sleep(0.05)
+        expect(net is not None and net["accepts"] == n_clients + 1,
+               f"net.accepts={net and net['accepts']} != {n_clients + 1}")
+        expect(net is not None and net["active"] == 1,
+               f"net.active={net and net['active']} != 1 (leaked connections)")
+        expect(net is not None and net["shed"] == 0,
+               f"net.shed={net and net['shed']} != 0")
+        expect(net is not None and net["slow_client_disconnects"] == 0,
+               "unexpected slow-client disconnects")
+        # The probe's own response is not yet counted in the snapshot it
+        # carries, so the floor is exactly the client-request total.
+        dup_extra = len([c for c in range(n_clients) if c % 4 == 2])
+        want = n_clients * per_client + dup_extra
+        expect(net is not None and net["responses_out"] >= want,
+               f"net.responses_out={net and net['responses_out']} < {want}")
+        control.close()
+        expect(srv.terminate() == 0, "server exit code != 0 after SIGTERM")
+
+    expect(len(raw_responses) == want,
+           f"collected {len(raw_responses)} parity responses, expected {want}")
+    if checker:
+        schema_check(checker, raw_responses, "TCP parity responses", failures)
+
+
+def tcp_coalesce(server, jobs, checker, failures):
+    """One key from two sockets -> one computation, with trace evidence."""
+    def expect(cond, msg):
+        if not cond:
+            failures.append(f"tcp_coalesce: {msg}")
+
+    with TcpServer(server, jobs, ["--batch-wait-ms", "60000"]) as srv:
+        a, b = TcpClient(srv.port), TcpClient(srv.port)
+        a.request("a1", INSTANCE_A, no_cache=True)
+        # No blank line yet: a1 sits in the shared pending batch. Give the
+        # server time to admit it before the second socket joins the batch.
+        time.sleep(0.3)
+        b.request("b1", INSTANCE_A, no_cache=True)
+        time.sleep(0.1)
+        b.send_line("")  # a blank from EITHER conn flushes the shared batch
+
+        ra = json.loads(a.recv_line())
+        rb = json.loads(b.recv_line())
+        expect(ra["id"] == "a1" and rb["id"] == "b1", "ids scrambled")
+        expect(ra["status"] == "ok" and rb["status"] == "ok", "status not ok")
+        expect(ra["key"] == rb["key"], "same instance produced different keys")
+        expect({ra["coalesced"], rb["coalesced"]} == {True, False},
+               "expected exactly one coalesced follower across the sockets")
+
+        st = b.probe("stats", "st")["result"]
+        expect(st["engine"]["requests"] == 2, "engine.requests != 2")
+        expect(st["engine"]["computed"] == 1,
+               f"engine.computed={st['engine']['computed']} != 1 "
+               "(cross-socket batch did not share the computation)")
+        expect(st["engine"]["coalesced"] == 1, "engine.coalesced != 1")
+        expect(st["net"]["accepts"] == 2, "net.accepts != 2")
+
+        tr = b.probe("trace", "tr")
+        spans = tr["result"]["spans"]
+        dup_traces = {ra["trace_id"], rb["trace_id"]}
+        computes = [s for s in spans if s["name"] == "svc.compute"
+                    and s["trace"] in dup_traces]
+        expect(len(computes) == 1,
+               f"expected 1 svc.compute across both sockets, got {len(computes)}")
+        joins = [s for s in spans if s["name"] == "svc.join"]
+        expect(len(joins) == 1 and computes
+               and joins[0]["join"] == computes[0]["span"],
+               "svc.join does not reference the shared compute span")
+
+        # net.write spans prove the transport joined each response to its
+        # svc.request root.
+        roots = {s["span"]: s for s in spans if s["name"] == "svc.request"}
+        writes = [s for s in spans if s["name"] == "net.write"
+                  and s["join"] in roots]
+        expect(len(writes) >= 2,
+               f"expected >=2 net.write spans joined to svc.request roots, "
+               f"got {len(writes)}")
+        for w in writes:
+            expect(w["kind"] == "join", "net.write span is not a join")
+
+        if checker:
+            dump = [json.dumps(tr["result"]["header"])]
+            dump += [json.dumps(s) for s in spans]
+            schema_check(checker, dump, "TCP trace probe dump", failures)
+        a.close()
+        b.close()
+        expect(srv.terminate() == 0, "server exit code != 0 after SIGTERM")
+
+
+def tcp_shed(server, jobs, failures):
+    """Admission control: overloaded errors past the per-conn budget."""
+    def expect(cond, msg):
+        if not cond:
+            failures.append(f"tcp_shed: {msg}")
+
+    flags = ["--batch-wait-ms", "60000", "--max-inflight-conn", "1"]
+    with TcpServer(server, jobs, flags) as srv:
+        client = TcpClient(srv.port)
+        payload = "\n".join(request(f"q{i}", INSTANCE_A) for i in range(5))
+        client.send_raw((payload + "\n\n").encode())
+        docs = []
+        for _ in range(5):
+            line = client.recv_line()
+            if line is None:
+                failures.append("tcp_shed: EOF before all 5 responses")
+                return
+            docs.append(json.loads(line))
+        expect([d["id"] for d in docs] == [f"q{i}" for i in range(5)],
+               "shed responses out of order")
+        expect(docs[0]["status"] == "ok", "admitted request not ok")
+        for d in docs[1:]:
+            expect(d["status"] == "error" and "overloaded" in (d["error"] or ""),
+                   f"{d['id']}: expected an overloaded error, got "
+                   f"{d['status']}/{d['error']!r}")
+        net = client.probe("stats", "st")["result"]["net"]
+        expect(net["shed"] == 4, f"net.shed={net['shed']} != 4")
+        client.close()
+        expect(srv.terminate() == 0, "server exit code != 0 after SIGTERM")
+
+
+def tcp_slow_client(server, jobs, failures):
+    """A never-reading client is disconnected; a healthy one keeps working."""
+    def expect(cond, msg):
+        if not cond:
+            failures.append(f"tcp_slow_client: {msg}")
+
+    flags = ["--so-sndbuf", "4096", "--write-budget", "1024",
+             "--write-hard-cap", "4096"]
+    with TcpServer(server, jobs, flags) as srv:
+        slow = TcpClient(srv.port, rcvbuf=4096)
+        try:
+            # Pipeline answered-but-unread work until the server's write
+            # queue blows past the hard cap. Sends start failing once the
+            # server resets the connection — that is the success condition.
+            for i in range(400):
+                slow.send_line(request(f"s{i}", INSTANCE_A))
+                slow.send_line("")
+        except OSError:
+            pass
+
+        healthy = TcpClient(srv.port)
+        deadline = time.monotonic() + 15
+        net = None
+        while time.monotonic() < deadline:
+            net = healthy.probe("stats", f"h{int(time.monotonic() * 1000)}")
+            net = net["result"]["net"]
+            if net["slow_client_disconnects"] >= 1:
+                break
+            time.sleep(0.05)
+        expect(net is not None and net["slow_client_disconnects"] >= 1,
+               "slow client was never disconnected")
+        healthy.request("ok1", INSTANCE_B)
+        healthy.send_line("")
+        doc = json.loads(healthy.recv_line())
+        expect(doc["id"] == "ok1" and doc["status"] == "ok",
+               "healthy client starved while the slow client was shed")
+        slow.close()
+        healthy.close()
+        expect(srv.terminate() == 0, "server exit code != 0 after SIGTERM")
+
+
+def tcp_drain(server, jobs, failures):
+    """SIGTERM mid-batch: the in-flight answer is flushed, then clean EOF."""
+    def expect(cond, msg):
+        if not cond:
+            failures.append(f"tcp_drain: {msg}")
+
+    with TcpServer(server, jobs, ["--batch-wait-ms", "60000"]) as srv:
+        client = TcpClient(srv.port)
+        client.request("d1", INSTANCE_A)
+        time.sleep(0.3)  # let the request reach the pending batch
+        # Drain flushes the pending batch even though no blank line arrived.
+        srv.proc.send_signal(signal.SIGTERM)
+        raw = client.recv_line()
+        expect(raw is not None, "no response during graceful drain")
+        if raw is not None:
+            doc = json.loads(raw)
+            expect(doc["id"] == "d1" and doc["status"] == "ok",
+                   "drained response wrong")
+        expect(client.recv_line() is None, "expected EOF after drain")
+        client.close()
+        code = srv.proc.wait(timeout=30)
+        expect(code == 0, f"server exit code {code} != 0 after drain")
+
+
+def run_tcp(server, jobs, checker, failures):
+    scenarios = [("tcp_parity_faults",
+                  lambda: tcp_parity_faults(server, jobs, checker, failures)),
+                 ("tcp_coalesce",
+                  lambda: tcp_coalesce(server, jobs, checker, failures)),
+                 ("tcp_shed", lambda: tcp_shed(server, jobs, failures)),
+                 ("tcp_slow_client",
+                  lambda: tcp_slow_client(server, jobs, failures)),
+                 ("tcp_drain", lambda: tcp_drain(server, jobs, failures))]
+    for name, fn in scenarios:
+        before = len(failures)
+        try:
+            fn()
+        except Exception as e:  # noqa: BLE001 - a scenario must not kill the rest
+            failures.append(f"{name}: {type(e).__name__}: {e}")
+        status = "ok" if len(failures) == before else "FAIL"
+        print(f"serve_e2e: {name}: {status}")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--server", required=True, help="path to the rmt_serve binary")
     parser.add_argument("--checker", help="path to check_bench_json.py")
     parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument("--mode", choices=["all", "stdio", "tcp"], default="all")
     args = parser.parse_args()
 
     failures = []
-    responses = run_server(args.server, args.jobs, build_input())
-    check(responses, failures)
-    trace_lines = check_trace(responses, failures)
-    if args.checker:
-        schema_check(args.checker, [json.dumps(r) for r in responses],
-                     "response stream", failures)
-        if trace_lines:
-            schema_check(args.checker, trace_lines, "trace probe dump", failures)
+    responses = []
+    if args.mode in ("all", "stdio"):
+        responses = run_server(args.server, args.jobs, build_input())
+        check(responses, failures)
+        trace_lines = check_trace(responses, failures)
+        if args.checker:
+            schema_check(args.checker, [json.dumps(r) for r in responses],
+                         "response stream", failures)
+            if trace_lines:
+                schema_check(args.checker, trace_lines, "trace probe dump",
+                             failures)
+    if args.mode in ("all", "tcp"):
+        run_tcp(args.server, args.jobs, args.checker, failures)
 
     for f in failures:
         print(f"serve_e2e: FAIL: {f}", file=sys.stderr)
