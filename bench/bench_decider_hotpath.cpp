@@ -21,6 +21,7 @@
 #include "analysis/rmt_cut.hpp"
 #include "analysis/zpp_cut.hpp"
 #include "bench_util.hpp"
+#include "util/simd.hpp"
 
 namespace {
 
@@ -89,6 +90,21 @@ int main(int argc, char** argv) {
     RMT_CHECK(rmt_pool_same, "bench_decider: " + family + "/" + zkind +
                                  " pooled rmt witness diverged from seed");
 
+    // The incremental decider again with the vector kernels disabled: the
+    // scalar reference kernels must give the same witness, at whatever
+    // speed. This is the acceptance row for backend identity — the simd
+    // shim may only change how fast a boolean is computed, never which.
+    {
+      const simd::ScopedForceScalar scalar_only;
+      std::optional<analysis::RmtCutWitness> rmt_scal;
+      const double rmt_scal_ms = best_ms([&] { rmt_scal = analysis::find_rmt_cut(inst); });
+      const bool rmt_scal_same = same_rmt(rmt_seed, rmt_scal);
+      rep.row({family, n, zkind, "rmt-incr-scalar", rmt_scal_ms,
+               rmt_scal_ms > 0 ? rmt_seed_ms / rmt_scal_ms : 0.0, rmt_scal_same});
+      RMT_CHECK(rmt_scal_same, "bench_decider: " + family + "/" + zkind +
+                                   " forced-scalar rmt witness diverged from seed");
+    }
+
     std::optional<analysis::ZppCutWitness> zpp_seed, zpp_incr, zpp_pool;
     const double zpp_seed_ms =
         best_ms([&] { zpp_seed = analysis::find_rmt_zpp_cut_reference(inst); });
@@ -105,6 +121,16 @@ int main(int argc, char** argv) {
                                  " incremental zpp witness diverged from seed");
     RMT_CHECK(zpp_pool_same, "bench_decider: " + family + "/" + zkind +
                                  " pooled zpp witness diverged from seed");
+    {
+      const simd::ScopedForceScalar scalar_only;
+      std::optional<analysis::ZppCutWitness> zpp_scal;
+      const double zpp_scal_ms = best_ms([&] { zpp_scal = analysis::find_rmt_zpp_cut(inst); });
+      const bool zpp_scal_same = same_zpp(zpp_seed, zpp_scal);
+      rep.row({family, n, zkind, "zpp-incr-scalar", zpp_scal_ms,
+               zpp_scal_ms > 0 ? zpp_seed_ms / zpp_scal_ms : 0.0, zpp_scal_same});
+      RMT_CHECK(zpp_scal_same, "bench_decider: " + family + "/" + zkind +
+                                   " forced-scalar zpp witness diverged from seed");
+    }
   };
 
   // The fig_f4 workload proper: the exact instance shapes the F4 driver

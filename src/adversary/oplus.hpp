@@ -23,6 +23,7 @@
 
 #include <string>
 
+#include "adversary/bit_matrix.hpp"
 #include "adversary/structure.hpp"
 
 namespace rmt {
@@ -42,6 +43,12 @@ class RestrictedStructure {
 
   bool contains(const NodeSet& x) const { return family_.contains(x); }
 
+  /// The constraint's precompiled forbidden rows ground ∖ M (see
+  /// adversary/bit_matrix.hpp): x ∩ ground ∈ family ⇔ some row is disjoint
+  /// from x. Built once at construction; JointStructure pushes reference
+  /// this instead of copying the whole structure.
+  const CompiledGroup& compiled() const { return compiled_; }
+
   /// Semilattice equality: same ground set and same family.
   friend bool operator==(const RestrictedStructure& a, const RestrictedStructure& b) {
     return a.ground_ == b.ground_ && a.family_ == b.family_;
@@ -58,6 +65,7 @@ class RestrictedStructure {
 
   AdversaryStructure family_;
   NodeSet ground_;
+  CompiledGroup compiled_;  // derived cache; debug_validate re-derives it
 };
 
 /// The ⊕ join of Definition 2, materialized exactly on antichains.

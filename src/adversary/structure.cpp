@@ -45,10 +45,17 @@ void AdversaryStructure::add(const NodeSet& s) {
 
 bool AdversaryStructure::contains(const NodeSet& x) const {
   if (!x.is_subset_of(support_)) return false;
+  if (matrix_.num_rows() != 0) return matrix_.contains_subset(x);
+  // Below kMatrixBuildRows the matrix is not built; the popcount-filtered
+  // scan over the canonical antichain answers identically.
   const std::size_t n = x.size();
   for (std::size_t i = 0; i < maximal_.size(); ++i)
     if (sizes_[i] >= n && x.is_subset_of(maximal_[i])) return true;
   return false;
+}
+
+void AdversaryStructure::probe_batch(const NodeSet* probes, std::size_t k, bool* out) const {
+  for (std::size_t i = 0; i < k; ++i) out[i] = contains(probes[i]);
 }
 
 std::size_t AdversaryStructure::max_corruption_size() const {
@@ -61,9 +68,33 @@ AdversaryStructure AdversaryStructure::restricted_to(const NodeSet& a) const {
   RMT_OBS_SCOPE("adversary.restrict");
   RMT_AUDIT_VALIDATE(*this);
   AdversaryStructure out;
-  out.maximal_.reserve(maximal_.size());
-  for (const NodeSet& m : maximal_) out.maximal_.push_back(m & a);
-  out.prune_and_sort();
+  if (a.size() <= 8) {
+    // Small ground (the per-node views the deciders restrict to): the
+    // intersections collapse onto a few distinct sets, so an incremental
+    // antichain insert dedupes as it goes — no collect-then-sort over the
+    // full source antichain. Same maximal family, same canonical order.
+    std::vector<NodeSet>& kept = out.maximal_;
+    kept.reserve(16);
+    for (const NodeSet& m : maximal_) {
+      NodeSet r = m & a;
+      bool dominated = false;
+      for (const NodeSet& k : kept) {
+        if (r.is_subset_of(k)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (dominated) continue;
+      std::erase_if(kept, [&](const NodeSet& k) { return k.is_subset_of(r); });
+      kept.push_back(std::move(r));
+    }
+    std::sort(kept.begin(), kept.end());
+    out.rebuild_cache();
+  } else {
+    out.maximal_.reserve(maximal_.size());
+    for (const NodeSet& m : maximal_) out.maximal_.push_back(m & a);
+    out.prune_and_sort();
+  }
   RMT_AUDIT_VALIDATE(out);
   return out;
 }
@@ -127,6 +158,11 @@ void AdversaryStructure::debug_validate() const {
   if (!(expect_support == support_))
     audit::detail::fail("adversary", "support cache " + support_.to_string() +
                                          " != union of maximal sets " + expect_support.to_string());
+  // Built matrices must round-trip to the antichain; a missing matrix on an
+  // antichain past the build threshold is itself a stale cache (the
+  // row-count check inside fails it).
+  if (matrix_.num_rows() != 0 || maximal_.size() >= kMatrixBuildRows)
+    matrix_.debug_validate_against(maximal_, "adversary");
 }
 
 std::string AdversaryStructure::to_string() const {
@@ -149,12 +185,24 @@ void AdversaryStructure::prune_and_sort() {
   // on threshold-style antichains (all sets the same size) the quadratic
   // subset sweep disappears entirely.
   const std::size_t k = maximal_.size();
+  if (k <= 1) {  // nothing can dominate; skip the index machinery
+    rebuild_cache();
+    return;
+  }
   std::vector<std::uint32_t> size_of(k);
   for (std::size_t i = 0; i < k; ++i) size_of[i] = static_cast<std::uint32_t>(maximal_[i].size());
+  // Order indices by size descending with a counting sort: sizes are tiny
+  // integers (≤ the universe), and the comparison sort here was the single
+  // largest cost of the deciders' per-B restrictions. Bucket fill order is
+  // by ascending index, so the order is stable within a size.
+  std::uint32_t max_sz = 0;
+  for (std::size_t i = 0; i < k; ++i) max_sz = std::max(max_sz, size_of[i]);
+  std::vector<std::uint32_t> slot(max_sz + 2, 0);  // slot[max_sz - s]: next index for size s
+  for (std::size_t i = 0; i < k; ++i) ++slot[max_sz - size_of[i] + 1];
+  for (std::size_t b = 1; b < slot.size(); ++b) slot[b] += slot[b - 1];
   std::vector<std::uint32_t> by_size_desc(k);
-  for (std::size_t i = 0; i < k; ++i) by_size_desc[i] = static_cast<std::uint32_t>(i);
-  std::stable_sort(by_size_desc.begin(), by_size_desc.end(),
-                   [&](std::uint32_t a, std::uint32_t b) { return size_of[a] > size_of[b]; });
+  for (std::size_t i = 0; i < k; ++i)
+    by_size_desc[slot[max_sz - size_of[i]]++] = static_cast<std::uint32_t>(i);
   std::vector<NodeSet> keep;
   keep.reserve(k);
   for (std::size_t i = 0; i < k; ++i) {
@@ -179,6 +227,10 @@ void AdversaryStructure::rebuild_cache() {
     support_ |= maximal_[i];
     sizes_[i] = static_cast<std::uint32_t>(maximal_[i].size());
   }
+  if (maximal_.size() >= kMatrixBuildRows)
+    matrix_.build(maximal_);
+  else
+    matrix_.clear();
 }
 
 }  // namespace rmt

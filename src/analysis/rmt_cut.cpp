@@ -34,44 +34,119 @@ std::vector<RestrictedStructure> prebuilt_constraints(const Instance& inst) {
   return constraint;
 }
 
-inline constexpr std::size_t kProbeMemoSlots = 8;
+inline constexpr std::size_t kProbeMemoSlots = 16;
+inline constexpr std::size_t kProbeChunk = 16;
 
 // The per-(B, C) maximal-set scan shared by the sequential and pooled
 // deciders — one implementation, so their witnesses agree by construction.
 // Distinct probes C₂ ∩ V(γ(B)) repeat heavily across maximal sets (any two
 // M that miss the small cut identically yield the same C₂), so the few
-// distinct joint-membership answers are memoized per B. The memo only
-// short-circuits *identical* membership tests; the first qualifying M in
-// canonical antichain order still wins, keeping witnesses bit-identical.
+// distinct joint-membership answers are memoized per B, and the chunk's
+// *new* distinct probes go to the joint structure as one probe_batch call.
+// Batching and memoization only short-circuit *identical* membership
+// tests; the chunk is then walked in canonical antichain order and the
+// first qualifying M wins, keeping witnesses bit-identical to the
+// reference decider.
 std::optional<RmtCutWitness> scan_maximal_sets(const NodeSet& b, const NodeSet& cut,
                                                const NodeSet& gamma_b, const JointStructure& zb,
                                                const std::vector<NodeSet>& zmax) {
+  if (zmax.size() == 1) {
+    // One maximal set (the fig_f4 trivial family): no repeats to memoize,
+    // no chunk to stage — one probe decides the visit.
+    NodeSet c2 = cut;
+    c2 -= zmax[0];
+    NodeSet probe = c2;
+    probe &= gamma_b;
+    if (zb.contains(probe)) return RmtCutWitness{cut & zmax[0], std::move(c2), b};
+    return std::nullopt;
+  }
   NodeSet seen[kProbeMemoSlots];
   bool ans[kProbeMemoSlots];
   std::size_t nseen = 0;
-  for (const NodeSet& m : zmax) {
-    NodeSet c2 = cut;
-    c2 -= m;
-    NodeSet probe = c2;
-    probe &= gamma_b;
-    bool member = false;
-    bool cached = false;
-    for (std::size_t i = 0; i < nseen; ++i) {
-      if (seen[i] == probe) {
-        member = ans[i];
-        cached = true;
-        break;
+  if (zmax.size() < kProbeChunk) {
+    // Small antichains (the fig_f4 trivial and random families) probe one
+    // by one: the chunk staging below costs more than it amortizes.
+    for (const NodeSet& m : zmax) {
+      NodeSet c2 = cut;
+      c2 -= m;
+      NodeSet probe = c2;
+      probe &= gamma_b;
+      bool member = false;
+      bool cached = false;
+      for (std::size_t i = 0; i < nseen; ++i) {
+        if (seen[i] == probe) {
+          member = ans[i];
+          cached = true;
+          break;
+        }
       }
-    }
-    if (!cached) {
-      member = zb.contains(probe);
-      if (nseen < kProbeMemoSlots) {
-        seen[nseen] = probe;
-        ans[nseen] = member;
-        ++nseen;
+      if (!cached) {
+        member = zb.contains(probe);
+        if (nseen < kProbeMemoSlots) {
+          seen[nseen] = probe;
+          ans[nseen] = member;
+          ++nseen;
+        }
       }
+      if (member) return RmtCutWitness{cut & m, std::move(c2), b};
     }
-    if (member) return RmtCutWitness{cut & m, std::move(c2), b};
+    return std::nullopt;
+  }
+  NodeSet c2s[kProbeChunk];
+  NodeSet probes[kProbeChunk];
+  // member[j]: cached answer for chunk slot j; fresh[j]: index into the
+  // batch of not-yet-answered distinct probes, or kProbeChunk for cached.
+  bool member[kProbeChunk];
+  std::size_t fresh[kProbeChunk];
+  NodeSet batch[kProbeChunk];
+  bool batch_ans[kProbeChunk];
+  std::size_t owner[kProbeChunk];  // chunk slot that inserted batch[i]
+  for (std::size_t base = 0; base < zmax.size(); base += kProbeChunk) {
+    const std::size_t len = std::min(kProbeChunk, zmax.size() - base);
+    std::size_t nbatch = 0;
+    for (std::size_t j = 0; j < len; ++j) {
+      c2s[j] = cut;
+      c2s[j] -= zmax[base + j];
+      probes[j] = c2s[j];
+      probes[j] &= gamma_b;
+      fresh[j] = kProbeChunk;
+      bool cached = false;
+      for (std::size_t i = 0; i < nseen; ++i) {
+        if (seen[i] == probes[j]) {
+          member[j] = ans[i];
+          cached = true;
+          break;
+        }
+      }
+      if (cached) continue;
+      // Dedupe within the pending batch too: chunk-mates repeat probes
+      // just as heavily as the memo hits do.
+      for (std::size_t i = 0; i < nbatch; ++i) {
+        if (batch[i] == probes[j]) {
+          fresh[j] = i;
+          cached = true;
+          break;
+        }
+      }
+      if (cached) continue;
+      batch[nbatch] = probes[j];
+      owner[nbatch] = j;
+      fresh[j] = nbatch;
+      ++nbatch;
+    }
+    if (nbatch > 0) zb.probe_batch(batch, nbatch, batch_ans);
+    for (std::size_t j = 0; j < len; ++j) {
+      if (fresh[j] != kProbeChunk) {
+        member[j] = batch_ans[fresh[j]];
+        if (owner[fresh[j]] == j && nseen < kProbeMemoSlots) {
+          seen[nseen] = probes[j];
+          ans[nseen] = member[j];
+          ++nseen;
+        }
+      }
+      if (member[j])
+        return RmtCutWitness{cut & zmax[base + j], std::move(c2s[j]), b};
+    }
   }
   return std::nullopt;
 }
@@ -96,7 +171,7 @@ struct IncrementalScan {
   std::optional<RmtCutWitness> witness;
 
   void push(NodeId v) {
-    zb.add_constraint(constraint[v]);
+    zb.add_constraint_ref(constraint[v]);  // constraint outlives the scan
     gamma_save.push_back(gamma_b);
     gamma_b |= gamma.view_nodes(v);
     nbrs_save.push_back(nbrs);
@@ -162,16 +237,19 @@ std::optional<RmtCutWitness> find_rmt_cut_reference(const Instance& inst) {
   enumerate_connected_subsets(g, r, NodeSet::single(d), [&](const NodeSet& b) {
     const NodeSet cut = g.boundary(b);
     if (cut.contains(d)) return true;  // D may not sit inside the cut
-    // Z_B as a lazy conjunction (see adversary/joint.hpp); built once per B.
-    JointStructure zb;
-    b.for_each([&](NodeId v) {
-      zb.add_constraint(inst.gamma().view_nodes(v), local_z[v]);
-    });
-    if (rebuilds) rebuilds->inc();
-    const NodeSet gamma_b = inst.gamma().joint_view_nodes(b);
+    // Z_B membership spelled out per the definition: x ∈ ⊕_{v∈B} Z_v^{Γ(v)}
+    // iff every node's slice x ∩ Γ(v) lies in Z_v^{Γ(v)}. The slice is a
+    // subset of Γ(v), so membership in the restriction equals membership in
+    // Z_v itself — no restricted structures, no conjunction compilation;
+    // this is the oracle the incremental decider is checked against.
+    if (rebuilds) rebuilds->inc();  // one fresh conjunction evaluated per B
     for (const NodeSet& m : inst.adversary().maximal_sets()) {
       const NodeSet c2 = cut - m;
-      if (zb.contains(c2 & gamma_b)) {
+      bool member = true;
+      b.for_each([&](NodeId v) {
+        if (member && !local_z[v].contains(c2 & inst.gamma().view_nodes(v))) member = false;
+      });
+      if (member) {
         witness = RmtCutWitness{cut & m, c2, b};
         return false;  // stop enumeration
       }
@@ -198,8 +276,8 @@ std::optional<RmtCutWitness> find_rmt_cut(const Instance& inst, exec::ThreadPool
 
   // The per-B work from the sequential scan, as a pure function of B. The
   // batch items are independent, so Z_B is rebuilt per B here (counted) —
-  // but from the prebuilt constraints, so the rebuild is a constraint-list
-  // copy, not |B| restrictions.
+  // but from the prebuilt constraints, so the rebuild is |B| pointer pushes
+  // and compiled-row appends, not |B| restrictions.
   const auto eval_b = [&](const NodeSet& b) -> std::optional<RmtCutWitness> {
     const NodeSet cut = g.boundary(b);
     if (cut.contains(d)) return std::nullopt;
@@ -207,7 +285,7 @@ std::optional<RmtCutWitness> find_rmt_cut(const Instance& inst, exec::ThreadPool
     zb.reserve(g.capacity());
     NodeSet gamma_b;
     b.for_each([&](NodeId v) {
-      zb.add_constraint(constraint[v]);
+      zb.add_constraint_ref(constraint[v]);  // constraint outlives the batch
       gamma_b |= inst.gamma().view_nodes(v);
     });
     if (rebuilds) rebuilds->inc();

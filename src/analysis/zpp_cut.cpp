@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "adversary/bit_matrix.hpp"
 #include "analysis/rmt_cut.hpp"
 #include "exec/thread_pool.hpp"
 #include "graph/cuts.hpp"
@@ -16,74 +17,143 @@ namespace rmt::analysis {
 
 namespace {
 
-inline constexpr std::size_t kC2MemoSlots = 8;
+inline constexpr std::size_t kC2MemoSlots = 16;
+inline constexpr std::size_t kC2Chunk = 16;
+
+// The per-node plausibility constraint "N(u) ∩ C₂ ∈ Z_u", compiled to
+// forbidden rows (bit_matrix.hpp): with M ranging over the maximal sets of
+// Z_u, N(u) ∩ C₂ ⊆ M ⇔ C₂ ∩ (N(u) ∖ M) = ∅ (N(u)∩C₂ ⊆ N(u) makes the
+// unrestricted maximal sets valid here). The whole per-B plausibility loop
+// is then one ConjunctionRows probe over B's group stack.
+std::vector<CompiledGroup> node_plausibility_groups(
+    const Graph& g, const std::vector<AdversaryStructure>& local_z) {
+  std::vector<CompiledGroup> groups(g.capacity());
+  g.nodes().for_each([&](NodeId v) {
+    groups[v] = CompiledGroup::complement(g.neighbors(v), local_z[v].maximal_sets());
+  });
+  return groups;
+}
 
 // The per-(B, C) maximal-set scan shared by the sequential and pooled
 // deciders. Distinct C₂ = C ∖ M repeat across maximal sets whenever two M
 // miss the (small) cut identically; the few distinct plausibility answers
-// are memoized per B. The memo only short-circuits *identical* tests, so
-// the first qualifying M in canonical order still wins (witness identity).
+// are memoized per B, and each chunk's new distinct C₂ go to the compiled
+// rows as one probe_batch call. Batching and the memo only short-circuit
+// *identical* tests, so the first qualifying M in canonical order still
+// wins (witness identity).
 std::optional<ZppCutWitness> scan_maximal_sets(const NodeSet& b, const NodeSet& cut,
-                                               const std::vector<NodeId>& members,
-                                               const Graph& g,
-                                               const std::vector<AdversaryStructure>& local_z,
+                                               const ConjunctionRows& rows,
                                                const std::vector<NodeSet>& zmax) {
+  if (zmax.size() == 1) {
+    // One maximal set: a single plausibility probe decides the visit.
+    NodeSet c2 = cut;
+    c2 -= zmax[0];
+    if (rows.contains(c2)) return ZppCutWitness{cut & zmax[0], std::move(c2), b};
+    return std::nullopt;
+  }
   NodeSet seen[kC2MemoSlots];
   bool ans[kC2MemoSlots];
   std::size_t nseen = 0;
-  for (const NodeSet& m : zmax) {
-    NodeSet c2 = cut;
-    c2 -= m;
-    bool plausible = false;
-    bool cached = false;
-    for (std::size_t i = 0; i < nseen; ++i) {
-      if (seen[i] == c2) {
-        plausible = ans[i];
-        cached = true;
-        break;
-      }
-    }
-    if (!cached) {
-      plausible = true;
-      for (NodeId u : members) {
-        if (!local_z[u].contains(g.neighbors(u) & c2)) {
-          plausible = false;
+  if (zmax.size() < kC2Chunk) {
+    // Small antichains probe one by one; see rmt_cut.cpp.
+    for (const NodeSet& m : zmax) {
+      NodeSet c2 = cut;
+      c2 -= m;
+      bool plausible = false;
+      bool cached = false;
+      for (std::size_t i = 0; i < nseen; ++i) {
+        if (seen[i] == c2) {
+          plausible = ans[i];
+          cached = true;
           break;
         }
       }
-      if (nseen < kC2MemoSlots) {
-        seen[nseen] = c2;
-        ans[nseen] = plausible;
-        ++nseen;
+      if (!cached) {
+        plausible = rows.contains(c2);
+        if (nseen < kC2MemoSlots) {
+          seen[nseen] = c2;
+          ans[nseen] = plausible;
+          ++nseen;
+        }
       }
+      if (plausible) return ZppCutWitness{cut & m, std::move(c2), b};
     }
-    if (plausible) return ZppCutWitness{cut & m, std::move(c2), b};
+    return std::nullopt;
+  }
+  NodeSet c2s[kC2Chunk];
+  bool plausible[kC2Chunk];
+  std::size_t fresh[kC2Chunk];
+  NodeSet batch[kC2Chunk];
+  bool batch_ans[kC2Chunk];
+  std::size_t owner[kC2Chunk];
+  for (std::size_t base = 0; base < zmax.size(); base += kC2Chunk) {
+    const std::size_t len = std::min(kC2Chunk, zmax.size() - base);
+    std::size_t nbatch = 0;
+    for (std::size_t j = 0; j < len; ++j) {
+      c2s[j] = cut;
+      c2s[j] -= zmax[base + j];
+      fresh[j] = kC2Chunk;
+      bool cached = false;
+      for (std::size_t i = 0; i < nseen; ++i) {
+        if (seen[i] == c2s[j]) {
+          plausible[j] = ans[i];
+          cached = true;
+          break;
+        }
+      }
+      if (cached) continue;
+      for (std::size_t i = 0; i < nbatch; ++i) {
+        if (batch[i] == c2s[j]) {
+          fresh[j] = i;
+          cached = true;
+          break;
+        }
+      }
+      if (cached) continue;
+      batch[nbatch] = c2s[j];
+      owner[nbatch] = j;
+      fresh[j] = nbatch;
+      ++nbatch;
+    }
+    if (nbatch > 0) rows.probe_batch(batch, nbatch, batch_ans);
+    for (std::size_t j = 0; j < len; ++j) {
+      if (fresh[j] != kC2Chunk) {
+        plausible[j] = batch_ans[fresh[j]];
+        if (owner[fresh[j]] == j && nseen < kC2MemoSlots) {
+          seen[nseen] = c2s[j];
+          ans[nseen] = plausible[j];
+          ++nseen;
+        }
+      }
+      if (plausible[j])
+        return ZppCutWitness{cut & zmax[base + j], std::move(c2s[j]), b};
+    }
   }
   return std::nullopt;
 }
 
 // Incremental decider state (see rmt_cut.cpp for the pattern): the
-// neighbour union ∪_{v∈B} N(v) and the member list follow the DFS by
-// push/pop deltas; N(B) = ∪N(v) ∖ B per visit. The member list gives the
-// plausibility loop an early exit that NodeSet::for_each cannot.
+// neighbour union ∪_{v∈B} N(v) and the compiled-row stack follow the DFS
+// by push/pop deltas; N(B) = ∪N(v) ∖ B per visit. A push is one
+// precompiled row-group append — no restriction, no NodeSet temporaries.
 struct IncrementalScan {
   const Graph& g;
   const NodeId d;
-  const std::vector<AdversaryStructure>& local_z;
+  const std::vector<CompiledGroup>& node_groups;
   const std::vector<NodeSet>& zmax;
   NodeSet nbrs;
-  std::vector<NodeId> members;
+  ConjunctionRows rows;
   std::vector<NodeSet> nbrs_save;
   std::optional<ZppCutWitness> witness;
 
   void push(NodeId v) {
-    members.push_back(v);
+    rows.push_group(node_groups[v]);
     nbrs_save.push_back(nbrs);
     nbrs |= g.neighbors(v);
   }
 
   void pop(NodeId) {
-    members.pop_back();
+    rows.pop_group();
     nbrs = std::move(nbrs_save.back());
     nbrs_save.pop_back();
   }
@@ -92,7 +162,7 @@ struct IncrementalScan {
     NodeSet cut = nbrs;
     cut -= b;
     if (cut.contains(d)) return true;
-    witness = scan_maximal_sets(b, cut, members, g, local_z, zmax);
+    witness = scan_maximal_sets(b, cut, rows, zmax);
     return !witness.has_value();
   }
 };
@@ -113,9 +183,11 @@ std::optional<ZppCutWitness> find_rmt_zpp_cut(const Instance& inst) {
   RMT_AUDIT_VALIDATE(inst);
   const Graph& g = inst.graph();
   const std::vector<AdversaryStructure> local_z = local_structures(inst);
+  const std::vector<CompiledGroup> node_groups = node_plausibility_groups(g, local_z);
 
-  IncrementalScan scan{g, inst.dealer(), local_z, inst.adversary().maximal_sets(), {}, {}, {}, {}};
-  scan.members.reserve(g.capacity() + 1);
+  IncrementalScan scan{g, inst.dealer(), node_groups, inst.adversary().maximal_sets(),
+                       {}, {},           {},          {}};
+  scan.rows.reserve(g.capacity(), g.capacity());
   scan.nbrs_save.reserve(g.capacity() + 1);
   enumerate_connected_subsets_incremental(g, inst.receiver(), NodeSet::single(inst.dealer()),
                                           scan);
@@ -164,13 +236,15 @@ std::optional<ZppCutWitness> find_rmt_zpp_cut(const Instance& inst, exec::Thread
   const NodeId d = inst.dealer();
   const NodeId r = inst.receiver();
   const std::vector<AdversaryStructure> local_z = local_structures(inst);
+  const std::vector<CompiledGroup> node_groups = node_plausibility_groups(g, local_z);
   const std::vector<NodeSet>& zmax = inst.adversary().maximal_sets();
 
   const auto eval_b = [&](const NodeSet& b) -> std::optional<ZppCutWitness> {
     const NodeSet cut = g.boundary(b);
     if (cut.contains(d)) return std::nullopt;
-    std::vector<NodeId> members = b.to_vector();
-    return scan_maximal_sets(b, cut, members, g, local_z, zmax);
+    ConjunctionRows rows;
+    b.for_each([&](NodeId v) { rows.push_group(node_groups[v]); });
+    return scan_maximal_sets(b, cut, rows, zmax);
   };
 
   // Same batched scan as the pooled find_rmt_cut: lowest-index witness ==

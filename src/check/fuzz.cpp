@@ -14,6 +14,7 @@
 #include "svc/engine.hpp"
 #include "util/audit.hpp"
 #include "util/check.hpp"
+#include "util/simd.hpp"
 
 namespace rmt::propcheck {
 
@@ -24,6 +25,7 @@ namespace {
 // seeds recorded in artifacts and regression comments depend on them.
 constexpr std::uint64_t kMutantDomain = 0x4d55544e;  // "MUTN"
 constexpr std::uint64_t kDiffDomain = 0x44494646;    // "DIFF"
+constexpr std::uint64_t kKernelDomain = 0x4b524e4c;  // "KRNL"
 
 std::uint64_t unit_seed(std::uint64_t root, std::uint64_t domain, std::uint64_t index) {
   return exec::derive_seed(exec::derive_seed(root, domain), index);
@@ -370,6 +372,67 @@ FuzzReport run_fuzz(const FuzzOptions& opts) {
       continue;
     }
 
+    // Batched vs per-candidate membership kernels on this instance's
+    // adversary structure: probe_batch must agree with contains
+    // probe-for-probe, under the compiled vector backend AND with the
+    // scalar reference forced — four answers per probe, one truth. The
+    // probes straddle the popcount-bucket boundaries: each maximal set
+    // itself, one node more, one node fewer, plus seeded random subsets.
+    {
+      const AdversaryStructure& z = inst->adversary();
+      const NodeSet nodes = inst->graph().nodes();
+      Rng krng(unit_seed(opts.seed, kKernelDomain, i));
+      constexpr std::size_t kMaxProbes = 64;
+      NodeSet probes[kMaxProbes];
+      std::size_t nprobes = 0;
+      for (const NodeSet& m : z.maximal_sets()) {
+        if (nprobes + 3 > kMaxProbes) break;
+        probes[nprobes++] = m;
+        NodeSet plus = m;
+        nodes.for_each([&](NodeId v) {
+          if (plus == m && !m.contains(v)) plus.insert(v);
+        });
+        probes[nprobes++] = std::move(plus);
+        NodeSet minus = m;
+        m.for_each([&](NodeId v) {
+          if (minus == m) minus -= NodeSet::single(v);
+        });
+        probes[nprobes++] = std::move(minus);
+      }
+      while (nprobes < kMaxProbes && nprobes < 3 * z.maximal_sets().size() + 8) {
+        NodeSet s;
+        nodes.for_each([&](NodeId v) {
+          if (krng.chance(0.3)) s.insert(v);
+        });
+        probes[nprobes++] = std::move(s);
+      }
+      bool vec_batch[kMaxProbes];
+      bool scal_batch[kMaxProbes];
+      z.probe_batch(probes, nprobes, vec_batch);
+      {
+        const simd::ScopedForceScalar scalar_only;
+        z.probe_batch(probes, nprobes, scal_batch);
+      }
+      for (std::size_t j = 0; j < nprobes; ++j) {
+        report.kernel_probes += 1;
+        const bool vec_one = z.contains(probes[j]);
+        bool scal_one = false;
+        {
+          const simd::ScopedForceScalar scalar_only;
+          scal_one = z.contains(probes[j]);
+        }
+        if (vec_batch[j] != vec_one || scal_batch[j] != scal_one || vec_one != scal_one)
+          report.findings.push_back(FuzzFinding{
+              "kernel-diverged",
+              "probe " + set_str(probes[j]) + ": batch/vector=" +
+                  std::to_string(vec_batch[j]) + " single/vector=" +
+                  std::to_string(vec_one) + " batch/scalar=" +
+                  std::to_string(scal_batch[j]) + " single/scalar=" +
+                  std::to_string(scal_one),
+              text, seed, i});
+      }
+    }
+
     // svc::Engine byte identity for one instance_key across the no-cache,
     // freshly-computed, cached and coalesced paths.
     svc::Request fresh{svc::QueryKind::kDecideRmt, *inst, svc::SimParams{}, std::nullopt,
@@ -423,7 +486,8 @@ std::string FuzzReport::summary() const {
          std::to_string(parsed_ok) + " parsed, " + std::to_string(rejected) +
          " rejected), " + std::to_string(roundtrip_checks) + " round-trips, " +
          std::to_string(audit_checks) + " audits, " + std::to_string(diff_checks) +
-         " differential checks, " + std::to_string(findings.size()) + " findings";
+         " differential checks, " + std::to_string(kernel_probes) +
+         " kernel probes, " + std::to_string(findings.size()) + " findings";
 }
 
 }  // namespace rmt::propcheck

@@ -16,7 +16,10 @@
 //     the optimized deciders vs the find_*_reference oracles — existence
 //     AND witness must be bit-identical — and through a memoizing
 //     svc::Engine, where the cached, coalesced and no-cache answers for
-//     one instance_key must be byte-identical.
+//     one instance_key must be byte-identical. The same instances feed a
+//     membership-kernel differential: AdversaryStructure::probe_batch vs
+//     per-candidate contains, under the compiled vector backend and again
+//     with simd::force_scalar — four answers per probe, one truth.
 //
 // The deciders under test are injectable (FuzzOptions::rmt_decider /
 // zpp_decider) so the harness can prove it *catches* a deliberately broken
@@ -61,7 +64,8 @@ struct FuzzOptions {
 /// One divergence/contract violation, with everything needed to reproduce.
 struct FuzzFinding {
   std::string kind;    ///< parser-crash | roundtrip-diverged | audit-violation
-                       ///< | decider-diverged | svc-diverged | generator-invalid
+                       ///< | decider-diverged | kernel-diverged | svc-diverged
+                       ///< | generator-invalid
   std::string detail;  ///< human explanation (exception text, mismatch shape)
   std::string input;   ///< the serialized instance / mutant bytes involved
   std::uint64_t seed = 0;   ///< the derived seed of the failing unit
@@ -75,6 +79,7 @@ struct FuzzReport {
   std::size_t roundtrip_checks = 0;  ///< serialize∘parse fixed-point checks run
   std::size_t audit_checks = 0;      ///< deep-validator passes over accepted mutants
   std::size_t diff_checks = 0;       ///< differential decider/svc checks run
+  std::size_t kernel_probes = 0;     ///< probe_batch-vs-contains probes compared
   std::vector<FuzzFinding> findings;
 
   bool ok() const { return findings.empty(); }

@@ -152,6 +152,21 @@ class NodeSet {
   friend NodeSet operator-(NodeSet a, const NodeSet& b) { return a -= b; }
   friend NodeSet operator^(NodeSet a, const NodeSet& b) { return a ^= b; }
 
+  /// Read-only view of the active words, lowest word first.
+  struct WordSpan {
+    const std::uint64_t* words;
+    std::size_t count;
+  };
+
+  /// Bulk word export for the bit-matrix builder and the audit
+  /// cross-checks, replacing per-bit iteration. Reads of words [0, count)
+  /// are value-defined; the pointer additionally stays dereferenceable up
+  /// to kInlineWords (inline sets) or the allocated capacity (spilled
+  /// sets), so padded vector loads past `count` are memory-safe but read
+  /// unspecified values. Canonical form guarantees count == 0 or
+  /// words[count-1] != 0.
+  WordSpan word_span() const { return {words(), nwords_}; }
+
   bool is_subset_of(const NodeSet& o) const;
   bool is_superset_of(const NodeSet& o) const { return o.is_subset_of(*this); }
   bool intersects(const NodeSet& o) const;

@@ -20,7 +20,8 @@
 namespace rmt::obs {
 
 // lint:phase-registry-begin
-inline constexpr std::array<std::string_view, 16> kPhaseNames = {
+inline constexpr std::array<std::string_view, 17> kPhaseNames = {
+    "adversary.matrix_build",
     "adversary.oplus",
     "adversary.restrict",
     "audit.validate",

@@ -1,0 +1,433 @@
+// util/simd.hpp — portable batched bit-matrix kernels (AVX2 / NEON / scalar).
+//
+// The adversary-structure hot paths all reduce to scanning rows of a
+// word-level bit matrix against one candidate word vector:
+//   * subset_any     — ∃ row ⊇ candidate   (antichain membership),
+//   * disjoint_any   — ∃ row ∩ candidate=∅ (conjunction-constraint rows),
+//   * intersect_any  — ∃ row ∩ candidate≠∅ (negated singleton conjunctions),
+//   * conjunction_probe_w1 — the fused all-groups form JointStructure uses.
+// This header is the single place those scans are implemented, once per
+// backend, so every caller (SubsetMatrix, ConjunctionRows, the deciders,
+// the benches) shares one definition of the scan semantics.
+//
+// Backend selection is compile-time: AVX2 on x86-64, NEON on aarch64,
+// portable scalar otherwise or when the build forces it (-DRMT_SIMD=OFF
+// defines RMT_SIMD_OFF and compiles the vector paths out entirely). On
+// x86-64 the vector kernels carry target("avx2") attributes and are gated
+// behind a one-time __builtin_cpu_supports probe, so the library baseline
+// ISA is unchanged and the binary stays safe on pre-AVX2 hardware —
+// compile-time selection with runtime dispatch on top.
+//
+// force_scalar(true) is the test override hook: it routes every dispatch
+// below through the scalar reference implementation regardless of backend,
+// which is how the propcheck backend axis, the fuzz differentials and the
+// bench identity sweeps prove scalar/vector bit-identity. The flag is a
+// process-global atomic (decider pool workers must observe it).
+//
+// Matrix layout contract (see adversary/bit_matrix.hpp for the builder):
+// column-block-major — word w of row r lives at cols[w * stride + r], so
+// one vector load picks up the same word of 4 (AVX2) or 2 (NEON)
+// consecutive rows. With words == 1 (every exact-decider workload:
+// kMaxExactNodes = 26 keeps all hot sets in one 64-bit block) the layout
+// degenerates to a flat contiguous row array.
+//
+// Raw intrinsics are banned outside this header (tools/rmt_lint.py rule
+// `simd-discipline`); the registry markers below list the compiled-in
+// backends for the linter's both-directions check.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#if !defined(RMT_SIMD_OFF) && (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define RMT_SIMD_BACKEND_AVX2 1
+#include <immintrin.h>
+#elif !defined(RMT_SIMD_OFF) && defined(__ARM_NEON)
+#define RMT_SIMD_BACKEND_NEON 1
+#include <arm_neon.h>
+#endif
+
+// lint:simd-backend-registry-begin
+//   avx2
+//   neon
+// lint:simd-backend-registry-end
+
+namespace rmt::simd {
+
+/// A [begin, end) row range of one conjunction group (constraint).
+struct RowRange {
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;
+};
+
+namespace detail {
+/// The test override hook's backing flag. Relaxed ordering suffices: the
+/// flag only selects between two bit-identical implementations, so a
+/// racing reader picking the stale backend is still correct.
+inline std::atomic<bool> scalar_forced_flag{false};
+}  // namespace detail
+
+/// Route every kernel below through the scalar implementation until
+/// force_scalar(false). Process-global; pool workers observe it.
+inline void force_scalar(bool on) {
+  detail::scalar_forced_flag.store(on, std::memory_order_relaxed);
+}
+
+inline bool scalar_forced() {
+  return detail::scalar_forced_flag.load(std::memory_order_relaxed);
+}
+
+/// RAII form of the override hook for sweeps: forces the scalar backend
+/// for the scope's lifetime and restores the previous state on exit.
+class ScopedForceScalar {
+ public:
+  explicit ScopedForceScalar(bool on = true) : prev_(scalar_forced()) { force_scalar(on); }
+  ~ScopedForceScalar() { force_scalar(prev_); }
+  ScopedForceScalar(const ScopedForceScalar&) = delete;
+  ScopedForceScalar& operator=(const ScopedForceScalar&) = delete;
+
+ private:
+  bool prev_;
+};
+
+/// The backend this translation unit was compiled with ("avx2", "neon",
+/// "scalar"). Compile-time fact; ignores the runtime probe and the hook.
+constexpr const char* backend_name() {
+#if defined(RMT_SIMD_BACKEND_AVX2)
+  return "avx2";
+#elif defined(RMT_SIMD_BACKEND_NEON)
+  return "neon";
+#else
+  return "scalar";
+#endif
+}
+
+namespace detail {
+
+#if defined(RMT_SIMD_BACKEND_AVX2)
+/// One-time CPUID probe: the AVX2 kernels are compiled with a target
+/// attribute, not a raised baseline, so they must not run on hardware
+/// without the feature.
+inline const bool kHaveAvx2 = __builtin_cpu_supports("avx2") != 0;
+#endif
+
+// --- scalar reference kernels ----------------------------------------------
+// These define the semantics; every vector kernel must agree bit for bit
+// (the bench identity sweep and the fuzz differential enforce that).
+
+inline bool subset_any_scalar(const std::uint64_t* cand, std::size_t words,
+                              const std::uint64_t* cols, std::size_t stride, std::size_t begin,
+                              std::size_t end) {
+  if (words == 0) return begin < end;  // empty candidate ⊆ every row
+  for (std::size_t r = begin; r < end; ++r) {
+    std::uint64_t violation = 0;
+    for (std::size_t w = 0; w < words; ++w) violation |= cand[w] & ~cols[w * stride + r];
+    if (violation == 0) return true;
+  }
+  return false;
+}
+
+inline bool disjoint_any_scalar(const std::uint64_t* cand, std::size_t words,
+                                const std::uint64_t* cols, std::size_t stride, std::size_t begin,
+                                std::size_t end) {
+  if (words == 0) return begin < end;  // empty candidate is disjoint from every row
+  for (std::size_t r = begin; r < end; ++r) {
+    std::uint64_t overlap = 0;
+    for (std::size_t w = 0; w < words; ++w) overlap |= cand[w] & cols[w * stride + r];
+    if (overlap == 0) return true;
+  }
+  return false;
+}
+
+inline bool intersect_any_scalar(const std::uint64_t* cand, std::size_t words,
+                                 const std::uint64_t* cols, std::size_t stride, std::size_t begin,
+                                 std::size_t end) {
+  if (words == 0) return false;
+  for (std::size_t r = begin; r < end; ++r) {
+    std::uint64_t overlap = 0;
+    for (std::size_t w = 0; w < words; ++w) overlap |= cand[w] & cols[w * stride + r];
+    if (overlap != 0) return true;
+  }
+  return false;
+}
+
+inline bool conjunction_probe_w1_scalar(std::uint64_t x, const std::uint64_t* rows,
+                                        const RowRange* groups, std::size_t ngroups) {
+  for (std::size_t g = 0; g < ngroups; ++g) {
+    bool satisfied = false;
+    for (std::uint32_t r = groups[g].begin; r < groups[g].end; ++r) {
+      if ((x & rows[r]) == 0) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) return false;
+  }
+  return true;
+}
+
+// --- AVX2 kernels ------------------------------------------------------------
+// 4 rows of 64 columns per 256-bit op; the per-word accumulator keeps the
+// early exit at chunk granularity (one branch per 4 rows).
+
+#if defined(RMT_SIMD_BACKEND_AVX2)
+
+[[gnu::target("avx2")]] inline bool subset_any_avx2(const std::uint64_t* cand, std::size_t words,
+                                                    const std::uint64_t* cols, std::size_t stride,
+                                                    std::size_t begin, std::size_t end) {
+  if (words == 0) return begin < end;
+  std::size_t r = begin;
+  for (; r + 4 <= end; r += 4) {
+    __m256i violation = _mm256_setzero_si256();
+    for (std::size_t w = 0; w < words; ++w) {
+      const __m256i rows =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cols + w * stride + r));
+      const __m256i c = _mm256_set1_epi64x(static_cast<long long>(cand[w]));
+      violation = _mm256_or_si256(violation, _mm256_andnot_si256(rows, c));
+    }
+    const __m256i zero_lanes = _mm256_cmpeq_epi64(violation, _mm256_setzero_si256());
+    if (_mm256_movemask_epi8(zero_lanes) != 0) return true;
+  }
+  return subset_any_scalar(cand, words, cols, stride, r, end);
+}
+
+[[gnu::target("avx2")]] inline bool disjoint_any_avx2(const std::uint64_t* cand, std::size_t words,
+                                                      const std::uint64_t* cols, std::size_t stride,
+                                                      std::size_t begin, std::size_t end) {
+  if (words == 0) return begin < end;
+  std::size_t r = begin;
+  for (; r + 4 <= end; r += 4) {
+    __m256i overlap = _mm256_setzero_si256();
+    for (std::size_t w = 0; w < words; ++w) {
+      const __m256i rows =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cols + w * stride + r));
+      const __m256i c = _mm256_set1_epi64x(static_cast<long long>(cand[w]));
+      overlap = _mm256_or_si256(overlap, _mm256_and_si256(rows, c));
+    }
+    const __m256i zero_lanes = _mm256_cmpeq_epi64(overlap, _mm256_setzero_si256());
+    if (_mm256_movemask_epi8(zero_lanes) != 0) return true;
+  }
+  return disjoint_any_scalar(cand, words, cols, stride, r, end);
+}
+
+[[gnu::target("avx2")]] inline bool intersect_any_avx2(const std::uint64_t* cand,
+                                                       std::size_t words,
+                                                       const std::uint64_t* cols,
+                                                       std::size_t stride, std::size_t begin,
+                                                       std::size_t end) {
+  if (words == 0) return false;
+  std::size_t r = begin;
+  for (; r + 4 <= end; r += 4) {
+    __m256i overlap = _mm256_setzero_si256();
+    for (std::size_t w = 0; w < words; ++w) {
+      const __m256i rows =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cols + w * stride + r));
+      const __m256i c = _mm256_set1_epi64x(static_cast<long long>(cand[w]));
+      overlap = _mm256_or_si256(overlap, _mm256_and_si256(rows, c));
+    }
+    const __m256i zero_lanes = _mm256_cmpeq_epi64(overlap, _mm256_setzero_si256());
+    if (_mm256_movemask_epi8(zero_lanes) != static_cast<int>(0xFFFFFFFFu)) return true;
+  }
+  return intersect_any_scalar(cand, words, cols, stride, r, end);
+}
+
+[[gnu::target("avx2")]] inline bool conjunction_probe_w1_avx2(std::uint64_t x,
+                                                              const std::uint64_t* rows,
+                                                              const RowRange* groups,
+                                                              std::size_t ngroups) {
+  // Groups whose row ranges are consecutive singletons (the dominant shape:
+  // one forbidden row per constraint) fuse into a single "no row may
+  // intersect x" sweep, 4 groups per vector op. Wider groups fall back to
+  // the per-group ∃-disjoint scan.
+  std::size_t g = 0;
+  while (g < ngroups) {
+    if (groups[g].end == groups[g].begin + 1) {
+      const std::uint32_t first = groups[g].begin;
+      std::size_t run = 1;
+      while (g + run < ngroups && groups[g + run].end == groups[g + run].begin + 1 &&
+             groups[g + run].begin == first + run)
+        ++run;
+      if (intersect_any_avx2(&x, 1, rows, 0, first, first + run)) return false;
+      g += run;
+    } else {
+      if (!disjoint_any_avx2(&x, 1, rows, 0, groups[g].begin, groups[g].end)) return false;
+      ++g;
+    }
+  }
+  return true;
+}
+
+#endif  // RMT_SIMD_BACKEND_AVX2
+
+// --- NEON kernels ------------------------------------------------------------
+// 2 rows per 128-bit op. aarch64 implies NEON, so no runtime probe.
+
+#if defined(RMT_SIMD_BACKEND_NEON)
+
+inline bool subset_any_neon(const std::uint64_t* cand, std::size_t words,
+                            const std::uint64_t* cols, std::size_t stride, std::size_t begin,
+                            std::size_t end) {
+  if (words == 0) return begin < end;
+  std::size_t r = begin;
+  for (; r + 2 <= end; r += 2) {
+    uint64x2_t violation = vdupq_n_u64(0);
+    for (std::size_t w = 0; w < words; ++w) {
+      const uint64x2_t rows = vld1q_u64(cols + w * stride + r);
+      const uint64x2_t c = vdupq_n_u64(cand[w]);
+      violation = vorrq_u64(violation, vbicq_u64(c, rows));  // c & ~rows
+    }
+    if (vgetq_lane_u64(violation, 0) == 0 || vgetq_lane_u64(violation, 1) == 0) return true;
+  }
+  return subset_any_scalar(cand, words, cols, stride, r, end);
+}
+
+inline bool disjoint_any_neon(const std::uint64_t* cand, std::size_t words,
+                              const std::uint64_t* cols, std::size_t stride, std::size_t begin,
+                              std::size_t end) {
+  if (words == 0) return begin < end;
+  std::size_t r = begin;
+  for (; r + 2 <= end; r += 2) {
+    uint64x2_t overlap = vdupq_n_u64(0);
+    for (std::size_t w = 0; w < words; ++w) {
+      const uint64x2_t rows = vld1q_u64(cols + w * stride + r);
+      const uint64x2_t c = vdupq_n_u64(cand[w]);
+      overlap = vorrq_u64(overlap, vandq_u64(c, rows));
+    }
+    if (vgetq_lane_u64(overlap, 0) == 0 || vgetq_lane_u64(overlap, 1) == 0) return true;
+  }
+  return disjoint_any_scalar(cand, words, cols, stride, r, end);
+}
+
+inline bool intersect_any_neon(const std::uint64_t* cand, std::size_t words,
+                               const std::uint64_t* cols, std::size_t stride, std::size_t begin,
+                               std::size_t end) {
+  if (words == 0) return false;
+  std::size_t r = begin;
+  for (; r + 2 <= end; r += 2) {
+    uint64x2_t overlap = vdupq_n_u64(0);
+    for (std::size_t w = 0; w < words; ++w) {
+      const uint64x2_t rows = vld1q_u64(cols + w * stride + r);
+      const uint64x2_t c = vdupq_n_u64(cand[w]);
+      overlap = vorrq_u64(overlap, vandq_u64(c, rows));
+    }
+    if (vgetq_lane_u64(overlap, 0) != 0 || vgetq_lane_u64(overlap, 1) != 0) return true;
+  }
+  return intersect_any_scalar(cand, words, cols, stride, r, end);
+}
+
+inline bool conjunction_probe_w1_neon(std::uint64_t x, const std::uint64_t* rows,
+                                      const RowRange* groups, std::size_t ngroups) {
+  std::size_t g = 0;
+  while (g < ngroups) {
+    if (groups[g].end == groups[g].begin + 1) {
+      const std::uint32_t first = groups[g].begin;
+      std::size_t run = 1;
+      while (g + run < ngroups && groups[g + run].end == groups[g + run].begin + 1 &&
+             groups[g + run].begin == first + run)
+        ++run;
+      if (intersect_any_neon(&x, 1, rows, 0, first, first + run)) return false;
+      g += run;
+    } else {
+      if (!disjoint_any_neon(&x, 1, rows, 0, groups[g].begin, groups[g].end)) return false;
+      ++g;
+    }
+  }
+  return true;
+}
+
+#endif  // RMT_SIMD_BACKEND_NEON
+
+/// True when the vector backend is both compiled in, supported by this
+/// CPU and not overridden by force_scalar.
+inline bool vector_active() {
+#if defined(RMT_SIMD_BACKEND_AVX2)
+  return kHaveAvx2 && !scalar_forced();
+#elif defined(RMT_SIMD_BACKEND_NEON)
+  return !scalar_forced();
+#else
+  return false;
+#endif
+}
+
+/// Scans shorter than this stay on the inlined scalar kernels even when
+/// the vector backend is active: target-attributed functions cannot be
+/// inlined into baseline-ISA callers, so a handful of rows never amortizes
+/// the call + broadcast setup. Chosen at two vector chunks (AVX2).
+inline constexpr std::size_t kSmallScanRows = 8;
+
+}  // namespace detail
+
+/// The backend the next kernel call will actually run ("avx2", "neon",
+/// "scalar") — backend_name() downgraded by the CPU probe and the hook.
+inline const char* active_backend() {
+  return detail::vector_active() ? backend_name() : "scalar";
+}
+
+/// ∃ r ∈ [begin, end): candidate ⊆ row_r. `cols` is column-block-major
+/// with `stride` (word w of row r at cols[w*stride + r]); candidate words
+/// beyond `words` are treated as zero, so callers pass the candidate's
+/// active word count even when the matrix is wider.
+inline bool subset_any(const std::uint64_t* cand, std::size_t words, const std::uint64_t* cols,
+                       std::size_t stride, std::size_t begin, std::size_t end) {
+#if defined(RMT_SIMD_BACKEND_AVX2)
+  if (begin + detail::kSmallScanRows <= end && detail::vector_active())
+    return detail::subset_any_avx2(cand, words, cols, stride, begin, end);
+#elif defined(RMT_SIMD_BACKEND_NEON)
+  if (begin + detail::kSmallScanRows <= end && detail::vector_active())
+    return detail::subset_any_neon(cand, words, cols, stride, begin, end);
+#endif
+  return detail::subset_any_scalar(cand, words, cols, stride, begin, end);
+}
+
+/// ∃ r ∈ [begin, end): candidate ∩ row_r = ∅. Same layout contract.
+inline bool disjoint_any(const std::uint64_t* cand, std::size_t words, const std::uint64_t* cols,
+                         std::size_t stride, std::size_t begin, std::size_t end) {
+#if defined(RMT_SIMD_BACKEND_AVX2)
+  if (begin + detail::kSmallScanRows <= end && detail::vector_active())
+    return detail::disjoint_any_avx2(cand, words, cols, stride, begin, end);
+#elif defined(RMT_SIMD_BACKEND_NEON)
+  if (begin + detail::kSmallScanRows <= end && detail::vector_active())
+    return detail::disjoint_any_neon(cand, words, cols, stride, begin, end);
+#endif
+  return detail::disjoint_any_scalar(cand, words, cols, stride, begin, end);
+}
+
+/// ∃ r ∈ [begin, end): candidate ∩ row_r ≠ ∅. Same layout contract.
+inline bool intersect_any(const std::uint64_t* cand, std::size_t words, const std::uint64_t* cols,
+                          std::size_t stride, std::size_t begin, std::size_t end) {
+#if defined(RMT_SIMD_BACKEND_AVX2)
+  if (begin + detail::kSmallScanRows <= end && detail::vector_active())
+    return detail::intersect_any_avx2(cand, words, cols, stride, begin, end);
+#elif defined(RMT_SIMD_BACKEND_NEON)
+  if (begin + detail::kSmallScanRows <= end && detail::vector_active())
+    return detail::intersect_any_neon(cand, words, cols, stride, begin, end);
+#endif
+  return detail::intersect_any_scalar(cand, words, cols, stride, begin, end);
+}
+
+/// Fused conjunction probe over single-word rows: true iff every group in
+/// `groups` contains at least one row disjoint from x. Rows are a flat
+/// contiguous array (the words == 1 degenerate of the column-block-major
+/// layout); group ranges index into it.
+inline bool conjunction_probe_w1(std::uint64_t x, const std::uint64_t* rows,
+                                 const RowRange* groups, std::size_t ngroups) {
+#if defined(RMT_SIMD_BACKEND_AVX2) || defined(RMT_SIMD_BACKEND_NEON)
+  // Group ranges are contiguous and ascending (a LIFO row stack), so the
+  // total span is one subtraction — route short probes to the inlined
+  // scalar loop, same policy as the row kernels above.
+  const std::size_t span =
+      ngroups == 0 ? 0 : std::size_t{groups[ngroups - 1].end} - groups[0].begin;
+#endif
+#if defined(RMT_SIMD_BACKEND_AVX2)
+  if (span >= detail::kSmallScanRows && detail::vector_active())
+    return detail::conjunction_probe_w1_avx2(x, rows, groups, ngroups);
+#elif defined(RMT_SIMD_BACKEND_NEON)
+  if (span >= detail::kSmallScanRows && detail::vector_active())
+    return detail::conjunction_probe_w1_neon(x, rows, groups, ngroups);
+#endif
+  return detail::conjunction_probe_w1_scalar(x, rows, groups, ngroups);
+}
+
+}  // namespace rmt::simd

@@ -47,6 +47,10 @@ struct AuditTestAccess {
   static void append_maximal_set(AdversaryStructure& z, NodeSet s) {
     z.maximal_.push_back(std::move(s));
   }
+  static void flip_matrix_row_bit(AdversaryStructure& z) { z.matrix_.data_.front() ^= 1ull; }
+  static void skew_matrix_skip_table(AdversaryStructure& z) {
+    z.matrix_.bucket_start_.front() += 1;
+  }
   static void shrink_ground(RestrictedStructure& r, NodeId v) { r.ground_.erase(v); }
   static void corrupt_view_node_cache(ViewFunction& gamma, NodeId v, NodeId bogus) {
     gamma.view_nodes_[v].insert(bogus);
@@ -151,6 +155,32 @@ TEST(AuditValidate, AdversaryAntichainViolationDetected) {
 TEST(AuditValidate, AdversaryOrderingViolationDetected) {
   AdversaryStructure z = structure({NodeSet{2}, NodeSet{5}});
   AuditTestAccess::append_maximal_set(z, NodeSet{1});  // sorts before both
+  EXPECT_EQ(failing_component([&] { audit::validate(z); }), "adversary");
+}
+
+/// Wide enough that rebuild_cache built the SoA bit matrix
+/// (kMatrixBuildRows rows), so the matrix validators have real state.
+AdversaryStructure matrix_backed_structure() {
+  std::vector<NodeSet> sets;
+  for (NodeId v = 0; v < AdversaryStructure::kMatrixBuildRows; ++v)
+    sets.push_back(NodeSet{v, NodeId(v + 10)});
+  return structure(sets);
+}
+
+TEST(AuditValidate, AdversaryMatrixRowDriftDetected) {
+  AdversaryStructure z = matrix_backed_structure();
+  ASSERT_NE(z.matrix().num_rows(), 0u);
+  EXPECT_NO_THROW(audit::validate(z));
+  // One flipped bit in the column-major row storage: contains() would
+  // silently answer from a set that is not in the antichain.
+  AuditTestAccess::flip_matrix_row_bit(z);
+  EXPECT_EQ(failing_component([&] { audit::validate(z); }), "adversary");
+}
+
+TEST(AuditValidate, AdversaryMatrixSkipTableDriftDetected) {
+  AdversaryStructure z = matrix_backed_structure();
+  // A wrong popcount-bucket threshold makes probes skip live rows.
+  AuditTestAccess::skew_matrix_skip_table(z);
   EXPECT_EQ(failing_component([&] { audit::validate(z); }), "adversary");
 }
 

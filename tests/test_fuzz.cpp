@@ -42,6 +42,9 @@ TEST(Fuzz, SmallRunIsCleanAndCountsAddUp) {
   EXPECT_EQ(report.roundtrip_checks, report.parsed_ok);
   EXPECT_GE(report.audit_checks, report.parsed_ok);
   EXPECT_EQ(report.diff_checks, 40u);
+  // Every differential check also compares probe_batch against
+  // per-candidate contains under both simd backends.
+  EXPECT_GE(report.kernel_probes, 8 * report.diff_checks);
 }
 
 TEST(Fuzz, ReportIsDeterministicInSeed) {

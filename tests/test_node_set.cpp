@@ -251,6 +251,38 @@ TEST(NodeSetProperty, MatchesReferenceImplementation) {
   EXPECT_EQ(s.to_vector(), std::vector<NodeId>(ref.begin(), ref.end()));
 }
 
+// word_span is the bulk export the bit-matrix builder packs rows from: it
+// must expose exactly the canonical no-trailing-zero-word form, inline and
+// spilled alike, and round-trip bit for bit.
+TEST(NodeSet, WordSpanIsCanonicalAndRoundTrips) {
+  EXPECT_EQ(NodeSet{}.word_span().count, 0u);
+  const NodeSet inline_set{0, 3, 64};  // two inline words
+  NodeSet::WordSpan span = inline_set.word_span();
+  ASSERT_EQ(span.count, 2u);
+  EXPECT_EQ(span.words[0], (1ull << 0) | (1ull << 3));
+  EXPECT_EQ(span.words[1], 1ull);
+  NodeSet spilled{0, 200};  // beyond kInlineBits: heap representation
+  spilled.erase(200);       // canonical again, still spilled
+  span = spilled.word_span();
+  ASSERT_EQ(span.count, 1u);
+  EXPECT_EQ(span.words[0], 1ull);
+  Rng rng(13);
+  for (int trial = 0; trial < 100; ++trial) {
+    const NodeSet s = testing::from_mask(rng.uniform(0, (1u << 16) - 1), 16);
+    span = s.word_span();
+    NodeSet rebuilt;
+    for (std::size_t w = 0; w < span.count; ++w) {
+      for (std::size_t b = 0; b < 64; ++b) {
+        if ((span.words[w] >> b) & 1u) rebuilt.insert(NodeId(64 * w + b));
+      }
+    }
+    EXPECT_EQ(rebuilt, s);
+    if (span.count > 0) {
+      EXPECT_NE(span.words[span.count - 1], 0u);
+    }
+  }
+}
+
 // Property: algebra laws on random sets.
 TEST(NodeSetProperty, AlgebraLaws) {
   Rng rng(7);

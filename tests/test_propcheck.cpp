@@ -2,9 +2,10 @@
 //
 // The headline suite here is the acceptance-bar product: ONE property
 // declaration swept over graph family × adversary-structure family × view
-// floor × D,R placement × worker count = 4·3·2·2·2 = 96 cells, with the
-// per-cell seed proven to be a pure function of (root seed, coordinates)
-// by running the sweep twice and recomputing one seed by hand.
+// floor × D,R placement × worker count × simd-backend/bucket-boundary
+// = 4·3·2·2·2·4 = 384 cells, with the per-cell seed proven to be a pure
+// function of (root seed, coordinates) by running the sweep twice and
+// recomputing one seed by hand.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -13,6 +14,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "adversary/threshold.hpp"
 #include "analysis/rmt_cut.hpp"
 #include "check/parameterize.hpp"
 #include "exec/campaign.hpp"
@@ -22,6 +24,7 @@
 #include "knowledge/view.hpp"
 #include "tests/test_util.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 
 namespace rmt {
 namespace {
@@ -30,7 +33,7 @@ using propcheck::CellFailure;
 using propcheck::Result;
 using propcheck::Runner;
 
-// -- the acceptance-bar product: 4 x 3 x 2 x 2 x 2 = 96 cells ---------------
+// -- the acceptance-bar product: 4 x 3 x 2 x 2 x 2 x 4 = 384 cells ----------
 
 /// Structure recipe an axis can pick; realized per cell from the cell seed.
 struct StructureRecipe {
@@ -72,7 +75,27 @@ RMT_PARAMETERIZE(worker_counts, std::size_t, w,
     RMT_OPTION(w, std::size_t{2});
 )
 
-/// Run the differential decider property over the full 96-cell product,
+/// The simd-backend × popcount-bucket-boundary face of the product.
+/// `scalar` routes every kernel through the scalar reference twin
+/// (simd::force_scalar); `at_boundary` swaps the random antichain for the
+/// 2-threshold one over the players — every maximal set has popcount 2, so
+/// the SubsetMatrix collapses to a single popcount bucket and each probe
+/// sits exactly on the bucket skip threshold, while the antichain width
+/// C(players, 2) straddles AdversaryStructure::kMatrixBuildRows across the
+/// graph-family axis (6 rows on barbell, 15–21 on the wider families).
+struct KernelCell {
+  bool scalar = false;
+  bool at_boundary = false;
+};
+
+RMT_PARAMETERIZE(kernel_cells, KernelCell, kc,
+    RMT_OPTION(kc, KernelCell{false, false});
+    RMT_OPTION(kc, KernelCell{false, true});
+    RMT_OPTION(kc, KernelCell{true, false});
+    RMT_OPTION(kc, KernelCell{true, true});
+)
+
+/// Run the differential decider property over the full 384-cell product,
 /// recording each cell's seed into `seeds`.
 Result sweep_decider_product(std::uint64_t root_seed,
                              std::vector<std::uint64_t>* seeds) {
@@ -82,6 +105,7 @@ Result sweep_decider_product(std::uint64_t root_seed,
   std::size_t floor = 0;
   Placement place;
   std::size_t workers = 0;
+  KernelCell kernel;
   return runner.check(
       [&](std::uint64_t cell_seed) {
         if (seeds) seeds->push_back(cell_seed);
@@ -89,11 +113,14 @@ Result sweep_decider_product(std::uint64_t root_seed,
         const NodeId d = place.reversed ? NodeId(n - 1) : NodeId(0);
         const NodeId r = place.reversed ? NodeId(0) : NodeId(n - 1);
         Rng rng(cell_seed);
-        const AdversaryStructure z = random_structure(
-            g.nodes(), recipe.sets, recipe.size, NodeSet{d, r}, rng);
+        const AdversaryStructure z =
+            kernel.at_boundary
+                ? threshold_structure(g.nodes() - NodeSet{d, r}, 2)
+                : random_structure(g.nodes(), recipe.sets, recipe.size, NodeSet{d, r}, rng);
         ViewFunction gamma = (floor == SIZE_MAX) ? ViewFunction::full(g)
                                                  : ViewFunction::ad_hoc(g);
         const Instance inst(g, z, std::move(gamma), d, r);
+        const simd::ScopedForceScalar backend(kernel.scalar);
         const auto expect = analysis::find_rmt_cut_reference(inst);
         std::optional<analysis::RmtCutWitness> got;
         if (workers == 0) {
@@ -110,16 +137,18 @@ Result sweep_decider_product(std::uint64_t root_seed,
       },
       RMT_PC_AXIS(graph_families, g), RMT_PC_AXIS(structure_recipes, recipe),
       RMT_PC_AXIS(view_floors, floor), RMT_PC_AXIS(placements, place),
-      RMT_PC_AXIS(worker_counts, workers));
+      RMT_PC_AXIS(worker_counts, workers), RMT_PC_AXIS(kernel_cells, kernel));
 }
 
-TEST(Propcheck, DeciderProductSweepsNinetySixCells) {
+TEST(Propcheck, DeciderProductSweepsAllCells) {
   std::vector<std::uint64_t> seeds;
   const Result r = sweep_decider_product(0x9c0ffee0, &seeds);
   EXPECT_TRUE(r.ok()) << r.summary();
-  EXPECT_EQ(r.cells, 96u);
-  EXPECT_EQ(r.shape, (std::vector<std::size_t>{4, 3, 2, 2, 2}));
-  EXPECT_EQ(seeds.size(), 96u);
+  EXPECT_EQ(r.cells, 384u);
+  EXPECT_EQ(r.shape, (std::vector<std::size_t>{4, 3, 2, 2, 2, 4}));
+  EXPECT_EQ(seeds.size(), 384u);
+  // The backend hook is scoped: a sweep never leaks a forced-scalar state.
+  EXPECT_FALSE(simd::scalar_forced());
 }
 
 TEST(Propcheck, CellSeedsAreDeterministicAcrossSweeps) {
@@ -132,9 +161,9 @@ TEST(Propcheck, CellSeedsAreDeterministicAcrossSweeps) {
   (void)sweep_decider_product(0x12345, &other);
   EXPECT_NE(first, other);
   // And the seed of a given coordinate is exactly the frozen splitmix64
-  // chain folded over the coordinates — recompute cell (0,0,0,0,1) by hand.
+  // chain folded over the coordinates — recompute cell (0,0,0,0,0,1) by hand.
   std::uint64_t s = 0x9c0ffee0;
-  for (const std::size_t idx : {0, 0, 0, 0, 1}) s = exec::derive_seed(s, idx);
+  for (const std::size_t idx : {0, 0, 0, 0, 0, 1}) s = exec::derive_seed(s, idx);
   EXPECT_EQ(first[1], s);
 }
 
