@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "adversary/threshold.hpp"
+#include "store/format.hpp"
 #include "exec/campaign.hpp"
 #include "exec/thread_pool.hpp"
 #include "graph/generators.hpp"
@@ -26,6 +27,7 @@ namespace {
 constexpr std::uint64_t kMutantDomain = 0x4d55544e;  // "MUTN"
 constexpr std::uint64_t kDiffDomain = 0x44494646;    // "DIFF"
 constexpr std::uint64_t kKernelDomain = 0x4b524e4c;  // "KRNL"
+constexpr std::uint64_t kStoreDomain = 0x53544f52;   // "STOR"
 
 std::uint64_t unit_seed(std::uint64_t root, std::uint64_t domain, std::uint64_t index) {
   return exec::derive_seed(exec::derive_seed(root, domain), index);
@@ -137,6 +139,152 @@ std::string mutate_tokens(const std::string& text, Rng& rng) {
     out += '\n';
   }
   return out;
+}
+
+// --- store-image synthesis and mutation -------------------------------------
+
+/// A valid-by-construction store image: identity header plus 0–5 framed
+/// records with svc-shaped keys (and the occasional hostile key — '|',
+/// newline and NUL bytes are legal inside the binary framing).
+std::string synth_store_image(Rng& rng) {
+  std::string img = store::header_line(rng.index(4));
+  const std::size_t nrecords = rng.index(6);
+  for (std::size_t r = 0; r < nrecords; ++r) {
+    std::string key = "a2b0f763e7b5441" + std::to_string(rng.index(10));
+    switch (rng.index(4)) {
+      case 0: key += "|decide_rmt"; break;
+      case 1: key += "|simulate|seed=" + std::to_string(rng.index(100)); break;
+      case 2:  // hostile key bytes — newline and NUL are legal inside frames
+        key += "|\n|";
+        key.push_back('\0');
+        break;
+      default: break;
+    }
+    std::string value;
+    const std::size_t vlen = rng.index(64);
+    for (std::size_t b = 0; b < vlen; ++b) value.push_back(char(rng.index(256)));
+    img += store::encode_record(key, value, rng.index(1000));
+  }
+  return img;
+}
+
+/// One seeded corruption step aimed at the format's failure surfaces:
+/// torn appends (truncate), rot (bit flip), splices, duplicated spans,
+/// and length bombs over the u32 framing fields.
+std::string mutate_store_image(const std::string& img, Rng& rng) {
+  std::string out = img;
+  switch (rng.index(6)) {
+    case 0:  // torn append: cut anywhere, header included
+      out.resize(rng.index(out.size() + 1));
+      return out;
+    case 1: {  // single-bit rot
+      if (out.empty()) return out;
+      out[rng.index(out.size())] ^= char(1u << rng.index(8));
+      return out;
+    }
+    case 2: {  // splice a fresh, internally-valid record at a random offset
+      std::string key = "spliced|" + std::to_string(rng.index(100));
+      out.insert(rng.index(out.size() + 1),
+                 store::encode_record(key, "v", rng.index(1000)));
+      return out;
+    }
+    case 3: {  // duplicate a short span (repeated-append shapes)
+      if (out.empty()) return out;
+      const std::size_t at = rng.index(out.size());
+      const std::size_t len = std::min(out.size() - at, 1 + rng.index(32));
+      out.insert(at, out.substr(at, len));
+      return out;
+    }
+    case 4: {  // length bomb: blast 4 bytes to 0xff (framing caps must hold)
+      if (out.size() < 4) return out;
+      const std::size_t at = rng.index(out.size() - 3);
+      for (std::size_t b = 0; b < 4; ++b) out[at + b] = char(0xff);
+      return out;
+    }
+    default: {  // erase a byte (shifts every later frame)
+      if (out.empty()) return out;
+      out.erase(out.begin() + long(rng.index(out.size())));
+      return out;
+    }
+  }
+}
+
+/// The scan_bytes contract over one (possibly corrupt) image. Every
+/// divergence becomes a finding carrying the image bytes.
+void check_store_image(const std::string& img, std::uint64_t seed, std::size_t index,
+                       FuzzReport& report) {
+  report.store_checks += 1;
+  store::ScanResult scan;
+  try {
+    scan = store::scan_bytes(img);
+  } catch (const std::invalid_argument&) {
+    report.store_rejected += 1;  // the contract: hostile identity, clean reject
+    return;
+  } catch (const std::exception& e) {
+    report.findings.push_back(FuzzFinding{
+        "store-crash", std::string("scan_bytes threw non-invalid_argument: ") + e.what(),
+        img, seed, index});
+    return;
+  }
+
+  // Deep invariants of the accepted scan against its image.
+  try {
+    audit::validate(scan, img);
+  } catch (const std::exception& e) {
+    report.findings.push_back(FuzzFinding{
+        "store-audit-violation", std::string("audit::validate: ") + e.what(), img, seed,
+        index});
+    return;
+  }
+  if (scan.torn) {
+    report.store_repaired += 1;
+    if (scan.tail_error.empty())
+      report.findings.push_back(FuzzFinding{
+          "store-audit-violation", "torn scan carries no tail_error", img, seed, index});
+  }
+
+  // Surviving records must re-encode byte-identically (frame, checksum
+  // and all) — a record the scanner "fixed up" silently would diverge.
+  for (const store::RecordRef& r : scan.records) {
+    report.store_records += 1;
+    const std::string value = img.substr(r.value_offset, r.value_len);
+    std::string reencoded;
+    try {
+      reencoded = store::encode_record(r.key, value, r.seq);
+    } catch (const std::exception& e) {
+      report.findings.push_back(FuzzFinding{
+          "store-roundtrip-diverged",
+          std::string("accepted record does not re-encode: ") + e.what(), img, seed,
+          index});
+      continue;
+    }
+    if (reencoded != img.substr(r.offset, r.size) ||
+        r.checksum != store::record_checksum(r.key, value, r.seq))
+      report.findings.push_back(FuzzFinding{
+          "store-roundtrip-diverged",
+          "record at offset " + std::to_string(r.offset) + " is not an encode fixed point",
+          img, seed, index});
+  }
+
+  // Repair idempotence: truncating to valid_prefix (what Store does on
+  // open) must rescan cleanly to the same records — never tear again.
+  const std::string repaired = img.substr(0, scan.valid_prefix);
+  try {
+    const store::ScanResult again = store::scan_bytes(repaired);
+    if (again.torn || again.generation != scan.generation ||
+        again.records.size() != scan.records.size() ||
+        again.valid_prefix != repaired.size())
+      report.findings.push_back(FuzzFinding{
+          "store-repair-diverged",
+          "repaired prefix rescans differently (torn=" + std::to_string(again.torn) +
+              ", records " + std::to_string(again.records.size()) + " vs " +
+              std::to_string(scan.records.size()) + ")",
+          img, seed, index});
+  } catch (const std::exception& e) {
+    report.findings.push_back(FuzzFinding{
+        "store-repair-diverged",
+        std::string("repaired prefix no longer scans: ") + e.what(), img, seed, index});
+  }
 }
 
 // --- differential helpers ---------------------------------------------------
@@ -458,6 +606,22 @@ FuzzReport run_fuzz(const FuzzOptions& opts) {
           text, seed, i});
   }
 
+  // --- loop 3: store-image robustness over mutated record logs -------------
+  // Pure bytes in, bytes out: scan_bytes never touches the filesystem, so
+  // this loop is as deterministic as the parser loop. Roughly a third of
+  // the images go in unmutated — the clean-image path (scan, audit,
+  // round-trip every record, no tear) must stay green too.
+  for (std::size_t i = 0; i < opts.store_checks; ++i) {
+    const std::uint64_t seed = unit_seed(opts.seed, kStoreDomain, i);
+    Rng rng(seed);
+    std::string img = synth_store_image(rng);
+    if (!rng.chance(0.33)) {
+      const std::size_t steps = 1 + rng.index(4);
+      for (std::size_t s = 0; s < steps; ++s) img = mutate_store_image(img, rng);
+    }
+    check_store_image(img, seed, i, report);
+  }
+
   return report;
 }
 
@@ -487,7 +651,10 @@ std::string FuzzReport::summary() const {
          " rejected), " + std::to_string(roundtrip_checks) + " round-trips, " +
          std::to_string(audit_checks) + " audits, " + std::to_string(diff_checks) +
          " differential checks, " + std::to_string(kernel_probes) +
-         " kernel probes, " + std::to_string(findings.size()) + " findings";
+         " kernel probes, " + std::to_string(store_checks) + " store images (" +
+         std::to_string(store_rejected) + " rejected, " + std::to_string(store_repaired) +
+         " repaired, " + std::to_string(store_records) + " records), " +
+         std::to_string(findings.size()) + " findings";
 }
 
 }  // namespace rmt::propcheck

@@ -21,6 +21,17 @@
 //     per-candidate contains, under the compiled vector backend and again
 //     with simd::force_scalar — four answers per probe, one truth.
 //
+//   * Store images: synthetic record logs (header_line + encode_record,
+//     valid by construction) are truncated, bit-flipped, spliced and
+//     length-bombed, then fed through store::scan_bytes. The loader's
+//     contract under hostile bytes mirrors the parser's: throw
+//     std::invalid_argument (the identity line is not ours) or return a
+//     scan whose surviving records re-encode byte-identically, whose torn
+//     tail carries a precise error, that passes rmt::audit::validate
+//     against the image, and whose repaired prefix rescans to the same
+//     records without tearing again (repair is idempotent — the exact
+//     recovery a restarted server performs).
+//
 // The deciders under test are injectable (FuzzOptions::rmt_decider /
 // zpp_decider) so the harness can prove it *catches* a deliberately broken
 // decider — that self-test is wired as the fuzz_selftest ctest and
@@ -49,6 +60,7 @@ struct FuzzOptions {
   std::uint64_t seed = 0x5eedc0de;   ///< root of every derived stream (frozen)
   std::size_t parser_mutants = 10000;  ///< mutants fed through the parser
   std::size_t diff_checks = 500;       ///< differential decider/svc checks
+  std::size_t store_checks = 500;      ///< mutated store images fed to scan_bytes
   /// Instances above this size skip the exact deciders (they are
   /// exponential); parser checks still run. Must be <= analysis::kMaxExactNodes.
   std::size_t max_exact_nodes = 8;
@@ -65,7 +77,9 @@ struct FuzzOptions {
 struct FuzzFinding {
   std::string kind;    ///< parser-crash | roundtrip-diverged | audit-violation
                        ///< | decider-diverged | kernel-diverged | svc-diverged
-                       ///< | generator-invalid
+                       ///< | generator-invalid | store-crash
+                       ///< | store-roundtrip-diverged | store-audit-violation
+                       ///< | store-repair-diverged
   std::string detail;  ///< human explanation (exception text, mismatch shape)
   std::string input;   ///< the serialized instance / mutant bytes involved
   std::uint64_t seed = 0;   ///< the derived seed of the failing unit
@@ -80,6 +94,10 @@ struct FuzzReport {
   std::size_t audit_checks = 0;      ///< deep-validator passes over accepted mutants
   std::size_t diff_checks = 0;       ///< differential decider/svc checks run
   std::size_t kernel_probes = 0;     ///< probe_batch-vs-contains probes compared
+  std::size_t store_checks = 0;      ///< mutated store images scanned
+  std::size_t store_rejected = 0;    ///< hostile identity lines cleanly rejected
+  std::size_t store_repaired = 0;    ///< scans that tore and kept a valid prefix
+  std::size_t store_records = 0;     ///< surviving records round-trip-checked
   std::vector<FuzzFinding> findings;
 
   bool ok() const { return findings.empty(); }

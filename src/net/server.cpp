@@ -157,7 +157,7 @@ struct Server::Impl {
   void wake() {
     const char b = 1;
     // Best effort: a full pipe already guarantees a pending wake-up.
-    [[maybe_unused]] const ssize_t r = ::write(wake_w, &b, 1);
+    [[maybe_unused]] const ssize_t r = ::write(wake_w, &b, 1);  // lint:raw-io-allowed: self-pipe
   }
 
   // -- batching -------------------------------------------------------------

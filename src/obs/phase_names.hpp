@@ -20,7 +20,7 @@
 namespace rmt::obs {
 
 // lint:phase-registry-begin
-inline constexpr std::array<std::string_view, 17> kPhaseNames = {
+inline constexpr std::array<std::string_view, 20> kPhaseNames = {
     "adversary.matrix_build",
     "adversary.oplus",
     "adversary.restrict",
@@ -35,6 +35,9 @@ inline constexpr std::array<std::string_view, 17> kPhaseNames = {
     "sim.adversary_act",
     "sim.honest_round",
     "sim.route",
+    "store.append",
+    "store.compact",
+    "store.load",
     "svc.batch",
     "svc.compute",
     "zpp_cut.find",

@@ -441,7 +441,7 @@ namespace {
 
 void ss_write(int fd, const char* s, std::size_t n) {
   while (n > 0) {
-    const ssize_t k = ::write(fd, s, n);
+    const ssize_t k = ::write(fd, s, n);  // lint:raw-io-allowed: async-signal-safe crash dump
     if (k <= 0) return;
     s += k;
     n -= std::size_t(k);
@@ -514,7 +514,8 @@ void rmt_trace_crash_handler(int sig) {
   if (in_crash == 0 && g_crash_impl != nullptr && g_crash_path[0] != '\0') {
     in_crash = 1;
     Recorder::Impl* impl = g_crash_impl;
-    const int fd = ::open(g_crash_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    const int fd = ::open(g_crash_path, O_WRONLY | O_CREAT | O_TRUNC,  // lint:raw-io-allowed: signal handler
+                          0644);
     if (fd >= 0) {
       // Unlocked reads: the process is dying, torn values are acceptable
       // (the consumer treats a crash dump as best effort; see DESIGN §13).

@@ -1,0 +1,185 @@
+#include "store/format.hpp"
+
+#include "util/audit.hpp"
+
+namespace rmt::store {
+
+namespace {
+
+/// The header prefix the check covers: everything before " check ".
+std::string header_prefix(std::uint64_t generation) {
+  return "rmt-store v1 generation " + std::to_string(generation);
+}
+
+std::string hex16(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[std::size_t(i)] = digits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string header_line(std::uint64_t generation) {
+  const std::string prefix = header_prefix(generation);
+  return prefix + " check " + hex16(svc::fnv1a64(prefix)) + "\n";
+}
+
+std::uint64_t record_checksum(const std::string& key, const std::string& value,
+                              std::uint64_t seq) {
+  std::string covered;
+  covered.reserve(16 + key.size() + value.size());
+  detail::put_u32(covered, std::uint32_t(key.size()));
+  detail::put_u32(covered, std::uint32_t(value.size()));
+  detail::put_u64(covered, seq);
+  covered += key;
+  covered += value;
+  return svc::fnv1a64(covered);
+}
+
+std::string encode_record(const std::string& key, const std::string& value, std::uint64_t seq) {
+  RMT_REQUIRE(!key.empty(), "store::encode_record: empty key");
+  RMT_REQUIRE(key.size() <= kMaxKeyLen,
+              "store::encode_record: key of " + std::to_string(key.size()) +
+                  " bytes exceeds the cap " + std::to_string(kMaxKeyLen));
+  RMT_REQUIRE(value.size() <= kMaxValueLen,
+              "store::encode_record: value of " + std::to_string(value.size()) +
+                  " bytes exceeds the cap " + std::to_string(kMaxValueLen));
+  std::string out;
+  out.reserve(kRecordHeaderSize + key.size() + value.size());
+  detail::put_u32(out, std::uint32_t(key.size()));
+  detail::put_u32(out, std::uint32_t(value.size()));
+  detail::put_u64(out, seq);
+  detail::put_u64(out, record_checksum(key, value, seq));
+  out += key;
+  out += value;
+  return out;
+}
+
+ScanResult scan_bytes(std::string_view bytes) {
+  // --- identity line: reject, never repair -----------------------------
+  const std::size_t probe = std::min(bytes.size(), kMaxHeaderLine);
+  const std::size_t nl = bytes.substr(0, probe).find('\n');
+  if (nl == std::string_view::npos)
+    throw std::invalid_argument("store: no identity line within the first " +
+                                std::to_string(kMaxHeaderLine) + " bytes — not a store file");
+  const std::string line(bytes.substr(0, nl));
+  // "rmt-store v1 generation <G> check <16-hex>"
+  static const std::string kMagic = "rmt-store v1 generation ";
+  if (line.rfind(kMagic, 0) != 0)
+    throw std::invalid_argument("store: identity line does not start with '" + kMagic + "'");
+  const std::size_t check_at = line.find(" check ");
+  if (check_at == std::string::npos)
+    throw std::invalid_argument("store: identity line carries no check field");
+  const std::string gen_text = line.substr(kMagic.size(), check_at - kMagic.size());
+  if (gen_text.empty() || gen_text.find_first_not_of("0123456789") != std::string::npos)
+    throw std::invalid_argument("store: identity line generation '" + gen_text +
+                                "' is not a number");
+  std::uint64_t generation = 0;
+  for (const char c : gen_text) {
+    if (generation > (UINT64_MAX - std::uint64_t(c - '0')) / 10)
+      throw std::invalid_argument("store: identity line generation overflows");
+    generation = generation * 10 + std::uint64_t(c - '0');
+  }
+  const std::string prefix = line.substr(0, check_at);
+  const std::string want = line.substr(check_at + 7);
+  std::string have;
+  {
+    const std::uint64_t h = svc::fnv1a64(prefix);
+    have = hex16(h);
+  }
+  if (want != have)
+    throw std::invalid_argument("store: identity check mismatch (header says '" + want +
+                                "', contents hash to '" + have + "')");
+
+  ScanResult out;
+  out.generation = generation;
+  out.header_size = nl + 1;
+  out.valid_prefix = out.header_size;
+
+  // --- records: scan until the bytes stop framing ----------------------
+  std::size_t at = out.header_size;
+  while (at < bytes.size()) {
+    const std::size_t left = bytes.size() - at;
+    if (left < kRecordHeaderSize) {
+      out.torn = true;
+      out.tail_error = "torn record header: " + std::to_string(left) + " trailing bytes at offset " +
+                       std::to_string(at);
+      break;
+    }
+    const std::uint32_t key_len = detail::get_u32(bytes, at);
+    const std::uint32_t value_len = detail::get_u32(bytes, at + 4);
+    if (key_len == 0 || key_len > kMaxKeyLen || value_len > kMaxValueLen) {
+      out.torn = true;
+      out.tail_error = "implausible frame at offset " + std::to_string(at) + ": key_len " +
+                       std::to_string(key_len) + ", value_len " + std::to_string(value_len);
+      break;
+    }
+    const std::size_t body = std::size_t(key_len) + std::size_t(value_len);
+    if (left < kRecordHeaderSize + body) {
+      out.torn = true;
+      out.tail_error = "torn record body at offset " + std::to_string(at) + ": frame wants " +
+                       std::to_string(kRecordHeaderSize + body) + " bytes, file has " +
+                       std::to_string(left);
+      break;
+    }
+    const std::uint64_t seq = detail::get_u64(bytes, at + 8);
+    const std::uint64_t checksum = detail::get_u64(bytes, at + 16);
+    const std::string key(bytes.substr(at + kRecordHeaderSize, key_len));
+    const std::string value(bytes.substr(at + kRecordHeaderSize + key_len, value_len));
+    if (record_checksum(key, value, seq) != checksum) {
+      out.torn = true;
+      out.tail_error = "checksum mismatch at offset " + std::to_string(at);
+      break;
+    }
+    RecordRef ref;
+    ref.offset = at;
+    ref.size = kRecordHeaderSize + body;
+    ref.key = key;
+    ref.value_offset = at + kRecordHeaderSize + key_len;
+    ref.value_len = value_len;
+    ref.seq = seq;
+    ref.checksum = checksum;
+    out.records.push_back(std::move(ref));
+    at += kRecordHeaderSize + body;
+    out.valid_prefix = at;
+  }
+  return out;
+}
+
+}  // namespace rmt::store
+
+namespace rmt::audit {
+
+void validate(const store::ScanResult& scan, std::string_view bytes) {
+  const char* component = "store";
+  if (scan.header_size == 0 || scan.header_size > bytes.size())
+    detail::fail(component, "scan header_size outside the image");
+  if (scan.valid_prefix < scan.header_size || scan.valid_prefix > bytes.size())
+    detail::fail(component, "scan valid_prefix outside [header_size, size]");
+  if (!scan.torn && scan.valid_prefix != bytes.size())
+    detail::fail(component, "scan not torn yet valid_prefix < image size");
+  std::size_t at = scan.header_size;
+  for (const store::RecordRef& r : scan.records) {
+    if (r.offset != at) detail::fail(component, "records not contiguous from the header");
+    if (r.offset + r.size > scan.valid_prefix)
+      detail::fail(component, "record crosses valid_prefix");
+    if (r.key.empty() || r.key.size() > store::kMaxKeyLen ||
+        r.value_len > store::kMaxValueLen)
+      detail::fail(component, "record violates framing caps");
+    if (r.value_offset != r.offset + store::kRecordHeaderSize + r.key.size())
+      detail::fail(component, "record value_offset inconsistent with key size");
+    const std::string value(bytes.substr(r.value_offset, r.value_len));
+    if (store::record_checksum(r.key, value, r.seq) != r.checksum)
+      detail::fail(component, "record checksum does not cover its bytes");
+    at = r.offset + r.size;
+  }
+  if (at != scan.valid_prefix)
+    detail::fail(component, "records do not tile the valid prefix");
+  detail::passed(component);
+}
+
+}  // namespace rmt::audit

@@ -1,0 +1,127 @@
+// store/format.hpp — the on-disk format of the rmt::store record log, as
+// pure byte-level helpers with no filesystem dependency.
+//
+// A store file is one text identity line followed by binary records:
+//
+//   rmt-store v1 generation <G> check <16-hex>\n
+//   [record]*
+//
+// The header names the format, the compaction generation, and carries an
+// FNV-1a-64 check over its own prefix — the same identity-check-on-load
+// discipline exec::Campaign manifests use, so a foreign or bit-flipped
+// file is rejected before a single record is trusted.
+//
+// Each record is length-prefixed and individually checksummed:
+//
+//   offset  0  u32  key_len     (little-endian)
+//   offset  4  u32  value_len   (little-endian)
+//   offset  8  u64  seq         (little-endian; last-writer-wins order)
+//   offset 16  u64  checksum    (little-endian; FNV-1a-64 over bytes
+//                                [0, 16) ++ key ++ value)
+//   offset 24  key bytes, then value bytes
+//
+// scan_bytes() is the loader core: it either throws std::invalid_argument
+// (hostile header — the file is not ours) or returns every well-formed
+// record plus the length of the valid prefix. Trailing garbage — a torn
+// append, a flipped length, a checksum mismatch — stops the scan but is
+// NOT an error: the caller repairs by truncating to `valid_prefix`,
+// exactly the torn-tail recovery the campaign manifest writer performs.
+// Being pure, the same function is what rmt_fuzz's STORE domain hammers
+// with truncated / bit-flipped / spliced images.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "svc/instance_key.hpp"
+#include "util/check.hpp"
+
+namespace rmt::store {
+
+/// Framing caps. A key is a svc composite key (tens of bytes) and a value
+/// a serialized result document; anything past these is a corrupt length
+/// field, not a legitimate record.
+inline constexpr std::size_t kMaxKeyLen = 4096;
+inline constexpr std::size_t kMaxValueLen = 4u << 20;
+/// Fixed binary record header size (two u32 lengths, seq, checksum).
+inline constexpr std::size_t kRecordHeaderSize = 24;
+/// A header line longer than this cannot be ours (the generation would
+/// need > 80 digits); scanning stops instead of hunting for '\n' forever.
+inline constexpr std::size_t kMaxHeaderLine = 128;
+
+namespace detail {
+
+inline void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(char((v >> (8 * i)) & 0xff));
+}
+
+inline void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(char((v >> (8 * i)) & 0xff));
+}
+
+inline std::uint32_t get_u32(std::string_view bytes, std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t(std::uint8_t(bytes[at + std::size_t(i)])) << (8 * i);
+  return v;
+}
+
+inline std::uint64_t get_u64(std::string_view bytes, std::size_t at) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t(std::uint8_t(bytes[at + std::size_t(i)])) << (8 * i);
+  return v;
+}
+
+}  // namespace detail
+
+/// The identity line for generation `g`, newline included. The 16-hex
+/// check is fnv1a64 over everything before " check ".
+std::string header_line(std::uint64_t generation);
+
+/// One framed record, ready to append. Throws std::invalid_argument when
+/// the key or value exceeds its framing cap or the key is empty.
+std::string encode_record(const std::string& key, const std::string& value, std::uint64_t seq);
+
+/// The checksum a record with these fields must carry — exposed so tests
+/// and the fuzzer can forge records (valid and deliberately corrupt).
+std::uint64_t record_checksum(const std::string& key, const std::string& value,
+                              std::uint64_t seq);
+
+/// One well-formed record found by scan_bytes, referencing the scanned
+/// image by offset (values are not copied out of multi-MiB images).
+struct RecordRef {
+  std::size_t offset = 0;        ///< file offset of the record header
+  std::size_t size = 0;          ///< total framed size (header + key + value)
+  std::string key;               ///< decoded key bytes
+  std::size_t value_offset = 0;  ///< file offset of the value bytes
+  std::size_t value_len = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t checksum = 0;
+};
+
+/// What scan_bytes learned about an image.
+struct ScanResult {
+  std::uint64_t generation = 0;
+  std::size_t header_size = 0;     ///< bytes of the identity line incl. '\n'
+  std::vector<RecordRef> records;  ///< every well-formed record, file order
+  std::size_t valid_prefix = 0;    ///< header + records; truncate here to repair
+  bool torn = false;               ///< bytes past valid_prefix were rejected
+  std::string tail_error;          ///< why the scan stopped (when torn)
+};
+
+/// Scan a store image. Throws std::invalid_argument when the identity line
+/// is absent, malformed, or fails its check — the file is not a usable
+/// store and must be rejected, not repaired. A bad record merely ends the
+/// scan: everything before it is the recoverable prefix.
+ScanResult scan_bytes(std::string_view bytes);
+
+}  // namespace rmt::store
+
+namespace rmt::audit {
+/// Deep invariants of a scan result against its image: records contiguous
+/// from the header, inside the valid prefix, checksums true, framing caps
+/// respected. The fuzzer runs this on every surviving scan.
+void validate(const store::ScanResult& scan, std::string_view bytes);
+}  // namespace rmt::audit

@@ -1,0 +1,46 @@
+// store/metric_names.hpp — the closed registry of rmt::store metric names.
+//
+// Every "store.*" metric name a C++ source references must be listed here,
+// mirroring the svc and net metric registries: tools/rmt_lint.py
+// cross-checks both directions — a source referencing an unregistered
+// name, or a registry entry with no remaining source — so the `store`
+// section of the stats probe and BENCH_store.json consumers can treat the
+// persistence vocabulary as a stable schema. The store phase names
+// ("store.load", "store.append", "store.compact") live in the phase
+// registry (obs/phase_names.hpp), not here; the linter knows the
+// difference.
+//
+// To add a metric: add the instrumentation site and the entry here in the
+// same change; the linter markers below delimit what it parses.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace rmt::store {
+
+// lint:store-metric-registry-begin
+inline constexpr std::array<std::string_view, 13> kStoreMetricNames = {
+    "store.appends",
+    "store.bytes",
+    "store.compactions",
+    "store.evictions",
+    "store.generation",
+    "store.hits",
+    "store.live_bytes",
+    "store.live_records",
+    "store.merged",
+    "store.misses",
+    "store.read_errors",
+    "store.records",
+    "store.repairs",
+};
+// lint:store-metric-registry-end
+
+constexpr bool is_known_store_metric(std::string_view name) {
+  for (std::string_view m : kStoreMetricNames)
+    if (m == name) return true;
+  return false;
+}
+
+}  // namespace rmt::store

@@ -89,7 +89,11 @@ struct Engine::Inflight {
 Engine::Engine(exec::ThreadPool* pool) : Engine(pool, Options{}) {}
 
 Engine::Engine(exec::ThreadPool* pool, Options opts)
-    : pool_(pool), opts_(opts), cache_(opts.cache) {}
+    : pool_(pool), opts_(opts), cache_(opts.cache) {
+  // The disk tier opens (and recovers) eagerly: a hostile store file
+  // rejects at construction, not on the first served request.
+  if (!opts_.store.dir.empty()) store_ = std::make_unique<store::Store>(opts_.store);
+}
 
 std::string Engine::composite_key(const Request& req, const InstanceKey& key) const {
   std::string out = key.to_hex();
@@ -265,6 +269,20 @@ std::vector<Response> Engine::run(const std::vector<Request>& requests) {
         if (tracing) emit_root(i, "hit", nullptr);
         continue;
       }
+      // Memory missed: consult the disk tier. A verified disk hit is
+      // promoted into the memory cache so the next asker skips the read.
+      if (store_) {
+        if (std::optional<std::string> hit = store_->get(ckey)) {
+          cache_.put(ckey, *hit);
+          out[i].status = Response::Status::kOk;
+          out[i].result = std::move(*hit);
+          out[i].cached = true;
+          out[i].wall_us = elapsed_us();
+          disk_hits_.fetch_add(1, std::memory_order_relaxed);
+          if (tracing) emit_root(i, "disk", nullptr);
+          continue;
+        }
+      }
     }
     if (const auto it = job_of_key.find(ckey); it != job_of_key.end()) {
       jobs[it->second].followers.push_back(i);
@@ -342,7 +360,18 @@ std::vector<Response> Engine::run(const std::vector<Request>& requests) {
       slot.done = true;
     }
     slot.cv.notify_all();
-    if (status == Response::Status::kOk && job.store) cache_.put(job.ckey, result);
+    if (status == Response::Status::kOk && job.store) {
+      cache_.put(job.ckey, result);
+      if (store_) {
+        // Write-back through the disk tier too (runs on a pool worker;
+        // the store is internally locked). A full or failing disk must
+        // not poison an answer that was already computed and served.
+        try {
+          store_->put(job.ckey, result);
+        } catch (const std::exception&) {
+        }
+      }
+    }
   });
 
   // Fill phase: joined slots may still be computing in another batch —
@@ -433,11 +462,13 @@ Engine::Stats Engine::stats() const {
   s.inflight_joins = inflight_joins_.load(std::memory_order_relaxed);
   s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
   s.errors = errors_.load(std::memory_order_relaxed);
+  s.disk_hits = disk_hits_.load(std::memory_order_relaxed);
   return s;
 }
 
 void Engine::publish_stats() {
   cache_.publish_stats();
+  if (store_) store_->publish_stats();
   if (!obs::enabled()) return;
   const Stats now = stats();
   std::lock_guard<std::mutex> lock(publish_m_);
@@ -448,6 +479,7 @@ void Engine::publish_stats() {
   reg.counter("svc.inflight_joins").inc(now.inflight_joins - published_.inflight_joins);
   reg.counter("svc.deadline_exceeded").inc(now.deadline_exceeded - published_.deadline_exceeded);
   reg.counter("svc.errors").inc(now.errors - published_.errors);
+  reg.counter("svc.disk_hits").inc(now.disk_hits - published_.disk_hits);
   published_ = now;
 }
 

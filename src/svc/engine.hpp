@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "instance/instance.hpp"
+#include "store/store.hpp"
 #include "svc/instance_key.hpp"
 #include "svc/result_cache.hpp"
 
@@ -108,6 +109,10 @@ class Engine {
  public:
   struct Options {
     ResultCache::Options cache;
+    /// Disk tier under the cache (store::Options::dir empty = memory
+    /// only). Lookups go memory → disk → compute; completed results are
+    /// written back through both tiers, so they survive restarts.
+    store::Options store;
     /// Root of the derived simulate seeds (see SimParams::seed).
     std::uint64_t root_seed = 4242;
   };
@@ -124,6 +129,9 @@ class Engine {
   std::vector<Response> run(const std::vector<Request>& requests);
 
   ResultCache& cache() { return cache_; }
+  /// The disk tier, or null when Options::store.dir was empty.
+  store::Store* store() { return store_.get(); }
+  const store::Store* store() const { return store_.get(); }
 
   struct Stats {
     std::uint64_t requests = 0;
@@ -132,13 +140,15 @@ class Engine {
     std::uint64_t inflight_joins = 0;     ///< cross-batch joins served
     std::uint64_t deadline_exceeded = 0;
     std::uint64_t errors = 0;
+    std::uint64_t disk_hits = 0;          ///< served from the store tier
   };
   Stats stats() const;
 
   /// Push counter deltas into the global obs registry (svc.requests,
   /// svc.computed, svc.coalesced, svc.inflight_joins,
-  /// svc.deadline_exceeded, svc.errors) and forward to
-  /// cache().publish_stats(). No-op while observability is disabled.
+  /// svc.deadline_exceeded, svc.errors, svc.disk_hits) and forward to
+  /// cache().publish_stats() and the store tier's publish_stats().
+  /// No-op while observability is disabled.
   void publish_stats();
 
  private:
@@ -154,6 +164,7 @@ class Engine {
   exec::ThreadPool* pool_;
   Options opts_;
   ResultCache cache_;
+  std::unique_ptr<store::Store> store_;  ///< null = no disk tier
 
   std::mutex inflight_m_;
   std::unordered_map<std::string, std::shared_ptr<Inflight>> inflight_;
@@ -164,6 +175,7 @@ class Engine {
   std::atomic<std::uint64_t> inflight_joins_{0};
   std::atomic<std::uint64_t> deadline_exceeded_{0};
   std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> disk_hits_{0};
 
   std::mutex publish_m_;  // serializes delta accounting only
   Stats published_;

@@ -18,7 +18,7 @@
 namespace rmt::svc {
 
 // lint:svc-metric-registry-begin
-inline constexpr std::array<std::string_view, 12> kSvcMetricNames = {
+inline constexpr std::array<std::string_view, 13> kSvcMetricNames = {
     "svc.cache.bytes",
     "svc.cache.entries",
     "svc.cache.evictions",
@@ -27,6 +27,7 @@ inline constexpr std::array<std::string_view, 12> kSvcMetricNames = {
     "svc.coalesced",
     "svc.computed",
     "svc.deadline_exceeded",
+    "svc.disk_hits",
     "svc.errors",
     "svc.inflight_joins",
     "svc.request_us",

@@ -170,6 +170,7 @@ std::string format_stats_response(const std::string& id, Engine& engine,
   w.field("inflight_joins", e.inflight_joins);
   w.field("deadline_exceeded", e.deadline_exceeded);
   w.field("errors", e.errors);
+  w.field("disk_hits", e.disk_hits);
   w.end_object();
   w.key("cache").begin_object();
   w.field("hits", c.hits);
@@ -178,6 +179,26 @@ std::string format_stats_response(const std::string& id, Engine& engine,
   w.field("bytes", std::uint64_t(c.bytes));
   w.field("entries", std::uint64_t(c.entries));
   w.end_object();
+  // The disk tier reports only when configured, so memory-only consumers
+  // keep seeing the exact pre-store stats shape.
+  if (const store::Store* s = engine.store()) {
+    const store::Stats st = s->stats();
+    w.key("store").begin_object();
+    w.field("hits", st.hits);
+    w.field("misses", st.misses);
+    w.field("appends", st.appends);
+    w.field("read_errors", st.read_errors);
+    w.field("compactions", st.compactions);
+    w.field("evictions", st.evictions);
+    w.field("repairs", st.repairs);
+    w.field("merged", st.merged);
+    w.field("records", st.records);
+    w.field("live_records", st.live_records);
+    w.field("bytes", st.bytes);
+    w.field("live_bytes", st.live_bytes);
+    w.field("generation", st.generation);
+    w.end_object();
+  }
   if (!extra_key.empty()) w.key(extra_key).raw_value(extra_json);
   w.end_object();
   return probe_envelope(id, w.take());

@@ -26,6 +26,7 @@ FuzzOptions small_options() {
   FuzzOptions opts;
   opts.parser_mutants = 400;
   opts.diff_checks = 40;
+  opts.store_checks = 120;
   return opts;
 }
 
@@ -45,6 +46,35 @@ TEST(Fuzz, SmallRunIsCleanAndCountsAddUp) {
   // Every differential check also compares probe_batch against
   // per-candidate contains under both simd backends.
   EXPECT_GE(report.kernel_probes, 8 * report.diff_checks);
+  EXPECT_EQ(report.store_checks, 120u);
+}
+
+TEST(FuzzStore, ImagesExerciseRejectRepairAndRoundtrip) {
+  // The store loop is only a gate if its mutants actually reach all three
+  // outcomes: hostile identity lines cleanly rejected, torn tails repaired,
+  // and surviving records round-trip-checked — a stream that always lands
+  // in one bucket is testing nothing.
+  const FuzzReport report = run_fuzz(small_options());
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_GT(report.store_rejected, 0u) << "no image ever rejected — mutators too cold?";
+  EXPECT_GT(report.store_repaired, 0u) << "no scan ever tore — mutators too cold?";
+  EXPECT_GT(report.store_records, 0u) << "no record ever survived — mutators too hot?";
+  EXPECT_LT(report.store_rejected, report.store_checks)
+      << "every image rejected — mutators too hot?";
+}
+
+TEST(FuzzStore, StoreKnobDoesNotShiftOtherStreams) {
+  // kStoreDomain is independent of kMutantDomain/kDiffDomain: growing the
+  // store budget must not re-seed the parser or differential loops.
+  FuzzOptions a = small_options();
+  FuzzOptions b = small_options();
+  b.store_checks = 30;
+  const FuzzReport ra = run_fuzz(a);
+  const FuzzReport rb = run_fuzz(b);
+  EXPECT_TRUE(ra.ok() && rb.ok());
+  EXPECT_EQ(ra.parsed_ok, rb.parsed_ok);
+  EXPECT_EQ(ra.kernel_probes, rb.kernel_probes);
+  EXPECT_EQ(rb.store_checks, 30u);
 }
 
 TEST(Fuzz, ReportIsDeterministicInSeed) {

@@ -1,0 +1,459 @@
+// Tests for the persistent result store (store/format.hpp, store/store.hpp):
+// the on-disk framing, hostile-file rejection, torn-tail repair, read-time
+// integrity, last-writer-wins indexing, compaction/budget eviction, merge
+// semantics, the deep audit validators, and the engine's memory → disk →
+// compute tiering across a simulated restart.
+//
+// Suite names carry the Store prefix the TSan CI job selects with
+// `ctest -R`; StoreRace hammers one store from several threads.
+#include "store/store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "store/format.hpp"
+#include "svc/engine.hpp"
+#include "tests/test_util.hpp"
+#include "util/audit.hpp"
+
+namespace rmt::store {
+namespace {
+
+/// A self-deleting temp directory under the build tree.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& name) : path_("store_test_" + name) {
+    std::filesystem::remove_all(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  const std::string& path() const { return path_; }
+  std::string log_path() const { return path_ + "/store.log"; }
+
+  std::string slurp() const {
+    std::ifstream in(log_path(), std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+
+  void write_log(const std::string& bytes) const {
+    std::filesystem::create_directories(path_);
+    std::ofstream out(log_path(), std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+
+ private:
+  std::string path_;
+};
+
+Options dir_opts(const TempDir& dir) {
+  Options o;
+  o.dir = dir.path();
+  return o;
+}
+
+// ---------------------------------------------------------------- format
+
+TEST(StoreFormat, HeaderRoundTrips) {
+  const std::string h = header_line(7);
+  const ScanResult scan = scan_bytes(h);
+  EXPECT_EQ(scan.generation, 7u);
+  EXPECT_EQ(scan.header_size, h.size());
+  EXPECT_EQ(scan.valid_prefix, h.size());
+  EXPECT_TRUE(scan.records.empty());
+  EXPECT_FALSE(scan.torn);
+}
+
+TEST(StoreFormat, RecordsRoundTrip) {
+  std::string image = header_line(0);
+  image += encode_record("alpha", "value-a", 1);
+  image += encode_record("beta", std::string(1000, 'b'), 2);
+  const ScanResult scan = scan_bytes(image);
+  ASSERT_EQ(scan.records.size(), 2u);
+  EXPECT_FALSE(scan.torn);
+  EXPECT_EQ(scan.valid_prefix, image.size());
+  EXPECT_EQ(scan.records[0].key, "alpha");
+  EXPECT_EQ(scan.records[0].seq, 1u);
+  EXPECT_EQ(image.substr(scan.records[0].value_offset, scan.records[0].value_len), "value-a");
+  EXPECT_EQ(scan.records[1].key, "beta");
+  EXPECT_EQ(scan.records[1].value_len, 1000u);
+  EXPECT_EQ(scan.records[1].checksum,
+            record_checksum("beta", std::string(1000, 'b'), 2));
+}
+
+TEST(StoreFormat, RejectsHostileHeaders) {
+  EXPECT_THROW(scan_bytes(""), std::invalid_argument);
+  EXPECT_THROW(scan_bytes("not a store at all\n"), std::invalid_argument);
+  EXPECT_THROW(scan_bytes("rmt-store v2 generation 0 check 0000000000000000\n"),
+               std::invalid_argument);
+  // A flipped digit in the check must fail identity, not load as gen 0.
+  std::string h = header_line(0);
+  const std::size_t digit = h.size() - 2;
+  h[digit] = h[digit] == '0' ? '1' : '0';
+  EXPECT_THROW(scan_bytes(h), std::invalid_argument);
+  // A header line that never terminates cannot be ours either.
+  EXPECT_THROW(scan_bytes(std::string(kMaxHeaderLine + 1, 'r')), std::invalid_argument);
+}
+
+TEST(StoreFormat, TornTailStopsScanAtLastGoodRecord) {
+  std::string image = header_line(3);
+  image += encode_record("k", "whole", 1);
+  const std::size_t good = image.size();
+  const std::string second = encode_record("k2", "torn-away", 2);
+  image += second.substr(0, second.size() - 3);  // mid-append crash
+  const ScanResult scan = scan_bytes(image);
+  EXPECT_TRUE(scan.torn);
+  EXPECT_EQ(scan.valid_prefix, good);
+  ASSERT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(scan.records[0].key, "k");
+  EXPECT_FALSE(scan.tail_error.empty());
+}
+
+TEST(StoreFormat, BitFlipInChecksumMarksTorn) {
+  std::string image = header_line(0);
+  image += encode_record("k", "value", 1);
+  image.back() ^= 0x01;  // rot inside the value bytes
+  const ScanResult scan = scan_bytes(image);
+  EXPECT_TRUE(scan.torn);
+  EXPECT_TRUE(scan.records.empty());
+  EXPECT_EQ(scan.valid_prefix, header_line(0).size());
+}
+
+TEST(StoreFormat, ImplausibleLengthFieldMarksTorn) {
+  std::string image = header_line(0);
+  std::string rec = encode_record("k", "v", 1);
+  rec[0] = char(0xff);  // key_len blown past kMaxKeyLen
+  rec[1] = char(0xff);
+  rec[2] = char(0xff);
+  image += rec;
+  const ScanResult scan = scan_bytes(image);
+  EXPECT_TRUE(scan.torn);
+  EXPECT_TRUE(scan.records.empty());
+}
+
+TEST(StoreFormat, EncodeEnforcesFramingCaps) {
+  EXPECT_THROW(encode_record("", "v", 1), std::invalid_argument);
+  EXPECT_THROW(encode_record(std::string(kMaxKeyLen + 1, 'k'), "v", 1),
+               std::invalid_argument);
+  EXPECT_THROW(encode_record("k", std::string(kMaxValueLen + 1, 'v'), 1),
+               std::invalid_argument);
+}
+
+TEST(StoreFormat, AuditAcceptsCleanScanAndCatchesTampering) {
+  std::string image = header_line(0);
+  image += encode_record("a", "1", 1);
+  image += encode_record("b", "2", 2);
+  ScanResult scan = scan_bytes(image);
+  rmt::audit::validate(scan, image);  // clean: must not throw
+  scan.records[1].seq ^= 1;           // index lies about the log
+  EXPECT_THROW(rmt::audit::validate(scan, image), rmt::audit::AuditError);
+}
+
+// ----------------------------------------------------------------- store
+
+TEST(StoreLog, PutGetRoundTrip) {
+  TempDir dir("roundtrip");
+  Store s(dir_opts(dir));
+  EXPECT_FALSE(s.get("k").has_value());
+  s.put("k", "value-bytes");
+  const std::optional<std::string> hit = s.get("k");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "value-bytes");
+  const Stats st = s.stats();
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_EQ(st.appends, 1u);
+  EXPECT_EQ(st.records, 1u);
+  EXPECT_EQ(st.live_records, 1u);
+  EXPECT_EQ(st.generation, 0u);
+}
+
+TEST(StoreLog, SurvivesReopen) {
+  TempDir dir("reopen");
+  {
+    Store s(dir_opts(dir));
+    s.put("k1", "v1");
+    s.put("k2", "v2");
+  }
+  {
+    Store s(dir_opts(dir));
+    EXPECT_EQ(s.get("k1").value_or(""), "v1");
+    EXPECT_EQ(s.get("k2").value_or(""), "v2");
+    EXPECT_EQ(s.stats().appends, 0u);  // served from disk, nothing recomputed
+    EXPECT_EQ(s.stats().live_records, 2u);
+    // Appending through a *reopened* fd must land at EOF, never clobber
+    // the header (regression: a fresh fd sits at offset 0).
+    s.put("k3", "v3");
+  }
+  Store s(dir_opts(dir));
+  EXPECT_EQ(s.get("k1").value_or(""), "v1");
+  EXPECT_EQ(s.get("k3").value_or(""), "v3");
+}
+
+TEST(StoreLog, LastWriterWinsAcrossReopen) {
+  TempDir dir("lww");
+  {
+    Store s(dir_opts(dir));
+    s.put("k", "old");
+    s.put("k", "new");
+    EXPECT_EQ(s.stats().records, 2u);
+    EXPECT_EQ(s.stats().live_records, 1u);
+  }
+  Store s(dir_opts(dir));
+  EXPECT_EQ(s.get("k").value_or(""), "new");
+}
+
+TEST(StoreLog, IdenticalPutIsAbsorbed) {
+  TempDir dir("absorb");
+  Store s(dir_opts(dir));
+  s.put("k", "same");
+  s.put("k", "same");
+  EXPECT_EQ(s.stats().appends, 1u);
+  EXPECT_EQ(s.stats().records, 1u);
+}
+
+TEST(StoreLog, TornTailIsRepairedOnOpen) {
+  TempDir dir("torn");
+  {
+    Store s(dir_opts(dir));
+    s.put("whole", "survives");
+  }
+  const std::string image = dir.slurp();
+  dir.write_log(image + "garbage past the last record");
+  Store s(dir_opts(dir));
+  EXPECT_EQ(s.stats().repairs, 1u);
+  EXPECT_EQ(s.get("whole").value_or(""), "survives");
+  // The repair truncated the file back to the valid prefix.
+  EXPECT_EQ(dir.slurp(), image);
+}
+
+TEST(StoreLog, HostileFileIsRejectedAtOpen) {
+  TempDir dir("hostile");
+  dir.write_log("rmt-store v1 generation 0 check ffffffffffffffff\n");
+  EXPECT_THROW(Store s(dir_opts(dir)), std::invalid_argument);
+}
+
+TEST(StoreLog, CorruptValueIsMissNotWrongBytes) {
+  TempDir dir("rot");
+  {
+    Store s(dir_opts(dir));
+    s.put("k", "pristine");
+  }
+  std::string image = dir.slurp();
+  image.back() ^= 0x40;  // flip a bit inside the value, on disk
+  dir.write_log(image);
+  // The flipped record is the torn tail at open: repaired away, so the
+  // key is a miss — never the wrong bytes.
+  Store s(dir_opts(dir));
+  EXPECT_FALSE(s.get("k").has_value());
+  EXPECT_EQ(s.stats().repairs, 1u);
+}
+
+TEST(StoreLog, ReadTimeCorruptionIsCaught) {
+  TempDir dir("readrot");
+  Store s(dir_opts(dir));
+  s.put("k", "pristine");
+  // Rot the file *behind* the open store: the index still points at the
+  // record, so this exercises the per-read checksum, not recovery.
+  std::string image = dir.slurp();
+  image.back() ^= 0x40;
+  dir.write_log(image);
+  EXPECT_FALSE(s.get("k").has_value());
+  EXPECT_GE(s.stats().read_errors, 1u);
+}
+
+TEST(StoreCompact, DropsDeadBytesAndBumpsGeneration) {
+  TempDir dir("compact");
+  Store s(dir_opts(dir));
+  for (int i = 0; i < 50; ++i) s.put("k", "version " + std::to_string(i));
+  const Stats before = s.stats();
+  EXPECT_EQ(before.records, 50u);
+  s.compact();
+  const Stats after = s.stats();
+  EXPECT_EQ(after.generation, before.generation + 1);
+  EXPECT_EQ(after.records, 1u);
+  EXPECT_LT(after.bytes, before.bytes);
+  EXPECT_EQ(s.get("k").value_or(""), "version 49");
+}
+
+TEST(StoreCompact, CompactedLogSurvivesReopen) {
+  TempDir dir("compact_reopen");
+  {
+    Store s(dir_opts(dir));
+    for (int i = 0; i < 10; ++i) s.put(std::string("k") + std::to_string(i % 3), std::to_string(i));
+    s.compact();
+  }
+  Store s(dir_opts(dir));
+  EXPECT_EQ(s.stats().generation, 1u);
+  EXPECT_EQ(s.get("k0").value_or(""), "9");
+  EXPECT_EQ(s.get("k1").value_or(""), "7");
+  EXPECT_EQ(s.get("k2").value_or(""), "8");
+}
+
+TEST(StoreCompact, BudgetEvictsLowestSeqFirst) {
+  TempDir dir("budget");
+  Options o = dir_opts(dir);
+  o.max_bytes = 600;  // room for a handful of small records, not ten
+  Store s(o);
+  for (int i = 0; i < 10; ++i)
+    s.put("key-" + std::to_string(i), std::string(100, char('a' + i)));
+  const Stats st = s.stats();
+  EXPECT_GT(st.evictions, 0u);
+  EXPECT_LE(st.bytes, 600u);
+  // The newest write always survives the budget.
+  EXPECT_EQ(s.get("key-9").value_or(""), std::string(100, 'j'));
+  // The oldest was evicted first.
+  EXPECT_FALSE(s.get("key-0").has_value());
+}
+
+// ----------------------------------------------------------------- merge
+
+TEST(StoreMerge, AppendsNewAndSkipsIdentical) {
+  TempDir dst_dir("merge_dst");
+  TempDir src_dir("merge_src");
+  {
+    Store src(dir_opts(src_dir));
+    src.put("shared", "same-bytes");
+    src.put("only-src", "fresh");
+  }
+  Store dst(dir_opts(dst_dir));
+  dst.put("shared", "same-bytes");
+  const MergeReport rep = merge(dst, src_dir.path());
+  EXPECT_EQ(rep.scanned, 2u);
+  EXPECT_EQ(rep.appended, 1u);
+  EXPECT_EQ(rep.skipped_equal, 1u);
+  EXPECT_EQ(dst.get("only-src").value_or(""), "fresh");
+  EXPECT_EQ(dst.stats().merged, 1u);
+}
+
+TEST(StoreMerge, DivergenceIsAHardError) {
+  TempDir dst_dir("diverge_dst");
+  TempDir src_dir("diverge_src");
+  {
+    Store src(dir_opts(src_dir));
+    src.put("k", "one truth");
+  }
+  Store dst(dir_opts(dst_dir));
+  dst.put("k", "another truth");
+  EXPECT_THROW(merge(dst, src_dir.path()), std::runtime_error);
+  // The destination's value is untouched by the failed merge.
+  EXPECT_EQ(dst.get("k").value_or(""), "another truth");
+}
+
+TEST(StoreMerge, HostileSourceIsRejected) {
+  TempDir dst_dir("hostile_dst");
+  TempDir src_dir("hostile_src");
+  src_dir.write_log("definitely not a store\n");
+  Store dst(dir_opts(dst_dir));
+  EXPECT_THROW(merge(dst, src_dir.path()), std::invalid_argument);
+}
+
+TEST(StoreMerge, SourceIsNeverModified) {
+  TempDir dst_dir("ro_dst");
+  TempDir src_dir("ro_src");
+  {
+    Store src(dir_opts(src_dir));
+    src.put("k", "v");
+  }
+  const std::string before = src_dir.slurp();
+  Store dst(dir_opts(dst_dir));
+  merge(dst, src_dir.path());
+  EXPECT_EQ(src_dir.slurp(), before);
+}
+
+// ----------------------------------------------------------------- audit
+
+TEST(StoreAudit, ValidatesAfterChurn) {
+  TempDir dir("audit");
+  Store s(dir_opts(dir));
+  for (int i = 0; i < 30; ++i) s.put(std::string("k") + std::to_string(i % 5), std::to_string(i));
+  rmt::audit::validate(s);
+  s.compact();
+  rmt::audit::validate(s);
+}
+
+// ---------------------------------------------------------------- engine
+
+svc::Request decide_cycle() {
+  const Graph g = generators::cycle_graph(6);
+  Instance inst = Instance::ad_hoc(g, testing::structure({NodeSet{2}, NodeSet{4}}), 0, 3);
+  return svc::Request{svc::QueryKind::kDecideRmt, std::move(inst), svc::SimParams{},
+                      std::nullopt, false};
+}
+
+TEST(StoreEngine, DiskTierServesAcrossRestart) {
+  TempDir dir("engine");
+  svc::Engine::Options opts;
+  opts.store.dir = dir.path();
+  std::string first_bytes;
+  {
+    svc::Engine engine(nullptr, opts);
+    const auto out = engine.run({decide_cycle()});
+    ASSERT_EQ(out.size(), 1u);
+    ASSERT_EQ(out[0].status, svc::Response::Status::kOk);
+    EXPECT_FALSE(out[0].cached);
+    first_bytes = out[0].result;
+    EXPECT_EQ(engine.stats().computed, 1u);
+  }
+  // "Restart": a fresh engine over the same directory. The memory cache
+  // is cold, so the answer must come from the disk tier — byte-identical
+  // and with zero recomputation.
+  svc::Engine engine(nullptr, opts);
+  const auto out = engine.run({decide_cycle()});
+  ASSERT_EQ(out.size(), 1u);
+  ASSERT_EQ(out[0].status, svc::Response::Status::kOk);
+  EXPECT_TRUE(out[0].cached);
+  EXPECT_EQ(out[0].result, first_bytes);
+  EXPECT_EQ(engine.stats().computed, 0u);
+  EXPECT_EQ(engine.stats().disk_hits, 1u);
+  // The disk hit was promoted into the memory cache.
+  const auto again = engine.run({decide_cycle()});
+  EXPECT_TRUE(again[0].cached);
+  EXPECT_EQ(engine.stats().disk_hits, 1u);
+}
+
+TEST(StoreEngine, HostileStoreRejectsAtConstruction) {
+  TempDir dir("engine_hostile");
+  dir.write_log("junk bytes\n");
+  svc::Engine::Options opts;
+  opts.store.dir = dir.path();
+  EXPECT_THROW(svc::Engine engine(nullptr, opts), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ race
+
+TEST(StoreRace, ConcurrentGetPutIsSafe) {
+  TempDir dir("race");
+  Store s(dir_opts(dir));
+  constexpr int kThreads = 4;
+  constexpr int kOps = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&s, t] {
+      for (int i = 0; i < kOps; ++i) {
+        const std::string key = "key-" + std::to_string(i % 7);
+        if ((i + t) % 3 == 0) {
+          s.put(key, "value-" + std::to_string(i));
+        } else if (const std::optional<std::string> hit = s.get(key)) {
+          // Any served value must be a value someone actually put.
+          EXPECT_EQ(hit->rfind("value-", 0), 0u);
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  rmt::audit::validate(s);
+}
+
+}  // namespace
+}  // namespace rmt::store

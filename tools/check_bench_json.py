@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validate the JSON artifacts emitted by the rmt observability layer.
 
-Understands the eight schemas the repository produces:
+Understands the nine schemas the repository produces:
   * rmt.bench/1    — bench/ driver reports (obs::BenchReport);
   * rmt.analyze/1  — `rmt_cli analyze --json`;
   * rmt.run/1      — `rmt_cli run --json`;
@@ -26,12 +26,18 @@ Understands the eight schemas the repository produces:
                      checkpoints). Files ending in .jsonl are validated
                      line by line: at least one header, a consistent
                      campaign identity, and well-formed shard lines
-                     (shard < of, begin <= end, single-line payload).
+                     (shard < of, begin <= end, single-line payload);
+  * rmt.store/1    — `rmt_cli store dump` JSONL: one header line naming
+                     the store generation and record/byte totals, then
+                     one line per record (key, seq, value_len, 16-hex
+                     checksum, live flag). The header's counts must agree
+                     with the record lines, and live_records <= records.
 
 JSONL files whose lines carry rmt.request/1 / rmt.response/1 schemas (a
 captured serving transcript) are validated line by line against those
-checkers, and files whose lines carry rmt.trace/1 against the trace rules,
-instead of the campaign rules.
+checkers, files whose lines carry rmt.trace/1 against the trace rules, and
+files whose lines carry rmt.store/1 against the store-dump rules, instead
+of the campaign rules.
 
 Usage:
   check_bench_json.py [--require-phases] [--require-sim] FILE [FILE ...]
@@ -177,6 +183,29 @@ def check_bench(doc, problems, args):
                     or not math.isfinite(v) or v < 0:
                 problems.add(f"rows[{i}].{col}: {v!r} "
                              f"(throughput must be a non-negative finite number)")
+    # BENCH_store.json column rules: bench_store's rows compare cold
+    # compute against the memory tier and the disk tier after a restart,
+    # so the timing/speedup cells must be usable non-negative finite
+    # numbers (the identical column is already gated above). A missing
+    # column means the driver's schema drifted from the dashboard's.
+    if name == "bench_store":
+        required = ["workload", "cold_us", "mem_warm_us", "disk_warm_us",
+                    "speedup_mem", "speedup_disk", "identical"]
+        for col in required:
+            if col not in columns:
+                problems.add(f"columns: bench_store requires {col!r}")
+        for col in ("cold_us", "mem_warm_us", "disk_warm_us",
+                    "speedup_mem", "speedup_disk"):
+            if col not in columns:
+                continue
+            for i, row in enumerate(rows):
+                if not isinstance(row, dict):
+                    continue
+                v = row.get(col)
+                if isinstance(v, bool) or not isinstance(v, (int, float)) \
+                        or not math.isfinite(v) or v < 0:
+                    problems.add(f"rows[{i}].{col}: {v!r} "
+                                 f"(must be a non-negative finite number)")
     check_metrics(doc.get("metrics"), problems, args.require_phases, args.require_sim)
 
 
@@ -539,6 +568,79 @@ def check_campaign_lines(lines, problems):
         problems.add("no rmt.campaign/1 header line found")
 
 
+STORE_CHECKSUM_RE = re.compile(r"^[0-9a-f]{16}$")
+STORE_HEADER_FIELDS = ["generation", "records", "live_records", "bytes", "valid_prefix"]
+STORE_RECORD_FIELDS = ["key", "seq", "value_len", "checksum", "live"]
+
+
+def check_store_lines(lines, problems):
+    """Validate an rmt.store/1 dump (`rmt_cli store dump` JSONL).
+
+    One header first, then one line per record. The header's counts are
+    cross-checked against the record lines: a dump whose header claims
+    more (or fewer) records than it carries came from a different log.
+    """
+    if not lines:
+        problems.add("empty store dump")
+        return
+    header = None
+    record_lines = 0
+    live_lines = 0
+    for i, doc in lines:
+        where = f"line {i}"
+        if not isinstance(doc, dict):
+            problems.add(f"{where}: not an object")
+            continue
+        if doc.get("schema") != "rmt.store/1":
+            problems.add(f"{where}: schema is not rmt.store/1")
+            continue
+        if "key" not in doc:  # header line
+            if header is not None:
+                problems.add(f"{where}: second header line")
+                continue
+            if record_lines:
+                problems.add(f"{where}: header after record lines")
+            header = doc
+            for field in STORE_HEADER_FIELDS:
+                if not _is_uint(doc.get(field)):
+                    problems.add(f"{where} (header).{field}: missing or not a "
+                                 f"non-negative integer")
+            if not isinstance(doc.get("torn"), bool):
+                problems.add(f"{where} (header).torn: missing or non-boolean")
+            if _is_uint(doc.get("live_records")) and _is_uint(doc.get("records")) \
+                    and doc["live_records"] > doc["records"]:
+                problems.add(f"{where} (header): live_records "
+                             f"{doc['live_records']} > records {doc['records']}")
+            continue
+        record_lines += 1
+        for field in STORE_RECORD_FIELDS:
+            if field not in doc:
+                problems.add(f"{where}.{field}: missing")
+        if not isinstance(doc.get("key"), str) or not doc.get("key"):
+            problems.add(f"{where}.key: missing or empty")
+        for field in ("seq", "value_len"):
+            if field in doc and not _is_uint(doc.get(field)):
+                problems.add(f"{where}.{field}: not a non-negative integer")
+        checksum = doc.get("checksum")
+        if checksum is not None and (not isinstance(checksum, str)
+                                     or not STORE_CHECKSUM_RE.match(checksum)):
+            problems.add(f"{where}.checksum: {checksum!r} (expected 16 hex digits)")
+        live = doc.get("live")
+        if live is not None and not isinstance(live, bool):
+            problems.add(f"{where}.live: non-boolean")
+        if live is True:
+            live_lines += 1
+    if header is None:
+        problems.add("no rmt.store/1 header line found")
+        return
+    if _is_uint(header.get("records")) and record_lines != header["records"]:
+        problems.add(f"header says records={header['records']} but the dump "
+                     f"carries {record_lines} record lines")
+    if _is_uint(header.get("live_records")) and live_lines != header["live_records"]:
+        problems.add(f"header says live_records={header['live_records']} but "
+                     f"{live_lines} record lines are live")
+
+
 def read_jsonl(path, problems):
     try:
         with open(path, encoding="utf-8") as f:
@@ -580,6 +682,8 @@ def check_file(path, args):
             check_wire_lines(lines, problems)
         elif schemas == {"rmt.trace/1"}:
             check_trace_lines(lines, problems)
+        elif schemas == {"rmt.store/1"}:
+            check_store_lines(lines, problems)
         else:
             check_campaign_lines(lines, problems)
         return problems.items
@@ -625,6 +729,13 @@ def _selftest_docs():
          "rows": [{"clients": 1, "qps_tcp": 20587.2, "qps_direct": 114766.9,
                    "identical": True},
                   {"clients": 8, "qps_tcp": 0, "qps_direct": 111645.3,
+                   "identical": True}],
+         "metrics": metrics},
+        {"schema": "rmt.bench/1", "name": "bench_store", "run": run,
+         "columns": ["workload", "cold_us", "mem_warm_us", "disk_warm_us",
+                     "speedup_mem", "speedup_disk", "identical"],
+         "rows": [{"workload": "cycle-20", "cold_us": 470.8, "mem_warm_us": 12.5,
+                   "disk_warm_us": 14.5, "speedup_mem": 37.7, "speedup_disk": 32.5,
                    "identical": True}],
          "metrics": metrics},
         {"schema": "rmt.analyze/1", "instance": inst, "rmt_solvable": True,
@@ -697,6 +808,27 @@ def _selftest_docs():
          "columns": ["clients", "qps_tcp", "identical"],
          "rows": [{"clients": 1, "qps_tcp": "fast", "identical": True}],
          "metrics": metrics},
+        # bench_store column rules: the schema is closed (a missing column
+        # is dashboard drift) and every timing/speedup cell must be a
+        # usable non-negative finite number.
+        {"schema": "rmt.bench/1", "name": "bench_store", "run": run,
+         "columns": ["workload", "identical"],
+         "rows": [{"workload": "cycle-20", "identical": True}],
+         "metrics": metrics},                                    # columns missing
+        {"schema": "rmt.bench/1", "name": "bench_store", "run": run,
+         "columns": ["workload", "cold_us", "mem_warm_us", "disk_warm_us",
+                     "speedup_mem", "speedup_disk", "identical"],
+         "rows": [{"workload": "cycle-20", "cold_us": -1.0, "mem_warm_us": 12.5,
+                   "disk_warm_us": 14.5, "speedup_mem": 37.7, "speedup_disk": 32.5,
+                   "identical": True}],
+         "metrics": metrics},                                    # negative timing
+        {"schema": "rmt.bench/1", "name": "bench_store", "run": run,
+         "columns": ["workload", "cold_us", "mem_warm_us", "disk_warm_us",
+                     "speedup_mem", "speedup_disk", "identical"],
+         "rows": [{"workload": "cycle-20", "cold_us": 470.8, "mem_warm_us": 12.5,
+                   "disk_warm_us": 14.5, "speedup_mem": 37.7,
+                   "speedup_disk": float("inf"), "identical": True}],
+         "metrics": metrics},                                    # infinite speedup
         {"schema": "rmt.analyze/1", "instance": {"players": "eight"},
          "rmt_solvable": "yes", "metrics": metrics},
         {"schema": "rmt.run/1", "correct": True, "wrong": False,
@@ -832,6 +964,38 @@ def _selftest_traces():
     return good, bad
 
 
+def _selftest_stores():
+    """Store dumps are JSONL, so fixtures are (lineno, doc) line lists."""
+    header = {"schema": "rmt.store/1", "generation": 1, "records": 2,
+              "live_records": 1, "bytes": 345, "valid_prefix": 345, "torn": False}
+    rec_dead = {"schema": "rmt.store/1", "key": "aa|decide_rmt", "seq": 0,
+                "value_len": 86, "checksum": "7f3a9c51d2e80b64", "live": False}
+    rec_live = dict(rec_dead, seq=1, checksum="0123456789abcdef", live=True)
+    good = [
+        [(1, header), (2, rec_dead), (3, rec_live)],
+        # Empty store: a header alone is a valid dump.
+        [(1, {"schema": "rmt.store/1", "generation": 0, "records": 0,
+              "live_records": 0, "bytes": 50, "valid_prefix": 50, "torn": False})],
+        # A torn log is still dumpable — the flag reports it.
+        [(1, dict(header, records=1, live_records=1, torn=True)), (2, rec_live)],
+    ]
+    bad = [
+        [],                                                   # empty dump
+        [(1, rec_live)],                                      # no header
+        [(1, header), (2, rec_dead), (3, header)],            # second header
+        [(1, rec_dead), (2, header), (3, rec_live)],          # header after records
+        [(1, dict(header, records=2, live_records=3))],       # live > total
+        [(1, dict(header, torn="no")), (2, rec_dead), (3, rec_live)],
+        [(1, header), (2, rec_dead)],                         # count mismatch
+        [(1, header), (2, rec_dead), (3, dict(rec_live, live=False))],  # live mismatch
+        [(1, header), (2, rec_dead), (3, dict(rec_live, key=""))],
+        [(1, header), (2, rec_dead), (3, dict(rec_live, seq=-4))],
+        [(1, header), (2, rec_dead), (3, dict(rec_live, checksum="XYZ"))],
+        [(1, dict(header, schema="rmt.bench/1")), (2, rec_dead), (3, rec_live)],
+    ]
+    return good, bad
+
+
 def self_test():
     args = argparse.Namespace(require_phases=False, require_sim=False)
 
@@ -909,10 +1073,25 @@ def self_test():
         if not trace_problems(lines):
             failures.append(f"bad trace[{i}]: unexpectedly accepted")
 
+    # Store dumps go through check_store_lines.
+    def store_problems(lines):
+        problems = Problems("<self-test>")
+        check_store_lines(lines, problems)
+        return problems.items
+
+    good_s, bad_s = _selftest_stores()
+    for i, lines in enumerate(good_s):
+        items = store_problems(lines)
+        if items:
+            failures.append(f"good store[{i}]: unexpectedly rejected: {items}")
+    for i, lines in enumerate(bad_s):
+        if not store_problems(lines):
+            failures.append(f"bad store[{i}]: unexpectedly accepted")
+
     for f in failures:
         print(f"self-test: {f}", file=sys.stderr)
     total = (len(good) + len(bad) + len(good_m) + len(bad_m) + len(good_t) + len(bad_t)
-             + len(good_tr) + len(bad_tr))
+             + len(good_tr) + len(bad_tr) + len(good_s) + len(bad_s))
     print(f"self-test: {total} documents, {len(failures)} failures")
     return 1 if failures else 0
 

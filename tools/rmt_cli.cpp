@@ -18,6 +18,8 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iterator>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -35,6 +37,8 @@
 #include "protocols/rmt_pka.hpp"
 #include "protocols/runner.hpp"
 #include "sim/strategies.hpp"
+#include "store/format.hpp"
+#include "store/store.hpp"
 #include "svc/engine.hpp"
 #include "svc/wire.hpp"
 #include "util/audit.hpp"
@@ -59,6 +63,7 @@ constexpr Subcommand kSubcommands[] = {
     {"dot", "<file>", "Graphviz of the instance"},
     {"minimize", "<file>", "greedy minimal sufficient views"},
     {"validate", "<file>", "deep invariant validators (rmt::audit)"},
+    {"store", "merge|compact|dump <dir>..", "persistent result store maintenance"},
 };
 
 int usage() {
@@ -342,6 +347,107 @@ int cmd_validate(const Instance& inst, const ObsFlags& flags) {
   return diags.empty() ? 0 : 3;
 }
 
+/// `store` maintenance verbs. These never parse an instance file, so
+/// main() dispatches here before io::load_instance.
+///
+///   store merge <dst-dir> <src-dir>   fold src into dst (LWW by seq;
+///                                     value divergence on a shared key
+///                                     is a hard failure, exit 3)
+///   store compact <dir>               rewrite the log to live records
+///   store dump <dir> [--json <path|->]  rmt.store/1 JSONL inventory
+int cmd_store(int argc, char** argv, const ObsFlags& flags) {
+  if (argc < 2) return usage();
+  const std::string verb = argv[0];
+  const std::string dir = argv[1];
+  if (verb == "merge") {
+    if (argc < 3) return usage();
+    store::Options opts;
+    opts.dir = dir;
+    store::Store dst(opts);
+    store::MergeReport report;
+    try {
+      report = store::merge(dst, argv[2]);
+    } catch (const std::runtime_error& e) {
+      // Divergence: the stores disagree on the bytes of a shared key.
+      // That is a data-integrity violation, never a mergeable state.
+      std::fprintf(stderr, "MERGE FAILED: %s\n", e.what());
+      return 3;
+    }
+    const store::Stats st = dst.stats();
+    std::printf("merged %s into %s: %llu scanned, %llu appended, %llu identical; "
+                "now %llu live records (%llu bytes, generation %llu)\n",
+                argv[2], dir.c_str(), static_cast<unsigned long long>(report.scanned),
+                static_cast<unsigned long long>(report.appended),
+                static_cast<unsigned long long>(report.skipped_equal),
+                static_cast<unsigned long long>(st.live_records),
+                static_cast<unsigned long long>(st.bytes),
+                static_cast<unsigned long long>(st.generation));
+    return 0;
+  }
+  if (verb == "compact") {
+    store::Options opts;
+    opts.dir = dir;
+    store::Store s(opts);
+    const store::Stats before = s.stats();
+    s.compact();
+    const store::Stats after = s.stats();
+    std::printf("compacted %s: %llu -> %llu bytes, %llu live records, generation %llu\n",
+                dir.c_str(), static_cast<unsigned long long>(before.bytes),
+                static_cast<unsigned long long>(after.bytes),
+                static_cast<unsigned long long>(after.live_records),
+                static_cast<unsigned long long>(after.generation));
+    return 0;
+  }
+  if (verb == "dump") {
+    // Read-only inventory: scan the log without opening a Store, so a
+    // torn tail is reported, not repaired.
+    std::ifstream in(dir + "/store.log", std::ios::binary);
+    if (!in) throw std::invalid_argument("cannot open " + dir + "/store.log");
+    std::string image((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    const store::ScanResult scan = store::scan_bytes(image);
+    // Newest seq per key decides liveness (ties broken by file order).
+    std::map<std::string, std::size_t> newest;
+    for (std::size_t i = 0; i < scan.records.size(); ++i) {
+      const auto it = newest.find(scan.records[i].key);
+      if (it == newest.end() || scan.records[i].seq >= scan.records[it->second].seq)
+        newest[scan.records[i].key] = i;
+    }
+    std::string doc;
+    {
+      obs::json::Writer w;
+      w.begin_object();
+      w.field("schema", "rmt.store/1");
+      w.field("generation", scan.generation);
+      w.field("records", scan.records.size());
+      w.field("live_records", newest.size());
+      w.field("bytes", std::uint64_t(image.size()));
+      w.field("valid_prefix", std::uint64_t(scan.valid_prefix));
+      w.field("torn", scan.torn);
+      w.end_object();
+      doc = w.take();
+    }
+    for (std::size_t i = 0; i < scan.records.size(); ++i) {
+      const store::RecordRef& r = scan.records[i];
+      obs::json::Writer w;
+      w.begin_object();
+      w.field("schema", "rmt.store/1");
+      w.field("key", r.key);
+      w.field("seq", r.seq);
+      w.field("value_len", std::uint64_t(r.value_len));
+      char hex[17];
+      std::snprintf(hex, sizeof hex, "%016llx", static_cast<unsigned long long>(r.checksum));
+      w.field("checksum", hex);
+      w.field("live", newest.at(r.key) == i);
+      w.end_object();
+      doc += '\n';
+      doc += w.take();
+    }
+    emit_document(doc, flags.json_path ? *flags.json_path : "-");
+    return 0;
+  }
+  return usage();
+}
+
 int cmd_minimize(const Instance& inst) {
   const auto result = analysis::find_minimal_sufficient_view(inst);
   if (!result) {
@@ -366,6 +472,8 @@ int main(int argc, char** argv) {
     // observability goes on whenever either surface was requested.
     if (flags.stats || flags.json_path) obs::set_enabled(true);
     if (flags.trace_out_path) obs::trace::set_enabled(true);
+    // The store verbs operate on store directories, not instance files.
+    if (!std::strcmp(argv[1], "store")) return cmd_store(argc - 2, argv + 2, flags);
     const Instance inst = io::load_instance(argv[2]);
     int rc = 1;
     if (!std::strcmp(argv[1], "analyze")) {

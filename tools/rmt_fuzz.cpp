@@ -1,10 +1,10 @@
 // tools/rmt_fuzz.cpp — the structured-fuzzer CLI over check/fuzz.hpp.
 //
-//   rmt_fuzz [--seed S] [--mutants N] [--diff-checks N] [--max-nodes N]
-//            [--jobs N] [--corpus DIR]... [--artifacts DIR]
+//   rmt_fuzz [--seed S] [--mutants N] [--diff-checks N] [--store-checks N]
+//            [--max-nodes N] [--jobs N] [--corpus DIR]... [--artifacts DIR]
 //            [--trace-out FILE] [--self-test]
 //
-// Runs the parser-robustness and differential-decider loops (see
+// Runs the parser-robustness, differential-decider and store-image loops (see
 // check/fuzz.hpp for the contracts) and prints the one-line report
 // summary. Exit status: 0 when clean, 2 on findings (after writing each
 // finding's input + detail under --artifacts and dumping the flight
@@ -34,8 +34,9 @@ using rmt::propcheck::FuzzReport;
 [[noreturn]] void usage(const std::string& why) {
   std::cerr << "rmt_fuzz: " << why << "\n"
             << "usage: rmt_fuzz [--seed S] [--mutants N] [--diff-checks N]\n"
-            << "                [--max-nodes N] [--jobs N] [--corpus DIR]...\n"
-            << "                [--artifacts DIR] [--trace-out FILE] [--self-test]\n";
+            << "                [--store-checks N] [--max-nodes N] [--jobs N]\n"
+            << "                [--corpus DIR]... [--artifacts DIR]\n"
+            << "                [--trace-out FILE] [--self-test]\n";
   std::exit(1);
 }
 
@@ -63,6 +64,7 @@ int self_test(FuzzOptions opts) {
   // diverge on at least one (any instance with a cut answer flips).
   opts.parser_mutants = 200;
   opts.diff_checks = 40;
+  opts.store_checks = 80;
   FuzzOptions broken = opts;
   broken.rmt_decider = [](const rmt::Instance& inst) {
     // Deliberately wrong: report the opposite existence answer.
@@ -106,6 +108,7 @@ int main(int argc, char** argv) {
     if (a == "--seed") opts.seed = parse_u64(a, value());
     else if (a == "--mutants") opts.parser_mutants = parse_u64(a, value());
     else if (a == "--diff-checks") opts.diff_checks = parse_u64(a, value());
+    else if (a == "--store-checks") opts.store_checks = parse_u64(a, value());
     else if (a == "--max-nodes") opts.max_exact_nodes = parse_u64(a, value());
     else if (a == "--jobs") opts.svc_workers = parse_u64(a, value());
     else if (a == "--corpus") {

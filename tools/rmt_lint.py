@@ -57,6 +57,27 @@ catch by hand (wired into ctest as lint_project / lint_selftest):
                     (both directions, mirroring svc-metric-registry). Span
                     names ("net.conn", "net.read", "net.write") belong to
                     the span registry and are exempt here.
+  io-discipline     raw POSIX file io (::open, ::write, pread, pwrite,
+                    fsync, ftruncate, rename, unlink, mkdir, ...) only
+                    inside src/store/ — the store owns durability, so its
+                    append/fsync/rename discipline, torn-tail repair, and
+                    store.* accounting cannot be bypassed by another layer
+                    scribbling on the log. The crash handler's async-
+                    signal-safe dump and the event loop's self-pipe are
+                    grandfathered per line with a '// lint:raw-io-allowed'
+                    marker carrying its justification. Common identifiers
+                    (open/write/rename) trip only when ::-qualified —
+                    member functions and std::filesystem stay legitimate;
+                    the rare POSIX names (pread, fsync, ftruncate, ...)
+                    trip bare too.
+  store-metric-registry
+                    every "store.*" metric-name string literal in C++
+                    sources appears in src/store/metric_names.hpp, and
+                    every registered name keeps an instrumentation site in
+                    src/ (both directions, mirroring svc/net-metric-
+                    registry). The store phase names ("store.load",
+                    "store.append", "store.compact") belong to the phase
+                    registry and are exempt here.
   simd-discipline   raw SIMD intrinsics (_mm*, vld1q*/vst1q*,
                     __builtin_ia32*, vendor vector types) and their
                     <immintrin.h>/<arm_neon.h> includes only inside
@@ -198,6 +219,43 @@ def check_socket_discipline(relpath, text):
         if SOCKET_DISCIPLINE_RE.search(line):
             yield (f"{relpath}:{i}: socket-discipline: raw socket/poll call "
                    f"outside src/net/ — use net::Server / net::Client")
+
+
+# Raw POSIX file io. Two tiers: names that are common C++ identifiers
+# (open, write, rename — member functions, std::filesystem) trip only in
+# their ::-qualified form, which is how every raw call site in this tree
+# is spelled; the unmistakably-POSIX names trip bare as well. The
+# lookbehind rejects members (file.open), pointers (f->write), qualified
+# names (std::rename — the char before :: is a word char, the char before
+# the bare name is ':'), and longer identifiers (reopen, pwrite_all).
+IO_DISCIPLINE_RE = re.compile(
+    r"(?<![\w.:>])(?:"
+    r"::\s*(?:open|openat|creat|write|pread|pwrite|fsync|fdatasync"
+    r"|ftruncate|rename|unlink|mkdir|rmdir)"
+    r"|(?:openat|creat|pread|pwrite|fsync|fdatasync|ftruncate|unlink"
+    r"|mkdir|rmdir)"
+    r")\s*\(")
+RAW_IO_ALLOWED_MARK = "lint:raw-io-allowed"
+
+
+def check_io_discipline(relpath, text):
+    # src/store/ owns every durable byte: the identity header, O_APPEND
+    # append discipline, fsync points, and tmp+rename compaction are
+    # invariants of one file, not conventions spread across layers. A raw
+    # write/rename elsewhere could tear the log in ways scan_bytes was
+    # never taught to repair. Grandfathered sites (the crash handler's
+    # async-signal-safe dump, the event loop's self-pipe) carry a
+    # lint:raw-io-allowed marker on the offending line.
+    if relpath.startswith("src/store/"):
+        return
+    raw_lines = text.splitlines()
+    for i, line in enumerate(strip_line_comments(text).splitlines(), 1):
+        if IO_DISCIPLINE_RE.search(line):
+            if RAW_IO_ALLOWED_MARK in raw_lines[i - 1]:
+                continue
+            yield (f"{relpath}:{i}: io-discipline: raw POSIX file io outside "
+                   f"src/store/ — go through store::Store, or justify the line "
+                   f"with '// {RAW_IO_ALLOWED_MARK}: why'")
 
 
 # Raw vendor intrinsics, vector register types, and the intrinsics headers.
@@ -565,12 +623,79 @@ def check_net_metric_registry(repo, sources, findings):
     findings.extend(net_metric_findings(registry, span_names, scanned))
 
 
+STORE_METRIC_REGISTRY_FILE = "src/store/metric_names.hpp"
+STORE_METRIC_LITERAL_RE = re.compile(r'"(store\.[A-Za-z0-9_.]+)"')
+
+
+def parse_store_metric_registry(text):
+    """Names listed between the lint:store-metric-registry markers, or None."""
+    m = re.search(r"lint:store-metric-registry-begin(.*?)lint:store-metric-registry-end",
+                  text, re.S)
+    if not m:
+        return None
+    return set(re.findall(r'"([^"]+)"', m.group(1)))
+
+
+def store_metric_findings(registry, phase_names, sources):
+    """The both-direction store-metric check as a pure function (self-tested).
+
+    `sources` excludes the registry file itself; `phase_names` (the phase
+    and span vocabularies) are exempt — "store.load" / "store.append" /
+    "store.compact" are RMT_OBS_SCOPE phases owned by the phase-registry
+    rule, not metrics.
+    """
+    findings = []
+    used = {}  # name -> first "file:line"
+    used_in_src = set()
+    for relpath, text in sources:
+        for i, line in enumerate(strip_line_comments(text).splitlines(), 1):
+            for name in STORE_METRIC_LITERAL_RE.findall(line):
+                used.setdefault(name, f"{relpath}:{i}")
+                if relpath.startswith("src/"):
+                    used_in_src.add(name)
+    for name, where in sorted(used.items()):
+        if name in phase_names:
+            continue
+        if name not in registry:
+            findings.append(
+                f"{where}: store-metric-registry: metric '{name}' is not in "
+                f"{STORE_METRIC_REGISTRY_FILE}")
+    for name in sorted(registry - used_in_src):
+        findings.append(
+            f"{STORE_METRIC_REGISTRY_FILE}:1: store-metric-registry: registered metric "
+            f"'{name}' has no instrumentation site left in src/")
+    return findings
+
+
+def check_store_metric_registry(repo, sources, findings):
+    registry_path = repo / STORE_METRIC_REGISTRY_FILE
+    if not registry_path.is_file():
+        findings.append(
+            f"{STORE_METRIC_REGISTRY_FILE}:1: store-metric-registry: registry file is missing")
+        return
+    registry = parse_store_metric_registry(registry_path.read_text(encoding="utf-8"))
+    if registry is None:
+        findings.append(f"{STORE_METRIC_REGISTRY_FILE}:1: store-metric-registry: "
+                        f"lint:store-metric-registry markers not found")
+        return
+    phase_names = set()
+    phase_path = repo / PHASE_REGISTRY_FILE
+    if phase_path.is_file():
+        phase_names |= parse_phase_registry(phase_path.read_text(encoding="utf-8")) or set()
+    span_path = repo / SPAN_REGISTRY_FILE
+    if span_path.is_file():
+        phase_names |= parse_span_registry(span_path.read_text(encoding="utf-8")) or set()
+    scanned = [(relpath, text) for relpath, text in sources
+               if relpath not in (STORE_METRIC_REGISTRY_FILE, SPAN_REGISTRY_FILE)]
+    findings.extend(store_metric_findings(registry, phase_names, scanned))
+
+
 # --- driver ------------------------------------------------------------------
 
 LINT_DIRS = ["src", "bench", "tests", "tools", "examples"]
 PER_FILE_RULES = [check_pragma_once, check_header_namespace, check_banned_tokens,
                   check_thread_spawn, check_rng_discipline, check_socket_discipline,
-                  check_simd_discipline]
+                  check_io_discipline, check_simd_discipline]
 
 
 def gather_sources(repo):
@@ -598,6 +723,7 @@ def lint_repo(repo):
     check_span_registry(repo, sources, findings)
     check_svc_metric_registry(repo, sources, findings)
     check_net_metric_registry(repo, sources, findings)
+    check_store_metric_registry(repo, sources, findings)
     return findings
 
 
@@ -643,6 +769,28 @@ SELFTEST_CASES = [
     (check_socket_discipline, "src/x.cpp", "auto f = std::bind(g, 1);\n", False),
     (check_socket_discipline, "src/x.cpp", "resend(frame);\n", False),
     (check_socket_discipline, "src/x.cpp", "// raw send( is banned here\n", False),
+    (check_io_discipline, "src/svc/engine.cpp",
+     "const int fd = ::open(path.c_str(), O_RDONLY);\n", True),
+    (check_io_discipline, "src/obs/trace.cpp", "::write(fd, buf, n);\n", True),
+    (check_io_discipline, "tests/test_x.cpp", "fsync(fd);\n", True),
+    (check_io_discipline, "bench/x.cpp", "::rename(tmp, path);\n", True),
+    (check_io_discipline, "tools/x.cpp", "unlink(tmp.c_str());\n", True),
+    (check_io_discipline, "src/svc/engine.cpp", "mkdir(dir, 0755);\n", True),
+    (check_io_discipline, "src/store/store.cpp",
+     "const int fd = ::open(path.c_str(), O_RDONLY);\n", False),
+    # A lint:raw-io-allowed marker on the line grandfathers it.
+    (check_io_discipline, "src/obs/trace.cpp",
+     "::write(fd, buf, n);  // lint:raw-io-allowed: crash handler\n", False),
+    # Member functions, std::filesystem, and longer identifiers are not
+    # the raw POSIX API; common names trip only when ::-qualified.
+    (check_io_discipline, "src/svc/engine.cpp", "file.open(path);\n", False),
+    (check_io_discipline, "src/obs/x.hpp", "void write(const std::string&);\n",
+     False),
+    (check_io_discipline, "bench/x.cpp",
+     "std::filesystem::rename(tmp, path);\n", False),
+    (check_io_discipline, "src/x.cpp", "reopen(log);\n", False),
+    (check_io_discipline, "src/x.cpp", "pwrite_all(fd, buf);\n", False),
+    (check_io_discipline, "src/x.cpp", "// raw ::write( is banned here\n", False),
     (check_simd_discipline, "src/adversary/bit_matrix.cpp",
      "__m256i v = _mm256_setzero_si256();\n", True),
     (check_simd_discipline, "src/util/simd.hpp",
@@ -757,6 +905,34 @@ NET_METRIC_CASES = [
 ]
 
 
+# (registry, phase_names, sources, expect_finding) for store_metric_findings.
+STORE_METRIC_CASES = [
+    # A registered metric used in src/: clean in both directions.
+    ({"store.hits"}, set(),
+     [("src/store/store.cpp", 'reg.counter("store.hits");\n')], False),
+    # An unregistered metric literal anywhere is a finding.
+    ({"store.hits"}, set(),
+     [("src/store/store.cpp", 'reg.counter("store.hits");\n'),
+      ("src/store/store.cpp", 'reg.counter("store.rogue");\n')], True),
+    ({"store.hits"}, set(),
+     [("src/store/store.cpp", 'reg.counter("store.hits");\n'),
+      ("tests/test_store.cpp", 'EXPECT_TRUE(has("store.rogue"));\n')], True),
+    # A registered metric with no src/ site left is a finding — a use in
+    # tests/ alone does not keep it alive.
+    ({"store.hits", "store.stale"}, set(),
+     [("src/store/store.cpp", 'reg.counter("store.hits");\n'),
+      ("tests/test_store.cpp", 'reg.counter("store.stale");\n')], True),
+    # Phase names are the phase registry's business, not a metric finding.
+    ({"store.hits"}, {"store.load", "store.append", "store.compact"},
+     [("src/store/store.cpp", 'reg.counter("store.hits");\n'),
+      ("src/store/store.cpp", 'RMT_OBS_SCOPE("store.append");\n')], False),
+    # Mentions inside // comments do not count as uses.
+    ({"store.hits"}, set(),
+     [("src/store/store.cpp",
+       'reg.counter("store.hits");  // not "store.phantom"\n')], False),
+]
+
+
 def self_test():
     failures = []
     for i, (rule, relpath, text, expect) in enumerate(SELFTEST_CASES):
@@ -817,10 +993,21 @@ def self_test():
         if got != expect:
             failures.append(f"net-metric case {case}: expected "
                             f"{'a finding' if expect else 'clean'}, got the opposite")
+
+    store_registry = parse_store_metric_registry(
+        '// lint:store-metric-registry-begin\n"store.hits",\n"store.appends",\n'
+        '// lint:store-metric-registry-end\n')
+    if store_registry != {"store.hits", "store.appends"}:
+        failures.append(f"parse_store_metric_registry: got {store_registry!r}")
+    for case, (reg, phases, sources, expect) in enumerate(STORE_METRIC_CASES):
+        got = bool(store_metric_findings(reg, phases, sources))
+        if got != expect:
+            failures.append(f"store-metric case {case}: expected "
+                            f"{'a finding' if expect else 'clean'}, got the opposite")
     for f in failures:
         print(f"self-test: {f}", file=sys.stderr)
     total = len(SELFTEST_CASES) + len(SPAN_CASES) + len(SVC_METRIC_CASES) \
-        + len(NET_METRIC_CASES) + len(SIMD_BACKEND_CASES) + 7
+        + len(NET_METRIC_CASES) + len(STORE_METRIC_CASES) + len(SIMD_BACKEND_CASES) + 8
     print(f"self-test: {total} checks, {len(failures)} failures")
     return 1 if failures else 0
 

@@ -37,6 +37,7 @@
 // every write queue, then exit 0.
 //
 //   rmt_serve [--stdio | --port N] [--jobs N] [--batch N] [--cache-mb N]
+//             [--store-dir DIR] [--store-budget N]
 //             [--seed N] [--trace-out FILE]
 //             [--batch-wait-ms N] [--max-conns N] [--max-line-bytes N]
 //             [--max-inflight N] [--max-inflight-conn N]
@@ -46,6 +47,10 @@
 //                   compute sequentially)
 //   --batch N       max requests per engine batch (default 64)
 //   --cache-mb N    result cache budget in MiB (default 64)
+//   --store-dir D   persistent result store directory (created if absent;
+//                   recovered on start — a hostile store file refuses to
+//                   serve). Default: memory-only
+//   --store-budget N  store.log size cap in bytes (0 = unlimited)
 //   --seed N        root seed for derived simulate seeds (default 4242)
 //   --trace-out F   dump the flight recorder to F (rmt.trace/1 JSONL) at
 //                   exit, on deadline_exceeded, and on crash (the crash
@@ -84,7 +89,8 @@ using namespace rmt;
 int usage() {
   std::fprintf(stderr,
                "usage: rmt_serve [--stdio | --port N] [--jobs N] [--batch N]\n"
-               "                 [--cache-mb N] [--seed N] [--trace-out FILE]\n"
+               "                 [--cache-mb N] [--store-dir DIR] [--store-budget N]\n"
+               "                 [--seed N] [--trace-out FILE]\n"
                "                 [--batch-wait-ms N] [--max-conns N] [--max-line-bytes N]\n"
                "                 [--max-inflight N] [--max-inflight-conn N]\n"
                "                 [--write-budget N] [--write-hard-cap N] [--so-sndbuf N]\n"
@@ -169,6 +175,8 @@ int main(int argc, char** argv) {
   std::size_t jobs = exec::ThreadPool::hardware_concurrency();
   std::size_t batch_limit = 64;
   std::size_t cache_mb = 64;
+  std::string store_dir;
+  std::uint64_t store_budget = 0;
   std::uint64_t seed = 4242;
   std::string trace_out;
   net::Server::Options net_opts;
@@ -184,6 +192,8 @@ int main(int argc, char** argv) {
     if (arg == "--jobs") jobs = std::size_t(n);
     else if (arg == "--batch") batch_limit = std::size_t(n);
     else if (arg == "--cache-mb") cache_mb = std::size_t(n);
+    else if (arg == "--store-dir") store_dir = val;
+    else if (arg == "--store-budget") store_budget = n;
     else if (arg == "--seed") seed = n;
     else if (arg == "--trace-out") trace_out = val;
     else if (arg == "--port") {
@@ -212,13 +222,23 @@ int main(int argc, char** argv) {
 
   svc::Engine::Options opts;
   opts.cache.max_bytes = cache_mb << 20;
+  opts.store.dir = store_dir;
+  opts.store.max_bytes = store_budget;
   opts.root_seed = seed;
 
   if (stdio) {
-    StdioServer server(pool.get(), opts, batch_limit);
+    // Engine construction opens (and recovers) the store; a hostile store
+    // file is a clean refusal to serve, never a crash.
+    std::unique_ptr<StdioServer> server;
+    try {
+      server = std::make_unique<StdioServer>(pool.get(), opts, batch_limit);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "rmt_serve: %s\n", e.what());
+      return 1;
+    }
     std::string line;
-    while (std::getline(std::cin, line)) server.handle_line(line);
-    server.flush();
+    while (std::getline(std::cin, line)) server->handle_line(line);
+    server->flush();
     obs::trace::Recorder::global().dump_now("exit");
     return 0;
   }

@@ -27,6 +27,21 @@ asserts the serving semantics from the outside:
     the trace probe's dump against the rmt.trace/1 forest rules, via
     tools/check_bench_json.py (when --checker is given).
 
+Persistence (`--store-dir`) is exercised in BOTH transports:
+
+  * store_restart — a server is SIGKILLed mid-serve (no shutdown hook may
+    run) after answering three distinct requests with a store attached; a
+    restarted server over the same directory answers the same requests
+    byte-identically with cached=true, engine.computed==0 and
+    engine.disk_hits==3 — the warm-start contract: a crash costs zero
+    recomputation;
+  * store_merge_divergence — two servers populate two stores with the
+    same request, then ONE value byte in the source store is flipped with
+    its record checksum recomputed (so the record still loads as
+    perfectly valid); `rmt_cli store merge` must refuse with exit 3 and a
+    MERGE FAILED diagnosis, leaving the destination byte-for-byte
+    untouched, while the untampered control merge exits 0. Needs --cli.
+
 TCP mode (`rmt_serve --port 0`) is exercised by a socket harness on top of
 the same assertions:
 
@@ -49,7 +64,7 @@ the same assertions:
     same server keeps getting answers;
   * tcp_drain — SIGTERM flushes in-flight work, closes cleanly, exit 0.
 
-Usage: serve_e2e.py --server PATH [--checker PATH] [--jobs N]
+Usage: serve_e2e.py --server PATH [--cli PATH] [--checker PATH] [--jobs N]
                     [--mode {all,stdio,tcp}]
 Exit code 0 on success; failures are printed and exit 1.
 
@@ -59,9 +74,11 @@ explicitly).
 
 import argparse
 import json
+import os
 import re
 import signal
 import socket
+import struct
 import subprocess
 import sys
 import tempfile
@@ -297,6 +314,209 @@ def schema_check(checker, lines, what, failures):
                           capture_output=True, text=True)
     if proc.returncode != 0:
         failures.append(f"check_bench_json rejected the {what}:\n{proc.stderr}")
+
+
+# --------------------------------------------------------------------------
+# Persistence scenarios (rmt_serve --store-dir; see src/store/)
+# --------------------------------------------------------------------------
+
+def fnv1a64(data):
+    """FNV-1a-64 over bytes — must match src/store/format.hpp."""
+    h = 0xCBF29CE484222325
+    for c in data:
+        h ^= c
+        h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+def tamper_store_value(path):
+    """Flip one value byte of the first record in a store.log AND recompute
+    that record's checksum, so the record still loads as perfectly valid —
+    only a byte-level comparison against another store can catch it."""
+    with open(path, "rb") as f:
+        data = bytearray(f.read())
+    off = data.index(b"\n") + 1  # first record starts after the identity line
+    key_len, value_len = struct.unpack_from("<II", data, off)
+    (seq,) = struct.unpack_from("<Q", data, off + 8)
+    if value_len == 0:
+        raise AssertionError("tamper target record has an empty value")
+    key = bytes(data[off + 24:off + 24 + key_len])
+    voff = off + 24 + key_len
+    data[voff] ^= 0x01
+    value = bytes(data[voff:voff + value_len])
+    checksum = fnv1a64(struct.pack("<IIQ", key_len, value_len, seq) + key + value)
+    struct.pack_into("<Q", data, off + 16, checksum)
+    with open(path, "wb") as f:
+        f.write(data)
+
+
+STORE_KEYS = 3  # distinct instances persisted per store_restart run
+
+
+def store_restart(server, jobs, failures, mode):
+    """SIGKILL mid-serve -> restart -> byte-identical answers, computed==0."""
+    tag = f"store_restart[{mode}]"
+
+    def expect(cond, msg):
+        if not cond:
+            failures.append(f"{tag}: {msg}")
+
+    with tempfile.TemporaryDirectory(prefix="rmt_e2e_store_") as tmp:
+        sdir = os.path.join(tmp, "store")
+        flags = ["--store-dir", sdir]
+        first = {}
+
+        # First life: answer three distinct requests (each write-through to
+        # disk), then SIGKILL — no drain, no flush hook, nothing graceful.
+        if mode == "stdio":
+            proc = subprocess.Popen([server, "--jobs", str(jobs), *flags],
+                                    stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+                                    stderr=subprocess.DEVNULL, text=True)
+            try:
+                for k in range(STORE_KEYS):
+                    proc.stdin.write(request(f"w{k}", VARIANTS[k]) + "\n\n")
+                proc.stdin.flush()
+                for _ in range(STORE_KEYS):
+                    doc = json.loads(proc.stdout.readline())
+                    first[doc["id"]] = doc
+            finally:
+                proc.kill()
+                proc.wait()
+        else:
+            with TcpServer(server, jobs, flags) as srv:
+                client = TcpClient(srv.port)
+                for k in range(STORE_KEYS):
+                    client.request(f"w{k}", VARIANTS[k])
+                    client.send_line("")
+                for _ in range(STORE_KEYS):
+                    doc = json.loads(client.recv_line())
+                    first[doc["id"]] = doc
+                client.close()
+                srv.proc.kill()
+                srv.proc.wait()
+        expect(len(first) == STORE_KEYS
+               and all(d["status"] == "ok" for d in first.values()),
+               "first life did not answer every request ok")
+        if len(first) != STORE_KEYS:
+            return
+
+        # Second life over the same directory: every answer must come off
+        # disk — cached, byte-identical, zero recomputation.
+        docs = {}
+        if mode == "stdio":
+            lines = []
+            for k in range(STORE_KEYS):
+                lines.append(request(f"w{k}", VARIANTS[k]))
+                lines.append("")
+            lines.append(json.dumps({"schema": "rmt.request/1", "id": "st",
+                                     "kind": "stats", "instance": ""}))
+            out = subprocess.run([server, "--jobs", str(jobs), *flags],
+                                 input="\n".join(lines) + "\n",
+                                 capture_output=True, text=True, timeout=90)
+            expect(out.returncode == 0,
+                   f"restarted server exited {out.returncode}: {out.stderr}")
+            for raw in out.stdout.splitlines():
+                if raw.strip():
+                    doc = json.loads(raw)
+                    docs[doc["id"]] = doc
+        else:
+            with TcpServer(server, jobs, flags) as srv:
+                client = TcpClient(srv.port)
+                for k in range(STORE_KEYS):
+                    client.request(f"w{k}", VARIANTS[k])
+                    client.send_line("")
+                for _ in range(STORE_KEYS):
+                    doc = json.loads(client.recv_line())
+                    docs[doc["id"]] = doc
+                docs["st"] = client.probe("stats", "st")
+                client.close()
+                expect(srv.terminate() == 0, "restarted server exit != 0")
+
+        for k in range(STORE_KEYS):
+            doc = docs.get(f"w{k}")
+            expect(doc is not None and doc["status"] == "ok",
+                   f"w{k}: restarted answer missing or not ok")
+            if not doc:
+                continue
+            expect(doc["cached"] is True, f"w{k}: restarted answer not cached")
+            expect(doc["result"] == first[f"w{k}"]["result"],
+                   f"w{k}: restarted result diverged from the pre-crash bytes")
+        st = docs.get("st")
+        expect(st is not None and st["status"] == "ok", "stats probe failed")
+        if st:
+            engine, store = st["result"]["engine"], st["result"].get("store")
+            expect(engine["computed"] == 0,
+                   f"engine.computed={engine['computed']} != 0 "
+                   "(restart recomputed instead of serving from disk)")
+            expect(engine["disk_hits"] == STORE_KEYS,
+                   f"engine.disk_hits={engine['disk_hits']} != {STORE_KEYS}")
+            expect(store is not None and store["hits"] == STORE_KEYS,
+                   f"store.hits={store and store['hits']} != {STORE_KEYS}")
+            expect(store is not None and store["records"] == STORE_KEYS
+                   and store["repairs"] == 0,
+                   "store inventory wrong after the crash "
+                   f"(records={store and store['records']}, "
+                   f"repairs={store and store['repairs']})")
+
+
+def populate_store(server, jobs, sdir, mode):
+    """One server life that persists INSTANCE_B's answer into `sdir`."""
+    if mode == "stdio":
+        out = subprocess.run([server, "--jobs", str(jobs), "--store-dir", sdir],
+                             input=request("seed", INSTANCE_B) + "\n\n",
+                             capture_output=True, text=True, timeout=90)
+        if out.returncode != 0:
+            raise AssertionError(f"populate run exited {out.returncode}: {out.stderr}")
+    else:
+        with TcpServer(server, jobs, ["--store-dir", sdir]) as srv:
+            client = TcpClient(srv.port)
+            client.request("seed", INSTANCE_B)
+            client.send_line("")
+            doc = json.loads(client.recv_line())
+            if doc["status"] != "ok":
+                raise AssertionError(f"populate request failed: {doc}")
+            client.close()
+            if srv.terminate() != 0:
+                raise AssertionError("populate server exit != 0")
+
+
+def store_merge_divergence(server, jobs, cli, failures, mode):
+    """Merging a tampered store fails loudly and modifies nothing."""
+    tag = f"store_merge_divergence[{mode}]"
+
+    def expect(cond, msg):
+        if not cond:
+            failures.append(f"{tag}: {msg}")
+
+    with tempfile.TemporaryDirectory(prefix="rmt_e2e_merge_") as tmp:
+        dst = os.path.join(tmp, "a")
+        src = os.path.join(tmp, "b")
+        populate_store(server, jobs, dst, mode)
+        populate_store(server, jobs, src, mode)
+        dst_log = os.path.join(dst, "store.log")
+        with open(dst_log, "rb") as f:
+            dst_before = f.read()
+
+        # Control: two stores grown from the same request hold identical
+        # records — the merge folds to zero appends and exits 0.
+        ok = subprocess.run([cli, "store", "merge", dst, src],
+                            capture_output=True, text=True, timeout=60)
+        expect(ok.returncode == 0,
+               f"equal-store merge exited {ok.returncode}: {ok.stderr}")
+
+        # One flipped value byte with a recomputed checksum: the record is
+        # valid in isolation, so only the merge's byte comparison is left
+        # to notice the two stores now disagree about a shared key.
+        tamper_store_value(os.path.join(src, "store.log"))
+        bad = subprocess.run([cli, "store", "merge", dst, src],
+                            capture_output=True, text=True, timeout=60)
+        expect(bad.returncode == 3,
+               f"tampered merge exited {bad.returncode}, expected 3")
+        expect("MERGE FAILED:" in bad.stderr and "divergence" in bad.stderr,
+               f"tampered merge stderr lacks the diagnosis: {bad.stderr!r}")
+        with open(dst_log, "rb") as f:
+            expect(f.read() == dst_before,
+                   "destination store modified by a refused merge")
 
 
 # --------------------------------------------------------------------------
@@ -705,15 +925,7 @@ def tcp_drain(server, jobs, failures):
         expect(code == 0, f"server exit code {code} != 0 after drain")
 
 
-def run_tcp(server, jobs, checker, failures):
-    scenarios = [("tcp_parity_faults",
-                  lambda: tcp_parity_faults(server, jobs, checker, failures)),
-                 ("tcp_coalesce",
-                  lambda: tcp_coalesce(server, jobs, checker, failures)),
-                 ("tcp_shed", lambda: tcp_shed(server, jobs, failures)),
-                 ("tcp_slow_client",
-                  lambda: tcp_slow_client(server, jobs, failures)),
-                 ("tcp_drain", lambda: tcp_drain(server, jobs, failures))]
+def run_scenarios(scenarios, failures):
     for name, fn in scenarios:
         before = len(failures)
         try:
@@ -724,9 +936,29 @@ def run_tcp(server, jobs, checker, failures):
         print(f"serve_e2e: {name}: {status}")
 
 
+def run_tcp(server, jobs, checker, cli, failures):
+    scenarios = [("tcp_parity_faults",
+                  lambda: tcp_parity_faults(server, jobs, checker, failures)),
+                 ("tcp_coalesce",
+                  lambda: tcp_coalesce(server, jobs, checker, failures)),
+                 ("tcp_shed", lambda: tcp_shed(server, jobs, failures)),
+                 ("tcp_slow_client",
+                  lambda: tcp_slow_client(server, jobs, failures)),
+                 ("tcp_drain", lambda: tcp_drain(server, jobs, failures)),
+                 ("store_restart[tcp]",
+                  lambda: store_restart(server, jobs, failures, "tcp"))]
+    if cli:
+        scenarios.append(
+            ("store_merge_divergence[tcp]",
+             lambda: store_merge_divergence(server, jobs, cli, failures, "tcp")))
+    run_scenarios(scenarios, failures)
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--server", required=True, help="path to the rmt_serve binary")
+    parser.add_argument("--cli", help="path to the rmt_cli binary "
+                        "(enables the store merge-divergence scenarios)")
     parser.add_argument("--checker", help="path to check_bench_json.py")
     parser.add_argument("--jobs", type=int, default=2)
     parser.add_argument("--mode", choices=["all", "stdio", "tcp"], default="all")
@@ -744,8 +976,17 @@ def main():
             if trace_lines:
                 schema_check(args.checker, trace_lines, "trace probe dump",
                              failures)
+        scenarios = [("store_restart[stdio]",
+                      lambda: store_restart(args.server, args.jobs, failures,
+                                            "stdio"))]
+        if args.cli:
+            scenarios.append(
+                ("store_merge_divergence[stdio]",
+                 lambda: store_merge_divergence(args.server, args.jobs,
+                                                args.cli, failures, "stdio")))
+        run_scenarios(scenarios, failures)
     if args.mode in ("all", "tcp"):
-        run_tcp(args.server, args.jobs, args.checker, failures)
+        run_tcp(args.server, args.jobs, args.checker, args.cli, failures)
 
     for f in failures:
         print(f"serve_e2e: FAIL: {f}", file=sys.stderr)
